@@ -1,0 +1,46 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Every benchmark:
+
+* builds its world through :mod:`repro.testbed` (deterministic seeds),
+* runs the experiment in *virtual* time (pytest-benchmark measures the
+  harness's real-time cost, the tables report virtual seconds),
+* prints a paper-style table AND persists it under
+  ``benchmarks/results/<experiment>.txt``, and
+* asserts the qualitative claim the experiment reconstructs.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(experiment_id: str, text: str) -> None:
+    """Print a result block and persist it under benchmarks/results/."""
+    banner = f"\n===== {experiment_id} =====\n{text}\n"
+    print(banner)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{experiment_id}.txt").write_text(text + "\n")
+
+
+def linear_system(rng: np.random.Generator, n: int):
+    """A well-conditioned dense system (diagonally dominated)."""
+    a = rng.standard_normal((n, n)) + n * np.eye(n)
+    b = rng.standard_normal(n)
+    return a, b
+
+
+def ode_instance(rng: np.random.Generator, d: int, steps: int):
+    """Arguments for ode/linear: a mildly damped random linear system."""
+    m = rng.standard_normal((d, d)) * 0.1 - 0.5 * np.eye(d)
+    y0 = rng.standard_normal(d)
+    return [m, y0, steps, 1.0]
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark and return its value."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,77 @@
+"""Ablation A1 — what the predictor's workload term buys.
+
+DESIGN.md calls out the workload correction (effective speed =
+peak * 100/(100+w)) as a load-bearing design choice.  This ablation
+re-runs the T3 scenario with an agent whose predictor ignores workload
+reports (``use_workload=False``): it keeps MCT's form but ranks by peak
+speed and network only, so externally loaded machines soak up work they
+cannot turn around.
+"""
+
+from repro.config import AgentConfig, ClientConfig
+from repro.farming import submit_farm
+from repro.simnet.rng import RngStreams
+from repro.testbed import standard_testbed
+from repro.trace.metrics import format_table
+
+from _harness import emit, linear_system, once
+
+N_REQUESTS = 48
+SIZES = (256, 320, 384, 448, 512)
+PEAKS = [150.0, 100.0, 75.0, 50.0]
+LOADS = [4.0, 0.0, 1.0, 0.0]
+
+
+def run(use_workload: bool):
+    tb = standard_testbed(
+        n_servers=4,
+        server_mflops=PEAKS,
+        seed=55,
+        bandwidth=12.5e6,
+        agent_cfg=AgentConfig(policy="mct", candidate_list_length=3),
+        client_cfg=ClientConfig(max_retries=5, timeout_floor=30.0,
+                                server_timeout=7200.0),
+        use_workload=use_workload,
+    )
+    for i, load in enumerate(LOADS):
+        if load > 0:
+            tb.host(f"zeus{i}").set_background_load(load)
+    tb.settle(30.0)
+    rng = RngStreams(55).get("a1.data")
+    args = [
+        list(linear_system(rng, SIZES[i % len(SIZES)]))
+        for i in range(N_REQUESTS)
+    ]
+    farm = submit_farm(tb.client("c0"), "linsys/dgesv", args)
+    tb.wait_all(farm.handles)
+    assert len(farm.completed) == N_REQUESTS
+    return farm.makespan, farm.stats().mean_seconds, farm.servers_used()
+
+
+def test_a1_predictor_without_workload_term(benchmark):
+    def experiment():
+        return {"with": run(True), "without": run(False)}
+
+    results = once(benchmark, experiment)
+
+    rows = [
+        [label, f"{mk:.1f}", f"{mean:.1f}",
+         " ".join(f"{k}:{v}" for k, v in spread.items())]
+        for label, (mk, mean, spread) in results.items()
+    ]
+    text = format_table(
+        ["workload term", "makespan(s)", "mean(s)", "per-server"],
+        rows,
+        title=(
+            "A1: MCT with vs without the workload correction "
+            "(peaks 150/100/75/50, loads 4/0/1/0)"
+        ),
+    )
+    emit("A1_ablation_predictor", text)
+
+    with_term = results["with"]
+    without = results["without"]
+    # claim: dropping the workload term costs real makespan
+    assert with_term[0] < without[0]
+    # the blind agent over-assigns the loaded 150 Mflop/s machine
+    assert without[2].get("s0", 0) > with_term[2].get("s0", 0)

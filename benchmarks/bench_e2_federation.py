@@ -1,0 +1,108 @@
+"""Extension experiment E2 — federated agents share the broker load.
+
+NetSolve's scalability path: replicate the agent and let the replicas
+mirror ground truth (registrations, workload reports, failure reports),
+so clients spread their queries over the agent pool while every agent
+can broker every request.
+
+Protocol: 8 clients x 8 requests over 4 servers, brokered by 1 vs 2
+agents (clients split evenly).  Measured: per-agent query load,
+mirroring overhead, and that results/makespan are unaffected.
+"""
+
+from repro.config import ClientConfig
+from repro.farming import submit_farm
+from repro.simnet.rng import RngStreams
+from repro.testbed import ClientDef, HostDef, LinkDef, ServerDef, build_testbed
+from repro.trace.metrics import format_table
+
+from _harness import emit, linear_system, once
+
+N_CLIENTS = 8
+PER_CLIENT = 8
+N_SERVERS = 4
+SIZE = 320
+
+
+def run(n_agents: int):
+    agent_addresses = ["agent"] + [f"agent-{i}" for i in range(1, n_agents)]
+    hosts = [HostDef(f"agh{i}", 50.0) for i in range(n_agents)]
+    extra = [
+        (addr, f"agh{i}")
+        for i, addr in enumerate(agent_addresses)
+        if i > 0
+    ]
+    servers = []
+    for i in range(N_SERVERS):
+        hosts.append(HostDef(f"srv{i}", 100.0))
+        servers.append(ServerDef(
+            f"s{i}", f"srv{i}", agent=agent_addresses[i % n_agents]
+        ))
+    clients = []
+    for i in range(N_CLIENTS):
+        hosts.append(HostDef(f"ws{i}", 20.0))
+        clients.append(ClientDef(
+            f"c{i}", f"ws{i}", agent=agent_addresses[i % n_agents],
+            cfg=ClientConfig(max_retries=5, timeout_floor=60.0,
+                             server_timeout=7200.0),
+        ))
+    tb = build_testbed(
+        hosts=hosts,
+        servers=servers,
+        clients=clients,
+        agent_host="agh0",
+        extra_agents=extra,
+        default_link=LinkDef("*", "*", latency=2e-3, bandwidth=12.5e6),
+    )
+    tb.settle(30.0)
+    rng = RngStreams(121).get("e2.data")
+    farms = []
+    for i in range(N_CLIENTS):
+        args = [list(linear_system(rng, SIZE)) for _ in range(PER_CLIENT)]
+        farms.append(submit_farm(tb.client(f"c{i}"), "linsys/dgesv", args))
+    tb.wait_all([h for f in farms for h in f.handles])
+    queries = {addr: a.queries_served for addr, a in tb.agents.items()}
+    mirrors = sum(a.forwards_sent for a in tb.agents.values())
+    makespan = max(f.makespan for f in farms)
+    completed = sum(len(f.completed) for f in farms)
+    return {
+        "agents": n_agents,
+        "queries": queries,
+        "max_queries": max(queries.values()),
+        "mirrors": mirrors,
+        "makespan": makespan,
+        "completed": completed,
+    }
+
+
+def test_e2_federated_agents(benchmark):
+    results = once(benchmark, lambda: [run(1), run(2)])
+
+    rows = [
+        [r["agents"], r["completed"], f"{r['makespan']:.1f}",
+         r["max_queries"], r["mirrors"],
+         " ".join(f"{k}:{v}" for k, v in sorted(r["queries"].items()))]
+        for r in results
+    ]
+    text = format_table(
+        ["agents", "completed", "makespan(s)", "max queries/agent",
+         "mirror msgs", "per-agent queries"],
+        rows,
+        title=(
+            f"E2: {N_CLIENTS} clients x {PER_CLIENT} dgesv over "
+            f"{N_SERVERS} servers, 1 vs 2 federated agents"
+        ),
+    )
+    emit("E2_federation", text)
+
+    single, double = results
+    total = N_CLIENTS * PER_CLIENT
+    assert single["completed"] == double["completed"] == total
+    # the broker hot spot halves (queries split across the federation)
+    assert double["max_queries"] <= 0.6 * single["max_queries"]
+    # mirroring costs messages, but only proportional to ground-truth
+    # events, not to query volume
+    assert double["mirrors"] > 0
+    assert double["mirrors"] < total
+    # and scheduling quality is preserved within noise
+    assert double["makespan"] < 1.3 * single["makespan"]

@@ -1,0 +1,72 @@
+"""Experiment F3 — farming speedup with pool size.
+
+Claim (NetSolve): N independent requests fired non-blocking from one
+client spread over the server pool, so batch makespan shrinks nearly
+linearly until client-side transfer serialization saturates.
+
+Protocol: 32 ``ode/linear`` instances (compute-heavy, light on the
+wire) farmed over M in {1, 2, 4, 8} equal 100 Mflop/s servers.
+"""
+
+from repro.config import AgentConfig, ClientConfig
+from repro.farming import submit_farm
+from repro.simnet.rng import RngStreams
+from repro.testbed import standard_testbed
+from repro.trace.metrics import format_table
+
+from _harness import emit, ode_instance, once
+
+POOL_SIZES = (1, 2, 4, 8)
+N_TASKS = 32
+DIM = 96
+STEPS = 3000
+
+
+def run_pool(m: int):
+    tb = standard_testbed(
+        n_servers=m,
+        server_mflops=[100.0] * m,
+        seed=61,
+        bandwidth=12.5e6,
+        agent_cfg=AgentConfig(candidate_list_length=min(3, m)),
+        client_cfg=ClientConfig(max_retries=5, timeout_floor=60.0,
+                                server_timeout=7200.0),
+    )
+    tb.settle(30.0)
+    rng = RngStreams(61).get("f3.data")
+    args = [ode_instance(rng, DIM, STEPS) for _ in range(N_TASKS)]
+    farm = submit_farm(tb.client("c0"), "ode/linear", args)
+    tb.wait_all(farm.handles)
+    assert len(farm.completed) == N_TASKS
+    return farm.makespan, farm.servers_used()
+
+
+def test_f3_farming_speedup(benchmark):
+    results = once(
+        benchmark, lambda: {m: run_pool(m) for m in POOL_SIZES}
+    )
+    base = results[1][0]
+    rows = []
+    for m in POOL_SIZES:
+        makespan, spread = results[m]
+        rows.append(
+            [m, f"{makespan:.1f}", f"{base / makespan:.2f}",
+             f"{base / makespan / m * 100:.0f}%",
+             " ".join(f"{k}:{v}" for k, v in spread.items())]
+        )
+    text = format_table(
+        ["servers", "makespan(s)", "speedup", "efficiency", "per-server"],
+        rows,
+        title=f"F3: farming {N_TASKS} ode/linear (d={DIM}, steps={STEPS}) "
+        "over M equal servers",
+    )
+    emit("F3_farming", text)
+
+    speedups = [base / results[m][0] for m in POOL_SIZES]
+    # claims: speedup grows with the pool and is near-linear early on
+    assert speedups[1] > 1.7   # 2 servers
+    assert speedups[2] > 3.0   # 4 servers
+    assert speedups[3] > 4.5   # 8 servers
+    assert all(s2 > s1 for s1, s2 in zip(speedups, speedups[1:]))
+    # the whole pool is used at M=8
+    assert len(results[8][1]) == 8

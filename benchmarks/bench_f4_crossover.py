@@ -1,0 +1,96 @@
+"""Experiment F4 — remote solve vs local solve: the crossover.
+
+Claim (NetSolve): shipping a problem to a fast remote server pays off
+once the computation dwarfs the transfer, so NetSolve beats solving
+locally beyond a crossover size; faster links move the crossover left.
+
+Protocol: a 10 Mflop/s client workstation solves ``linsys/dgesv`` for
+n in {64..2048}: locally (flops / local speed — no network), and via
+NetSolve against a 200 Mflop/s server over 10 Mb/s and 100 Mb/s links.
+"""
+
+import numpy as np
+
+from repro.simnet.rng import RngStreams
+from repro.testbed import standard_testbed
+from repro.trace.metrics import format_table
+
+from _harness import emit, linear_system, once
+
+SIZES = (64, 128, 256, 512, 1024, 2048)
+CLIENT_MFLOPS = 10.0
+SERVER_MFLOPS = 200.0
+
+
+def run_link(bandwidth: float):
+    tb = standard_testbed(
+        n_servers=1,
+        server_mflops=[SERVER_MFLOPS],
+        client_mflops=CLIENT_MFLOPS,
+        bandwidth=bandwidth,
+        seed=81,
+    )
+    tb.settle(30.0)
+    rng = RngStreams(81).get("f4.data")
+    times = {}
+    for n in SIZES:
+        a, b = linear_system(rng, n)
+        tb.run(until=tb.kernel.now + 15.0)
+        tb.solve("c0", "linsys/dgesv", [a, b])
+        record = tb.client("c0").records[-1]
+        attempt = record.successful_attempt
+        # time as the application sees it: negotiation + the attempt
+        times[n] = record.negotiation_seconds + attempt.elapsed
+    spec = tb.agent.specs["linsys/dgesv"]
+    local = {n: spec.flops({"n": n}) / (CLIENT_MFLOPS * 1e6) for n in SIZES}
+    return times, local
+
+
+def crossover(local: dict, remote: dict) -> int | None:
+    for n in SIZES:
+        if remote[n] < local[n]:
+            return n
+    return None
+
+
+def test_f4_local_vs_remote_crossover(benchmark):
+    def experiment():
+        slow, local = run_link(1.25e6)    # 10 Mb/s
+        fast, _ = run_link(12.5e6)        # 100 Mb/s
+        return local, slow, fast
+
+    local, slow, fast = once(benchmark, experiment)
+
+    rows = []
+    for n in SIZES:
+        winner10 = "netsolve" if slow[n] < local[n] else "local"
+        winner100 = "netsolve" if fast[n] < local[n] else "local"
+        rows.append(
+            [n, f"{local[n]:.3f}", f"{slow[n]:.3f}", f"{fast[n]:.3f}",
+             winner10, winner100]
+        )
+    text = format_table(
+        ["n", "local(s)", "netsolve@10Mb(s)", "netsolve@100Mb(s)",
+         "winner@10Mb", "winner@100Mb"],
+        rows,
+        title=(
+            f"F4: {CLIENT_MFLOPS:.0f} Mflop/s client vs "
+            f"{SERVER_MFLOPS:.0f} Mflop/s NetSolve server"
+        ),
+    )
+    x_slow = crossover(local, slow)
+    x_fast = crossover(local, fast)
+    text += f"\n\ncrossover: 10 Mb/s at n={x_slow}, 100 Mb/s at n={x_fast}"
+    emit("F4_crossover", text)
+
+    # claims: local wins small problems, NetSolve wins big ones
+    assert local[SIZES[0]] < slow[SIZES[0]]
+    assert slow[SIZES[-1]] < local[SIZES[-1]]
+    assert fast[SIZES[-1]] < local[SIZES[-1]]
+    # both links cross over somewhere, the faster link no later
+    assert x_slow is not None and x_fast is not None
+    assert x_fast <= x_slow
+    # asymptotically the remote advantage approaches the speed ratio
+    ratio = local[SIZES[-1]] / fast[SIZES[-1]]
+    assert ratio > 0.5 * (SERVER_MFLOPS / CLIENT_MFLOPS)
+    assert np.isfinite(ratio)

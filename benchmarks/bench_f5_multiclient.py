@@ -1,0 +1,109 @@
+"""Experiment F5 — many clients sharing one NetSolve system.
+
+Claim (NetSolve): the agent serves many independent client applications
+at once; MCT keeps the pool balanced under concurrent demand, and total
+throughput grows with offered load until the servers saturate, after
+which per-request latency grows but nothing collapses.
+
+Protocol: C clients on separate workstations each farm 12 dgesv
+requests concurrently over 4 equal servers; sweep C in {1, 2, 4, 8}.
+"""
+
+from repro.config import AgentConfig, ClientConfig, ServerConfig
+from repro.farming import submit_farm
+from repro.simnet.rng import RngStreams
+from repro.testbed import ClientDef, HostDef, LinkDef, ServerDef, build_testbed
+from repro.trace.metrics import format_table
+
+from _harness import emit, linear_system, once
+
+N_SERVERS = 4
+PER_CLIENT = 12
+SIZE = 384
+CLIENT_COUNTS = (1, 2, 4, 8)
+
+
+def run_clients(n_clients: int):
+    hosts = [HostDef("broker", 50.0)]
+    clients = []
+    for i in range(n_clients):
+        hosts.append(HostDef(f"ws{i}", 20.0))
+        clients.append(ClientDef(
+            f"c{i}", f"ws{i}",
+            cfg=ClientConfig(max_retries=5, timeout_floor=60.0,
+                             server_timeout=7200.0),
+        ))
+    servers = []
+    for i in range(N_SERVERS):
+        hosts.append(HostDef(f"srv{i}", 100.0))
+        servers.append(ServerDef(f"s{i}", f"srv{i}", cfg=ServerConfig()))
+    tb = build_testbed(
+        hosts=hosts,
+        servers=servers,
+        clients=clients,
+        agent_host="broker",
+        default_link=LinkDef("*", "*", latency=2e-3, bandwidth=12.5e6),
+        agent_cfg=AgentConfig(candidate_list_length=3),
+    )
+    tb.settle(30.0)
+    rng = RngStreams(111).get("f5.data")
+    start = tb.kernel.now
+    farms = []
+    for i in range(n_clients):
+        args = [list(linear_system(rng, SIZE)) for _ in range(PER_CLIENT)]
+        farms.append(submit_farm(tb.client(f"c{i}"), "linsys/dgesv", args))
+    handles = [h for farm in farms for h in farm.handles]
+    tb.wait_all(handles)
+    makespan = max(f.makespan for f in farms)
+    total = n_clients * PER_CLIENT
+    mean_latency = sum(
+        r.total_seconds for f in farms for r in f.records
+    ) / total
+    spread: dict[str, int] = {}
+    for farm in farms:
+        for sid, count in farm.servers_used().items():
+            spread[sid] = spread.get(sid, 0) + count
+    return {
+        "clients": n_clients,
+        "requests": total,
+        "makespan": makespan,
+        "throughput": total / (tb.kernel.now - start),
+        "mean_latency": mean_latency,
+        "spread": dict(sorted(spread.items())),
+    }
+
+
+def test_f5_multiclient_scaling(benchmark):
+    results = once(
+        benchmark, lambda: [run_clients(c) for c in CLIENT_COUNTS]
+    )
+
+    rows = [
+        [r["clients"], r["requests"], f"{r['makespan']:.1f}",
+         f"{r['throughput']:.2f}", f"{r['mean_latency']:.2f}",
+         " ".join(f"{k}:{v}" for k, v in r["spread"].items())]
+        for r in results
+    ]
+    text = format_table(
+        ["clients", "requests", "makespan(s)", "req/s", "mean latency(s)",
+         "per-server"],
+        rows,
+        title=(
+            f"F5: C concurrent clients x {PER_CLIENT} dgesv n={SIZE} over "
+            f"{N_SERVERS} equal servers"
+        ),
+    )
+    emit("F5_multiclient", text)
+
+    by_clients = {r["clients"]: r for r in results}
+    # all requests complete at every load level
+    for r in results:
+        assert r["requests"] == r["clients"] * PER_CLIENT
+    # throughput grows with offered load until the pool saturates
+    assert by_clients[2]["throughput"] > by_clients[1]["throughput"]
+    assert by_clients[4]["throughput"] > by_clients[2]["throughput"]
+    # past saturation latency rises but the system stays stable
+    assert by_clients[8]["mean_latency"] > by_clients[1]["mean_latency"]
+    assert by_clients[8]["throughput"] >= 0.9 * by_clients[4]["throughput"]
+    # the concurrent demand lands on every server
+    assert len(by_clients[8]["spread"]) == N_SERVERS

@@ -1,0 +1,82 @@
+"""Microbenchmarks — wire codec throughput.
+
+Unlike the experiment benches (one deterministic virtual-time run),
+these measure real wall-clock cost of the hot protocol paths with
+pytest-benchmark's full statistics.  They guard against codec
+regressions: the simulated transport encodes/decodes *every* message,
+so a slow codec taxes every experiment.
+"""
+
+import numpy as np
+import pytest
+
+from repro.protocol.codec import decode_message, encode_message
+from repro.protocol.messages import (
+    QueryRequest,
+    SolveReply,
+    SolveRequest,
+    WorkloadReport,
+)
+
+RNG = np.random.default_rng(0)
+
+
+def solve_request(n):
+    a = RNG.standard_normal((n, n))
+    b = RNG.standard_normal(n)
+    return SolveRequest(
+        request_id=1, problem="linsys/dgesv", inputs=(a, b),
+        reply_to="client/c0",
+    )
+
+
+def test_encode_small_control_message(benchmark):
+    msg = WorkloadReport(server_id="s0", workload=125.0)
+    frame = benchmark(lambda: encode_message(msg))
+    assert len(frame) < 200
+
+
+def test_decode_small_control_message(benchmark):
+    frame = encode_message(
+        QueryRequest(problem="linsys/dgesv", sizes={"n": 512},
+                     client_host="ws0", tag=7)
+    )
+    msg = benchmark(lambda: decode_message(frame))
+    assert msg.sizes["n"] == 512
+
+
+@pytest.mark.parametrize("n", [64, 512])
+def test_encode_matrix_payload(benchmark, n):
+    msg = solve_request(n)
+    frame = benchmark(lambda: encode_message(msg))
+    # payload dominates: framing overhead stays under 1%
+    assert len(frame) < n * n * 8 * 1.01 + 4096
+
+
+@pytest.mark.parametrize("n", [64, 512])
+def test_decode_matrix_payload(benchmark, n):
+    frame = encode_message(solve_request(n))
+    msg = benchmark(lambda: decode_message(frame))
+    assert msg.inputs[0].shape == (n, n)
+
+
+def test_roundtrip_reply_with_outputs(benchmark):
+    reply = SolveReply(
+        request_id=9, ok=True, outputs=(RNG.standard_normal(4096),),
+        compute_seconds=1.25,
+    )
+
+    def roundtrip():
+        return decode_message(encode_message(reply))
+
+    out = benchmark(roundtrip)
+    assert out.outputs[0].shape == (4096,)
+
+
+def test_encode_throughput_large_matrix(benchmark):
+    """MB/s of encoding a 1k x 1k matrix — should be memcpy-bound."""
+    msg = solve_request(1024)
+    nbytes = 1024 * 1024 * 8
+
+    frame = benchmark(lambda: encode_message(msg))
+    assert len(frame) >= nbytes

@@ -1,0 +1,80 @@
+"""Microbenchmarks — numerical kernels.
+
+Wall-clock cost of the routines servers execute, with pytest-benchmark
+statistics.  These keep the from-scratch implementations honest: the
+blocked LU/Cholesky paths must stay within a small factor of the
+vendor-tuned `numpy.linalg` equivalents (they share the underlying BLAS
+for their panel products), and the O(n)/O(n log n) kernels must not
+regress to accidental quadratic behaviour.
+"""
+
+import numpy as np
+import pytest
+
+from repro.numerics import (
+    cholesky_factor,
+    fft,
+    gemm,
+    merge_sort,
+    solve,
+    thomas_solve,
+)
+
+RNG = np.random.default_rng(1)
+N = 512
+
+
+@pytest.fixture(scope="module")
+def system():
+    a = RNG.standard_normal((N, N)) + N * np.eye(N)
+    b = RNG.standard_normal(N)
+    return a, b
+
+
+def test_blocked_lu_solve(benchmark, system):
+    a, b = system
+    x = benchmark(lambda: solve(a, b))
+    assert np.allclose(a @ x, b, atol=1e-7)
+
+
+def test_numpy_reference_solve(benchmark, system):
+    """Reference point for the row above in the same report."""
+    a, b = system
+    x = benchmark(lambda: np.linalg.solve(a, b))
+    assert np.allclose(a @ x, b, atol=1e-7)
+
+
+def test_blocked_cholesky(benchmark):
+    m = RNG.standard_normal((N, N))
+    a = m @ m.T + N * np.eye(N)
+    lower = benchmark(lambda: cholesky_factor(a))
+    assert np.allclose(lower @ lower.T, a, atol=1e-6 * N)
+
+
+def test_blocked_gemm(benchmark):
+    a = RNG.standard_normal((N, N))
+    b = RNG.standard_normal((N, N))
+    c = benchmark(lambda: gemm(a, b))
+    assert np.allclose(c, a @ b, atol=1e-9)
+
+
+def test_fft_4096(benchmark):
+    x = RNG.standard_normal(4096) + 1j * RNG.standard_normal(4096)
+    y = benchmark(lambda: fft(x))
+    assert np.allclose(y, np.fft.fft(x), atol=1e-8)
+
+
+def test_merge_sort_100k(benchmark):
+    x = RNG.standard_normal(100_000)
+    out = benchmark(lambda: merge_sort(x))
+    assert np.array_equal(out, np.sort(x))
+
+
+def test_thomas_1e5(benchmark):
+    n = 100_000
+    dl = RNG.uniform(-1, 1, n - 1)
+    du = RNG.uniform(-1, 1, n - 1)
+    d = 4.0 + RNG.uniform(0, 1, n)
+    b = RNG.standard_normal(n)
+    x = benchmark(lambda: thomas_solve(dl, d, du, b))
+    assert np.isfinite(x).all()

@@ -1,0 +1,74 @@
+"""Experiment T5 — where a request's time goes.
+
+Claim (NetSolve): the agent negotiation is a small constant cost; data
+transfer amortizes as problems grow; computation dominates large
+requests — so the brokering architecture adds negligible overhead
+exactly where remote solving is worthwhile.
+
+Protocol: single ``linsys/dgesv`` requests for n in {128..2048};
+decompose each into negotiation (agent round trip), transfer (request/
+reply shipping minus server compute) and compute (server-reported).
+"""
+
+from repro.simnet.rng import RngStreams
+from repro.testbed import standard_testbed
+from repro.trace.metrics import format_table
+
+from _harness import emit, linear_system, once
+
+SIZES = (128, 256, 512, 1024, 2048)
+
+
+def run_breakdown():
+    tb = standard_testbed(
+        n_servers=2, server_mflops=[100.0, 200.0], seed=91, bandwidth=1.25e6
+    )
+    tb.settle(30.0)
+    rng = RngStreams(91).get("t5.data")
+    rows = []
+    for n in SIZES:
+        a, b = linear_system(rng, n)
+        tb.run(until=tb.kernel.now + 15.0)
+        tb.solve("c0", "linsys/dgesv", [a, b])
+        record = tb.client("c0").records[-1]
+        rows.append(
+            {
+                "n": n,
+                "negotiation": record.negotiation_seconds,
+                "transfer": record.transfer_seconds,
+                "compute": record.compute_seconds,
+                "total": record.negotiation_seconds
+                + record.transfer_seconds
+                + record.compute_seconds,
+            }
+        )
+    return rows
+
+
+def test_t5_request_breakdown(benchmark):
+    rows = once(benchmark, run_breakdown)
+
+    table_rows = [
+        [r["n"], f"{1e3 * r['negotiation']:.1f}", f"{r['transfer']:.3f}",
+         f"{r['compute']:.3f}",
+         f"{100 * r['compute'] / r['total']:.0f}%"]
+        for r in rows
+    ]
+    text = format_table(
+        ["n", "negotiation(ms)", "transfer(s)", "compute(s)", "compute share"],
+        table_rows,
+        title="T5: request-time breakdown, dgesv over 10 Mb/s",
+    )
+    emit("T5_breakdown", text)
+
+    # claims: negotiation is small and roughly constant (< 50 ms, and
+    # does not scale with n)
+    negs = [r["negotiation"] for r in rows]
+    assert max(negs) < 0.05
+    assert max(negs) < 5 * min(negs)
+    # transfer grows ~n^2, compute ~n^3: the compute share rises
+    shares = [r["compute"] / r["total"] for r in rows]
+    assert shares[-1] > shares[0]
+    assert shares[-1] > 0.5
+    # and for the smallest problem, overhead (not compute) dominates
+    assert shares[0] < 0.5

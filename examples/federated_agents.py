@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Two departments, two agents, one NetSolve system.
+
+NetSolve's scalability path: replicate the agent and let the replicas
+mirror ground truth (registrations, workload reports, failure reports).
+Here a physics department and a math department each run their own agent
+and servers; a physics client transparently uses a math server when the
+federation says it is the better pick — and when the physics agent dies,
+the client can simply re-point at the surviving sibling.
+
+Run:  python examples/federated_agents.py
+"""
+
+import numpy as np
+
+from repro import ClientDef, HostDef, ServerDef, build_testbed
+
+
+def main() -> None:
+    tb = build_testbed(
+        hosts=[
+            HostDef("physics-gw", 50.0), HostDef("math-gw", 50.0),
+            HostDef("phys-srv", 80.0), HostDef("math-srv", 240.0),
+            HostDef("phys-ws", 20.0),
+        ],
+        servers=[
+            ServerDef("phys0", "phys-srv", agent="agent"),
+            ServerDef("math0", "math-srv", agent="agent-math"),
+        ],
+        clients=[ClientDef("alice", "phys-ws", agent="agent")],
+        agent_host="physics-gw",
+        extra_agents=[("agent-math", "math-gw")],
+    )
+    tb.settle()
+
+    for addr, agent in tb.agents.items():
+        servers = sorted(e.server_id for e in agent.table.entries())
+        print(f"{addr:12s} knows servers {servers} "
+              f"({len(agent.specs)} problems)")
+
+    rng = np.random.default_rng(4)
+    n = 400
+    a = rng.standard_normal((n, n)) + n * np.eye(n)
+    b = rng.standard_normal(n)
+
+    (x,) = tb.solve("alice", "linsys/dgesv", [a, b])
+    record = tb.client("alice").records[-1]
+    print(f"\nalice (physics) solved dgesv n={n} on {record.server_id!r} "
+          f"in {record.total_seconds:.2f}s — the math department's fast "
+          "machine, found through the federation")
+    assert record.server_id == "math0"
+
+    # the physics agent dies; alice re-points at the sibling and carries on
+    print("\nphysics agent crashes ...")
+    tb.transport.crash("agent")
+    tb.client("alice").agent_address = "agent-math"
+    (x,) = tb.solve("alice", "linsys/dgesv", [a, b])
+    record = tb.client("alice").records[-1]
+    print(f"alice re-pointed at agent-math and solved again on "
+          f"{record.server_id!r} in {record.total_seconds:.2f}s")
+    print("\nmirroring traffic so far:",
+          sum(ag.forwards_sent for ag in tb.agents.values()), "messages")
+
+
+if __name__ == "__main__":
+    main()

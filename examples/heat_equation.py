@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Solving a PDE through NetSolve: implicit heat diffusion on a grid.
+
+The motivating workload of the paper's introduction: a scientist with a
+desktop-class machine and a PDE to integrate. Backward-Euler heat
+diffusion needs one sparse SPD solve per timestep — each is shipped to
+NetSolve's `sparse/cg` problem (CSR parts travel as plain vectors), and
+the steps pipeline as non-blocking requests where the recurrence allows.
+
+Run:  python examples/heat_equation.py
+"""
+
+import numpy as np
+
+from repro import standard_testbed
+from repro.numerics import poisson_2d
+from repro.trace import render_gantt
+
+
+def main() -> None:
+    tb = standard_testbed(
+        n_servers=2, server_mflops=[150.0, 150.0], seed=31, bandwidth=12.5e6
+    )
+    tb.settle()
+
+    # grid and operator: (I + dt * kappa * L) u_{t+1} = u_t
+    k = 24                      # 24 x 24 interior points
+    n = k * k
+    dt_kappa = 0.4
+    lap = poisson_2d(k)
+    # A = I + dt*kappa*L, still CSR: scale data, bump the diagonal
+    a_data = lap.data * dt_kappa
+    diag_bump = {}
+    for i in range(n):
+        row = slice(lap.indptr[i], lap.indptr[i + 1])
+        for j_idx in range(row.start, row.stop):
+            if lap.indices[j_idx] == i:
+                diag_bump[j_idx] = True
+    a_data = a_data.copy()
+    for j_idx in diag_bump:
+        a_data[j_idx] += 1.0
+
+    # initial condition: a hot square in one corner
+    u = np.zeros((k, k))
+    u[3:8, 3:8] = 100.0
+    u = u.ravel()
+
+    total0 = float(u.sum())
+    print(f"heat diffusion on a {k}x{k} grid, {n} unknowns, "
+          f"nnz={lap.nnz}, 12 implicit steps via sparse/cg\n")
+
+    snapshots = []
+    for step in range(12):
+        (u,) = tb.solve(
+            "c0", "sparse/cg", [lap.indptr, lap.indices, a_data, u]
+        )
+        grid = u.reshape(k, k)
+        snapshots.append((step, float(grid.max()), float(u.sum())))
+
+    print(f"{'step':>4}  {'peak T':>8}  {'total heat':>10}")
+    for step, peak, total in snapshots:
+        print(f"{step:>4}  {peak:8.2f}  {total:10.2f}")
+
+    # physics sanity: diffusion smooths (peak falls monotonically) and
+    # heat leaks through the Dirichlet boundary (total decreases)
+    peaks = [p for _s, p, _t in snapshots]
+    assert all(p1 >= p2 for p1, p2 in zip(peaks, peaks[1:]))
+    assert snapshots[-1][2] < total0
+
+    records = tb.client("c0").records
+    print("\nserver occupancy across the 12 solves:")
+    print(render_gantt(records, width=64))
+    used = {r.server_id for r in records}
+    print(f"\nsteps alternated over servers: {sorted(used)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,157 @@
+"""C/Fortran-flavoured procedural client API.
+
+The original client libraries exposed four entry points with integer
+status codes; this module preserves those calling conventions for users
+porting 1996-style call sites:
+
+* ``netsl(session, "problem()", *args)``   — blocking call
+* ``netslnb(session, "problem()", *args)`` — non-blocking, returns handle
+* ``netslpr(handle)``                       — probe, never blocks
+* ``netslwt(session, handle)``              — wait and collect
+
+A :class:`Session` binds a client component to something that can drive
+its promises; :class:`SimSession` drives a simulated testbed.  Problem
+names may carry the traditional trailing ``()`` decoration, which is
+stripped.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .core.client import NetSolveClient, RequestHandle
+from .core.request import RequestStatus
+from .errors import (
+    BadArgumentsError,
+    NetSolveError,
+    NoServerError,
+    ProblemNotFoundError,
+)
+from .testbed import Testbed
+
+__all__ = [
+    "NS_OK",
+    "NS_NOT_READY",
+    "NS_PROB_NOT_FOUND",
+    "NS_BAD_ARGS",
+    "NS_NO_SERVER",
+    "NS_FAILURE",
+    "Session",
+    "SimSession",
+    "netsl",
+    "netslnb",
+    "netslpr",
+    "netslwt",
+    "status_name",
+]
+
+NS_OK = 0
+NS_NOT_READY = 1
+NS_PROB_NOT_FOUND = -1
+NS_BAD_ARGS = -2
+NS_NO_SERVER = -3
+NS_FAILURE = -4
+
+_STATUS_NAMES = {
+    NS_OK: "NS_OK",
+    NS_NOT_READY: "NS_NOT_READY",
+    NS_PROB_NOT_FOUND: "NS_PROB_NOT_FOUND",
+    NS_BAD_ARGS: "NS_BAD_ARGS",
+    NS_NO_SERVER: "NS_NO_SERVER",
+    NS_FAILURE: "NS_FAILURE",
+}
+
+
+def status_name(code: int) -> str:
+    """Symbolic name of a status code (for diagnostics)."""
+    return _STATUS_NAMES.get(code, f"NS_UNKNOWN({code})")
+
+
+def _classify(error: BaseException | None) -> int:
+    if error is None:
+        return NS_FAILURE
+    if isinstance(error, ProblemNotFoundError):
+        return NS_PROB_NOT_FOUND
+    if isinstance(error, BadArgumentsError):
+        return NS_BAD_ARGS
+    if isinstance(error, NoServerError):
+        return NS_NO_SERVER
+    return NS_FAILURE
+
+
+def _strip(problem: str) -> str:
+    return problem[:-2] if problem.endswith("()") else problem
+
+
+class Session:
+    """Binds a client component to a promise driver."""
+
+    def __init__(self, client: NetSolveClient):
+        self.client = client
+
+    def submit(self, problem: str, args: list) -> RequestHandle:
+        """Submit through the client (overridden where thread-safety
+        demands a lock, e.g. the TCP session)."""
+        return self.client.submit(problem, args)
+
+    def list_problems(self, prefix: str = ""):
+        """Catalogue browse through the client (same override rule)."""
+        return self.client.list_problems(prefix)
+
+    def drive(self, promise) -> None:
+        """Block until ``promise`` settles (transport specific)."""
+        raise NotImplementedError
+
+
+class SimSession(Session):
+    """Session over a simulated testbed: waiting runs virtual time."""
+
+    def __init__(self, testbed: Testbed, client_id: str):
+        super().__init__(testbed.client(client_id))
+        self.testbed = testbed
+
+    def drive(self, promise) -> None:
+        if promise.done:
+            return
+        self.testbed.kernel.run(stop=lambda: promise.done)
+        if not promise.done:
+            raise NetSolveError(
+                "simulation drained before the request settled"
+            )
+
+
+# ----------------------------------------------------------------------
+# the four entry points
+# ----------------------------------------------------------------------
+def netslnb(
+    session: Session, problem: str, *args: Any
+) -> tuple[int, RequestHandle]:
+    """Non-blocking submit.  Returns ``(NS_OK, handle)`` — errors surface
+    at probe/wait time, as in the original."""
+    handle = session.submit(_strip(problem), list(args))
+    return NS_OK, handle
+
+
+def netslpr(handle: RequestHandle) -> int:
+    """Probe: NS_OK once complete, NS_NOT_READY while in flight, or the
+    request's error code."""
+    if not handle.done:
+        return NS_NOT_READY
+    if handle.status is RequestStatus.DONE:
+        return NS_OK
+    return _classify(handle.promise.error)
+
+
+def netslwt(session: Session, handle: RequestHandle) -> tuple[int, tuple]:
+    """Wait for completion; returns ``(status, outputs)`` with empty
+    outputs on failure."""
+    session.drive(handle.promise)
+    if handle.status is RequestStatus.DONE:
+        return NS_OK, handle.result()
+    return _classify(handle.promise.error), ()
+
+
+def netsl(session: Session, problem: str, *args: Any) -> tuple[int, tuple]:
+    """Blocking call: submit then wait."""
+    _status, handle = netslnb(session, problem, *args)
+    return netslwt(session, handle)

@@ -1,0 +1,172 @@
+"""Configuration dataclasses for agents, servers, clients and the simulator.
+
+All configs are frozen dataclasses validated at construction time, so an
+invalid deployment fails fast with :class:`repro.errors.ConfigError` rather
+than deep inside the event loop.  Defaults correspond to the mid-1990s
+environment the paper describes: Ethernet-class links, workstation-class
+hosts rated in Mflop/s, UNIX load averages sampled on the order of tens of
+seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+from .errors import ConfigError
+
+__all__ = [
+    "WorkloadPolicy",
+    "AgentConfig",
+    "ServerConfig",
+    "ClientConfig",
+    "SimConfig",
+]
+
+
+def _require(cond: bool, message: str) -> None:
+    if not cond:
+        raise ConfigError(message)
+
+
+@dataclass(frozen=True)
+class WorkloadPolicy:
+    """Hysteretic workload-broadcast policy of a computational server.
+
+    Every ``time_step`` seconds the server samples its load average and
+    broadcasts it to the agent *only if* it moved by more than
+    ``threshold`` (absolute load-average units, scaled by 100 as in the
+    original: a load of 1.0 is reported as 100) since the last broadcast.
+    A ``forced_interval`` acts as a liveness floor: even an unchanged
+    workload is re-broadcast at least that often so the agent can detect
+    silent death.
+    """
+
+    time_step: float = 10.0
+    threshold: float = 10.0
+    forced_interval: float = 300.0
+
+    def __post_init__(self) -> None:
+        _require(self.time_step > 0, "workload time_step must be positive")
+        _require(self.threshold >= 0, "workload threshold must be >= 0")
+        _require(
+            self.forced_interval >= self.time_step,
+            "forced_interval must be >= time_step",
+        )
+
+
+@dataclass(frozen=True)
+class AgentConfig:
+    """Agent behaviour knobs."""
+
+    #: how many ranked candidate servers to return per query
+    candidate_list_length: int = 3
+    #: seconds with no workload report before a server is marked suspect
+    liveness_timeout: float = 900.0
+    #: scheduling policy name, resolved via :mod:`repro.core.scheduler`
+    policy: str = "mct"
+    #: assumed workload (0-100 scale) for servers that never reported
+    default_workload: float = 0.0
+    #: ping suspect servers this often so false suspects (e.g. a lost
+    #: reply blamed on the server) rejoin quickly; 0 disables probing
+    suspect_probe_interval: float = 30.0
+
+    def __post_init__(self) -> None:
+        _require(self.candidate_list_length >= 1, "candidate_list_length must be >= 1")
+        _require(self.liveness_timeout > 0, "liveness_timeout must be positive")
+        _require(self.default_workload >= 0, "default_workload must be >= 0")
+        _require(
+            self.suspect_probe_interval >= 0,
+            "suspect_probe_interval must be >= 0",
+        )
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Computational-server behaviour knobs."""
+
+    workload: WorkloadPolicy = field(default_factory=WorkloadPolicy)
+    #: maximum requests executing concurrently (1 = the paper's fork model
+    #: serialized; >1 models a multi-CPU server)
+    max_concurrent: int = 1
+    #: re-register with the agent at this interval (seconds); 0 disables
+    reregister_interval: float = 0.0
+    #: byte budget of the request-sequencing object cache
+    object_cache_bytes: int = 256 * 1024 * 1024
+
+    def __post_init__(self) -> None:
+        _require(self.max_concurrent >= 1, "max_concurrent must be >= 1")
+        _require(self.reregister_interval >= 0, "reregister_interval must be >= 0")
+        _require(self.object_cache_bytes >= 0, "object_cache_bytes must be >= 0")
+
+
+@dataclass(frozen=True)
+class ClientConfig:
+    """Client-library behaviour knobs."""
+
+    #: total attempts per request across the candidate list
+    max_retries: int = 3
+    #: seconds before an unanswered agent query counts as failure
+    agent_timeout: float = 60.0
+    #: times to re-send an unanswered agent message (describe/query)
+    #: before giving up — the protocol has no transport retransmission,
+    #: so control messages need their own retry
+    agent_retries: int = 3
+    #: hard ceiling on the per-attempt server timeout (seconds)
+    server_timeout: float = 3600.0
+    #: per-attempt timeout = clamp(timeout_factor * predicted, timeout_floor,
+    #: server_timeout) — a crashed server is declared dead once the attempt
+    #: has overshot its prediction by this factor
+    timeout_factor: float = 4.0
+    timeout_floor: float = 10.0
+    #: re-query the agent for a fresh candidate list after exhausting one
+    requery_agent: bool = True
+    #: send a TransferReport after each success (feeds the agent's
+    #: learned network table; harmless when the agent does not learn)
+    report_transfers: bool = True
+
+    def __post_init__(self) -> None:
+        _require(self.max_retries >= 1, "max_retries must be >= 1")
+        _require(self.agent_timeout > 0, "agent_timeout must be positive")
+        _require(self.agent_retries >= 1, "agent_retries must be >= 1")
+        _require(self.server_timeout > 0, "server_timeout must be positive")
+        _require(self.timeout_factor >= 1.0, "timeout_factor must be >= 1")
+        _require(self.timeout_floor > 0, "timeout_floor must be positive")
+        _require(
+            self.timeout_floor <= self.server_timeout,
+            "timeout_floor must be <= server_timeout",
+        )
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Global knobs of a simulated deployment."""
+
+    seed: int = 0
+    #: stop the event loop at this virtual time (seconds); None = run dry
+    horizon: float | None = None
+    #: per-message fixed software overhead added to every transfer (seconds);
+    #: models protocol stack cost on 1996-era hosts
+    per_message_overhead: float = 1e-3
+
+    def __post_init__(self) -> None:
+        _require(self.seed >= 0, "seed must be >= 0")
+        if self.horizon is not None:
+            _require(self.horizon > 0, "horizon must be positive")
+        _require(self.per_message_overhead >= 0, "per_message_overhead must be >= 0")
+
+
+def replace_validated(cfg, **changes):
+    """``dataclasses.replace`` that re-runs ``__post_init__`` validation.
+
+    Frozen dataclasses re-validate automatically on replace; this helper
+    exists so call sites read clearly and to centralise the import.
+    """
+    import dataclasses
+
+    return dataclasses.replace(cfg, **changes)
+
+
+def config_summary(cfg) -> str:
+    """One-line ``key=value`` rendering of any config dataclass."""
+    parts = [f"{f.name}={getattr(cfg, f.name)!r}" for f in fields(cfg)]
+    return f"{type(cfg).__name__}({', '.join(parts)})"

@@ -1,0 +1,391 @@
+"""The NetSolve agent: resource broker and scheduler.
+
+The agent never touches problem data.  It keeps the server table, the
+problem-description catalogue uploaded by registering servers, and the
+network-characteristics table; for every client query it evaluates the
+completion-time predictor over the live candidates and returns a ranked
+list.  Failure reports from clients mark servers suspect; a liveness
+sweep retires servers whose workload reports stop arriving.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..config import AgentConfig
+from ..errors import PdlSyntaxError
+from ..problems.pdl import parse_pdl, render_pdl
+from ..problems.spec import ProblemSpec
+from ..protocol.messages import (
+    Candidate,
+    DescribeProblem,
+    FailureReport,
+    ListProblems,
+    Message,
+    Ping,
+    Pong,
+    ProblemDescription,
+    ProblemList,
+    QueryReply,
+    QueryRequest,
+    RegisterAck,
+    RegisterServer,
+    TransferReport,
+    WorkloadReport,
+)
+from ..protocol.transport import Component
+from ..trace.events import EventLog
+from .predictor import NetworkInfo, Prediction, predict_for
+from .registry import ServerEntry, ServerTable
+from .scheduler import SchedulingPolicy, make_policy
+
+__all__ = ["Agent"]
+
+
+class Agent(Component):
+    """The broker component.
+
+    Parameters
+    ----------
+    network:
+        Link-estimate provider (the agent's "network measurements").
+    cfg:
+        Behaviour knobs; ``cfg.policy`` picks the scheduling policy.
+    rng:
+        Required only for stochastic policies (``random``).
+    use_workload:
+        A1 ablation switch — False makes the predictor ignore workload.
+    assignment_feedback:
+        Herd-damping switch — False disables the pending-assignment
+        correction (A1b ablation).
+    peers:
+        Addresses of sibling agents in a federated deployment: ground
+        truth (registrations, workload reports, failure reports) mirrors
+        to them, so clients may query any agent.  Pending-assignment
+        hints stay local — the deliberate consistency gap of a
+        federation.
+    """
+
+    def __init__(
+        self,
+        *,
+        network: NetworkInfo,
+        cfg: AgentConfig = AgentConfig(),
+        rng: Optional[np.random.Generator] = None,
+        trace: Optional[EventLog] = None,
+        use_workload: bool = True,
+        assignment_feedback: bool = True,
+        peers: tuple[str, ...] = (),
+    ):
+        self.cfg = cfg
+        self.network = network
+        #: sibling agents; registrations, workload and failure reports
+        #: mirror to them so any agent can broker any request
+        self.peers = tuple(peers)
+        self.table = ServerTable()
+        self.specs: dict[str, ProblemSpec] = {}
+        self.policy: SchedulingPolicy = make_policy(cfg.policy, rng)
+        self.trace = trace
+        self.use_workload = use_workload
+        self.assignment_feedback = assignment_feedback
+        self.queries_served = 0
+        self.registrations = 0
+        self.reports_received = 0
+        self.failures_reported = 0
+        self.forwards_sent = 0
+
+    # ------------------------------------------------------------------
+    def on_bind(self) -> None:
+        interval = self.cfg.liveness_timeout / 4.0
+        self._arm_sweep(interval)
+        if self.cfg.suspect_probe_interval > 0:
+            self._arm_suspect_probe(self.cfg.suspect_probe_interval)
+
+    def on_restart(self) -> None:
+        self.on_bind()
+
+    def _arm_sweep(self, interval: float) -> None:
+        def sweep() -> None:
+            died = self.table.sweep_liveness(
+                self.node.now(), self.cfg.liveness_timeout
+            )
+            for server_id in died:
+                self._trace("server_presumed_dead", server_id=server_id)
+            self._arm_sweep(interval)
+
+        self.node.call_after(interval, sweep)
+
+    def _arm_suspect_probe(self, interval: float) -> None:
+        """Ping suspect servers: a lost reply gets innocent servers
+        blamed, and the hysteretic policy will not clear them (an
+        unchanged idle load is never re-broadcast), so the agent checks
+        on them itself."""
+
+        def probe() -> None:
+            for entry in self.table.entries():
+                if not entry.alive:
+                    self.node.send(entry.address, Ping())
+            self._arm_suspect_probe(interval)
+
+        self.node.call_after(interval, probe)
+
+    def _handle_pong(self, src: str) -> None:
+        for entry in self.table.entries():
+            if entry.address == src and not entry.alive:
+                entry.alive = True
+                entry.last_report = self.node.now()
+                self._trace("server_revived_by_probe", server_id=entry.server_id)
+
+    def _trace(self, kind: str, **fields) -> None:
+        if self.trace is not None:
+            self.trace.log(self.node.now(), self.node.address, kind, **fields)
+
+    # ------------------------------------------------------------------
+    def on_message(self, src: str, msg: Message) -> None:
+        if isinstance(msg, RegisterServer):
+            self._handle_register(src, msg)
+        elif isinstance(msg, WorkloadReport):
+            self._handle_report(msg)
+        elif isinstance(msg, QueryRequest):
+            self._handle_query(src, msg)
+        elif isinstance(msg, DescribeProblem):
+            self._handle_describe(src, msg)
+        elif isinstance(msg, ListProblems):
+            self.node.send(
+                src,
+                ProblemList(
+                    names=tuple(sorted(
+                        n for n in self.table.known_problems()
+                        if n.startswith(msg.prefix)
+                    )),
+                    prefix=msg.prefix,
+                ),
+            )
+        elif isinstance(msg, FailureReport):
+            self._handle_failure(msg)
+        elif isinstance(msg, TransferReport):
+            self._handle_transfer_report(msg)
+        elif isinstance(msg, Ping):
+            self.node.send(src, Pong(nonce=msg.nonce))
+        elif isinstance(msg, Pong):
+            self._handle_pong(src)
+        # unknown messages are dropped: a broker must survive bad peers
+
+    # ------------------------------------------------------------------
+    def _mirror(self, msg) -> None:
+        """Fan ground truth out to sibling agents (never re-forwarded)."""
+        for peer in self.peers:
+            self.node.send(peer, msg)
+            self.forwards_sent += 1
+
+    def _handle_register(self, src: str, msg: RegisterServer) -> None:
+        try:
+            specs = parse_pdl(msg.problems_pdl, source=f"<{msg.server_id}>")
+        except PdlSyntaxError as exc:
+            if not msg.forwarded:
+                self.node.send(src, RegisterAck(ok=False, detail=str(exc)))
+            return
+        if not specs:
+            if not msg.forwarded:
+                self.node.send(
+                    src,
+                    RegisterAck(ok=False, detail="no problems in registration"),
+                )
+            return
+        for spec in specs:
+            known = self.specs.get(spec.name)
+            if known is not None and known != spec:
+                if not msg.forwarded:
+                    self.node.send(
+                        src,
+                        RegisterAck(
+                            ok=False,
+                            detail=f"problem {spec.name!r} conflicts with an "
+                            "existing description",
+                        ),
+                    )
+                return
+        for spec in specs:
+            self.specs[spec.name] = spec
+        # a mirror copy carries the server's real address; a direct
+        # registration's address is the transport-level source
+        server_address = msg.server_address if msg.forwarded else src
+        if msg.forwarded and msg.server_endpoint:
+            self.node.learn_endpoint(server_address, msg.server_endpoint)
+        self.table.register(
+            server_id=msg.server_id,
+            address=server_address,
+            host=msg.host,
+            mflops=msg.mflops,
+            problems={s.name for s in specs},
+            now=self.node.now(),
+        )
+        self.registrations += 1
+        self._trace(
+            "server_registered",
+            server_id=msg.server_id,
+            host=msg.host,
+            problems=len(specs),
+            forwarded=msg.forwarded,
+        )
+        if not msg.forwarded:
+            self.node.send(src, RegisterAck(ok=True))
+            if self.peers:
+                from dataclasses import replace
+
+                self._mirror(replace(
+                    msg,
+                    forwarded=True,
+                    server_address=src,
+                    server_endpoint=self.node.endpoint_of(src),
+                ))
+
+    def _handle_report(self, msg: WorkloadReport) -> None:
+        if msg.server_id not in self.table:
+            return  # report from a server that never registered: ignore
+        self.table.report_workload(
+            msg.server_id, msg.workload, self.node.now()
+        )
+        self.reports_received += 1
+        self._trace(
+            "workload_report", server_id=msg.server_id, workload=msg.workload
+        )
+        if not msg.forwarded and self.peers:
+            from dataclasses import replace
+
+            self._mirror(replace(msg, forwarded=True))
+
+    def _handle_failure(self, msg: FailureReport) -> None:
+        self.table.mark_failed(msg.server_id)
+        self.failures_reported += 1
+        self._trace(
+            "failure_report",
+            server_id=msg.server_id,
+            problem=msg.problem,
+            detail=msg.detail,
+        )
+        if not msg.forwarded and self.peers:
+            from dataclasses import replace
+
+            self._mirror(replace(msg, forwarded=True))
+
+    def _handle_transfer_report(self, msg: TransferReport) -> None:
+        observe = getattr(self.network, "observe", None)
+        if observe is None:
+            return  # static table: measurements are not folded in
+        observe(msg.client_host, msg.server_host, msg.nbytes, msg.seconds)
+        self._trace(
+            "transfer_observed",
+            pair=(msg.client_host, msg.server_host),
+            bandwidth=msg.nbytes / msg.seconds if msg.seconds > 0 else 0.0,
+        )
+
+    # ------------------------------------------------------------------
+    def predict_entry(
+        self, entry: ServerEntry, spec: ProblemSpec, env: dict, client_host: str
+    ) -> Prediction:
+        """The prediction the agent makes for one candidate server.
+
+        The reported workload degrades the server's effective speed
+        (processor sharing against other users).  Requests the agent has
+        recently steered there but that no report reflects yet are
+        modelled as FIFO *queue wait* — each inflates the compute term by
+        one service time — because NetSolve servers run requests one at a
+        time: a queued request waits, it does not steal CPU share.
+        """
+        base = predict_for(
+            spec,
+            env,
+            link=self.network.link(client_host, entry.host),
+            peak_mflops=entry.mflops,
+            workload=entry.workload,
+            use_workload=self.use_workload,
+        )
+        if not self.assignment_feedback:
+            return base
+        pending = entry.live_pending(self.node.now())
+        if pending == 0:
+            return base
+        return Prediction(
+            send_seconds=base.send_seconds,
+            compute_seconds=base.compute_seconds * (1 + pending),
+            recv_seconds=base.recv_seconds,
+        )
+
+    def _handle_query(self, src: str, msg: QueryRequest) -> None:
+        self.queries_served += 1
+        spec = self.specs.get(msg.problem)
+        if spec is None:
+            self.node.send(
+                src,
+                QueryReply(ok=False, detail=f"unknown problem {msg.problem!r}", tag=msg.tag),
+            )
+            return
+        entries = self.table.candidates_for(msg.problem, exclude=msg.exclude)
+        if not entries:
+            self.node.send(
+                src,
+                QueryReply(
+                    ok=False,
+                    detail=f"no server available for {msg.problem!r}",
+                    tag=msg.tag,
+                    retryable=True,  # suspects may report back in
+                ),
+            )
+            return
+        env = {k: int(v) for k, v in msg.sizes.items()}
+
+        predictions: dict[str, Prediction] = {}
+
+        def predict(entry: ServerEntry) -> Prediction:
+            cached = predictions.get(entry.server_id)
+            if cached is None:
+                cached = self.predict_entry(entry, spec, env, msg.client_host)
+                predictions[entry.server_id] = cached
+            return cached
+
+        ranked = self.policy.rank(entries, predict)
+        top = ranked[: self.cfg.candidate_list_length]
+        if top:
+            # assume the client sends to the head of the list; hold the
+            # hint for roughly that request's predicted lifetime
+            hold = min(600.0, max(1.0, predict(top[0]).total * 1.5))
+            self.table.note_assignment(
+                top[0].server_id, self.node.now(), hold_for=hold
+            )
+        candidates = [
+            Candidate(
+                server_id=e.server_id,
+                address=e.address,
+                host=e.host,
+                predicted_seconds=predict(e).total,
+                endpoint=self.node.endpoint_of(e.address),
+            )
+            for e in top
+        ]
+        self._trace(
+            "query",
+            problem=msg.problem,
+            client=src,
+            candidates=[c.server_id for c in candidates],
+            predicted=[c.predicted_seconds for c in candidates],
+        )
+        self.node.send(src, QueryReply.from_candidates(candidates, tag=msg.tag))
+
+    def _handle_describe(self, src: str, msg: DescribeProblem) -> None:
+        spec = self.specs.get(msg.problem)
+        if spec is None:
+            self.node.send(
+                src,
+                ProblemDescription(
+                    ok=False,
+                    problem=msg.problem,
+                    detail=f"unknown problem {msg.problem!r}",
+                ),
+            )
+        else:
+            self.node.send(
+                src, ProblemDescription(ok=True, problem=msg.problem, pdl=render_pdl(spec))
+            )

@@ -1,0 +1,739 @@
+"""The NetSolve client library.
+
+Mirrors the original calling model: a blocking call (``netsl``) and a
+non-blocking submit/probe/wait triple (``netslnb``/``netslpr``/
+``netslwt``), both built on one asynchronous engine:
+
+1. fetch & cache the problem description from the agent (PDL over the
+   wire), validating arguments locally before anything large moves;
+2. ask the agent for a ranked candidate list (sizes only — never data);
+3. ship inputs to the best server; on error, timeout or crash, report
+   the failure to the agent and fall through to the next candidate,
+   re-querying the agent (excluding known-bad servers) when the list
+   runs dry — the paper's transparent fault-tolerance loop;
+4. resolve the request's promise with the outputs.
+
+Every request keeps a full :class:`~repro.core.request.RequestRecord`
+timeline, which is where the breakdown/fault experiments read from.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Any, Optional, Sequence
+
+from ..config import ClientConfig
+from ..errors import (
+    BadArgumentsError,
+    NetSolveError,
+    ProblemNotFoundError,
+    RequestFailed,
+)
+from ..problems.pdl import parse_pdl
+from ..problems.spec import ProblemSpec, validate_inputs
+from ..protocol.messages import (
+    Candidate,
+    DescribeProblem,
+    FailureReport,
+    Message,
+    ListProblems,
+    ProblemDescription,
+    ProblemList,
+    QueryReply,
+    QueryRequest,
+    DeleteObject,
+    ObjectRef,
+    SolveReply,
+    SolveRequest,
+    StoreAck,
+    StoreObject,
+    TransferReport,
+)
+from ..protocol.transport import Component, Promise
+from ..trace.events import EventLog
+from .request import AttemptRecord, RequestRecord, RequestStatus
+
+__all__ = ["NetSolveClient", "RequestHandle"]
+
+
+class RequestHandle:
+    """Public handle for one submitted request."""
+
+    def __init__(self, record: RequestRecord, promise: Promise):
+        self.record = record
+        self.promise = promise
+
+    @property
+    def request_id(self) -> int:
+        return self.record.request_id
+
+    @property
+    def status(self) -> RequestStatus:
+        return self.record.status
+
+    @property
+    def done(self) -> bool:
+        return self.promise.done
+
+    def result(self) -> tuple:
+        """Outputs tuple; raises the request's error if it failed."""
+        return self.promise.result()
+
+
+class _Active:
+    """Internal per-request state."""
+
+    __slots__ = (
+        "handle",
+        "record",
+        "problem",
+        "raw_args",
+        "inputs",
+        "env",
+        "candidates",
+        "tried",
+        "current",
+        "attempt",
+        "timer",
+        "pinned",
+        "query_silences",
+    )
+
+    def __init__(self, handle: RequestHandle, problem: str, raw_args: list):
+        self.handle = handle
+        self.record = handle.record
+        self.problem = problem
+        self.raw_args = raw_args
+        self.inputs: Optional[tuple] = None
+        self.env: dict[str, int] = {}
+        self.candidates: deque[Candidate] = deque()
+        self.tried: list[str] = []
+        self.current: Optional[Candidate] = None
+        self.attempt: Optional[AttemptRecord] = None
+        self.timer = None
+        #: pinned requests bypass the agent and never fail over
+        self.pinned = False
+        #: unanswered agent queries so far (control-message retry budget)
+        self.query_silences = 0
+
+
+class NetSolveClient(Component):
+    """One client application's NetSolve endpoint."""
+
+    def __init__(
+        self,
+        *,
+        client_id: str,
+        agent_address: str,
+        cfg: ClientConfig = ClientConfig(),
+        trace: Optional[EventLog] = None,
+    ):
+        self.client_id = client_id
+        self.agent_address = agent_address
+        self.cfg = cfg
+        self.trace = trace
+        self._rids = itertools.count(1)
+        self._specs: dict[str, ProblemSpec] = {}
+        self._describing: dict[str, list[_Active]] = {}
+        self._spec_waiters: dict[str, list[Promise]] = {}
+        self._listing: dict[str, list[Promise]] = {}
+        self._storing: dict[tuple[str, str], list[Promise]] = {}
+        self._queries: dict[int, Promise] = {}
+        self._active: dict[int, _Active] = {}
+        #: every record ever created, terminal or not (experiment data)
+        self.records: list[RequestRecord] = []
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def submit(self, problem: str, args: Sequence[Any]) -> RequestHandle:
+        """Non-blocking submit; returns a handle with a promise."""
+        rid = next(self._rids)
+        record = RequestRecord(
+            request_id=rid,
+            problem=problem,
+            sizes={},
+            t_submit=self.node.now(),
+        )
+        handle = RequestHandle(record, self.node.promise())
+        self.records.append(record)
+        req = _Active(handle, problem, list(args))
+        self._active[rid] = req
+        self._trace("submit", request_id=rid, problem=problem)
+        spec = self._specs.get(problem)
+        if spec is not None:
+            self._validate_and_query(req, spec)
+        else:
+            waiting = self._describing.setdefault(problem, [])
+            waiting.append(req)
+            if len(waiting) == 1:
+                self._send_describe(problem, attempt=1)
+        return handle
+
+    def known_problems(self) -> list[str]:
+        return sorted(self._specs)
+
+    def install_spec(self, spec: ProblemSpec) -> None:
+        """Pre-seed the description cache (skips the DescribeProblem RTT)."""
+        self._specs[spec.name] = spec
+
+    # ------------------------------------------------------------------
+    # request sequencing: object store + pinned submits
+    # ------------------------------------------------------------------
+    def store(self, server_address: str, key: str, value: Any) -> Promise:
+        """Cache ``value`` under ``key`` on a specific server.
+
+        The promise resolves with the stored byte count, or rejects if
+        the server refuses (cache full) or never answers.
+        """
+        promise = self.node.promise()
+        waiting = self._storing.setdefault((server_address, key), [])
+        waiting.append(promise)
+        if len(waiting) == 1:
+            self.node.send(server_address, StoreObject(key=key, value=value))
+            self._arm_store_timeout(server_address, key)
+        return promise
+
+    def delete_stored(self, server_address: str, key: str) -> Promise:
+        """Drop a cached object; resolves True if it existed."""
+        promise = self.node.promise()
+        waiting = self._storing.setdefault((server_address, key), [])
+        waiting.append(promise)
+        if len(waiting) == 1:
+            self.node.send(server_address, DeleteObject(key=key))
+            self._arm_store_timeout(server_address, key)
+        return promise
+
+    def _arm_store_timeout(self, server_address: str, key: str) -> None:
+        def fire() -> None:
+            for p in self._storing.pop((server_address, key), []):
+                if not p.done:
+                    p.reject(
+                        RequestFailed(
+                            0, f"server {server_address!r} did not ack "
+                            f"object {key!r}"
+                        )
+                    )
+
+        self.node.call_after(self.cfg.server_timeout, fire)
+
+    def _on_store_ack(self, src: str, msg: StoreAck) -> None:
+        for promise in self._storing.pop((src, msg.key), []):
+            if promise.done:
+                continue
+            if msg.ok:
+                promise.resolve(msg.nbytes)
+            else:
+                promise.reject(RequestFailed(0, msg.detail or "store refused"))
+
+    def submit_pinned(
+        self, problem: str, args: Sequence[Any], server_address: str,
+        *, server_id: str = "",
+    ) -> RequestHandle:
+        """Submit directly to one server, bypassing the agent.
+
+        This is the execution half of request sequencing: arguments may
+        contain :class:`ObjectRef` placeholders for operands previously
+        :meth:`store`\\ d there.  No fail-over — a pinned request lives
+        and dies with its server (the sequence's data is there).
+        """
+        rid = next(self._rids)
+        record = RequestRecord(
+            request_id=rid, problem=problem, sizes={},
+            t_submit=self.node.now(),
+        )
+        handle = RequestHandle(record, self.node.promise())
+        self.records.append(record)
+        req = _Active(handle, problem, list(args))
+        req.pinned = True
+        self._active[rid] = req
+        self._trace(
+            "submit_pinned", request_id=rid, problem=problem,
+            server=server_address,
+        )
+        spec = self._specs.get(problem)
+        refs = any(isinstance(a, ObjectRef) for a in args)
+        if spec is not None and not refs:
+            try:
+                coerced, env = validate_inputs(spec, list(args))
+            except BadArgumentsError as exc:
+                self._finish(req, exc)
+                return handle
+            req.inputs = tuple(coerced)
+            req.env = env
+            record.sizes = dict(env)
+        else:
+            # refs resolve server-side; validation happens there
+            req.inputs = tuple(args)
+        req.candidates = deque(
+            [Candidate(
+                server_id=server_id or server_address,
+                address=server_address,
+                host="",
+                predicted_seconds=0.0,
+            )]
+        )
+        self._try_next(req)
+        return handle
+
+    def query_candidates(
+        self, problem: str, sizes: dict, *, exclude: tuple = ()
+    ) -> Promise:
+        """Ask the agent for its ranked candidate list without submitting.
+
+        Resolves with ``list[Candidate]`` (possibly after the agent notes
+        an assignment to the head — exactly as a real query would);
+        rejects with :class:`RequestFailed` on unknown problems, empty
+        pools, or agent silence.  Used by sequencing to pick a pin.
+        """
+        promise = self.node.promise()
+        # negative tags cannot collide with request ids (always >= 1)
+        tag = -next(self._rids)
+        self._queries[tag] = promise
+        self.node.send(
+            self.agent_address,
+            QueryRequest(
+                problem=problem,
+                sizes={k: int(v) for k, v in sizes.items()},
+                client_host=self.node.host_name,
+                exclude=tuple(exclude),
+                tag=tag,
+            ),
+        )
+
+        def timed_out() -> None:
+            pending = self._queries.pop(tag, None)
+            if pending is not None and not pending.done:
+                pending.reject(RequestFailed(0, "agent did not answer query"))
+
+        self.node.call_after(self.cfg.agent_timeout, timed_out)
+        return promise
+
+    def _on_candidate_query_reply(self, msg: QueryReply) -> bool:
+        promise = self._queries.pop(msg.tag, None)
+        if promise is None:
+            return False
+        if not promise.done:
+            if msg.ok:
+                promise.resolve(msg.candidate_list())
+            else:
+                promise.reject(RequestFailed(0, msg.detail))
+        return True
+
+    def describe(self, problem: str) -> Promise:
+        """Fetch a problem's spec from the agent (cached after first use).
+
+        Resolves with the :class:`ProblemSpec`; rejects with
+        :class:`ProblemNotFoundError` when the agent does not know it.
+        """
+        promise = self.node.promise()
+        spec = self._specs.get(problem)
+        if spec is not None:
+            promise.resolve(spec)
+            return promise
+        waiting = self._spec_waiters.setdefault(problem, [])
+        waiting.append(promise)
+        if problem not in self._describing:
+            self._describing.setdefault(problem, [])
+            self._send_describe(problem, attempt=1)
+        return promise
+
+    def list_problems(self, prefix: str = "") -> Promise:
+        """Browse the agent's catalogue; promise resolves with a name tuple."""
+        promise = self.node.promise()
+        waiting = self._listing.setdefault(prefix, [])
+        waiting.append(promise)
+        if len(waiting) == 1:
+            self.node.send(self.agent_address, ListProblems(prefix=prefix))
+
+            def timed_out() -> None:
+                stale = self._listing.pop(prefix, [])
+                for p in stale:
+                    if not p.done:
+                        p.reject(
+                            RequestFailed(0, "agent did not answer ListProblems")
+                        )
+
+            self.node.call_after(self.cfg.agent_timeout, timed_out)
+        return promise
+
+    def _on_problem_list(self, msg: ProblemList) -> None:
+        for promise in self._listing.pop(msg.prefix, []):
+            if not promise.done:
+                promise.resolve(tuple(msg.names))
+
+    # ------------------------------------------------------------------
+    def _trace(self, kind: str, **fields) -> None:
+        if self.trace is not None:
+            self.trace.log(self.node.now(), self.node.address, kind, **fields)
+
+    def _finish(self, req: _Active, error: Optional[NetSolveError], value=None):
+        rid = req.record.request_id
+        self._cancel_timer(req)
+        self._active.pop(rid, None)
+        req.record.t_done = self.node.now()
+        if error is None:
+            req.record.status = RequestStatus.DONE
+            self._trace("request_done", request_id=rid)
+            req.handle.promise.resolve(value)
+        else:
+            req.record.status = RequestStatus.FAILED
+            req.record.error = str(error)
+            self._trace("request_failed", request_id=rid, error=str(error))
+            req.handle.promise.reject(error)
+
+    def _cancel_timer(self, req: _Active) -> None:
+        if req.timer is not None:
+            req.timer.cancel()
+            req.timer = None
+
+    # ------------------------------------------------------------------
+    # phase 1: problem description
+    # ------------------------------------------------------------------
+    def _send_describe(self, problem: str, attempt: int) -> None:
+        """Fire a DescribeProblem, re-sending on silence: the wire has no
+        retransmission, so control messages carry their own retry."""
+        self.node.send(self.agent_address, DescribeProblem(problem=problem))
+
+        def fire() -> None:
+            if problem not in self._describing:
+                return  # answered in the meantime
+            if attempt < self.cfg.agent_retries:
+                self._trace(
+                    "describe_retry", problem=problem, attempt=attempt + 1
+                )
+                self._send_describe(problem, attempt + 1)
+                return
+            waiting = self._describing.pop(problem, [])
+            for req in waiting:
+                if req.record.status.terminal:
+                    continue
+                self._finish(
+                    req,
+                    RequestFailed(
+                        req.record.request_id,
+                        "agent did not answer DescribeProblem",
+                    ),
+                )
+            for promise in self._spec_waiters.pop(problem, []):
+                if not promise.done:
+                    promise.reject(
+                        RequestFailed(0, "agent did not answer DescribeProblem")
+                    )
+
+        self.node.call_after(self.cfg.agent_timeout, fire)
+
+    def _on_description(self, msg: ProblemDescription) -> None:
+        waiting = self._describing.pop(msg.problem, [])
+        watchers = self._spec_waiters.pop(msg.problem, [])
+        if not msg.ok:
+            for req in waiting:
+                self._finish(req, ProblemNotFoundError(msg.problem))
+            for promise in watchers:
+                if not promise.done:
+                    promise.reject(ProblemNotFoundError(msg.problem))
+            return
+        try:
+            specs = parse_pdl(msg.pdl, source=f"<agent:{msg.problem}>")
+        except NetSolveError:
+            specs = []  # unparseable text counts as malformed below
+        if len(specs) != 1 or specs[0].name != msg.problem:
+            for req in waiting:
+                self._finish(
+                    req,
+                    RequestFailed(
+                        req.record.request_id,
+                        "agent returned a malformed problem description",
+                    ),
+                )
+            for promise in watchers:
+                if not promise.done:
+                    promise.reject(
+                        RequestFailed(0, "malformed problem description")
+                    )
+            return
+        spec = specs[0]
+        self._specs[spec.name] = spec
+        for req in waiting:
+            if not req.record.status.terminal:
+                self._validate_and_query(req, spec)
+        for promise in watchers:
+            if not promise.done:
+                promise.resolve(spec)
+
+    # ------------------------------------------------------------------
+    # phase 2: agent negotiation
+    # ------------------------------------------------------------------
+    def _validate_and_query(self, req: _Active, spec: ProblemSpec) -> None:
+        try:
+            coerced, env = validate_inputs(spec, req.raw_args)
+        except BadArgumentsError as exc:
+            self._finish(req, exc)
+            return
+        req.inputs = tuple(coerced)
+        req.env = env
+        req.record.sizes = dict(env)
+        self._query(req)
+
+    def _query(self, req: _Active) -> None:
+        rid = req.record.request_id
+        req.record.queries += 1
+        req.record.t_query_sent = self.node.now()
+        req.record.status = RequestStatus.QUERYING
+        self._trace(
+            "query_sent", request_id=rid, exclude=list(req.tried)
+        )
+        self.node.send(
+            self.agent_address,
+            QueryRequest(
+                problem=req.problem,
+                sizes={k: int(v) for k, v in req.env.items()},
+                client_host=self.node.host_name,
+                exclude=tuple(req.tried),
+                tag=rid,
+            ),
+        )
+        self._cancel_timer(req)
+        req.timer = self.node.call_after(
+            self.cfg.agent_timeout, lambda: self._agent_timed_out(rid)
+        )
+
+    def _agent_timed_out(self, rid: int) -> None:
+        req = self._active.get(rid)
+        if req is None or req.record.status is not RequestStatus.QUERYING:
+            return
+        if req.query_silences < self.cfg.agent_retries:
+            req.query_silences += 1
+            self._trace(
+                "query_retry", request_id=rid, attempt=req.query_silences
+            )
+            self._query(req)
+            return
+        self._finish(req, RequestFailed(rid, "agent did not answer query"))
+
+    def _on_query_reply(self, msg: QueryReply) -> None:
+        if msg.tag < 0 and self._on_candidate_query_reply(msg):
+            return
+        req = self._active.get(msg.tag)
+        if req is None or req.record.status is not RequestStatus.QUERYING:
+            return  # late or duplicate reply
+        self._cancel_timer(req)
+        req.record.t_candidates = self.node.now()
+        if not msg.ok:
+            if msg.retryable and req.query_silences < self.cfg.agent_retries:
+                # the pool may recover (suspected servers report back in,
+                # or the agent's probe revives a falsely-blamed one):
+                # back off one timeout floor and ask again with a clean
+                # slate — permanent exclusions would wedge small pools
+                req.query_silences += 1
+                req.tried.clear()
+                self._trace(
+                    "query_backoff",
+                    request_id=req.record.request_id,
+                    attempt=req.query_silences,
+                )
+                req.timer = self.node.call_after(
+                    self.cfg.timeout_floor, lambda: self._query(req)
+                )
+                return
+            self._finish(
+                req, RequestFailed(req.record.request_id, msg.detail)
+            )
+            return
+        candidates = msg.candidate_list()
+        if not candidates:
+            # ok=True with an empty list is a degenerate agent reply;
+            # treat it like a retryable empty pool (bounded backoff)
+            # rather than looping the query forever
+            if req.query_silences < self.cfg.agent_retries:
+                req.query_silences += 1
+                req.tried.clear()
+                self._trace(
+                    "query_backoff",
+                    request_id=req.record.request_id,
+                    attempt=req.query_silences,
+                )
+                req.timer = self.node.call_after(
+                    self.cfg.timeout_floor, lambda: self._query(req)
+                )
+            else:
+                self._finish(
+                    req,
+                    RequestFailed(
+                        req.record.request_id, "agent returned no candidates"
+                    ),
+                )
+            return
+        req.candidates = deque(candidates)
+        self._trace(
+            "candidates",
+            request_id=req.record.request_id,
+            servers=[c.server_id for c in req.candidates],
+        )
+        self._try_next(req)
+
+    # ------------------------------------------------------------------
+    # phase 3: attempts & the fault-tolerance loop
+    # ------------------------------------------------------------------
+    def _try_next(self, req: _Active) -> None:
+        rid = req.record.request_id
+        if len(req.record.attempts) >= self.cfg.max_retries:
+            self._finish(
+                req,
+                RequestFailed(
+                    rid,
+                    f"retry budget exhausted after "
+                    f"{len(req.record.attempts)} attempt(s)",
+                ),
+            )
+            return
+        if not req.candidates:
+            if req.pinned:
+                self._finish(
+                    req,
+                    RequestFailed(rid, "pinned request failed on its server"),
+                )
+            elif self.cfg.requery_agent:
+                self._query(req)
+            else:
+                self._finish(req, RequestFailed(rid, "candidate list exhausted"))
+            return
+        cand = req.candidates.popleft()
+        if cand.endpoint:
+            self.node.learn_endpoint(cand.address, cand.endpoint)
+        req.current = cand
+        attempt = AttemptRecord(
+            server_id=cand.server_id,
+            address=cand.address,
+            predicted_seconds=cand.predicted_seconds,
+            t_sent=self.node.now(),
+        )
+        req.attempt = attempt
+        req.record.attempts.append(attempt)
+        req.record.status = RequestStatus.EXECUTING
+        self._trace(
+            "attempt",
+            request_id=rid,
+            server_id=cand.server_id,
+            predicted=cand.predicted_seconds,
+        )
+        assert req.inputs is not None
+        self.node.send(
+            cand.address,
+            SolveRequest(
+                request_id=rid,
+                problem=req.problem,
+                inputs=req.inputs,
+                reply_to=self.node.address,
+            ),
+        )
+        if cand.predicted_seconds > 0:
+            timeout = min(
+                self.cfg.server_timeout,
+                max(
+                    self.cfg.timeout_floor,
+                    self.cfg.timeout_factor * cand.predicted_seconds,
+                ),
+            )
+        else:  # pinned submit: no prediction to scale from
+            timeout = self.cfg.server_timeout
+        self._cancel_timer(req)
+        req.timer = self.node.call_after(
+            timeout, lambda: self._attempt_timed_out(rid, cand.server_id)
+        )
+
+    def _attempt_timed_out(self, rid: int, server_id: str) -> None:
+        req = self._active.get(rid)
+        if (
+            req is None
+            or req.record.status is not RequestStatus.EXECUTING
+            or req.current is None
+            or req.current.server_id != server_id
+        ):
+            return
+        assert req.attempt is not None
+        req.attempt.t_end = self.node.now()
+        req.attempt.outcome = "timeout"
+        self._trace("attempt_timeout", request_id=rid, server_id=server_id)
+        self._report_failure(req, "timeout")
+        self._try_next(req)
+
+    def _report_failure(self, req: _Active, detail: str) -> None:
+        assert req.current is not None
+        req.tried.append(req.current.server_id)
+        self.node.send(
+            self.agent_address,
+            FailureReport(
+                server_id=req.current.server_id,
+                problem=req.problem,
+                detail=detail,
+            ),
+        )
+        req.current = None
+        req.attempt = None
+
+    def _report_transfer(self, req: _Active) -> None:
+        """Tell the agent what the path actually delivered (NWS loop)."""
+        attempt = req.attempt
+        assert attempt is not None and req.current is not None
+        spec = self._specs.get(req.problem)
+        if spec is None or attempt.elapsed is None or not req.current.host:
+            return  # pinned submits carry no host; nothing to learn on
+        transfer_seconds = attempt.elapsed - attempt.compute_seconds
+        nbytes = spec.input_bytes(req.env) + spec.output_bytes(req.env)
+        if transfer_seconds <= 0 or nbytes <= 0:
+            return
+        self.node.send(
+            self.agent_address,
+            TransferReport(
+                client_host=self.node.host_name,
+                server_host=req.current.host,
+                nbytes=int(nbytes),
+                seconds=float(transfer_seconds),
+            ),
+        )
+
+    def _on_solve_reply(self, src: str, msg: SolveReply) -> None:
+        req = self._active.get(msg.request_id)
+        if (
+            req is None
+            or req.record.status is not RequestStatus.EXECUTING
+            or req.current is None
+            or src != req.current.address
+        ):
+            return  # reply from an attempt we already gave up on
+        self._cancel_timer(req)
+        assert req.attempt is not None
+        req.attempt.t_end = self.node.now()
+        req.attempt.compute_seconds = msg.compute_seconds
+        if msg.ok:
+            req.attempt.outcome = "ok"
+            if self.cfg.report_transfers:
+                self._report_transfer(req)
+            self._finish(req, None, tuple(msg.outputs))
+        else:
+            req.attempt.outcome = "error"
+            req.attempt.detail = msg.detail
+            self._trace(
+                "attempt_error",
+                request_id=msg.request_id,
+                server_id=req.current.server_id,
+                detail=msg.detail,
+            )
+            self._report_failure(req, msg.detail)
+            self._try_next(req)
+
+    # ------------------------------------------------------------------
+    def on_message(self, src: str, msg: Message) -> None:
+        if isinstance(msg, SolveReply):
+            self._on_solve_reply(src, msg)
+        elif isinstance(msg, QueryReply):
+            self._on_query_reply(msg)
+        elif isinstance(msg, ProblemDescription):
+            self._on_description(msg)
+        elif isinstance(msg, ProblemList):
+            self._on_problem_list(msg)
+        elif isinstance(msg, StoreAck):
+            self._on_store_ack(src, msg)
+        # anything else: drop

@@ -1,0 +1,99 @@
+"""Failure injection for experiments.
+
+The fault-tolerance experiments (T4, A2) crash and revive simulated
+nodes on schedules.  The injector is a thin layer over
+:meth:`SimTransport.crash`/:meth:`revive` with deterministic scheduling
+and an audit trail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..protocol.transport import SimTransport
+
+__all__ = ["FailureInjector", "InjectedFault"]
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    time: float
+    address: str
+    action: str  # "crash" | "revive"
+
+
+class FailureInjector:
+    """Schedules crashes and revivals on a simulated deployment."""
+
+    def __init__(self, transport: SimTransport):
+        self.transport = transport
+        self.plan: list[InjectedFault] = []
+        self.executed: list[InjectedFault] = []
+
+    # ------------------------------------------------------------------
+    def crash_at(self, t: float, address: str) -> None:
+        """Crash ``address`` at virtual time ``t``."""
+        self._schedule(t, address, "crash")
+
+    def revive_at(self, t: float, address: str) -> None:
+        """Revive ``address`` at virtual time ``t``."""
+        self._schedule(t, address, "revive")
+
+    def crash_for(self, t: float, address: str, downtime: float) -> None:
+        """Crash at ``t`` and revive ``downtime`` seconds later."""
+        if downtime <= 0:
+            raise SimulationError("downtime must be positive")
+        self.crash_at(t, address)
+        self.revive_at(t + downtime, address)
+
+    def _schedule(self, t: float, address: str, action: str) -> None:
+        self.transport.node(address)  # validate the address exists now
+        fault = InjectedFault(time=t, address=address, action=action)
+        self.plan.append(fault)
+
+        def fire() -> None:
+            if action == "crash":
+                if self.transport.is_alive(address):
+                    self.transport.crash(address)
+                    self.executed.append(fault)
+            else:
+                if not self.transport.is_alive(address):
+                    self.transport.revive(address)
+                    self.executed.append(fault)
+
+        self.transport.kernel.call_at(t, fire)
+
+    # ------------------------------------------------------------------
+    def random_crashes(
+        self,
+        rng: np.random.Generator,
+        addresses: list[str],
+        *,
+        count: int,
+        window: tuple[float, float],
+        downtime: float | None = None,
+    ) -> list[InjectedFault]:
+        """Crash ``count`` distinct nodes at uniform times inside
+        ``window``; optionally revive each after ``downtime`` seconds.
+        Returns the planned crash faults (deterministic under the rng).
+        """
+        t0, t1 = window
+        if t1 <= t0:
+            raise SimulationError("bad window")
+        if count > len(addresses):
+            raise SimulationError(
+                f"cannot crash {count} of {len(addresses)} nodes"
+            )
+        victims = list(rng.choice(addresses, size=count, replace=False))
+        times = np.sort(rng.uniform(t0, t1, size=count))
+        planned = []
+        for addr, t in zip(victims, times):
+            if downtime is None:
+                self.crash_at(float(t), str(addr))
+            else:
+                self.crash_for(float(t), str(addr), downtime)
+            planned.append(InjectedFault(float(t), str(addr), "crash"))
+        return planned

@@ -1,0 +1,225 @@
+"""The agent's completion-time model.
+
+For a request of problem ``p`` with size bindings ``env`` on candidate
+server ``s`` reachable from client host ``c``, NetSolve predicts::
+
+    T(s) = T_send + T_compute + T_recv
+
+    T_send    = latency(c, s) + input_bytes(p, env)  / bandwidth(c, s)
+    T_recv    = latency(c, s) + output_bytes(p, env) / bandwidth(c, s)
+    T_compute = flops(p, env) / (1e6 * effective_mflops(s))
+
+    effective_mflops(s) = peak_mflops(s) * 100 / (100 + workload(s))
+
+where ``workload`` is the server's last-reported UNIX load average times
+100.  The model is deliberately the *same* two-parameter network model
+the simulator's links implement, so experiment T1 measures exactly the
+error sources the paper's agent lived with: stale workload reports, link
+contention, protocol overhead and competing requests — not model-form
+mismatch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Optional, Protocol
+
+from ..errors import ConfigError
+from ..problems.spec import ProblemSpec
+
+__all__ = [
+    "LinkEstimate",
+    "NetworkInfo",
+    "StaticNetworkInfo",
+    "LearnedNetworkInfo",
+    "Prediction",
+    "effective_mflops",
+    "predict",
+    "predict_for",
+]
+
+
+@dataclass(frozen=True)
+class LinkEstimate:
+    """Agent's belief about one host pair: seconds and bytes/second."""
+
+    latency: float
+    bandwidth: float
+
+    def __post_init__(self) -> None:
+        if self.latency < 0:
+            raise ConfigError("latency must be >= 0")
+        if self.bandwidth <= 0:
+            raise ConfigError("bandwidth must be positive")
+
+    def transfer_seconds(self, nbytes: float) -> float:
+        return self.latency + nbytes / self.bandwidth
+
+
+class NetworkInfo(Protocol):
+    """Provider of link estimates between named hosts."""
+
+    def link(self, a: str, b: str) -> LinkEstimate: ...
+
+
+class StaticNetworkInfo:
+    """A symmetric table of measured link characteristics.
+
+    Stands in for the original's network measurements: the deployment
+    loads it from known topology (or from probes), and the agent never
+    touches live network state.  Unknown pairs fall back to ``default``
+    if given, else raise.
+    """
+
+    def __init__(
+        self,
+        table: Mapping[tuple[str, str], LinkEstimate] | None = None,
+        *,
+        default: LinkEstimate | None = None,
+        loopback: LinkEstimate | None = None,
+    ):
+        self._table: dict[tuple[str, str], LinkEstimate] = {}
+        self.default = default
+        self.loopback = loopback or LinkEstimate(latency=20e-6, bandwidth=400e6)
+        if table:
+            for (a, b), est in table.items():
+                self.set(a, b, est)
+
+    def set(self, a: str, b: str, est: LinkEstimate) -> None:
+        self._table[(a, b)] = est
+        self._table[(b, a)] = est
+
+    def link(self, a: str, b: str) -> LinkEstimate:
+        if a == b:
+            return self.loopback
+        est = self._table.get((a, b))
+        if est is None:
+            est = self.default
+        if est is None:
+            raise ConfigError(f"no link estimate for {a!r} <-> {b!r}")
+        return est
+
+
+class LearnedNetworkInfo:
+    """Network table that learns effective bandwidth from observed
+    transfers (the measurement loop NetSolve later delegated to NWS).
+
+    Starts from a ``prior`` provider; every client
+    :class:`~repro.protocol.messages.TransferReport` updates an
+    exponentially weighted moving average of the path's effective
+    bytes/second.  Latency stays the prior's (small-message probes would
+    refine it; transfers barely constrain it), so the learned estimate
+    corrects exactly the term that dominates large-argument prediction.
+    """
+
+    def __init__(self, prior: "NetworkInfo", *, alpha: float = 0.3):
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigError("alpha must be in (0, 1]")
+        self.prior = prior
+        self.alpha = float(alpha)
+        self._learned: dict[tuple[str, str], float] = {}
+        self.observations = 0
+
+    @staticmethod
+    def _key(a: str, b: str) -> tuple[str, str]:
+        return (a, b) if a <= b else (b, a)
+
+    def observe(self, a: str, b: str, nbytes: float, seconds: float) -> None:
+        """Fold one realized transfer into the path's bandwidth belief."""
+        if nbytes <= 0 or seconds <= 0:
+            return  # nothing to learn from degenerate reports
+        observed = nbytes / seconds
+        key = self._key(a, b)
+        current = self._learned.get(key)
+        if current is None:
+            self._learned[key] = observed
+        else:
+            self._learned[key] = (
+                (1.0 - self.alpha) * current + self.alpha * observed
+            )
+        self.observations += 1
+
+    def learned_bandwidth(self, a: str, b: str) -> Optional[float]:
+        return self._learned.get(self._key(a, b))
+
+    def link(self, a: str, b: str) -> LinkEstimate:
+        base = self.prior.link(a, b)
+        learned = self._learned.get(self._key(a, b))
+        if learned is None:
+            return base
+        return LinkEstimate(latency=base.latency, bandwidth=learned)
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """Decomposed completion-time prediction (seconds)."""
+
+    send_seconds: float
+    compute_seconds: float
+    recv_seconds: float
+
+    @property
+    def total(self) -> float:
+        return self.send_seconds + self.compute_seconds + self.recv_seconds
+
+    @property
+    def network_seconds(self) -> float:
+        return self.send_seconds + self.recv_seconds
+
+
+def effective_mflops(peak_mflops: float, workload: float) -> float:
+    """NetSolve's workload hypothesis: p = P * 100 / (100 + w)."""
+    if peak_mflops <= 0:
+        raise ConfigError("peak_mflops must be positive")
+    if workload < 0:
+        raise ConfigError("workload must be >= 0")
+    return peak_mflops * 100.0 / (100.0 + workload)
+
+
+def predict(
+    *,
+    flops: float,
+    input_bytes: float,
+    output_bytes: float,
+    link: LinkEstimate,
+    peak_mflops: float,
+    workload: float,
+    use_workload: bool = True,
+) -> Prediction:
+    """Core prediction formula from raw quantities.
+
+    ``use_workload=False`` is the A1 ablation: the agent pretends every
+    server is idle.
+    """
+    if flops < 0 or input_bytes < 0 or output_bytes < 0:
+        raise ConfigError("flops and byte counts must be >= 0")
+    mflops = effective_mflops(peak_mflops, workload if use_workload else 0.0)
+    return Prediction(
+        send_seconds=link.transfer_seconds(input_bytes),
+        compute_seconds=flops / (mflops * 1e6),
+        recv_seconds=link.transfer_seconds(output_bytes),
+    )
+
+
+def predict_for(
+    spec: ProblemSpec,
+    env: Mapping[str, int],
+    *,
+    link: LinkEstimate,
+    peak_mflops: float,
+    workload: float,
+    use_workload: bool = True,
+) -> Prediction:
+    """Prediction for a problem spec at concrete sizes."""
+    return predict(
+        flops=spec.flops(env),
+        input_bytes=spec.input_bytes(env),
+        output_bytes=spec.output_bytes(env),
+        link=link,
+        peak_mflops=peak_mflops,
+        workload=workload,
+        use_workload=use_workload,
+    )
+
+
+PredictFn = Callable[..., Prediction]

@@ -1,0 +1,187 @@
+"""The agent's server table.
+
+Tracks every registered computational server: which problems it solves,
+its peak speed, the freshest workload report, liveness, failure counts,
+and *pending-assignment* hints.  A pending hint is the agent's
+correction for report staleness: each time the agent hands a server out
+as the best candidate it assumes one more request is about to queue
+there, until a fresh workload report supersedes the hint or the hint's
+own expiry (derived from the predicted lifetime of the request it
+models) passes.  Without the hints, a burst of queries between two
+reports would all pick the same momentarily-idle server — the classic
+herd effect; without the expiry, short jobs finishing between samples
+(which the hysteretic policy never reports) would pollute the view
+until the forced keep-alive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import NetSolveError
+
+__all__ = ["ServerEntry", "ServerTable"]
+
+
+@dataclass
+class ServerEntry:
+    server_id: str
+    address: str
+    host: str
+    mflops: float
+    problems: set[str]
+    registered_at: float
+    last_report: float
+    workload: float = 0.0
+    alive: bool = True
+    failures: int = 0
+    #: expiry times of assignments not yet reflected in a workload report
+    pending_expiries: list[float] = field(default_factory=list)
+    assignments: int = 0
+
+    @property
+    def pending(self) -> int:
+        return len(self.pending_expiries)
+
+    def live_pending(self, now: float) -> int:
+        """Pending-assignment count after dropping expired hints."""
+        if self.pending_expiries:
+            self.pending_expiries = [t for t in self.pending_expiries if t > now]
+        return len(self.pending_expiries)
+
+    def effective_workload(
+        self, now: float = 0.0, *, pending_weight: float = 100.0
+    ) -> float:
+        """Reported workload plus the pending-assignment correction.
+
+        Each live pending request is assumed to add one runnable process
+        (``pending_weight`` workload units = 1.0 load average).  A hint
+        expires on its own once the request it models should long have
+        finished — a fresh workload report would have superseded it, but
+        the hysteretic policy suppresses "still idle" reports, so without
+        the expiry a short job assigned between samples would pollute the
+        agent's view until the forced keep-alive.
+        """
+        if self.pending_expiries:
+            self.pending_expiries = [t for t in self.pending_expiries if t > now]
+        return self.workload + pending_weight * len(self.pending_expiries)
+
+
+class ServerTable:
+    """Registry of servers, keyed by server id."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, ServerEntry] = {}
+
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        *,
+        server_id: str,
+        address: str,
+        host: str,
+        mflops: float,
+        problems: set[str],
+        now: float,
+    ) -> ServerEntry:
+        """Add or refresh a server (re-registration revives and updates)."""
+        if mflops <= 0:
+            raise NetSolveError(f"server {server_id!r}: bad mflops {mflops}")
+        if not problems:
+            raise NetSolveError(f"server {server_id!r} advertises no problems")
+        entry = self._entries.get(server_id)
+        if entry is None:
+            entry = ServerEntry(
+                server_id=server_id,
+                address=address,
+                host=host,
+                mflops=mflops,
+                problems=set(problems),
+                registered_at=now,
+                last_report=now,
+            )
+            self._entries[server_id] = entry
+        else:
+            entry.address = address
+            entry.host = host
+            entry.mflops = mflops
+            entry.problems = set(problems)
+            entry.last_report = now
+            entry.alive = True
+            entry.pending_expiries.clear()
+        return entry
+
+    def get(self, server_id: str) -> ServerEntry:
+        try:
+            return self._entries[server_id]
+        except KeyError:
+            raise NetSolveError(f"unknown server {server_id!r}") from None
+
+    def __contains__(self, server_id: str) -> bool:
+        return server_id in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> list[ServerEntry]:
+        return [self._entries[k] for k in sorted(self._entries)]
+
+    def alive_entries(self) -> list[ServerEntry]:
+        return [e for e in self.entries() if e.alive]
+
+    # ------------------------------------------------------------------
+    def report_workload(self, server_id: str, workload: float, now: float) -> None:
+        """Fresh truth from the server: update, revive, clear the hint."""
+        entry = self.get(server_id)
+        entry.workload = max(0.0, float(workload))
+        entry.last_report = now
+        entry.alive = True
+        entry.pending_expiries.clear()
+
+    def note_assignment(
+        self, server_id: str, now: float = 0.0, *, hold_for: float = 60.0
+    ) -> None:
+        """Record that a request was just steered at this server.
+
+        ``hold_for`` should be roughly the predicted completion time of
+        that request: once it should have finished, the hint expires.
+        """
+        entry = self.get(server_id)
+        entry.pending_expiries.append(now + max(0.0, hold_for))
+        entry.assignments += 1
+
+    def mark_failed(self, server_id: str) -> None:
+        """A client reported this server failing: suspect it until it
+        speaks again (next workload report or re-registration)."""
+        if server_id not in self._entries:
+            return  # stale report about a server we already dropped
+        entry = self._entries[server_id]
+        entry.failures += 1
+        entry.alive = False
+
+    def sweep_liveness(self, now: float, timeout: float) -> list[str]:
+        """Mark servers silent for longer than ``timeout`` as down."""
+        died: list[str] = []
+        for entry in self._entries.values():
+            if entry.alive and now - entry.last_report > timeout:
+                entry.alive = False
+                died.append(entry.server_id)
+        return sorted(died)
+
+    # ------------------------------------------------------------------
+    def candidates_for(
+        self, problem: str, *, exclude: tuple[str, ...] = ()
+    ) -> list[ServerEntry]:
+        """Live servers able to solve ``problem``, minus exclusions."""
+        banned = set(exclude)
+        return [
+            e
+            for e in self.entries()
+            if e.alive and problem in e.problems and e.server_id not in banned
+        ]
+
+    def known_problems(self) -> set[str]:
+        out: set[str] = set()
+        for e in self._entries.values():
+            out |= e.problems
+        return out

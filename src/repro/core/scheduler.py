@@ -1,0 +1,117 @@
+"""Server-selection policies.
+
+The paper's agent ranks candidates by predicted completion time —
+minimum completion time (MCT).  The baselines implemented alongside are
+the ones the scheduling experiment (T3) compares against:
+
+* ``random`` — uniform choice, the no-information baseline,
+* ``roundrobin`` — fair rotation, ignores heterogeneity,
+* ``fastestpeak`` — always the highest peak-Mflop/s server, ignores
+  workload and network (the "static ranking" straw man),
+* ``mct`` — sort by the predictor's total.
+
+Every policy returns the *full ordered candidate list*; the client works
+down the list on failure, so policy choice also shapes retry behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..errors import ConfigError
+from .predictor import Prediction
+from .registry import ServerEntry
+
+__all__ = [
+    "SchedulingPolicy",
+    "MinimumCompletionTime",
+    "RandomPolicy",
+    "RoundRobinPolicy",
+    "FastestPeakPolicy",
+    "make_policy",
+]
+
+PredictEntry = Callable[[ServerEntry], Prediction]
+
+
+class SchedulingPolicy:
+    """Base class: rank candidates best-first."""
+
+    name = "base"
+
+    def rank(
+        self, entries: Sequence[ServerEntry], predict: PredictEntry
+    ) -> list[ServerEntry]:
+        raise NotImplementedError
+
+
+class MinimumCompletionTime(SchedulingPolicy):
+    """Ascending predicted completion time; server id breaks ties so
+    equal predictions rank deterministically."""
+
+    name = "mct"
+
+    def rank(self, entries, predict):
+        return sorted(
+            entries, key=lambda e: (predict(e).total, e.server_id)
+        )
+
+
+class RandomPolicy(SchedulingPolicy):
+    """Uniformly random order."""
+
+    name = "random"
+
+    def __init__(self, rng: np.random.Generator):
+        self.rng = rng
+
+    def rank(self, entries, predict):
+        order = list(entries)
+        self.rng.shuffle(order)
+        return order
+
+
+class RoundRobinPolicy(SchedulingPolicy):
+    """Rotate through the candidate set across successive queries."""
+
+    name = "roundrobin"
+
+    def __init__(self) -> None:
+        self._counter = 0
+
+    def rank(self, entries, predict):
+        order = sorted(entries, key=lambda e: e.server_id)
+        if not order:
+            return []
+        shift = self._counter % len(order)
+        self._counter += 1
+        return order[shift:] + order[:shift]
+
+
+class FastestPeakPolicy(SchedulingPolicy):
+    """Descending peak Mflop/s, blind to workload and network."""
+
+    name = "fastestpeak"
+
+    def rank(self, entries, predict):
+        return sorted(entries, key=lambda e: (-e.mflops, e.server_id))
+
+
+def make_policy(
+    name: str, rng: np.random.Generator | None = None
+) -> SchedulingPolicy:
+    """Policy factory used by :class:`~repro.core.agent.Agent`."""
+    key = name.lower()
+    if key == "mct":
+        return MinimumCompletionTime()
+    if key == "random":
+        if rng is None:
+            raise ConfigError("random policy needs an rng")
+        return RandomPolicy(rng)
+    if key == "roundrobin":
+        return RoundRobinPolicy()
+    if key == "fastestpeak":
+        return FastestPeakPolicy()
+    raise ConfigError(f"unknown scheduling policy {name!r}")

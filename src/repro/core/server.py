@@ -1,0 +1,317 @@
+"""The computational server.
+
+Registers its problem catalogue with the agent (as PDL text on the
+wire), reports workload under the hysteretic policy, and serves
+``SolveRequest``\\ s: validate, execute through the problem registry as a
+CPU job of the spec's advertised flop count, reply with outputs or a
+structured error.  ``max_concurrent`` bounds simultaneous executions;
+excess requests queue FIFO, mirroring the original's fork-per-request
+server with a small process cap.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from ..config import ServerConfig
+from ..errors import NetSolveError
+from ..problems.pdl import render_pdl
+from ..problems.registry import ProblemRegistry
+from ..problems.spec import validate_inputs
+from ..protocol.codec import encode_value
+from ..protocol.messages import (
+    DeleteObject,
+    Message,
+    ObjectRef,
+    Ping,
+    Pong,
+    RegisterAck,
+    RegisterServer,
+    SolveReply,
+    SolveRequest,
+    StoreAck,
+    StoreObject,
+    WorkloadReport,
+)
+from ..protocol.transport import Component
+from ..trace.events import EventLog
+from .workload import WorkloadReporter
+
+__all__ = ["ComputationalServer"]
+
+
+class ComputationalServer(Component):
+    """One NetSolve computational resource."""
+
+    def __init__(
+        self,
+        *,
+        server_id: str,
+        agent_address: str,
+        registry: ProblemRegistry,
+        mflops: float,
+        host: str,
+        cfg: ServerConfig = ServerConfig(),
+        trace: Optional[EventLog] = None,
+    ):
+        if mflops <= 0:
+            raise NetSolveError(f"server {server_id!r}: bad mflops {mflops}")
+        if len(registry) == 0:
+            raise NetSolveError(f"server {server_id!r}: empty problem registry")
+        self.server_id = server_id
+        self.agent_address = agent_address
+        self.registry = registry
+        self.mflops = float(mflops)
+        self.host = host
+        self.cfg = cfg
+        self.trace = trace
+        self.reporter: Optional[WorkloadReporter] = None
+        self.registered = False
+        self._executing = 0
+        self._queue: deque[tuple[str, SolveRequest]] = deque()
+        self.requests_served = 0
+        self.requests_failed = 0
+        #: request-sequencing object cache: key -> (value, nbytes)
+        self._objects: dict[str, tuple[object, int]] = {}
+        self._objects_bytes = 0
+
+    # ------------------------------------------------------------------
+    def on_bind(self) -> None:
+        self._register()
+        self.reporter = WorkloadReporter(
+            self.cfg.workload,
+            sample=self.node.sample_workload,
+            broadcast=self._broadcast_workload,
+        )
+        self._arm_workload_tick()
+        if self.cfg.reregister_interval > 0:
+            self._arm_reregister()
+
+    def on_restart(self) -> None:
+        """Restart path: a revived daemon forgets in-flight work, then
+        re-registers and re-arms its reporting exactly like a cold start."""
+        self._queue.clear()
+        self._executing = 0
+        self.registered = False
+        self.on_bind()
+
+    def _register(self) -> None:
+        self.node.send(
+            self.agent_address,
+            RegisterServer(
+                server_id=self.server_id,
+                host=self.host,
+                mflops=self.mflops,
+                problems_pdl=render_pdl(self.registry.specs()),
+            ),
+        )
+
+    def _arm_reregister(self) -> None:
+        def again() -> None:
+            self._register()
+            self._arm_reregister()
+
+        self.node.call_after(self.cfg.reregister_interval, again)
+
+    def _arm_workload_tick(self) -> None:
+        def tick() -> None:
+            assert self.reporter is not None
+            self.reporter.tick(self.node.now())
+            self._arm_workload_tick()
+
+        self.node.call_after(self.cfg.workload.time_step, tick)
+
+    def _broadcast_workload(self, value: float) -> None:
+        self.node.send(
+            self.agent_address,
+            WorkloadReport(server_id=self.server_id, workload=value),
+        )
+
+    def _trace(self, kind: str, **fields) -> None:
+        if self.trace is not None:
+            self.trace.log(self.node.now(), self.node.address, kind, **fields)
+
+    # ------------------------------------------------------------------
+    def on_message(self, src: str, msg: Message) -> None:
+        if isinstance(msg, SolveRequest):
+            self._enqueue(src, msg)
+        elif isinstance(msg, StoreObject):
+            self._store_object(src, msg)
+        elif isinstance(msg, DeleteObject):
+            self._delete_object(src, msg)
+        elif isinstance(msg, RegisterAck):
+            self.registered = msg.ok
+            if not msg.ok:
+                self._trace("register_rejected", detail=msg.detail)
+        elif isinstance(msg, Ping):
+            self.node.send(src, Pong(nonce=msg.nonce))
+        # anything else: drop
+
+    # ------------------------------------------------------------------
+    # request-sequencing object cache
+    # ------------------------------------------------------------------
+    @property
+    def cached_objects(self) -> int:
+        return len(self._objects)
+
+    @property
+    def cached_bytes(self) -> int:
+        return self._objects_bytes
+
+    def _store_object(self, src: str, msg: StoreObject) -> None:
+        buf = bytearray()
+        try:
+            encode_value(msg.value, buf)
+        except NetSolveError as exc:  # pragma: no cover - codec rejected it
+            self.node.send(src, StoreAck(key=msg.key, ok=False, detail=str(exc)))
+            return
+        nbytes = len(buf)
+        old = self._objects.get(msg.key)
+        projected = self._objects_bytes - (old[1] if old else 0) + nbytes
+        if projected > self.cfg.object_cache_bytes:
+            self._trace("store_rejected", key=msg.key, nbytes=nbytes)
+            self.node.send(
+                src,
+                StoreAck(
+                    key=msg.key,
+                    ok=False,
+                    detail=f"object cache full ({projected} > "
+                    f"{self.cfg.object_cache_bytes} bytes)",
+                ),
+            )
+            return
+        self._objects[msg.key] = (msg.value, nbytes)
+        self._objects_bytes = projected
+        self._trace("object_stored", key=msg.key, nbytes=nbytes)
+        self.node.send(src, StoreAck(key=msg.key, ok=True, nbytes=nbytes))
+
+    def _delete_object(self, src: str, msg: DeleteObject) -> None:
+        # idempotent: deleting an absent key still acks ok (nbytes=0)
+        entry = self._objects.pop(msg.key, None)
+        freed = entry[1] if entry is not None else 0
+        self._objects_bytes -= freed
+        self.node.send(
+            src,
+            StoreAck(
+                key=msg.key,
+                ok=True,
+                nbytes=freed,
+                detail="" if entry is not None else "absent",
+            ),
+        )
+
+    def _resolve_refs(self, inputs: tuple) -> list:
+        resolved = []
+        for value in inputs:
+            if isinstance(value, ObjectRef):
+                entry = self._objects.get(value.key)
+                if entry is None:
+                    raise NetSolveError(
+                        f"unknown stored object {value.key!r}"
+                    )
+                resolved.append(entry[0])
+            else:
+                resolved.append(value)
+        return resolved
+
+    # ------------------------------------------------------------------
+    def _enqueue(self, src: str, msg: SolveRequest) -> None:
+        if self._executing >= self.cfg.max_concurrent:
+            self._queue.append((src, msg))
+            self._trace(
+                "request_queued", request_id=msg.request_id, depth=len(self._queue)
+            )
+            return
+        self._start(src, msg)
+
+    def _start(self, src: str, msg: SolveRequest) -> None:
+        reply_to = msg.reply_to or src
+        if msg.problem not in self.registry:
+            self.requests_failed += 1
+            self.node.send(
+                reply_to,
+                SolveReply(
+                    request_id=msg.request_id,
+                    ok=False,
+                    detail=f"problem {msg.problem!r} not installed here",
+                ),
+            )
+            self._drain()
+            return
+        spec = self.registry.spec(msg.problem)
+        try:
+            inputs = self._resolve_refs(msg.inputs)
+            _coerced, env = validate_inputs(spec, inputs)
+            flops = spec.flops(env)
+        except NetSolveError as exc:
+            self.requests_failed += 1
+            self.node.send(
+                reply_to,
+                SolveReply(request_id=msg.request_id, ok=False, detail=str(exc)),
+            )
+            self._drain()
+            return
+
+        self._executing += 1
+        self._trace(
+            "request_started",
+            request_id=msg.request_id,
+            problem=msg.problem,
+            flops=flops,
+        )
+
+        def run() -> tuple:
+            return self.registry.execute(msg.problem, inputs)
+
+        def done(result, elapsed: float) -> None:
+            self._executing -= 1
+            if isinstance(result, BaseException):
+                self.requests_failed += 1
+                self._trace(
+                    "request_error",
+                    request_id=msg.request_id,
+                    detail=str(result),
+                )
+                self.node.send(
+                    reply_to,
+                    SolveReply(
+                        request_id=msg.request_id,
+                        ok=False,
+                        detail=f"{type(result).__name__}: {result}",
+                        compute_seconds=elapsed,
+                    ),
+                )
+            else:
+                self.requests_served += 1
+                self._trace(
+                    "request_done",
+                    request_id=msg.request_id,
+                    compute_seconds=elapsed,
+                )
+                self.node.send(
+                    reply_to,
+                    SolveReply(
+                        request_id=msg.request_id,
+                        ok=True,
+                        outputs=tuple(result),
+                        compute_seconds=elapsed,
+                    ),
+                )
+            self._drain()
+
+        self.node.compute(flops, run, done)
+
+    def _drain(self) -> None:
+        while self._queue and self._executing < self.cfg.max_concurrent:
+            src, msg = self._queue.popleft()
+            self._start(src, msg)
+
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    @property
+    def executing(self) -> int:
+        return self._executing

@@ -1,0 +1,102 @@
+"""The hysteretic workload-broadcast policy (server side).
+
+Every ``time_step`` seconds the reporter samples the host's workload
+(100 x load average) and broadcasts it to the agent **only if** it moved
+by more than ``threshold`` since the last broadcast, or if
+``forced_interval`` has elapsed (the liveness floor — the agent treats
+prolonged silence as death).  This is the traffic/accuracy trade the F2
+and T2 experiments sweep: threshold 0 broadcasts every sample, a large
+threshold approaches pure keep-alive traffic.
+
+The decision logic is a pure function (:meth:`WorkloadReporter.decide`)
+so the policy can be unit-tested and swept without a transport.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..config import WorkloadPolicy
+
+__all__ = ["WorkloadReporter"]
+
+
+@dataclass
+class _ReporterState:
+    last_sent_value: Optional[float] = None
+    last_sent_time: Optional[float] = None
+    samples: int = 0
+    broadcasts: int = 0
+
+
+class WorkloadReporter:
+    """Drives periodic sampling and hysteretic broadcasting.
+
+    Parameters
+    ----------
+    policy:
+        The Δt / threshold / forced-interval configuration.
+    sample:
+        Callable returning the current workload (100 x load average).
+    broadcast:
+        Callable invoked with the workload value when a report is due.
+    """
+
+    def __init__(
+        self,
+        policy: WorkloadPolicy,
+        *,
+        sample: Callable[[], float],
+        broadcast: Callable[[float], None],
+    ):
+        self.policy = policy
+        self._sample = sample
+        self._broadcast = broadcast
+        self.state = _ReporterState()
+        #: (time, value) of every broadcast, for experiment plots
+        self.sent_history: list[tuple[float, float]] = []
+
+    # ------------------------------------------------------------------
+    def decide(self, value: float, now: float) -> bool:
+        """Pure hysteresis decision: should ``value`` be broadcast now?"""
+        st = self.state
+        if st.last_sent_value is None or st.last_sent_time is None:
+            return True  # first sample always goes out
+        if abs(value - st.last_sent_value) > self.policy.threshold:
+            return True
+        return now - st.last_sent_time >= self.policy.forced_interval
+
+    def tick(self, now: float) -> bool:
+        """Sample once; broadcast if the policy says so.  Returns whether
+        a broadcast happened."""
+        value = float(self._sample())
+        self.state.samples += 1
+        if not self.decide(value, now):
+            return False
+        self.state.last_sent_value = value
+        self.state.last_sent_time = now
+        self.state.broadcasts += 1
+        self.sent_history.append((now, value))
+        self._broadcast(value)
+        return True
+
+    # ------------------------------------------------------------------
+    @property
+    def broadcasts(self) -> int:
+        return self.state.broadcasts
+
+    @property
+    def samples(self) -> int:
+        return self.state.samples
+
+    def agent_view_at(self, t: float) -> Optional[float]:
+        """What the agent believes at time ``t``: the last broadcast value
+        at or before ``t`` (ignoring network delay), or None."""
+        value = None
+        for when, v in self.sent_history:
+            if when <= t:
+                value = v
+            else:
+                break
+        return value

@@ -1,0 +1,102 @@
+"""Request farming: embarrassingly parallel fan-out over the server pool.
+
+The original system's MATLAB users "farmed" independent problem
+instances — parameter sweeps, Monte-Carlo batches — by firing
+non-blocking requests and collecting them later; the agent's MCT
+scheduling then spread the batch over every capable server.  This module
+packages that pattern: submit a batch, wait, slice results, aggregate
+statistics.  It is pure client-side sugar: one ``submit`` per instance,
+no new protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+from .core.client import NetSolveClient, RequestHandle
+from .core.request import RequestRecord, RequestStatus
+from .errors import RequestFailed
+from .trace.metrics import RequestStats, request_stats
+
+__all__ = ["FarmResult", "submit_farm"]
+
+
+@dataclass
+class FarmResult:
+    """Handles and records of one farmed batch."""
+
+    problem: str
+    handles: list[RequestHandle]
+
+    # ------------------------------------------------------------------
+    @property
+    def records(self) -> list[RequestRecord]:
+        return [h.record for h in self.handles]
+
+    @property
+    def done(self) -> bool:
+        return all(h.done for h in self.handles)
+
+    @property
+    def completed(self) -> list[RequestHandle]:
+        return [h for h in self.handles if h.status is RequestStatus.DONE]
+
+    @property
+    def failed(self) -> list[RequestHandle]:
+        return [h for h in self.handles if h.status is RequestStatus.FAILED]
+
+    def results(self) -> list[tuple]:
+        """Output tuples in submission order.
+
+        Raises :class:`RequestFailed` if any instance failed — use
+        :attr:`completed`/:attr:`failed` for partial collection.
+        """
+        out = []
+        for h in self.handles:
+            if h.status is not RequestStatus.DONE:
+                raise RequestFailed(
+                    h.request_id,
+                    f"farm instance {h.request_id} is "
+                    f"{h.status.value}: {h.record.error}",
+                )
+            out.append(h.result())
+        return out
+
+    def stats(self) -> RequestStats:
+        return request_stats(self.records)
+
+    def servers_used(self) -> dict[str, int]:
+        """How many instances each server completed (load-spread view)."""
+        counts: dict[str, int] = {}
+        for record in self.records:
+            sid = record.server_id
+            if sid is not None:
+                counts[sid] = counts.get(sid, 0) + 1
+        return dict(sorted(counts.items()))
+
+    @property
+    def makespan(self) -> float:
+        """Submission of the first to completion of the last (virtual s)."""
+        records = self.records
+        start = min(r.t_submit for r in records)
+        ends = [r.t_done for r in records if r.t_done is not None]
+        if len(ends) != len(records):
+            raise RequestFailed(0, "farm not finished")
+        return max(ends) - start
+
+
+def submit_farm(
+    client: NetSolveClient,
+    problem: str,
+    args_list: Iterable[Sequence[Any]],
+) -> FarmResult:
+    """Fire one request per argument tuple; returns immediately.
+
+    Drive completion with ``Testbed.wait_all(result.handles)`` in
+    simulation, or by waiting each handle's promise on a live transport.
+    """
+    handles = [client.submit(problem, args) for args in args_list]
+    if not handles:
+        raise RequestFailed(0, "empty farm")
+    return FarmResult(problem=problem, handles=handles)

@@ -1,0 +1,129 @@
+"""MATLAB-flavoured interface.
+
+The original paper's motivating interface: a MATLAB user typing
+``x = netsolve('dgesv', a, b)`` with no knowledge of agents or servers.
+This module reproduces that ergonomic layer in Python:
+
+* short names resolve against the agent's catalogue (``'dgesv'``
+  matches ``linsys/dgesv`` when the suffix is unambiguous),
+* single-output problems return the bare value, multi-output problems a
+  tuple (MATLAB's multiple-return feel),
+* ``netsolve_nb`` / ``probe`` / ``wait`` mirror the non-blocking verbs,
+* ``netsolve_err`` returns the last error message instead of raising,
+  for MATLAB-script-style flow.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from .capi import Session
+from .core.client import RequestHandle
+from .core.request import RequestStatus
+from .errors import NetSolveError, ProblemNotFoundError
+
+__all__ = ["MatlabNetSolve"]
+
+
+class MatlabNetSolve:
+    """A MATLAB-session-like front end over a :class:`Session`."""
+
+    def __init__(self, session: Session):
+        self.session = session
+        self._catalogue: Optional[tuple[str, ...]] = None
+        self.last_error: str = ""
+
+    # ------------------------------------------------------------------
+    # name resolution
+    # ------------------------------------------------------------------
+    def _load_catalogue(self) -> tuple[str, ...]:
+        if self._catalogue is None:
+            promise = self.session.list_problems("")
+            self.session.drive(promise)
+            self._catalogue = tuple(promise.result())
+        return self._catalogue
+
+    def problems(self, prefix: str = "") -> list[str]:
+        """Browse the catalogue (the problem-browser verb)."""
+        return [n for n in self._load_catalogue() if n.startswith(prefix)]
+
+    def resolve(self, name: str) -> str:
+        """Resolve a short name to a full problem name.
+
+        Exact matches win; otherwise a unique ``.../name`` suffix match
+        is accepted; ambiguity or absence raises.
+        """
+        catalogue = self._load_catalogue()
+        if name in catalogue:
+            return name
+        matches = [n for n in catalogue if n.endswith("/" + name)]
+        if len(matches) == 1:
+            return matches[0]
+        if not matches:
+            raise ProblemNotFoundError(name)
+        raise NetSolveError(
+            f"ambiguous problem name {name!r}: matches {sorted(matches)}"
+        )
+
+    # ------------------------------------------------------------------
+    # the MATLAB verbs
+    # ------------------------------------------------------------------
+    def netsolve(self, problem: str, *args: Any) -> Any:
+        """Blocking call; single outputs unwrap, multiple return a tuple."""
+        handle = self.netsolve_nb(problem, *args)
+        return self.wait(handle)
+
+    def netsolve_nb(self, problem: str, *args: Any) -> RequestHandle:
+        """Non-blocking submit; returns a handle for probe/wait."""
+        full = self.resolve(problem)
+        return self.session.submit(full, list(args))
+
+    def probe(self, handle: RequestHandle) -> bool:
+        """True once the request has settled (success or failure)."""
+        return handle.done
+
+    def wait(self, handle: RequestHandle) -> Any:
+        """Block until done; unwrap single outputs."""
+        self.session.drive(handle.promise)
+        if handle.status is not RequestStatus.DONE:
+            error = handle.promise.error
+            self.last_error = str(error)
+            raise error if error is not None else NetSolveError("failed")
+        outputs = handle.result()
+        return outputs[0] if len(outputs) == 1 else outputs
+
+    def help(self, problem: str) -> str:
+        """MATLAB-style ``help`` text for a problem: signature,
+        description and cost formula, fetched from the agent."""
+        full = self.resolve(problem)
+        promise = self.session.client.describe(full)
+        self.session.drive(promise)
+        spec = promise.result()
+        lines = [
+            spec.signature(),
+            "",
+            spec.description or "(no description)",
+            f"cost: {spec.complexity.text} flops",
+        ]
+        if spec.provenance:
+            lines.append(f"library: {spec.provenance}")
+        for obj in spec.inputs:
+            dims = ",".join(str(d) for d in obj.dims)
+            kind = f"{obj.kind.value}[{dims}]" if dims else obj.kind.value
+            note = f"  {obj.description}" if obj.description else ""
+            lines.append(f"  in  {obj.name:<8} {kind:<16} {obj.dtype}{note}")
+        for obj in spec.outputs:
+            dims = ",".join(str(d) for d in obj.dims)
+            kind = f"{obj.kind.value}[{dims}]" if dims else obj.kind.value
+            note = f"  {obj.description}" if obj.description else ""
+            lines.append(f"  out {obj.name:<8} {kind:<16} {obj.dtype}{note}")
+        return "\n".join(lines)
+
+    def netsolve_err(self, problem: str, *args: Any) -> tuple[Any, str]:
+        """MATLAB-style ``[x, err] = netsolve(...)``: returns
+        ``(value, "")`` or ``(None, message)`` and never raises."""
+        try:
+            return self.netsolve(problem, *args), ""
+        except NetSolveError as exc:
+            self.last_error = str(exc)
+            return None, str(exc)

@@ -1,0 +1,158 @@
+"""BLAS-flavoured kernels.
+
+Level 1/2/3 building blocks with BLAS calling conventions (names, alpha/
+beta scaling) implemented over NumPy.  ``gemm`` is blocked so large
+products stay cache-friendly even when callers pass Fortran-ordered or
+strided views; the block size follows the L2-sized panels classical DGEMM
+implementations use.
+
+Flop counts (advertised in the problem descriptions):
+
+====== ==========================
+axpy   ``2*n``
+dot    ``2*n``
+nrm2   ``2*n``
+gemv   ``2*m*n``
+gemm   ``2*m*n*k``
+====== ==========================
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import NumericsError
+
+__all__ = ["axpy", "dot", "nrm2", "asum", "iamax", "scal", "gemv", "gemm"]
+
+_GEMM_BLOCK = 256
+
+
+def _as_vector(x, name: str) -> np.ndarray:
+    arr = np.asarray(x, dtype=np.float64)
+    if arr.ndim != 1:
+        raise NumericsError(f"{name} must be a vector, got shape {arr.shape}")
+    return arr
+
+
+def _as_matrix(a, name: str) -> np.ndarray:
+    arr = np.asarray(a, dtype=np.float64)
+    if arr.ndim != 2:
+        raise NumericsError(f"{name} must be a matrix, got shape {arr.shape}")
+    return arr
+
+
+def axpy(alpha: float, x, y) -> np.ndarray:
+    """Return ``alpha*x + y`` (DAXPY)."""
+    xv = _as_vector(x, "x")
+    yv = _as_vector(y, "y")
+    if xv.shape != yv.shape:
+        raise NumericsError(f"axpy shape mismatch: {xv.shape} vs {yv.shape}")
+    return alpha * xv + yv
+
+
+def dot(x, y) -> float:
+    """Inner product (DDOT)."""
+    xv = _as_vector(x, "x")
+    yv = _as_vector(y, "y")
+    if xv.shape != yv.shape:
+        raise NumericsError(f"dot shape mismatch: {xv.shape} vs {yv.shape}")
+    return float(xv @ yv)
+
+
+def nrm2(x) -> float:
+    """Euclidean norm (DNRM2), with the classic overflow-safe scaling."""
+    xv = _as_vector(x, "x")
+    if xv.size == 0:
+        return 0.0
+    amax = float(np.max(np.abs(xv)))
+    if amax == 0.0:
+        return 0.0
+    scaled = xv / amax
+    return amax * float(np.sqrt(scaled @ scaled))
+
+
+def asum(x) -> float:
+    """Sum of absolute values (DASUM)."""
+    return float(np.sum(np.abs(_as_vector(x, "x"))))
+
+
+def iamax(x) -> int:
+    """Index of the first element of maximum absolute value (IDAMAX)."""
+    xv = _as_vector(x, "x")
+    if xv.size == 0:
+        raise NumericsError("iamax of empty vector")
+    return int(np.argmax(np.abs(xv)))
+
+
+def scal(alpha: float, x) -> np.ndarray:
+    """Return ``alpha*x`` (DSCAL)."""
+    return alpha * _as_vector(x, "x")
+
+
+def gemv(a, x, *, alpha: float = 1.0, beta: float = 0.0, y=None) -> np.ndarray:
+    """General matrix-vector product ``alpha*A@x + beta*y`` (DGEMV)."""
+    av = _as_matrix(a, "a")
+    xv = _as_vector(x, "x")
+    if av.shape[1] != xv.shape[0]:
+        raise NumericsError(
+            f"gemv shape mismatch: A is {av.shape}, x has length {xv.shape[0]}"
+        )
+    out = alpha * (av @ xv)
+    if beta != 0.0:
+        if y is None:
+            raise NumericsError("gemv: beta != 0 requires y")
+        yv = _as_vector(y, "y")
+        if yv.shape[0] != av.shape[0]:
+            raise NumericsError(
+                f"gemv: y has length {yv.shape[0]}, expected {av.shape[0]}"
+            )
+        out += beta * yv
+    return out
+
+
+def gemm(
+    a,
+    b,
+    *,
+    alpha: float = 1.0,
+    beta: float = 0.0,
+    c=None,
+    block: int = _GEMM_BLOCK,
+) -> np.ndarray:
+    """Blocked general matrix-matrix product ``alpha*A@B + beta*C`` (DGEMM).
+
+    The triple loop runs over ``block x block`` panels; each panel product
+    is a contiguous ``@`` so NumPy's inner kernel does the flops.  For
+    matrices at or under one block this degenerates to a single ``@``.
+    """
+    if block <= 0:
+        raise NumericsError("gemm block must be positive")
+    av = _as_matrix(a, "a")
+    bv = _as_matrix(b, "b")
+    m, k = av.shape
+    k2, n = bv.shape
+    if k != k2:
+        raise NumericsError(f"gemm shape mismatch: {av.shape} @ {bv.shape}")
+    out = np.zeros((m, n), dtype=np.float64)
+    for i0 in range(0, m, block):
+        i1 = min(i0 + block, m)
+        a_panel = np.ascontiguousarray(av[i0:i1])
+        for j0 in range(0, n, block):
+            j1 = min(j0 + block, n)
+            acc = out[i0:i1, j0:j1]
+            for p0 in range(0, k, block):
+                p1 = min(p0 + block, k)
+                acc += a_panel[:, p0:p1] @ bv[p0:p1, j0:j1]
+    if alpha != 1.0:
+        out *= alpha
+    if beta != 0.0:
+        if c is None:
+            raise NumericsError("gemm: beta != 0 requires c")
+        cv = _as_matrix(c, "c")
+        if cv.shape != (m, n):
+            raise NumericsError(
+                f"gemm: C has shape {cv.shape}, expected {(m, n)}"
+            )
+        out += beta * cv
+    return out

@@ -1,0 +1,204 @@
+"""Eigensolvers: power iteration, symmetric Jacobi, shifted-QR values.
+
+Three routines matching the eigensolver problems the servers advertise:
+
+* :func:`power_iteration` — dominant eigenpair, the cheap workhorse.
+* :func:`eig_symmetric` — full symmetric spectrum by cyclic Jacobi
+  rotations (unconditionally convergent, vectorized row/column updates).
+* :func:`eigvals_general` — general real spectra via Hessenberg
+  reduction and the shifted QR iteration (values only).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConvergenceError, NumericsError
+
+__all__ = ["power_iteration", "eig_symmetric", "eigvals_general"]
+
+
+def _square(a, symmetric: bool = False) -> np.ndarray:
+    arr = np.array(a, dtype=np.float64, copy=True)
+    if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+        raise NumericsError(f"expected square matrix, got shape {arr.shape}")
+    if arr.shape[0] == 0:
+        raise NumericsError("empty matrix")
+    if not np.all(np.isfinite(arr)):
+        raise NumericsError("matrix contains non-finite entries")
+    if symmetric and not np.allclose(arr, arr.T, atol=1e-10):
+        raise NumericsError("matrix is not symmetric")
+    return arr
+
+
+def power_iteration(
+    a,
+    *,
+    tol: float = 1e-10,
+    max_iter: int = 5000,
+    x0=None,
+) -> tuple[float, np.ndarray]:
+    """Dominant eigenvalue and unit eigenvector of ``A``.
+
+    Converges linearly at rate |lambda_2/lambda_1|; raises
+    :class:`ConvergenceError` past ``max_iter``.
+    Flops: about ``2*n^2`` per iteration.
+    """
+    arr = _square(a)
+    n = arr.shape[0]
+    if x0 is None:
+        x = np.ones(n) / np.sqrt(n)
+    else:
+        x = np.asarray(x0, dtype=np.float64).copy()
+        norm = np.linalg.norm(x)
+        if x.shape != (n,) or norm == 0:
+            raise NumericsError("bad starting vector")
+        x /= norm
+    lam = 0.0
+    for it in range(max_iter):
+        y = arr @ x
+        norm = np.linalg.norm(y)
+        if norm == 0.0:
+            return 0.0, x  # x is in the null space: eigenvalue 0
+        y /= norm
+        new_lam = float(y @ (arr @ y))
+        if abs(new_lam - lam) <= tol * max(1.0, abs(new_lam)):
+            return new_lam, y
+        lam, x = new_lam, y
+    raise ConvergenceError("power_iteration", max_iter, abs(new_lam - lam))
+
+
+def eig_symmetric(
+    a, *, tol: float = 1e-12, max_sweeps: int = 60
+) -> tuple[np.ndarray, np.ndarray]:
+    """All eigenvalues/eigenvectors of a symmetric matrix (cyclic Jacobi).
+
+    Returns ``(w, V)`` with eigenvalues ascending and ``A @ V = V @ diag(w)``.
+    Flops: about ``6*n^3`` per sweep; typically < 10 sweeps.
+    """
+    arr = _square(a, symmetric=True)
+    n = arr.shape[0]
+    v = np.eye(n)
+    if n == 1:
+        return arr[0, :1].copy(), v
+    scale = float(np.linalg.norm(arr, "fro")) or 1.0
+    for _sweep in range(max_sweeps):
+        off = np.sqrt(np.sum(np.tril(arr, -1) ** 2) * 2.0)
+        if off <= tol * scale:
+            w = np.diagonal(arr).copy()
+            order = np.argsort(w)
+            return w[order], v[:, order]
+        for p in range(n - 1):
+            for q in range(p + 1, n):
+                apq = arr[p, q]
+                if abs(apq) <= 1e-300:
+                    continue
+                # symmetric Schur rotation
+                theta = (arr[q, q] - arr[p, p]) / (2.0 * apq)
+                t = np.sign(theta) / (abs(theta) + np.sqrt(theta * theta + 1.0))
+                if theta == 0.0:
+                    t = 1.0
+                c = 1.0 / np.sqrt(t * t + 1.0)
+                s = t * c
+                # vectorized two-sided rotation on rows/cols p,q
+                rp = arr[p, :].copy()
+                rq = arr[q, :].copy()
+                arr[p, :] = c * rp - s * rq
+                arr[q, :] = s * rp + c * rq
+                cp = arr[:, p].copy()
+                cq = arr[:, q].copy()
+                arr[:, p] = c * cp - s * cq
+                arr[:, q] = s * cp + c * cq
+                vp = v[:, p].copy()
+                vq = v[:, q].copy()
+                v[:, p] = c * vp - s * vq
+                v[:, q] = s * vp + c * vq
+    raise ConvergenceError("eig_symmetric", max_sweeps)
+
+
+def _hessenberg(arr: np.ndarray) -> np.ndarray:
+    """Reduce to upper Hessenberg form by Householder similarity."""
+    n = arr.shape[0]
+    for k in range(n - 2):
+        x = arr[k + 1 :, k].copy()
+        sigma = float(x[1:] @ x[1:])
+        if sigma == 0.0:
+            continue
+        alpha = x[0]
+        mu = np.sqrt(alpha * alpha + sigma)
+        v0 = alpha - mu if alpha <= 0 else -sigma / (alpha + mu)
+        v = x / v0
+        v[0] = 1.0
+        beta = 2.0 * v0 * v0 / (sigma + v0 * v0)
+        # A <- (I - beta v v^T) A (I - beta v v^T), restricted blocks
+        w = beta * (v @ arr[k + 1 :, k:])
+        arr[k + 1 :, k:] -= np.outer(v, w)
+        w = beta * (arr[:, k + 1 :] @ v)
+        arr[:, k + 1 :] -= np.outer(w, v)
+    return arr
+
+
+def eigvals_general(
+    a, *, tol: float = 1e-12, max_iter: int = 10000
+) -> np.ndarray:
+    """All eigenvalues of a general real matrix (may be complex).
+
+    Hessenberg reduction followed by the Wilkinson-shifted QR iteration
+    with deflation; 2x2 trailing blocks are resolved by their
+    characteristic quadratic so complex pairs are exact.
+    Flops: about ``10*n^3`` overall.
+    """
+    arr = _square(a)
+    n = arr.shape[0]
+    h = _hessenberg(arr)
+    eigs: list[complex] = []
+    hi = n
+    iterations = 0
+    while hi > 0:
+        if hi == 1:
+            eigs.append(complex(h[0, 0]))
+            break
+        # find the active block [lo, hi)
+        lo = hi - 1
+        while lo > 0 and abs(h[lo, lo - 1]) > tol * (
+            abs(h[lo, lo]) + abs(h[lo - 1, lo - 1])
+        ):
+            lo -= 1
+        if lo == hi - 1:
+            eigs.append(complex(h[hi - 1, hi - 1]))
+            hi -= 1
+            continue
+        if lo == hi - 2:
+            # 2x2 block: solve the characteristic quadratic exactly
+            a11, a12 = h[hi - 2, hi - 2], h[hi - 2, hi - 1]
+            a21, a22 = h[hi - 1, hi - 2], h[hi - 1, hi - 1]
+            tr = a11 + a22
+            det = a11 * a22 - a12 * a21
+            disc = tr * tr / 4.0 - det
+            if disc >= 0:
+                root = np.sqrt(disc)
+                eigs.extend([complex(tr / 2.0 + root), complex(tr / 2.0 - root)])
+            else:
+                root = np.sqrt(-disc)
+                eigs.extend([complex(tr / 2.0, root), complex(tr / 2.0, -root)])
+            hi -= 2
+            continue
+        # Wilkinson shift from the trailing 2x2 of the active block
+        a11, a12 = h[hi - 2, hi - 2], h[hi - 2, hi - 1]
+        a21, a22 = h[hi - 1, hi - 2], h[hi - 1, hi - 1]
+        tr = a11 + a22
+        det = a11 * a22 - a12 * a21
+        disc = tr * tr / 4.0 - det
+        if disc >= 0:
+            r = np.sqrt(disc)
+            mu = tr / 2.0 + (r if abs(tr / 2.0 + r - a22) < abs(tr / 2.0 - r - a22) else -r)
+        else:
+            mu = a22  # complex pair pending; a real shift still converges
+        block = h[lo:hi, lo:hi]
+        q, r = np.linalg.qr(block - mu * np.eye(hi - lo))
+        h[lo:hi, lo:hi] = r @ q + mu * np.eye(hi - lo)
+        iterations += 1
+        if iterations > max_iter:
+            raise ConvergenceError("eigvals_general", max_iter)
+    out = np.array(eigs, dtype=np.complex128)
+    return out[np.lexsort((out.imag, out.real))]

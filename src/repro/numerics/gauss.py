@@ -1,0 +1,80 @@
+"""Gauss-Legendre quadrature.
+
+Nodes and weights computed from scratch by Newton iteration on the
+Legendre polynomial (evaluated by its three-term recurrence), starting
+from the Chebyshev-angle approximation — the classical Golub-Welsch
+alternative that needs no eigen machinery.  An n-point rule integrates
+polynomials of degree 2n-1 exactly.
+
+Flops: ``30*points`` per integrand evaluation sweep (advertised cost of
+the ``quad/gauss`` problem).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..errors import ConvergenceError, NumericsError
+
+__all__ = ["legendre_nodes", "gauss_legendre"]
+
+_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+
+def _legendre_and_derivative(n: int, x: np.ndarray):
+    """P_n(x) and P_n'(x) via the three-term recurrence (vectorized)."""
+    p_prev = np.ones_like(x)
+    p = x.copy()
+    for k in range(2, n + 1):
+        p_prev, p = p, ((2 * k - 1) * x * p - (k - 1) * p_prev) / k
+    # derivative identity: (1 - x^2) P_n' = n (P_{n-1} - x P_n)
+    dp = n * (p_prev - x * p) / (1.0 - x * x)
+    return p, dp
+
+
+def legendre_nodes(n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Nodes and weights of the n-point Gauss-Legendre rule on [-1, 1]."""
+    if n < 1:
+        raise NumericsError("need at least one quadrature point")
+    if n == 1:
+        return np.zeros(1), np.full(1, 2.0)
+    cached = _cache.get(n)
+    if cached is not None:
+        return cached[0].copy(), cached[1].copy()
+    # Chebyshev-angle starting guesses, then Newton on P_n
+    k = np.arange(1, n + 1)
+    x = np.cos(np.pi * (k - 0.25) / (n + 0.5))
+    for _ in range(100):
+        p, dp = _legendre_and_derivative(n, x)
+        dx = p / dp
+        x -= dx
+        if float(np.max(np.abs(dx))) < 1e-15:
+            break
+    else:  # pragma: no cover - Newton on Legendre converges in ~5 steps
+        raise ConvergenceError("legendre_nodes", 100)
+    _, dp = _legendre_and_derivative(n, x)
+    w = 2.0 / ((1.0 - x * x) * dp * dp)
+    order = np.argsort(x)
+    x, w = x[order], w[order]
+    _cache[n] = (x.copy(), w.copy())
+    return x, w
+
+
+def gauss_legendre(
+    f: Callable[[float], float], a: float, b: float, points: int
+) -> float:
+    """Integrate ``f`` over [a, b] with an n-point Gauss-Legendre rule."""
+    if not (np.isfinite(a) and np.isfinite(b)) or b <= a:
+        raise NumericsError(f"bad interval [{a}, {b}]")
+    x, w = legendre_nodes(points)
+    mid = (a + b) / 2.0
+    half = (b - a) / 2.0
+    try:
+        values = np.asarray([float(f(float(mid + half * xi))) for xi in x])
+    except (ZeroDivisionError, OverflowError, ValueError) as exc:
+        raise NumericsError(f"integrand failed: {exc}") from None
+    if not np.all(np.isfinite(values)):
+        raise NumericsError("integrand returned non-finite values")
+    return float(half * (w @ values))

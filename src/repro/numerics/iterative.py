@@ -1,0 +1,162 @@
+"""Iterative solvers for linear systems (the ItPack slice).
+
+* :func:`jacobi` — stationary iteration, converges for strictly
+  diagonally dominant systems; ``2*n^2`` flops per sweep.
+* :func:`conjugate_gradient` — symmetric positive definite systems;
+  one matvec (+ O(n)) per iteration.
+* :func:`gmres` — restarted GMRES(m) for general systems via Arnoldi
+  with modified Gram-Schmidt and Givens-rotation least squares.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConvergenceError, NumericsError
+
+__all__ = ["jacobi", "conjugate_gradient", "gmres"]
+
+
+def _system(a, b) -> tuple[np.ndarray, np.ndarray]:
+    av = np.asarray(a, dtype=np.float64)
+    bv = np.asarray(b, dtype=np.float64)
+    if av.ndim != 2 or av.shape[0] != av.shape[1]:
+        raise NumericsError(f"expected square matrix, got {av.shape}")
+    if bv.ndim != 1 or bv.shape[0] != av.shape[0]:
+        raise NumericsError(
+            f"rhs shape {bv.shape} incompatible with matrix {av.shape}"
+        )
+    return av, bv
+
+
+def jacobi(
+    a, b, *, tol: float = 1e-10, max_iter: int = 10000, x0=None
+) -> tuple[np.ndarray, int]:
+    """Jacobi iteration; returns ``(x, iterations)``.
+
+    Requires a non-zero diagonal; convergence is guaranteed for strictly
+    diagonally dominant ``A`` and checked by relative residual.
+    """
+    av, bv = _system(a, b)
+    d = np.diagonal(av).copy()
+    if np.any(d == 0.0):
+        raise NumericsError("jacobi requires a non-zero diagonal")
+    r = av - np.diag(d)
+    x = np.zeros_like(bv) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
+    bnorm = float(np.linalg.norm(bv)) or 1.0
+    for it in range(1, max_iter + 1):
+        x = (bv - r @ x) / d
+        res = float(np.linalg.norm(bv - av @ x))
+        if res <= tol * bnorm:
+            return x, it
+    raise ConvergenceError("jacobi", max_iter, res)
+
+
+def conjugate_gradient(
+    a, b, *, tol: float = 1e-10, max_iter: int | None = None, x0=None
+) -> tuple[np.ndarray, int]:
+    """Conjugate gradients for SPD ``A``; returns ``(x, iterations)``.
+
+    In exact arithmetic converges in at most ``n`` steps; the default
+    iteration budget is ``10*n`` to absorb rounding.
+    """
+    av, bv = _system(a, b)
+    n = av.shape[0]
+    budget = max_iter if max_iter is not None else 10 * n
+    x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
+    r = bv - av @ x
+    p = r.copy()
+    rs = float(r @ r)
+    bnorm = float(np.linalg.norm(bv)) or 1.0
+    if np.sqrt(rs) <= tol * bnorm:
+        return x, 0
+    for it in range(1, budget + 1):
+        ap = av @ p
+        denom = float(p @ ap)
+        if denom <= 0.0:
+            raise NumericsError(
+                "conjugate_gradient: matrix is not positive definite"
+            )
+        alpha = rs / denom
+        x += alpha * p
+        r -= alpha * ap
+        rs_new = float(r @ r)
+        if np.sqrt(rs_new) <= tol * bnorm:
+            return x, it
+        p = r + (rs_new / rs) * p
+        rs = rs_new
+    raise ConvergenceError("conjugate_gradient", budget, np.sqrt(rs))
+
+
+def gmres(
+    a,
+    b,
+    *,
+    restart: int = 30,
+    tol: float = 1e-10,
+    max_outer: int = 100,
+    x0=None,
+) -> tuple[np.ndarray, int]:
+    """Restarted GMRES(restart); returns ``(x, total_inner_iterations)``.
+
+    Arnoldi with modified Gram-Schmidt; the small least-squares problem
+    is solved incrementally with Givens rotations so the residual norm
+    is available every step without forming ``x``.
+    """
+    av, bv = _system(a, b)
+    n = av.shape[0]
+    if restart <= 0:
+        raise NumericsError("restart must be positive")
+    m = min(restart, n)
+    x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
+    bnorm = float(np.linalg.norm(bv)) or 1.0
+    total = 0
+    for _outer in range(max_outer):
+        r = bv - av @ x
+        beta = float(np.linalg.norm(r))
+        if beta <= tol * bnorm:
+            return x, total
+        v = np.zeros((m + 1, n))
+        h = np.zeros((m + 1, m))
+        cs = np.zeros(m)
+        sn = np.zeros(m)
+        g = np.zeros(m + 1)
+        g[0] = beta
+        v[0] = r / beta
+        k_used = 0
+        for k in range(m):
+            total += 1
+            w = av @ v[k]
+            # modified Gram-Schmidt
+            for i in range(k + 1):
+                h[i, k] = float(w @ v[i])
+                w -= h[i, k] * v[i]
+            h[k + 1, k] = float(np.linalg.norm(w))
+            if h[k + 1, k] > 1e-14:
+                v[k + 1] = w / h[k + 1, k]
+            # apply existing rotations to the new column
+            for i in range(k):
+                t = cs[i] * h[i, k] + sn[i] * h[i + 1, k]
+                h[i + 1, k] = -sn[i] * h[i, k] + cs[i] * h[i + 1, k]
+                h[i, k] = t
+            # new rotation to zero h[k+1, k]
+            denom = np.hypot(h[k, k], h[k + 1, k])
+            if denom == 0.0:
+                cs[k], sn[k] = 1.0, 0.0
+            else:
+                cs[k], sn[k] = h[k, k] / denom, h[k + 1, k] / denom
+            h[k, k] = cs[k] * h[k, k] + sn[k] * h[k + 1, k]
+            h[k + 1, k] = 0.0
+            g[k + 1] = -sn[k] * g[k]
+            g[k] = cs[k] * g[k]
+            k_used = k + 1
+            if abs(g[k + 1]) <= tol * bnorm:
+                break
+        # solve the k_used x k_used triangular system
+        y = np.zeros(k_used)
+        for i in range(k_used - 1, -1, -1):
+            y[i] = (g[i] - h[i, i + 1 : k_used] @ y[i + 1 : k_used]) / h[i, i]
+        x = x + v[:k_used].T @ y
+        if abs(g[k_used]) <= tol * bnorm:
+            return x, total
+    raise ConvergenceError("gmres", total, abs(g[k_used]))

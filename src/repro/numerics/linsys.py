@@ -1,0 +1,71 @@
+"""Dense linear-system drivers (the DGESV/DTRSV/DGETRI slice)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import NumericsError, SingularMatrixError
+from .lu import lu_det, lu_factor, lu_solve
+
+__all__ = ["solve", "solve_triangular", "inverse", "determinant"]
+
+
+def solve(a, b) -> np.ndarray:
+    """Solve the dense system ``A @ x = b`` by LU with partial pivoting.
+
+    Equivalent of LAPACK's DGESV: factor once, then forward/back
+    substitute.  ``b`` may be a vector or a multi-column matrix.
+
+    Flops: ``2/3*n^3 + 2*n^2*nrhs``.
+    """
+    lu, piv = lu_factor(a)
+    return lu_solve(lu, piv, b)
+
+
+def solve_triangular(a, b, *, lower: bool = False, unit_diagonal: bool = False):
+    """Solve ``A @ x = b`` for triangular ``A`` by substitution.
+
+    Flops: ``n^2`` per right-hand side.
+    """
+    av = np.asarray(a, dtype=np.float64)
+    if av.ndim != 2 or av.shape[0] != av.shape[1]:
+        raise NumericsError(f"expected square matrix, got {av.shape}")
+    n = av.shape[0]
+    bv = np.array(b, dtype=np.float64, copy=True)
+    squeeze = bv.ndim == 1
+    if squeeze:
+        bv = bv[:, None]
+    if bv.shape[0] != n:
+        raise NumericsError(f"rhs has {bv.shape[0]} rows, matrix is {n}x{n}")
+    indices = range(n) if lower else range(n - 1, -1, -1)
+    for i in indices:
+        if lower:
+            bv[i] -= av[i, :i] @ bv[:i]
+        else:
+            bv[i] -= av[i, i + 1 :] @ bv[i + 1 :]
+        if not unit_diagonal:
+            if av[i, i] == 0.0:
+                raise SingularMatrixError(f"zero diagonal at {i}")
+            bv[i] /= av[i, i]
+    return bv[:, 0] if squeeze else bv
+
+
+def inverse(a) -> np.ndarray:
+    """Matrix inverse via LU and ``n`` unit right-hand sides (DGETRI).
+
+    Flops: ``2*n^3``.
+    """
+    av = np.asarray(a, dtype=np.float64)
+    if av.ndim != 2 or av.shape[0] != av.shape[1]:
+        raise NumericsError(f"expected square matrix, got {av.shape}")
+    lu, piv = lu_factor(av)
+    return lu_solve(lu, piv, np.eye(av.shape[0]))
+
+
+def determinant(a) -> float:
+    """Determinant via LU (sign-tracked log-magnitude product)."""
+    try:
+        lu, piv = lu_factor(a)
+    except SingularMatrixError:
+        return 0.0
+    return lu_det(lu, piv)

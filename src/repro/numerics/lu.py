@@ -1,0 +1,135 @@
+"""LU factorization with partial pivoting (the DGETRF/DGETRS slice).
+
+Right-looking blocked algorithm: factor a column panel with vectorized
+rank-1 updates, apply its pivots to the trailing matrix, solve the
+U-panel by forward substitution, then one ``gemm``-shaped update of the
+trailing submatrix.  The panel width trades rank-1 overhead against
+update locality; 64 is a good default for float64 on current caches.
+
+Flop count: ``2/3*n^3`` to factor, ``2*n^2`` per right-hand side.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import NumericsError, SingularMatrixError
+
+__all__ = ["lu_factor", "lu_solve", "lu_det"]
+
+_PANEL = 64
+
+
+def _check_square(a) -> np.ndarray:
+    arr = np.array(a, dtype=np.float64, order="C", copy=True)
+    if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+        raise NumericsError(f"expected a square matrix, got shape {arr.shape}")
+    if arr.shape[0] == 0:
+        raise NumericsError("empty matrix")
+    if not np.all(np.isfinite(arr)):
+        raise NumericsError("matrix contains non-finite entries")
+    return arr
+
+
+def _factor_panel(a: np.ndarray, col0: int, col1: int, piv: np.ndarray) -> None:
+    """Unblocked factorization of columns [col0, col1) of ``a`` in place.
+
+    Operates on full rows (so row swaps fix up the already-factored L
+    part too) but only eliminates within the panel columns.
+    """
+    n = a.shape[0]
+    for j in range(col0, min(col1, n)):
+        # pivot search over the active column
+        p = j + int(np.argmax(np.abs(a[j:, j])))
+        if a[p, j] == 0.0:
+            raise SingularMatrixError(
+                f"zero pivot at column {j}; matrix is singular"
+            )
+        piv[j] = p
+        if p != j:
+            a[[j, p], :] = a[[p, j], :]
+        if j + 1 < n:
+            # multipliers, then rank-1 update restricted to the panel
+            a[j + 1 :, j] /= a[j, j]
+            upto = min(col1, n)
+            if j + 1 < upto:
+                a[j + 1 :, j + 1 : upto] -= np.outer(
+                    a[j + 1 :, j], a[j, j + 1 : upto]
+                )
+
+
+def lu_factor(a, *, panel: int = _PANEL) -> tuple[np.ndarray, np.ndarray]:
+    """Factor ``P @ A = L @ U``; returns ``(lu, piv)`` in LAPACK layout.
+
+    ``lu`` packs unit-lower L below the diagonal and U on/above it;
+    ``piv[k] = p`` records that row ``k`` was swapped with row ``p`` at
+    step ``k`` (LAPACK IPIV, 0-based).
+    """
+    if panel <= 0:
+        raise NumericsError("panel must be positive")
+    a = _check_square(a)
+    n = a.shape[0]
+    piv = np.arange(n)
+    for k0 in range(0, n, panel):
+        k1 = min(k0 + panel, n)
+        _factor_panel(a, k0, k1, piv)
+        if k1 < n:
+            # solve L11 @ U12 = A12 (unit lower triangular, forward subst.)
+            l11 = a[k0:k1, k0:k1]
+            u12 = a[k0:k1, k1:]
+            for i in range(1, k1 - k0):
+                u12[i] -= l11[i, :i] @ u12[:i]
+            # trailing update A22 -= L21 @ U12
+            a[k1:, k1:] -= a[k1:, k0:k1] @ u12
+    return a, piv
+
+
+def _apply_pivots(b: np.ndarray, piv: np.ndarray) -> np.ndarray:
+    """Apply the recorded row interchanges to ``b`` (forward order)."""
+    for k, p in enumerate(piv):
+        if p != k:
+            b[[k, p]] = b[[p, k]]
+    return b
+
+
+def lu_solve(lu: np.ndarray, piv: np.ndarray, b) -> np.ndarray:
+    """Solve ``A @ x = b`` given :func:`lu_factor` output.
+
+    ``b`` may be a vector or a matrix of right-hand sides (columns).
+    """
+    n = lu.shape[0]
+    bv = np.array(b, dtype=np.float64, copy=True)
+    squeeze = bv.ndim == 1
+    if squeeze:
+        bv = bv[:, None]
+    if bv.shape[0] != n:
+        raise NumericsError(
+            f"rhs has {bv.shape[0]} rows, matrix is {n}x{n}"
+        )
+    _apply_pivots(bv, piv)
+    # forward substitution with unit-lower L
+    for i in range(1, n):
+        bv[i] -= lu[i, :i] @ bv[:i]
+    # back substitution with U
+    for i in range(n - 1, -1, -1):
+        if lu[i, i] == 0.0:
+            raise SingularMatrixError(f"zero diagonal in U at {i}")
+        bv[i] -= lu[i, i + 1 :] @ bv[i + 1 :]
+        bv[i] /= lu[i, i]
+    return bv[:, 0] if squeeze else bv
+
+
+def lu_det(lu: np.ndarray, piv: np.ndarray) -> float:
+    """Determinant from a factorization: product of U's diagonal, signed
+    by the parity of the row interchanges."""
+    n = lu.shape[0]
+    swaps = int(np.sum(piv != np.arange(n)))
+    sign = -1.0 if swaps % 2 else 1.0
+    # multiply via logs to dodge overflow, tracking signs explicitly
+    diag = np.diagonal(lu)
+    if np.any(diag == 0.0):
+        return 0.0
+    sign *= -1.0 if int(np.sum(diag < 0)) % 2 else 1.0
+    log_mag = float(np.sum(np.log(np.abs(diag))))
+    with np.errstate(over="ignore"):  # inf with the right sign is the answer
+        return sign * float(np.exp(log_mag))

@@ -1,0 +1,96 @@
+"""Householder QR factorization and least squares (DGEQRF/DGELS slice).
+
+Column-by-column Householder reflections with vectorized trailing
+updates: each step is one matrix-vector product and one rank-1 update,
+so no Python-level inner loops touch matrix elements.
+
+Flops: ``2*m*n^2 - 2/3*n^3`` for the factorization (m >= n).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import NumericsError, SingularMatrixError
+
+__all__ = ["qr_factor", "qr_solve_ls"]
+
+
+def _check(a) -> np.ndarray:
+    arr = np.array(a, dtype=np.float64, order="C", copy=True)
+    if arr.ndim != 2:
+        raise NumericsError(f"expected a matrix, got shape {arr.shape}")
+    m, n = arr.shape
+    if m == 0 or n == 0:
+        raise NumericsError("empty matrix")
+    if m < n:
+        raise NumericsError(f"QR requires m >= n, got {arr.shape}")
+    if not np.all(np.isfinite(arr)):
+        raise NumericsError("matrix contains non-finite entries")
+    return arr
+
+
+def _householder(x: np.ndarray) -> tuple[np.ndarray, float]:
+    """Householder vector/beta zeroing x[1:]; v[0] normalized to 1."""
+    alpha = x[0]
+    sigma = float(x[1:] @ x[1:])
+    v = x.copy()
+    v[0] = 1.0
+    if sigma == 0.0:
+        return v, 0.0
+    mu = np.sqrt(alpha * alpha + sigma)
+    v0 = alpha - mu if alpha <= 0 else -sigma / (alpha + mu)
+    beta = 2.0 * v0 * v0 / (sigma + v0 * v0)
+    v[1:] = x[1:] / v0
+    return v, beta
+
+
+def qr_factor(a) -> tuple[np.ndarray, np.ndarray]:
+    """Factor ``A = Q @ R`` with reduced ``Q`` (m x n) and ``R`` (n x n)."""
+    arr = _check(a)
+    m, n = arr.shape
+    betas = np.empty(n)
+    vs: list[np.ndarray] = []
+    for j in range(n):
+        v, beta = _householder(arr[j:, j].copy())
+        betas[j] = beta
+        vs.append(v)
+        if beta != 0.0:
+            # trailing update: A[j:, j:] -= beta * v (v^T A[j:, j:])
+            w = beta * (v @ arr[j:, j:])
+            arr[j:, j:] -= np.outer(v, w)
+    r = np.triu(arr[:n, :n]).copy()
+    # accumulate reduced Q by applying reflections to I (backwards)
+    q = np.zeros((m, n))
+    q[:n, :n] = np.eye(n)
+    for j in range(n - 1, -1, -1):
+        v, beta = vs[j], betas[j]
+        if beta != 0.0:
+            w = beta * (v @ q[j:, :])
+            q[j:, :] -= np.outer(v, w)
+    return q, r
+
+
+def qr_solve_ls(a, b) -> np.ndarray:
+    """Least-squares solution ``argmin ||A x - b||_2`` via QR.
+
+    Flops: ``2*m*n^2`` dominated by the factorization.
+    """
+    arr = _check(a)
+    bv = np.asarray(b, dtype=np.float64)
+    squeeze = bv.ndim == 1
+    if squeeze:
+        bv = bv[:, None]
+    if bv.shape[0] != arr.shape[0]:
+        raise NumericsError(
+            f"rhs has {bv.shape[0]} rows, matrix has {arr.shape[0]}"
+        )
+    q, r = qr_factor(arr)
+    n = r.shape[0]
+    rhs = q.T @ bv
+    x = np.empty((n, bv.shape[1]))
+    for i in range(n - 1, -1, -1):
+        if r[i, i] == 0.0:
+            raise SingularMatrixError("rank-deficient least-squares system")
+        x[i] = (rhs[i] - r[i, i + 1 :] @ x[i + 1 :]) / r[i, i]
+    return x[:, 0] if squeeze else x

@@ -1,0 +1,93 @@
+"""Sorting and selection.
+
+Included because the original server list advertised general-purpose
+kernels alongside linear algebra; also exercises int64 objects on the
+wire.
+
+* :func:`merge_sort` — bottom-up iterative merge sort over NumPy
+  arrays; each pass merges runs with vectorized ``np.minimum`` style
+  two-pointer merges per run pair.  O(n log n), stable.
+* :func:`quickselect` — k-th smallest by median-of-three quickselect
+  with an explicit loop (expected O(n)).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import NumericsError
+
+__all__ = ["merge_sort", "quickselect"]
+
+
+def _vector(x) -> np.ndarray:
+    arr = np.asarray(x)
+    if arr.ndim != 1:
+        raise NumericsError(f"expected a vector, got shape {arr.shape}")
+    if arr.dtype.kind not in "if":
+        raise NumericsError(f"unsupported dtype {arr.dtype}")
+    return arr
+
+
+def _merge(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Merge two sorted arrays (stable: ties favour ``a``)."""
+    out = np.empty(a.size + b.size, dtype=a.dtype)
+    # Positions of b's elements among a's: each b[j] goes after all a[i] <= b[j]
+    pos_b = np.searchsorted(a, b, side="right") + np.arange(b.size)
+    mask = np.zeros(out.size, dtype=bool)
+    mask[pos_b] = True
+    out[mask] = b
+    out[~mask] = a
+    return out
+
+
+def merge_sort(x) -> np.ndarray:
+    """Stable bottom-up merge sort; returns a new sorted array."""
+    arr = _vector(x).copy()
+    n = arr.size
+    if n <= 1:
+        return arr
+    width = 1
+    while width < n:
+        next_arr = np.empty_like(arr)
+        for lo in range(0, n, 2 * width):
+            mid = min(lo + width, n)
+            hi = min(lo + 2 * width, n)
+            if mid < hi:
+                next_arr[lo:hi] = _merge(arr[lo:mid], arr[mid:hi])
+            else:
+                next_arr[lo:hi] = arr[lo:hi]
+        arr = next_arr
+        width *= 2
+    return arr
+
+
+def quickselect(x, k: int) -> float:
+    """The k-th smallest element (0-based) in expected linear time."""
+    arr = _vector(x).astype(np.float64, copy=True)
+    n = arr.size
+    if n == 0:
+        raise NumericsError("quickselect of empty vector")
+    if not 0 <= k < n:
+        raise NumericsError(f"k={k} out of range for length {n}")
+    lo, hi = 0, n  # active half-open window
+    while True:
+        if hi - lo == 1:
+            return float(arr[lo])
+        seg = arr[lo:hi]
+        # median-of-three pivot resists sorted/reversed inputs
+        cand = np.array([seg[0], seg[seg.size // 2], seg[-1]])
+        pivot = float(np.partition(cand, 1)[1])
+        less = seg[seg < pivot]
+        equal = seg[seg == pivot]
+        greater = seg[seg > pivot]
+        idx = k - lo
+        if idx < less.size:
+            arr[lo : lo + less.size] = less
+            hi = lo + less.size
+        elif idx < less.size + equal.size:
+            return pivot
+        else:
+            start = hi - greater.size
+            arr[start:hi] = greater
+            lo = start

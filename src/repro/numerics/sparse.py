@@ -1,0 +1,208 @@
+"""Compressed-sparse-row matrices and sparse iterative kernels.
+
+The ItPack problems NetSolve advertised operated on sparse systems; this
+module supplies the substrate: a validating CSR container with a
+vectorized matvec (``np.add.reduceat`` over the row pointer — no Python
+loop over rows), and CG/Jacobi drivers over it.
+
+Flops: ``2*nnz`` per matvec.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConvergenceError, NumericsError
+
+__all__ = ["CsrMatrix", "sparse_cg", "sparse_jacobi", "poisson_1d", "poisson_2d"]
+
+
+class CsrMatrix:
+    """Validated CSR matrix (square or rectangular)."""
+
+    __slots__ = ("shape", "indptr", "indices", "data")
+
+    def __init__(self, shape: tuple[int, int], indptr, indices, data):
+        rows, cols = int(shape[0]), int(shape[1])
+        if rows <= 0 or cols <= 0:
+            raise NumericsError(f"bad shape {shape}")
+        indptr = np.asarray(indptr, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        values = np.asarray(data, dtype=np.float64)
+        if indptr.ndim != 1 or indptr.shape[0] != rows + 1:
+            raise NumericsError(
+                f"indptr must have length rows+1={rows + 1}, got {indptr.shape}"
+            )
+        if indptr[0] != 0 or np.any(np.diff(indptr) < 0):
+            raise NumericsError("indptr must start at 0 and be non-decreasing")
+        nnz = int(indptr[-1])
+        if indices.shape != (nnz,) or values.shape != (nnz,):
+            raise NumericsError(
+                f"indices/data must have length nnz={nnz}, got "
+                f"{indices.shape}/{values.shape}"
+            )
+        if nnz and (indices.min() < 0 or indices.max() >= cols):
+            raise NumericsError("column index out of range")
+        if not np.all(np.isfinite(values)):
+            raise NumericsError("data contains non-finite entries")
+        self.shape = (rows, cols)
+        self.indptr = indptr
+        self.indices = indices
+        self.data = values
+
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        return int(self.indptr[-1])
+
+    def matvec(self, x) -> np.ndarray:
+        """``A @ x`` without materializing the dense matrix."""
+        xv = np.asarray(x, dtype=np.float64)
+        if xv.shape != (self.shape[1],):
+            raise NumericsError(
+                f"vector has shape {xv.shape}, matrix is {self.shape}"
+            )
+        products = self.data * xv[self.indices]
+        out = np.zeros(self.shape[0])
+        # reduceat needs strictly valid segment starts; empty rows are
+        # handled by masking the rows whose segment is non-empty
+        row_counts = np.diff(self.indptr)
+        nonempty = row_counts > 0
+        if products.size:
+            starts = self.indptr[:-1][nonempty]
+            out[nonempty] = np.add.reduceat(products, starts)
+        return out
+
+    def diagonal(self) -> np.ndarray:
+        """The main diagonal (zeros where absent); square matrices only."""
+        if self.shape[0] != self.shape[1]:
+            raise NumericsError("diagonal of a non-square matrix")
+        diag = np.zeros(self.shape[0])
+        for i in range(self.shape[0]):
+            row = slice(self.indptr[i], self.indptr[i + 1])
+            hits = np.nonzero(self.indices[row] == i)[0]
+            if hits.size:
+                diag[i] = self.data[row][hits[0]]
+        return diag
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros(self.shape)
+        for i in range(self.shape[0]):
+            row = slice(self.indptr[i], self.indptr[i + 1])
+            out[i, self.indices[row]] = self.data[row]
+        return out
+
+    @staticmethod
+    def from_dense(a, *, tol: float = 0.0) -> "CsrMatrix":
+        arr = np.asarray(a, dtype=np.float64)
+        if arr.ndim != 2:
+            raise NumericsError("from_dense expects a matrix")
+        mask = np.abs(arr) > tol
+        indptr = np.zeros(arr.shape[0] + 1, dtype=np.int64)
+        np.cumsum(mask.sum(axis=1), out=indptr[1:])
+        indices = np.nonzero(mask)[1].astype(np.int64)
+        data = arr[mask]
+        return CsrMatrix(arr.shape, indptr, indices, data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<CsrMatrix {self.shape[0]}x{self.shape[1]} nnz={self.nnz}>"
+
+
+def sparse_cg(
+    a: CsrMatrix, b, *, tol: float = 1e-10, max_iter: int | None = None, x0=None
+) -> tuple[np.ndarray, int]:
+    """Conjugate gradients with CSR matvecs (SPD systems)."""
+    if a.shape[0] != a.shape[1]:
+        raise NumericsError("cg needs a square matrix")
+    n = a.shape[0]
+    bv = np.asarray(b, dtype=np.float64)
+    if bv.shape != (n,):
+        raise NumericsError(f"rhs shape {bv.shape} incompatible with {a.shape}")
+    budget = max_iter if max_iter is not None else 10 * n
+    x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
+    r = bv - a.matvec(x)
+    p = r.copy()
+    rs = float(r @ r)
+    bnorm = float(np.linalg.norm(bv)) or 1.0
+    if np.sqrt(rs) <= tol * bnorm:
+        return x, 0
+    for it in range(1, budget + 1):
+        ap = a.matvec(p)
+        denom = float(p @ ap)
+        if denom <= 0.0:
+            raise NumericsError("sparse_cg: matrix is not positive definite")
+        alpha = rs / denom
+        x += alpha * p
+        r -= alpha * ap
+        rs_new = float(r @ r)
+        if np.sqrt(rs_new) <= tol * bnorm:
+            return x, it
+        p = r + (rs_new / rs) * p
+        rs = rs_new
+    raise ConvergenceError("sparse_cg", budget, np.sqrt(rs))
+
+
+def sparse_jacobi(
+    a: CsrMatrix, b, *, tol: float = 1e-10, max_iter: int = 20000, x0=None
+) -> tuple[np.ndarray, int]:
+    """Jacobi iteration with CSR matvecs (diagonally dominant systems)."""
+    if a.shape[0] != a.shape[1]:
+        raise NumericsError("jacobi needs a square matrix")
+    n = a.shape[0]
+    bv = np.asarray(b, dtype=np.float64)
+    if bv.shape != (n,):
+        raise NumericsError(f"rhs shape {bv.shape} incompatible with {a.shape}")
+    d = a.diagonal()
+    if np.any(d == 0.0):
+        raise NumericsError("jacobi requires a non-zero diagonal")
+    x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
+    bnorm = float(np.linalg.norm(bv)) or 1.0
+    for it in range(1, max_iter + 1):
+        x = x + (bv - a.matvec(x)) / d
+        res = float(np.linalg.norm(bv - a.matvec(x)))
+        if res <= tol * bnorm:
+            return x, it
+    raise ConvergenceError("sparse_jacobi", max_iter, res)
+
+
+def poisson_1d(n: int) -> CsrMatrix:
+    """The 1-D Laplacian [-1, 2, -1] on ``n`` interior points (SPD)."""
+    if n < 1:
+        raise NumericsError("n must be >= 1")
+    rows = []
+    indices = []
+    data = []
+    indptr = [0]
+    for i in range(n):
+        if i > 0:
+            indices.append(i - 1)
+            data.append(-1.0)
+        indices.append(i)
+        data.append(2.0)
+        if i < n - 1:
+            indices.append(i + 1)
+            data.append(-1.0)
+        indptr.append(len(indices))
+        rows.append(i)
+    return CsrMatrix((n, n), indptr, indices, data)
+
+
+def poisson_2d(k: int) -> CsrMatrix:
+    """The 5-point Laplacian on a k x k interior grid (SPD, n = k^2)."""
+    if k < 1:
+        raise NumericsError("k must be >= 1")
+    n = k * k
+    indptr = [0]
+    indices: list[int] = []
+    data: list[float] = []
+    for row in range(n):
+        i, j = divmod(row, k)
+        for di, dj, value in (
+            (-1, 0, -1.0), (0, -1, -1.0), (0, 0, 4.0), (0, 1, -1.0), (1, 0, -1.0)
+        ):
+            ni, nj = i + di, j + dj
+            if 0 <= ni < k and 0 <= nj < k:
+                indices.append(ni * k + nj)
+                data.append(value)
+        indptr.append(len(indices))
+    return CsrMatrix((n, n), indptr, indices, data)

@@ -1,0 +1,106 @@
+"""Tridiagonal systems (the DGTSV slice): the Thomas algorithm.
+
+Tridiagonal solves are the classic O(n) kernel of implicit 1-D PDE
+timestepping — precisely the "small problem, fast answer" end of the
+NetSolve catalogue where brokering overhead matters most (see the F4
+crossover experiment).
+
+``thomas_solve`` uses plain elimination without pivoting and therefore
+requires diagonal dominance (or positive definiteness) for stability —
+checked up front; ``tridiag_solve_pivoting`` falls back to the dense
+partially-pivoted path for general matrices.
+
+Flops: ``8*n`` for the Thomas algorithm.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import NumericsError
+from .lu import lu_factor, lu_solve
+
+__all__ = ["thomas_solve", "tridiag_solve_pivoting", "tridiag_matvec"]
+
+
+def _check_bands(lower, diag, upper, rhs):
+    d = np.asarray(diag, dtype=np.float64)
+    if d.ndim != 1 or d.size == 0:
+        raise NumericsError("diag must be a non-empty vector")
+    n = d.size
+    dl = np.asarray(lower, dtype=np.float64)
+    du = np.asarray(upper, dtype=np.float64)
+    b = np.asarray(rhs, dtype=np.float64)
+    if dl.shape != (max(n - 1, 0),):
+        raise NumericsError(f"lower band must have length n-1={n - 1}")
+    if du.shape != (max(n - 1, 0),):
+        raise NumericsError(f"upper band must have length n-1={n - 1}")
+    if b.shape != (n,):
+        raise NumericsError(f"rhs must have length n={n}")
+    for name, arr in (("lower", dl), ("diag", d), ("upper", du), ("rhs", b)):
+        if not np.all(np.isfinite(arr)):
+            raise NumericsError(f"{name} contains non-finite entries")
+    return dl, d, du, b
+
+
+def _diagonally_dominant(dl, d, du) -> bool:
+    n = d.size
+    off = np.zeros(n)
+    if n > 1:
+        off[0] = abs(du[0])
+        off[-1] = abs(dl[-1])
+        off[1:-1] = np.abs(dl[:-1]) + np.abs(du[1:])
+    return bool(np.all(np.abs(d) >= off) and np.all(d != 0.0))
+
+
+def thomas_solve(lower, diag, upper, rhs) -> np.ndarray:
+    """Solve a tridiagonal system by the Thomas algorithm.
+
+    Bands: ``lower`` is the subdiagonal (length n-1), ``diag`` the main
+    diagonal (n), ``upper`` the superdiagonal (n-1).  Requires diagonal
+    dominance (no pivoting); rejects other inputs rather than silently
+    amplifying error.
+    """
+    dl, d, du, b = _check_bands(lower, diag, upper, rhs)
+    if not _diagonally_dominant(dl, d, du):
+        raise NumericsError(
+            "thomas_solve requires diagonal dominance; use "
+            "tridiag_solve_pivoting for general systems"
+        )
+    n = d.size
+    c = np.empty(n)  # modified diagonal
+    x = b.copy()
+    c[0] = d[0]
+    for i in range(1, n):
+        m = dl[i - 1] / c[i - 1]
+        c[i] = d[i] - m * du[i - 1]
+        x[i] -= m * x[i - 1]
+    x[-1] /= c[-1]
+    for i in range(n - 2, -1, -1):
+        x[i] = (x[i] - du[i] * x[i + 1]) / c[i]
+    return x
+
+
+def tridiag_solve_pivoting(lower, diag, upper, rhs) -> np.ndarray:
+    """General tridiagonal solve via the dense pivoted path.
+
+    O(n^2) memory through the dense fallback — correct for any
+    nonsingular system; prefer :func:`thomas_solve` when dominance holds.
+    """
+    dl, d, du, b = _check_bands(lower, diag, upper, rhs)
+    n = d.size
+    dense = np.diag(d)
+    if n > 1:
+        dense += np.diag(dl, -1) + np.diag(du, 1)
+    lu, piv = lu_factor(dense)
+    return lu_solve(lu, piv, b)
+
+
+def tridiag_matvec(lower, diag, upper, x) -> np.ndarray:
+    """``A @ x`` for a banded tridiagonal ``A`` without materializing it."""
+    dl, d, du, xv = _check_bands(lower, diag, upper, x)
+    out = d * xv
+    if d.size > 1:
+        out[:-1] += du * xv[1:]
+        out[1:] += dl * xv[:-1]
+    return out

@@ -1,0 +1,42 @@
+"""Problem description machinery.
+
+NetSolve servers advertise *problems* — named numerical services with
+typed inputs and outputs and an algebraic *complexity* expression that
+tells the agent how many floating-point operations a given instance
+costs.  This package supplies:
+
+* :mod:`repro.problems.complexity` — a safe parser/evaluator for
+  complexity expressions such as ``2/3*n^3 + 2*n^2``,
+* :mod:`repro.problems.spec` — the typed problem/object specifications,
+* :mod:`repro.problems.pdl` — the problem-description-file language,
+* :mod:`repro.problems.registry` — the name -> (spec, handler) registry,
+* :mod:`repro.problems.builtin` — the stock problem set backed by
+  :mod:`repro.numerics`.
+"""
+
+from .complexity import Complexity
+from .spec import (
+    ObjectKind,
+    ObjectSpec,
+    ProblemSpec,
+    SizeRule,
+    validate_inputs,
+)
+from .registry import ProblemRegistry, RegisteredProblem
+from .pdl import parse_pdl, parse_pdl_file
+from .builtin import builtin_registry, BUILTIN_PDL
+
+__all__ = [
+    "Complexity",
+    "ObjectKind",
+    "ObjectSpec",
+    "ProblemSpec",
+    "SizeRule",
+    "validate_inputs",
+    "ProblemRegistry",
+    "RegisteredProblem",
+    "parse_pdl",
+    "parse_pdl_file",
+    "builtin_registry",
+    "BUILTIN_PDL",
+]

@@ -1,0 +1,309 @@
+"""Algebraic complexity expressions.
+
+Problem descriptions carry a flop-count formula over the instance's size
+symbols, e.g. ``2/3*n^3 + 2*n^2`` for LU-based solves or ``5*n*log2(n)``
+for an FFT.  The agent evaluates the same expression object both to rank
+servers (predicted compute time = flops / effective speed) and, in
+simulation, to decide how long the job actually holds the CPU.
+
+Expressions are parsed by a small recursive-descent parser into an AST —
+never ``eval`` — and evaluated against a ``{symbol: value}`` binding.
+
+Grammar::
+
+    expr    := term (('+'|'-') term)*
+    term    := unary (('*'|'/') unary)*
+    unary   := '-' unary | power
+    power   := atom ('^' unary)?          (right associative)
+    atom    := NUMBER | NAME | NAME '(' expr ')' | '(' expr ')'
+
+Supported functions: ``log`` (natural), ``log2``, ``log10``, ``sqrt``,
+``min``/``max`` (two arguments), ``ceil``, ``floor``.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Callable, Iterator, Mapping
+
+from ..errors import ComplexityError
+
+__all__ = ["Complexity"]
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<number>\d+(?:\.\d+)?(?:[eE][+-]?\d+)?)"
+    r"|(?P<name>[A-Za-z_][A-Za-z_0-9]*)"
+    r"|(?P<op>[-+*/^(),]))"
+)
+
+_FUNCTIONS: dict[str, tuple[int, Callable[..., float]]] = {
+    "log": (1, math.log),
+    "log2": (1, math.log2),
+    "log10": (1, math.log10),
+    "sqrt": (1, math.sqrt),
+    "ceil": (1, math.ceil),
+    "floor": (1, math.floor),
+    "min": (2, min),
+    "max": (2, max),
+}
+
+
+class _Node:
+    __slots__ = ()
+
+    def evaluate(self, env: Mapping[str, float]) -> float:
+        raise NotImplementedError
+
+    def symbols(self) -> frozenset[str]:
+        raise NotImplementedError
+
+
+class _Num(_Node):
+    __slots__ = ("value",)
+
+    def __init__(self, value: float):
+        self.value = value
+
+    def evaluate(self, env):
+        return self.value
+
+    def symbols(self):
+        return frozenset()
+
+
+class _Sym(_Node):
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def evaluate(self, env):
+        try:
+            return float(env[self.name])
+        except KeyError:
+            raise ComplexityError(f"unbound symbol {self.name!r}") from None
+
+    def symbols(self):
+        return frozenset({self.name})
+
+
+class _BinOp(_Node):
+    __slots__ = ("op", "left", "right")
+
+    _OPS = {
+        "+": lambda a, b: a + b,
+        "-": lambda a, b: a - b,
+        "*": lambda a, b: a * b,
+        "/": lambda a, b: a / b,
+        "^": lambda a, b: a**b,
+    }
+
+    def __init__(self, op: str, left: _Node, right: _Node):
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def evaluate(self, env):
+        a = self.left.evaluate(env)
+        b = self.right.evaluate(env)
+        if self.op == "/" and b == 0:
+            raise ComplexityError("division by zero in complexity expression")
+        try:
+            return self._OPS[self.op](a, b)
+        except OverflowError:
+            raise ComplexityError(
+                f"overflow evaluating {a!r} {self.op} {b!r}"
+            ) from None
+
+    def symbols(self):
+        return self.left.symbols() | self.right.symbols()
+
+
+class _Neg(_Node):
+    __slots__ = ("child",)
+
+    def __init__(self, child: _Node):
+        self.child = child
+
+    def evaluate(self, env):
+        return -self.child.evaluate(env)
+
+    def symbols(self):
+        return self.child.symbols()
+
+
+class _Call(_Node):
+    __slots__ = ("name", "args")
+
+    def __init__(self, name: str, args: list[_Node]):
+        self.name = name
+        self.args = args
+
+    def evaluate(self, env):
+        arity, fn = _FUNCTIONS[self.name]
+        values = [a.evaluate(env) for a in self.args]
+        if self.name in ("log", "log2", "log10") and values[0] <= 0:
+            # size-1 instances hit log(1)=0 legitimately; <=0 is an error
+            raise ComplexityError(
+                f"{self.name}() of non-positive value {values[0]}"
+            )
+        if self.name == "sqrt" and values[0] < 0:
+            raise ComplexityError("sqrt() of negative value")
+        return float(fn(*values))
+
+    def symbols(self):
+        out: frozenset[str] = frozenset()
+        for a in self.args:
+            out |= a.symbols()
+        return out
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = list(self._tokenize(text))
+        self.pos = 0
+
+    @staticmethod
+    def _tokenize(text: str) -> Iterator[tuple[str, str]]:
+        pos = 0
+        while pos < len(text):
+            m = _TOKEN_RE.match(text, pos)
+            if m is None or m.end() == pos:
+                if text[pos:].strip():
+                    raise ComplexityError(
+                        f"bad character {text[pos:].strip()[0]!r} in "
+                        f"complexity expression {text!r}"
+                    )
+                break
+            pos = m.end()
+            kind = m.lastgroup
+            assert kind is not None
+            yield kind, m.group(kind)
+
+    def _peek(self) -> tuple[str, str] | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def _next(self) -> tuple[str, str]:
+        tok = self._peek()
+        if tok is None:
+            raise ComplexityError(f"unexpected end of expression {self.text!r}")
+        self.pos += 1
+        return tok
+
+    def _expect(self, op: str) -> None:
+        tok = self._next()
+        if tok != ("op", op):
+            raise ComplexityError(
+                f"expected {op!r}, got {tok[1]!r} in {self.text!r}"
+            )
+
+    def parse(self) -> _Node:
+        node = self._expr()
+        if self._peek() is not None:
+            raise ComplexityError(
+                f"trailing tokens after expression in {self.text!r}"
+            )
+        return node
+
+    def _expr(self) -> _Node:
+        node = self._term()
+        while (tok := self._peek()) and tok[0] == "op" and tok[1] in "+-":
+            self._next()
+            node = _BinOp(tok[1], node, self._term())
+        return node
+
+    def _term(self) -> _Node:
+        node = self._unary()
+        while (tok := self._peek()) and tok[0] == "op" and tok[1] in "*/":
+            self._next()
+            node = _BinOp(tok[1], node, self._unary())
+        return node
+
+    def _unary(self) -> _Node:
+        tok = self._peek()
+        if tok == ("op", "-"):
+            self._next()
+            return _Neg(self._unary())
+        return self._power()
+
+    def _power(self) -> _Node:
+        base = self._atom()
+        tok = self._peek()
+        if tok == ("op", "^"):
+            self._next()
+            return _BinOp("^", base, self._unary())
+        return base
+
+    def _atom(self) -> _Node:
+        kind, value = self._next()
+        if kind == "number":
+            return _Num(float(value))
+        if kind == "name":
+            if self._peek() == ("op", "("):
+                if value not in _FUNCTIONS:
+                    raise ComplexityError(f"unknown function {value!r}")
+                self._next()
+                arity, _fn = _FUNCTIONS[value]
+                args = [self._expr()]
+                while self._peek() == ("op", ","):
+                    self._next()
+                    args.append(self._expr())
+                self._expect(")")
+                if len(args) != arity:
+                    raise ComplexityError(
+                        f"{value}() takes {arity} argument(s), got {len(args)}"
+                    )
+                return _Call(value, args)
+            return _Sym(value)
+        if (kind, value) == ("op", "("):
+            node = self._expr()
+            self._expect(")")
+            return node
+        raise ComplexityError(f"unexpected token {value!r} in {self.text!r}")
+
+
+class Complexity:
+    """A parsed, reusable complexity expression.
+
+    Examples
+    --------
+    >>> cx = Complexity("2/3*n^3 + 2*n^2")
+    >>> cx.flops({"n": 100})
+    686666.66...
+    >>> sorted(cx.symbols)
+    ['n']
+    """
+
+    __slots__ = ("text", "_ast", "symbols")
+
+    def __init__(self, text: str):
+        if not text or not text.strip():
+            raise ComplexityError("empty complexity expression")
+        self.text = text.strip()
+        self._ast = _Parser(self.text).parse()
+        #: the size symbols the expression needs bound
+        self.symbols: frozenset[str] = self._ast.symbols()
+
+    def flops(self, env: Mapping[str, float]) -> float:
+        """Evaluate to a flop count; must be finite and non-negative."""
+        value = self._ast.evaluate(env)
+        if not math.isfinite(value):
+            raise ComplexityError(
+                f"complexity {self.text!r} evaluated to {value} with {dict(env)}"
+            )
+        if value < 0:
+            raise ComplexityError(
+                f"complexity {self.text!r} is negative ({value}) with {dict(env)}"
+            )
+        return float(value)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Complexity) and self.text == other.text
+
+    def __hash__(self) -> int:
+        return hash(self.text)
+
+    def __repr__(self) -> str:
+        return f"Complexity({self.text!r})"

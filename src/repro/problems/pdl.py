@@ -1,0 +1,241 @@
+"""The problem description language (PDL).
+
+NetSolve grows its problem set through *problem description files*: small
+declarative texts that name a problem, its library of origin, its typed
+inputs/outputs and its complexity formula.  The server-side installer
+compiles them into dispatch code; here they parse into
+:class:`~repro.problems.spec.ProblemSpec` objects which are registered
+together with a Python handler.
+
+Format (line oriented, ``#`` comments, blank lines ignored)::
+
+    problem linsys/dgesv
+        lib         LAPACK
+        description Solve the dense linear system A*x = b
+        complexity  2/3*n^3 + 2*n^2
+        input  A matrix[n,n] float64  "coefficient matrix"
+        input  b vector[n]            "right-hand side"
+        output x vector[n]            "solution vector"
+    end
+
+    problem ode/rk4
+        description Integrate y' = f(t, y) with classical RK4
+        complexity  40*d*steps
+        input  y0    vector[d]
+        input  steps scalar int64 binds=steps
+        input  t1    scalar
+        output y     vector[d]
+    end
+
+Rules
+-----
+* ``matrix[r,c]`` / ``vector[len]`` dimensions are size symbols or
+  positive integer literals.
+* dtype is optional and defaults to ``float64``.
+* ``binds=SYMBOL`` is allowed on scalar inputs only and binds the symbol
+  to the scalar's integral value.
+* the trailing quoted string is an optional per-object description.
+* a problem ends at ``end``; any number of problems per file.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from ..errors import PdlSyntaxError
+from .complexity import Complexity
+from .spec import ObjectKind, ObjectSpec, ProblemSpec, SizeRule
+
+__all__ = ["parse_pdl", "parse_pdl_file", "render_pdl"]
+
+_OBJ_RE = re.compile(
+    r"""^(?P<io>input|output)\s+
+        (?P<name>[A-Za-z_][A-Za-z_0-9]*)\s+
+        (?P<kind>matrix|vector|scalar|string)
+        (?:\[(?P<dims>[^\]]*)\])?
+        (?:\s+(?P<dtype>float64|int64|complex128))?
+        (?:\s+binds=(?P<binds>[A-Za-z_][A-Za-z_0-9]*))?
+        (?:\s+"(?P<desc>[^"]*)")?
+        \s*$""",
+    re.VERBOSE,
+)
+
+_KEYWORDS = ("lib", "description", "complexity")
+
+
+def _parse_dims(raw: str | None, line_no: int) -> tuple:
+    if raw is None:
+        return ()
+    dims: list = []
+    for part in raw.split(","):
+        part = part.strip()
+        if not part:
+            raise PdlSyntaxError("empty dimension", line_no)
+        if part.isdigit():
+            value = int(part)
+            if value <= 0:
+                raise PdlSyntaxError(f"dimension must be positive: {part}", line_no)
+            dims.append(value)
+        elif part.isidentifier():
+            dims.append(part)
+        else:
+            raise PdlSyntaxError(f"bad dimension {part!r}", line_no)
+    return tuple(dims)
+
+
+def parse_pdl(text: str, *, source: str = "<pdl>") -> list[ProblemSpec]:
+    """Parse PDL text into a list of :class:`ProblemSpec`."""
+    specs: list[ProblemSpec] = []
+    state: dict | None = None
+
+    def finish(line_no: int) -> None:
+        nonlocal state
+        assert state is not None
+        if state["complexity"] is None:
+            raise PdlSyntaxError(
+                f"problem {state['name']!r} has no complexity", line_no
+            )
+        if not state["outputs"]:
+            raise PdlSyntaxError(
+                f"problem {state['name']!r} has no outputs", line_no
+            )
+        try:
+            spec = ProblemSpec(
+                name=state["name"],
+                inputs=tuple(state["inputs"]),
+                outputs=tuple(state["outputs"]),
+                complexity=state["complexity"],
+                description=state["description"],
+                provenance=state["lib"],
+            )
+        except Exception as exc:
+            raise PdlSyntaxError(
+                f"problem {state['name']!r}: {exc}", line_no
+            ) from exc
+        specs.append(spec)
+        state = None
+
+    for line_no, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+
+        head, _, rest = line.partition(" ")
+        rest = rest.strip()
+
+        if head == "problem":
+            if state is not None:
+                raise PdlSyntaxError(
+                    f"problem {state['name']!r} not closed with 'end'", line_no
+                )
+            if not rest:
+                raise PdlSyntaxError("problem needs a name", line_no)
+            state = {
+                "name": rest,
+                "lib": "",
+                "description": "",
+                "complexity": None,
+                "inputs": [],
+                "outputs": [],
+            }
+            continue
+
+        if state is None:
+            raise PdlSyntaxError(
+                f"directive {head!r} outside a problem block", line_no
+            )
+
+        if head == "end":
+            if rest:
+                raise PdlSyntaxError("'end' takes no arguments", line_no)
+            finish(line_no)
+            continue
+
+        if head in _KEYWORDS:
+            if not rest:
+                raise PdlSyntaxError(f"{head} needs a value", line_no)
+            if head == "complexity":
+                try:
+                    state["complexity"] = Complexity(rest)
+                except Exception as exc:
+                    raise PdlSyntaxError(str(exc), line_no) from exc
+            elif head == "lib":
+                state["lib"] = rest
+            else:
+                state["description"] = rest
+            continue
+
+        if head in ("input", "output"):
+            m = _OBJ_RE.match(line)
+            if m is None:
+                raise PdlSyntaxError(f"bad object declaration: {line!r}", line_no)
+            kind = ObjectKind(m.group("kind"))
+            binds = m.group("binds")
+            if binds is not None and m.group("io") == "output":
+                raise PdlSyntaxError("binds= is only valid on inputs", line_no)
+            try:
+                obj = ObjectSpec(
+                    name=m.group("name"),
+                    kind=kind,
+                    dims=_parse_dims(m.group("dims"), line_no),
+                    dtype=m.group("dtype") or "float64",
+                    binds=SizeRule(binds) if binds else None,
+                    description=m.group("desc") or "",
+                )
+            except Exception as exc:
+                raise PdlSyntaxError(str(exc), line_no) from exc
+            state["inputs" if m.group("io") == "input" else "outputs"].append(obj)
+            continue
+
+        raise PdlSyntaxError(f"unknown directive {head!r}", line_no)
+
+    if state is not None:
+        raise PdlSyntaxError(
+            f"problem {state['name']!r} not closed with 'end' "
+            f"(end of {source})"
+        )
+    return specs
+
+
+def parse_pdl_file(path: str | Path) -> list[ProblemSpec]:
+    """Parse a problem description file from disk."""
+    path = Path(path)
+    return parse_pdl(path.read_text(encoding="utf-8"), source=str(path))
+
+
+def _render_object(io: str, obj: ObjectSpec) -> str:
+    parts = [io, obj.name, obj.kind.value]
+    if obj.dims:
+        parts[-1] += "[" + ",".join(str(d) for d in obj.dims) + "]"
+    if obj.dtype != "float64":
+        parts.append(obj.dtype)
+    if obj.binds is not None:
+        parts.append(f"binds={obj.binds.symbol}")
+    if obj.description:
+        parts.append(f'"{obj.description}"')
+    return "    " + " ".join(parts)
+
+
+def render_pdl(specs: "ProblemSpec | list[ProblemSpec]") -> str:
+    """Render spec(s) back to PDL text.
+
+    ``parse_pdl(render_pdl(specs)) == specs`` — the round-trip is exact,
+    which is how problem descriptions travel from servers to agents on
+    the wire.
+    """
+    if isinstance(specs, ProblemSpec):
+        specs = [specs]
+    blocks: list[str] = []
+    for spec in specs:
+        lines = [f"problem {spec.name}"]
+        if spec.provenance:
+            lines.append(f"    lib {spec.provenance}")
+        if spec.description:
+            lines.append(f"    description {spec.description}")
+        lines.append(f"    complexity {spec.complexity.text}")
+        lines.extend(_render_object("input", o) for o in spec.inputs)
+        lines.extend(_render_object("output", o) for o in spec.outputs)
+        lines.append("end")
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks) + "\n"

@@ -1,0 +1,139 @@
+"""Problem registry: names -> (spec, handler).
+
+A handler is a plain Python callable ``handler(*coerced_inputs) ->
+tuple_of_outputs`` (a single non-tuple return is wrapped).  Servers
+install a registry at startup; the agent only ever sees the specs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from ..errors import BadArgumentsError, ProblemNotFoundError
+from .spec import ObjectKind, ProblemSpec, validate_inputs
+
+__all__ = ["RegisteredProblem", "ProblemRegistry"]
+
+Handler = Callable[..., Any]
+
+
+@dataclass(frozen=True)
+class RegisteredProblem:
+    spec: ProblemSpec
+    handler: Handler
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+
+class ProblemRegistry:
+    """Mapping of problem names to registered problems.
+
+    Names are hierarchical by convention (``linsys/dgesv``); lookup is
+    exact, and :meth:`search` supports prefix browsing the way the
+    original client's problem browser did.
+    """
+
+    def __init__(self) -> None:
+        self._problems: dict[str, RegisteredProblem] = {}
+
+    # ------------------------------------------------------------------
+    def register(self, spec: ProblemSpec, handler: Handler) -> RegisteredProblem:
+        if spec.name in self._problems:
+            raise BadArgumentsError(f"problem {spec.name!r} already registered")
+        if not callable(handler):
+            raise BadArgumentsError(f"handler for {spec.name!r} is not callable")
+        reg = RegisteredProblem(spec, handler)
+        self._problems[spec.name] = reg
+        return reg
+
+    def register_many(
+        self, pairs: Iterable[tuple[ProblemSpec, Handler]]
+    ) -> None:
+        for spec, handler in pairs:
+            self.register(spec, handler)
+
+    def unregister(self, name: str) -> None:
+        if name not in self._problems:
+            raise ProblemNotFoundError(name)
+        del self._problems[name]
+
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> RegisteredProblem:
+        try:
+            return self._problems[name]
+        except KeyError:
+            raise ProblemNotFoundError(name) from None
+
+    def spec(self, name: str) -> ProblemSpec:
+        return self.get(name).spec
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._problems
+
+    def __len__(self) -> int:
+        return len(self._problems)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._problems))
+
+    def names(self) -> list[str]:
+        return sorted(self._problems)
+
+    def specs(self) -> list[ProblemSpec]:
+        return [self._problems[n].spec for n in self.names()]
+
+    def search(self, prefix: str) -> list[str]:
+        """Problem names starting with ``prefix`` (the problem browser)."""
+        return [n for n in self.names() if n.startswith(prefix)]
+
+    def subset(self, names: Iterable[str]) -> "ProblemRegistry":
+        """A new registry restricted to ``names`` (for partial servers)."""
+        out = ProblemRegistry()
+        for name in names:
+            reg = self.get(name)
+            out.register(reg.spec, reg.handler)
+        return out
+
+    # ------------------------------------------------------------------
+    def execute(self, name: str, args: Sequence[Any]) -> tuple:
+        """Validate ``args`` and run the handler; returns the output tuple.
+
+        Outputs are checked against the spec (count, kind rank, dtype)
+        so a buggy handler fails on the server, loudly, rather than
+        shipping malformed objects back to the client.
+        """
+        reg = self.get(name)
+        coerced, _env = validate_inputs(reg.spec, args)
+        result = reg.handler(*coerced)
+        if not isinstance(result, tuple):
+            result = (result,)
+        out_specs = reg.spec.outputs
+        if len(result) != len(out_specs):
+            raise BadArgumentsError(
+                f"problem {name!r}: handler returned {len(result)} output(s), "
+                f"spec declares {len(out_specs)}"
+            )
+        checked = []
+        for obj, value in zip(out_specs, result):
+            if obj.kind is ObjectKind.STRING:
+                if not isinstance(value, str):
+                    raise BadArgumentsError(
+                        f"problem {name!r}: output {obj.name!r} should be str"
+                    )
+                checked.append(value)
+                continue
+            import numpy as np
+
+            arr = np.asarray(value, dtype=obj.dtype)
+            rank = obj.kind.rank
+            expected_rank = 0 if rank is None else rank
+            if arr.ndim != expected_rank:
+                raise BadArgumentsError(
+                    f"problem {name!r}: output {obj.name!r} has rank "
+                    f"{arr.ndim}, expected {expected_rank}"
+                )
+            checked.append(arr[()] if expected_rank == 0 else arr)
+        return tuple(checked)

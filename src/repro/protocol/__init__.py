@@ -1,0 +1,63 @@
+"""Wire protocol: typed messages, binary codec, pluggable transports.
+
+The NetSolve components speak a small message protocol; here it is
+defined once (:mod:`repro.protocol.messages`), serialized by an explicit
+XDR-spirited binary codec with no pickle anywhere
+(:mod:`repro.protocol.codec`), and carried by either of two transports
+implementing the same :class:`~repro.protocol.transport.Node` contract:
+
+* :class:`~repro.protocol.transport.SimTransport` — virtual time over a
+  :class:`~repro.simnet.network.Topology`; message size on the simulated
+  wire is the *actual encoded byte count*, so protocol overhead is honest.
+* :class:`~repro.protocol.tcp.TcpTransport` — real localhost sockets and
+  threads, running the very same component state machines.
+"""
+
+from .messages import (
+    Message,
+    RegisterServer,
+    RegisterAck,
+    WorkloadReport,
+    QueryRequest,
+    QueryReply,
+    Candidate,
+    DescribeProblem,
+    ProblemDescription,
+    ListProblems,
+    ProblemList,
+    SolveRequest,
+    SolveReply,
+    FailureReport,
+    Ping,
+    Pong,
+)
+from .codec import encode_message, decode_message, encode_value, decode_value
+from .transport import Node, Promise, SimTransport, SimNode, Component
+
+__all__ = [
+    "Message",
+    "RegisterServer",
+    "RegisterAck",
+    "WorkloadReport",
+    "QueryRequest",
+    "QueryReply",
+    "Candidate",
+    "DescribeProblem",
+    "ProblemDescription",
+    "ListProblems",
+    "ProblemList",
+    "SolveRequest",
+    "SolveReply",
+    "FailureReport",
+    "Ping",
+    "Pong",
+    "encode_message",
+    "decode_message",
+    "encode_value",
+    "decode_value",
+    "Node",
+    "Promise",
+    "Component",
+    "SimTransport",
+    "SimNode",
+]

@@ -1,0 +1,301 @@
+"""Binary wire codec.
+
+Explicit little-endian framing in the XDR spirit — type-tagged values,
+raw ndarray buffers with dtype/shape headers, **no pickle anywhere** —
+so a malicious peer can at worst produce a :class:`CodecError`, never
+code execution.
+
+Frame layout::
+
+    magic   4 bytes  b"NSRV"
+    version u16      PROTOCOL_VERSION
+    type    u16      Message.TYPE_CODE
+    length  u64      body byte count
+    body    ...      encoded field dict
+
+Value encoding is a tagged union (tag u8 + payload); containers nest.
+Tuples encode as lists; dataclass messages restore declared tuple fields
+on decode.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any
+
+import numpy as np
+
+from ..errors import CodecError
+from .messages import MESSAGE_TYPES, Message, ObjectRef
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "encode_value",
+    "decode_value",
+    "encode_message",
+    "decode_message",
+    "frame_size",
+    "MAGIC",
+    "HEADER",
+]
+
+PROTOCOL_VERSION = 1
+MAGIC = b"NSRV"
+HEADER = struct.Struct("<4sHHQ")
+
+_T_NONE = 0
+_T_BOOL = 1
+_T_INT = 2
+_T_FLOAT = 3
+_T_STR = 4
+_T_BYTES = 5
+_T_LIST = 6
+_T_DICT = 7
+_T_NDARRAY = 8
+_T_COMPLEX = 9
+_T_OBJREF = 10
+
+_ALLOWED_DTYPES = {"float64", "int64", "complex128", "float32", "int32", "bool"}
+
+# guards against absurd allocations from hostile length fields
+_MAX_CONTAINER = 1_000_000
+_MAX_NDIM = 8
+_MAX_BODY = 1 << 34  # 16 GiB
+
+
+def _pack_u32(n: int) -> bytes:
+    return struct.pack("<I", n)
+
+
+def encode_value(value: Any, out: bytearray) -> None:
+    """Append the tagged encoding of ``value`` to ``out``."""
+    if value is None:
+        out.append(_T_NONE)
+    elif isinstance(value, bool):
+        out.append(_T_BOOL)
+        out.append(1 if value else 0)
+    elif isinstance(value, (int, np.integer)):
+        iv = int(value)
+        if not -(2**63) <= iv < 2**63:
+            raise CodecError(f"integer out of i64 range: {iv}")
+        out.append(_T_INT)
+        out += struct.pack("<q", iv)
+    elif isinstance(value, (float, np.floating)):
+        out.append(_T_FLOAT)
+        out += struct.pack("<d", float(value))
+    elif isinstance(value, (complex, np.complexfloating)):
+        out.append(_T_COMPLEX)
+        cv = complex(value)
+        out += struct.pack("<dd", cv.real, cv.imag)
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        out.append(_T_STR)
+        out += _pack_u32(len(raw))
+        out += raw
+    elif isinstance(value, (bytes, bytearray, memoryview)):
+        raw = bytes(value)
+        out.append(_T_BYTES)
+        out += _pack_u32(len(raw))
+        out += raw
+    elif isinstance(value, np.ndarray):
+        name = value.dtype.name
+        if name not in _ALLOWED_DTYPES:
+            raise CodecError(f"unsupported ndarray dtype {name!r}")
+        if value.ndim > _MAX_NDIM:
+            raise CodecError(f"ndarray rank {value.ndim} exceeds {_MAX_NDIM}")
+        contig = np.ascontiguousarray(value)
+        out.append(_T_NDARRAY)
+        dname = name.encode("ascii")
+        out.append(len(dname))
+        out += dname
+        out.append(contig.ndim)
+        for dim in contig.shape:
+            out += struct.pack("<q", dim)
+        raw = contig.tobytes()
+        out += struct.pack("<Q", len(raw))
+        out += raw
+    elif isinstance(value, ObjectRef):
+        raw = value.key.encode("utf-8")
+        out.append(_T_OBJREF)
+        out += _pack_u32(len(raw))
+        out += raw
+    elif isinstance(value, (list, tuple)):
+        if len(value) > _MAX_CONTAINER:
+            raise CodecError("container too large")
+        out.append(_T_LIST)
+        out += _pack_u32(len(value))
+        for item in value:
+            encode_value(item, out)
+    elif isinstance(value, dict):
+        if len(value) > _MAX_CONTAINER:
+            raise CodecError("container too large")
+        out.append(_T_DICT)
+        out += _pack_u32(len(value))
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise CodecError(f"dict keys must be str, got {type(key).__name__}")
+            encode_value(key, out)
+            encode_value(item, out)
+    else:
+        raise CodecError(f"cannot encode {type(value).__name__}")
+
+
+class _Reader:
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes):
+        self.data = data
+        self.pos = 0
+
+    def take(self, n: int) -> bytes:
+        if n < 0 or self.pos + n > len(self.data):
+            raise CodecError("truncated frame")
+        chunk = self.data[self.pos : self.pos + n]
+        self.pos += n
+        return chunk
+
+    def u8(self) -> int:
+        return self.take(1)[0]
+
+    def u32(self) -> int:
+        return struct.unpack("<I", self.take(4))[0]
+
+    def u64(self) -> int:
+        return struct.unpack("<Q", self.take(8))[0]
+
+    def i64(self) -> int:
+        return struct.unpack("<q", self.take(8))[0]
+
+    def f64(self) -> float:
+        return struct.unpack("<d", self.take(8))[0]
+
+    def done(self) -> bool:
+        return self.pos == len(self.data)
+
+
+def _decode(reader: _Reader, depth: int = 0) -> Any:
+    if depth > 32:
+        raise CodecError("nesting too deep")
+    tag = reader.u8()
+    if tag == _T_NONE:
+        return None
+    if tag == _T_BOOL:
+        flag = reader.u8()
+        if flag not in (0, 1):
+            raise CodecError(f"bad bool byte {flag}")
+        return bool(flag)
+    if tag == _T_INT:
+        return reader.i64()
+    if tag == _T_FLOAT:
+        return reader.f64()
+    if tag == _T_COMPLEX:
+        re_, im = struct.unpack("<dd", reader.take(16))
+        return complex(re_, im)
+    if tag == _T_STR:
+        raw = reader.take(reader.u32())
+        try:
+            return raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise CodecError(f"bad utf-8: {exc}") from None
+    if tag == _T_BYTES:
+        return reader.take(reader.u32())
+    if tag == _T_NDARRAY:
+        try:
+            dname = reader.take(reader.u8()).decode("ascii")
+        except UnicodeDecodeError as exc:
+            raise CodecError(f"bad dtype name bytes: {exc}") from None
+        if dname not in _ALLOWED_DTYPES:
+            raise CodecError(f"unsupported ndarray dtype {dname!r}")
+        ndim = reader.u8()
+        if ndim > _MAX_NDIM:
+            raise CodecError(f"ndarray rank {ndim} exceeds {_MAX_NDIM}")
+        shape = tuple(reader.i64() for _ in range(ndim))
+        if any(d < 0 for d in shape):
+            raise CodecError(f"negative dimension in {shape}")
+        nbytes = reader.u64()
+        dtype = np.dtype(dname)
+        expected = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        if nbytes != expected:
+            raise CodecError(
+                f"ndarray payload {nbytes} bytes, shape {shape} "
+                f"implies {expected}"
+            )
+        raw = reader.take(nbytes)
+        return np.frombuffer(raw, dtype=dtype).reshape(shape).copy()
+    if tag == _T_OBJREF:
+        raw = reader.take(reader.u32())
+        try:
+            return ObjectRef(raw.decode("utf-8"))
+        except UnicodeDecodeError as exc:
+            raise CodecError(f"bad utf-8 in object key: {exc}") from None
+    if tag == _T_LIST:
+        count = reader.u32()
+        if count > _MAX_CONTAINER:
+            raise CodecError("container too large")
+        return [_decode(reader, depth + 1) for _ in range(count)]
+    if tag == _T_DICT:
+        count = reader.u32()
+        if count > _MAX_CONTAINER:
+            raise CodecError("container too large")
+        out: dict[str, Any] = {}
+        for _ in range(count):
+            key = _decode(reader, depth + 1)
+            if not isinstance(key, str):
+                raise CodecError("dict key is not a string")
+            out[key] = _decode(reader, depth + 1)
+        return out
+    raise CodecError(f"unknown tag {tag}")
+
+
+def decode_value(data: bytes) -> Any:
+    """Decode a single tagged value; the buffer must be fully consumed."""
+    reader = _Reader(data)
+    value = _decode(reader)
+    if not reader.done():
+        raise CodecError(
+            f"{len(data) - reader.pos} trailing byte(s) after value"
+        )
+    return value
+
+
+# ----------------------------------------------------------------------
+# message framing
+# ----------------------------------------------------------------------
+def encode_message(msg: Message) -> bytes:
+    """Encode a message into one framed byte string."""
+    if type(msg).TYPE_CODE not in MESSAGE_TYPES:
+        raise CodecError(f"unregistered message type {type(msg).__name__}")
+    body = bytearray()
+    encode_value(msg.to_fields(), body)
+    header = HEADER.pack(MAGIC, PROTOCOL_VERSION, type(msg).TYPE_CODE, len(body))
+    return header + bytes(body)
+
+
+def decode_message(data: bytes) -> Message:
+    """Decode one framed message; the buffer must hold exactly one frame."""
+    if len(data) < HEADER.size:
+        raise CodecError(f"frame shorter than header ({len(data)} bytes)")
+    magic, version, type_code, length = HEADER.unpack_from(data)
+    if magic != MAGIC:
+        raise CodecError(f"bad magic {magic!r}")
+    if version != PROTOCOL_VERSION:
+        raise CodecError(f"protocol version {version}, expected {PROTOCOL_VERSION}")
+    if length > _MAX_BODY:
+        raise CodecError(f"body length {length} exceeds limit")
+    if len(data) != HEADER.size + length:
+        raise CodecError(
+            f"frame length mismatch: header says {length}, "
+            f"got {len(data) - HEADER.size}"
+        )
+    cls = MESSAGE_TYPES.get(type_code)
+    if cls is None:
+        raise CodecError(f"unknown message type code {type_code}")
+    fields = decode_value(data[HEADER.size :])
+    if not isinstance(fields, dict):
+        raise CodecError("message body is not a field dict")
+    return cls.from_fields(fields)
+
+
+def frame_size(msg: Message) -> int:
+    """Byte count of the encoded frame (what the simulated wire charges)."""
+    return len(encode_message(msg))

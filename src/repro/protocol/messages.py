@@ -1,0 +1,377 @@
+"""Typed protocol messages.
+
+Every message is a frozen dataclass with a unique ``TYPE_CODE`` used by
+the codec's frame header.  Field values are restricted to what the codec
+can carry: None, bool, int, float, complex, str, bytes, ndarray, and
+(possibly nested) tuples/lists/dicts of those.
+
+Protocol summary::
+
+    server -> agent : RegisterServer(pdl for its problems) -> RegisterAck
+    server -> agent : WorkloadReport (hysteretic policy)
+    client -> agent : DescribeProblem -> ProblemDescription (PDL text)
+    client -> agent : ListProblems -> ProblemList
+    client -> agent : QueryRequest(sizes) -> QueryReply(ranked Candidates)
+    client -> server: SolveRequest(inputs) -> SolveReply(outputs | error)
+    client -> agent : FailureReport (server misbehaved; agent marks suspect)
+    any    -> any   : Ping -> Pong (liveness)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Any, ClassVar
+
+from ..errors import ProtocolError
+
+__all__ = [
+    "Message",
+    "MESSAGE_TYPES",
+    "RegisterServer",
+    "RegisterAck",
+    "WorkloadReport",
+    "QueryRequest",
+    "Candidate",
+    "QueryReply",
+    "DescribeProblem",
+    "ProblemDescription",
+    "ListProblems",
+    "ProblemList",
+    "SolveRequest",
+    "SolveReply",
+    "FailureReport",
+    "TransferReport",
+    "ObjectRef",
+    "StoreObject",
+    "StoreAck",
+    "DeleteObject",
+    "Ping",
+    "Pong",
+]
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class; subclasses must define a unique TYPE_CODE."""
+
+    TYPE_CODE: ClassVar[int] = -1
+
+    def to_fields(self) -> dict[str, Any]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_fields(cls, data: dict[str, Any]) -> "Message":
+        names = {f.name for f in fields(cls)}
+        extra = set(data) - names
+        missing = names - set(data)
+        if extra or missing:
+            raise ProtocolError(
+                f"{cls.__name__}: bad field set "
+                f"(extra={sorted(extra)}, missing={sorted(missing)})"
+            )
+        # tuples flatten to lists on the wire; restore declared tuples
+        coerced = {}
+        for f in fields(cls):
+            value = data[f.name]
+            if isinstance(value, list):
+                value = tuple(value)
+            coerced[f.name] = value
+        return cls(**coerced)
+
+
+MESSAGE_TYPES: dict[int, type[Message]] = {}
+
+
+def _register(cls: type[Message]) -> type[Message]:
+    code = cls.TYPE_CODE
+    if code < 0:
+        raise ProtocolError(f"{cls.__name__} has no TYPE_CODE")
+    if code in MESSAGE_TYPES:
+        raise ProtocolError(
+            f"duplicate TYPE_CODE {code}: {cls.__name__} vs "
+            f"{MESSAGE_TYPES[code].__name__}"
+        )
+    MESSAGE_TYPES[code] = cls
+    return cls
+
+
+# ----------------------------------------------------------------------
+# server <-> agent
+# ----------------------------------------------------------------------
+@_register
+@dataclass(frozen=True)
+class RegisterServer(Message):
+    """Server announces itself and uploads its problem descriptions."""
+
+    TYPE_CODE: ClassVar[int] = 1
+
+    server_id: str
+    host: str
+    mflops: float
+    #: PDL text describing every problem this server can solve
+    problems_pdl: str
+    #: set on agent-to-agent mirror copies (never re-forwarded)
+    forwarded: bool = False
+    #: the server's own address (mirror copies carry it because the
+    #: transport-level src is the forwarding agent, not the server)
+    server_address: str = ""
+    #: dialable endpoint of the server for cross-process federations
+    server_endpoint: str = ""
+
+
+@_register
+@dataclass(frozen=True)
+class RegisterAck(Message):
+    TYPE_CODE: ClassVar[int] = 2
+
+    ok: bool
+    detail: str = ""
+
+
+@_register
+@dataclass(frozen=True)
+class WorkloadReport(Message):
+    """Periodic (hysteretic) workload broadcast; w = 100 x load average."""
+
+    TYPE_CODE: ClassVar[int] = 3
+
+    server_id: str
+    workload: float
+    #: set on agent-to-agent mirror copies (never re-forwarded)
+    forwarded: bool = False
+
+
+# ----------------------------------------------------------------------
+# client <-> agent
+# ----------------------------------------------------------------------
+@_register
+@dataclass(frozen=True)
+class QueryRequest(Message):
+    """Ask the agent for servers able to solve ``problem`` at ``sizes``."""
+
+    TYPE_CODE: ClassVar[int] = 4
+
+    problem: str
+    #: size-symbol bindings from the client's actual arguments
+    sizes: dict
+    client_host: str
+    #: server ids the client has already seen fail for this request
+    exclude: tuple = ()
+    #: client-chosen tag echoed in the reply (correlates concurrent queries)
+    tag: int = 0
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One ranked server candidate (plain record, nested inside replies)."""
+
+    server_id: str
+    address: str
+    host: str
+    predicted_seconds: float
+    #: dialable "ip:port" for cross-process transports ("" when the
+    #: logical address suffices, e.g. in simulation)
+    endpoint: str = ""
+
+    def to_fields(self) -> dict[str, Any]:
+        return {
+            "server_id": self.server_id,
+            "address": self.address,
+            "host": self.host,
+            "predicted_seconds": self.predicted_seconds,
+            "endpoint": self.endpoint,
+        }
+
+    @classmethod
+    def from_fields(cls, data: dict[str, Any]) -> "Candidate":
+        return cls(**data)
+
+
+@_register
+@dataclass(frozen=True)
+class QueryReply(Message):
+    TYPE_CODE: ClassVar[int] = 5
+
+    ok: bool
+    #: tuple of Candidate field-dicts, best first (codec carries dicts)
+    candidates: tuple = ()
+    detail: str = ""
+    #: echo of QueryRequest.tag
+    tag: int = 0
+    #: failure may clear up (empty pool) vs never will (unknown problem)
+    retryable: bool = False
+
+    def candidate_list(self) -> list[Candidate]:
+        return [Candidate.from_fields(c) for c in self.candidates]
+
+    @staticmethod
+    def from_candidates(cands: list[Candidate], tag: int = 0) -> "QueryReply":
+        return QueryReply(
+            ok=True, candidates=tuple(c.to_fields() for c in cands), tag=tag
+        )
+
+
+@_register
+@dataclass(frozen=True)
+class DescribeProblem(Message):
+    TYPE_CODE: ClassVar[int] = 6
+
+    problem: str
+
+
+@_register
+@dataclass(frozen=True)
+class ProblemDescription(Message):
+    TYPE_CODE: ClassVar[int] = 7
+
+    ok: bool
+    #: echo of the requested problem name
+    problem: str = ""
+    #: PDL text of the problem (exactly one block) when ok
+    pdl: str = ""
+    detail: str = ""
+
+
+@_register
+@dataclass(frozen=True)
+class ListProblems(Message):
+    TYPE_CODE: ClassVar[int] = 8
+
+    prefix: str = ""
+
+
+@_register
+@dataclass(frozen=True)
+class ProblemList(Message):
+    TYPE_CODE: ClassVar[int] = 9
+
+    names: tuple = ()
+    #: echo of ListProblems.prefix
+    prefix: str = ""
+
+
+# ----------------------------------------------------------------------
+# client <-> server
+# ----------------------------------------------------------------------
+@_register
+@dataclass(frozen=True)
+class SolveRequest(Message):
+    TYPE_CODE: ClassVar[int] = 10
+
+    request_id: int
+    problem: str
+    #: coerced input objects, in spec order
+    inputs: tuple
+    reply_to: str = ""
+
+
+@_register
+@dataclass(frozen=True)
+class SolveReply(Message):
+    TYPE_CODE: ClassVar[int] = 11
+
+    request_id: int
+    ok: bool
+    outputs: tuple = ()
+    detail: str = ""
+    #: virtual/wall seconds the computation took on the server
+    compute_seconds: float = 0.0
+
+
+# ----------------------------------------------------------------------
+# failure handling / liveness
+# ----------------------------------------------------------------------
+@_register
+@dataclass(frozen=True)
+class FailureReport(Message):
+    """Client tells the agent a server failed it (crash/timeout/error)."""
+
+    TYPE_CODE: ClassVar[int] = 12
+
+    server_id: str
+    problem: str
+    detail: str = ""
+    #: set on agent-to-agent mirror copies (never re-forwarded)
+    forwarded: bool = False
+
+
+@dataclass(frozen=True)
+class ObjectRef:
+    """Placeholder for an operand previously stored on the target server.
+
+    Appears *inside* ``SolveRequest.inputs``; the server swaps it for the
+    cached object before validation.  This is the data-locality half of
+    request sequencing: ship a large operand once, reference it in every
+    later request of the sequence.
+    """
+
+    key: str
+
+    def __post_init__(self) -> None:
+        if not self.key or len(self.key) > 128:
+            raise ProtocolError(f"bad object key {self.key!r}")
+
+
+@_register
+@dataclass(frozen=True)
+class StoreObject(Message):
+    """Client -> server: cache ``value`` under ``key`` for later reference."""
+
+    TYPE_CODE: ClassVar[int] = 16
+
+    key: str
+    value: object = None
+
+
+@_register
+@dataclass(frozen=True)
+class StoreAck(Message):
+    TYPE_CODE: ClassVar[int] = 17
+
+    key: str
+    ok: bool
+    nbytes: int = 0
+    detail: str = ""
+
+
+@_register
+@dataclass(frozen=True)
+class DeleteObject(Message):
+    """Client -> server: drop a cached object (StoreAck replies)."""
+
+    TYPE_CODE: ClassVar[int] = 18
+
+    key: str
+
+
+@_register
+@dataclass(frozen=True)
+class TransferReport(Message):
+    """Client feedback after a successful request: realized transfer
+    performance on the client-host <-> server-host path.  Feeds the
+    agent's learned network table (the NWS-style measurement loop)."""
+
+    TYPE_CODE: ClassVar[int] = 15
+
+    client_host: str
+    server_host: str
+    #: payload bytes moved in each direction (model-level object sizes)
+    nbytes: int
+    #: seconds spent moving them (attempt round trip minus server compute)
+    seconds: float
+
+
+@_register
+@dataclass(frozen=True)
+class Ping(Message):
+    TYPE_CODE: ClassVar[int] = 13
+
+    nonce: int = 0
+
+
+@_register
+@dataclass(frozen=True)
+class Pong(Message):
+    TYPE_CODE: ClassVar[int] = 14
+
+    nonce: int = 0

@@ -1,0 +1,347 @@
+"""Real-socket transport: the same components over localhost TCP.
+
+Each node owns a listening socket and an accept thread; every message is
+one short-lived connection carrying an envelope (sender's logical
+address) followed by one codec frame — the per-request-connection style
+of the original system.  Component entry points (message dispatch,
+timers, compute completions, and user-thread calls like
+``client.submit``) are serialized by a per-node re-entrant lock, so the
+sans-IO state machines need no thread awareness of their own.
+
+This transport exists to prove the protocol is real: the integration
+tests run a full agent/server/client deployment over actual sockets and
+get bit-identical results to the simulated runs.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+import time
+from typing import Any, Callable, Optional
+
+from ..errors import TransportClosed, TransportError
+from .codec import HEADER, decode_message, encode_message
+from .messages import Message
+from .transport import Component, Node, Promise
+
+__all__ = ["TcpNode", "TcpTransport", "ThreadPromise", "TcpSession"]
+
+_ENVELOPE = struct.Struct("<I")
+_ACCEPT_BACKLOG = 64
+_CONNECT_TIMEOUT = 5.0
+
+
+class ThreadPromise(Promise):
+    """Promise with a thread-blocking ``wait``."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._event = threading.Event()
+        self.on_settled(lambda _p: self._event.set())
+
+    def wait(self, timeout: float | None = None) -> Any:
+        """Block the calling thread until settled; returns the value or
+        raises the stored error (or TransportError on timeout)."""
+        if not self._event.wait(timeout):
+            raise TransportError(f"promise wait timed out after {timeout}s")
+        return self.result()
+
+
+def _read_exact(conn: socket.socket, n: int) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining > 0:
+        chunk = conn.recv(min(remaining, 1 << 16))
+        if not chunk:
+            raise TransportError("peer closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+class TcpNode(Node):
+    """A component endpoint on a real socket."""
+
+    def __init__(self, transport: "TcpTransport", address: str, port: int):
+        self.transport = transport
+        self.address = address
+        self.host_name = transport.host_name
+        self.component: Component | None = None
+        self.alive = True
+        self.lock = threading.RLock()
+        self._timers: list[threading.Timer] = []
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((transport.bind_ip, port))
+        self._listener.listen(_ACCEPT_BACKLOG)
+        self.port = self._listener.getsockname()[1]
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name=f"tcp-accept-{address}", daemon=True
+        )
+
+    def start(self) -> None:
+        self._accept_thread.start()
+
+    # ------------------------------------------------------------------
+    # Node API
+    # ------------------------------------------------------------------
+    def now(self) -> float:
+        return time.monotonic() - self.transport.epoch
+
+    def send(self, dest: str, msg: Message) -> None:
+        if not self.alive:
+            return
+        try:
+            ip, port = self.transport.resolve(dest)
+        except TransportError:
+            return  # unknown destination: drop, like a bad DNS name
+        frame = encode_message(msg)
+        src = self.address.encode("utf-8")
+        # advertise our own listening endpoint so a peer in another
+        # process learns the return path without manual directory setup
+        ret = f"{self.transport.advertise_ip}:{self.port}".encode("ascii")
+        payload = (
+            _ENVELOPE.pack(len(src)) + src + _ENVELOPE.pack(len(ret)) + ret + frame
+        )
+        try:
+            with socket.create_connection(
+                (ip, port), timeout=_CONNECT_TIMEOUT
+            ) as conn:
+                conn.sendall(payload)
+        except OSError:
+            return  # unreachable peer == dropped message
+
+    def call_after(self, delay: float, fn: Callable[[], None]):
+        if not self.alive:
+            raise TransportClosed(f"node {self.address!r} is down")
+
+        def guarded() -> None:
+            with self.lock:
+                if self.alive:
+                    fn()
+
+        timer = threading.Timer(delay, guarded)
+        timer.daemon = True
+        timer.start()
+        self._timers.append(timer)
+        if len(self._timers) > 64:
+            self._timers = [t for t in self._timers if t.is_alive()]
+        return _TimerHandle(timer)
+
+    def compute(
+        self,
+        flops: float,
+        thunk: Callable[[], Any],
+        done: Callable[[Any, float], None],
+    ) -> None:
+        if not self.alive:
+            raise TransportClosed(f"node {self.address!r} is down")
+
+        def run() -> None:
+            t0 = time.perf_counter()
+            try:
+                result: Any = thunk()
+            except Exception as exc:
+                result = exc
+            elapsed = time.perf_counter() - t0
+            with self.lock:
+                if self.alive:
+                    done(result, elapsed)
+
+        worker = threading.Thread(
+            target=run, name=f"compute-{self.address}", daemon=True
+        )
+        worker.start()
+
+    def sample_workload(self) -> float:
+        """100 x the 1-minute UNIX load average of this machine."""
+        try:
+            import os
+
+            return 100.0 * os.getloadavg()[0]
+        except (OSError, AttributeError):  # pragma: no cover - non-UNIX
+            return 0.0
+
+    def endpoint_of(self, address: str) -> str:
+        try:
+            ip, port = self.transport.resolve(address)
+        except TransportError:
+            return ""
+        return f"{ip}:{port}"
+
+    def learn_endpoint(self, address: str, endpoint: str) -> None:
+        try:
+            ip, port_text = endpoint.rsplit(":", 1)
+            self.transport.learn_peer(address, ip, int(port_text))
+        except ValueError:
+            pass  # malformed endpoint: keep whatever we had
+
+    def promise(self) -> ThreadPromise:
+        return ThreadPromise()
+
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while self.alive:
+            try:
+                conn, _peer = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            threading.Thread(
+                target=self._serve_conn,
+                args=(conn,),
+                name=f"tcp-conn-{self.address}",
+                daemon=True,
+            ).start()
+
+    def _serve_conn(self, conn: socket.socket) -> None:
+        try:
+            with conn:
+                conn.settimeout(_CONNECT_TIMEOUT)
+                (src_len,) = _ENVELOPE.unpack(_read_exact(conn, _ENVELOPE.size))
+                src = _read_exact(conn, src_len).decode("utf-8")
+                (ret_len,) = _ENVELOPE.unpack(_read_exact(conn, _ENVELOPE.size))
+                ret = _read_exact(conn, ret_len).decode("ascii")
+                header = _read_exact(conn, HEADER.size)
+                _magic, _ver, _type, length = HEADER.unpack(header)
+                body = _read_exact(conn, length)
+                msg = decode_message(header + body)
+        except (TransportError, OSError, Exception):
+            return  # malformed peer: drop the connection, stay up
+        # learn the sender's return path (no-op for same-process nodes)
+        try:
+            ip, port_text = ret.rsplit(":", 1)
+            self.transport.learn_peer(src, ip, int(port_text))
+        except ValueError:
+            return  # malformed return endpoint: drop
+        with self.lock:
+            if self.alive and self.component is not None:
+                self.component.on_message(src, msg)
+
+    def shutdown(self) -> None:
+        with self.lock:
+            self.alive = False
+        for t in self._timers:
+            t.cancel()
+        self._timers.clear()
+        try:
+            self._listener.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+class _TimerHandle:
+    __slots__ = ("_timer",)
+
+    def __init__(self, timer: threading.Timer):
+        self._timer = timer
+
+    def cancel(self) -> None:
+        self._timer.cancel()
+
+
+class TcpTransport:
+    """A directory of TCP nodes on this machine."""
+
+    def __init__(
+        self,
+        *,
+        bind_ip: str = "127.0.0.1",
+        host_name: str | None = None,
+        advertise_ip: str | None = None,
+    ):
+        self.bind_ip = bind_ip
+        #: the IP peers should dial back; defaults to the bind address
+        self.advertise_ip = advertise_ip or bind_ip
+        self.host_name = host_name or socket.gethostname()
+        self.epoch = time.monotonic()
+        self.nodes: dict[str, TcpNode] = {}
+        self._directory: dict[str, tuple[str, int]] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def add_node(
+        self, address: str, component: Component, *, port: int = 0
+    ) -> TcpNode:
+        with self._lock:
+            if address in self.nodes:
+                raise TransportError(f"duplicate node address {address!r}")
+            node = TcpNode(self, address, port)
+            self.nodes[address] = node
+            self._directory[address] = (self.bind_ip, node.port)
+        node.component = component
+        node.start()
+        with node.lock:
+            component.bind(node)
+        return node
+
+    def register_remote(self, address: str, ip: str, port: int) -> None:
+        """Add a node living in another process to the directory."""
+        with self._lock:
+            self._directory[address] = (ip, port)
+
+    def learn_peer(self, address: str, ip: str, port: int) -> None:
+        """Record a sender's return path, never shadowing local nodes or
+        explicit ``register_remote`` entries for local addresses."""
+        with self._lock:
+            if address in self.nodes:
+                return  # local node: the directory entry is already right
+            self._directory[address] = (ip, port)
+
+    def resolve(self, address: str) -> tuple[str, int]:
+        with self._lock:
+            try:
+                return self._directory[address]
+            except KeyError:
+                raise TransportError(f"unknown address {address!r}") from None
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        with self._lock:
+            nodes = list(self.nodes.values())
+        for node in nodes:
+            node.shutdown()
+
+    def __enter__(self) -> "TcpTransport":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+class TcpSession:
+    """:class:`repro.capi.Session` flavour for TCP deployments."""
+
+    def __init__(self, client_node: TcpNode, timeout: float = 60.0):
+        from ..core.client import NetSolveClient
+
+        if not isinstance(client_node.component, NetSolveClient):
+            raise TransportError("node does not host a NetSolveClient")
+        self.node = client_node
+        self.client = client_node.component
+        self.timeout = timeout
+
+    def submit(self, problem: str, args: list) -> Any:
+        """Thread-safe submit through the node lock."""
+        with self.node.lock:
+            return self.client.submit(problem, args)
+
+    def list_problems(self, prefix: str = "") -> Any:
+        with self.node.lock:
+            return self.client.list_problems(prefix)
+
+    def drive_result(self, promise) -> Any:
+        """Wait on a promise and return its value (CLI convenience)."""
+        self.drive(promise)
+        return promise.result()
+
+    def drive(self, promise) -> None:
+        if isinstance(promise, ThreadPromise):
+            promise.wait(self.timeout)
+        else:  # pragma: no cover - defensive
+            deadline = time.monotonic() + self.timeout
+            while not promise.done:
+                if time.monotonic() > deadline:
+                    raise TransportError("promise wait timed out")
+                time.sleep(0.005)

@@ -1,0 +1,351 @@
+"""Transport abstraction and the simulated transport.
+
+The NetSolve components (agent, server, client) are *sans-IO state
+machines*: they hold no sockets and no clocks, only a :class:`Node`
+handle offering ``send``/``call_after``/``compute``/``now``.  Whatever
+drives the node — virtual time here, real sockets in
+:mod:`repro.protocol.tcp` — the component logic is byte-for-byte the
+same, which is what makes simulated performance results honest about
+protocol behaviour.
+
+``SimNode.send`` *encodes* every message and charges the simulated wire
+with the encoded byte count, then decodes at delivery — so codec bugs
+surface in every simulation, and message sizes are real, not modelled.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..errors import NetSolveError, SimulationError, TransportClosed, TransportError
+from ..simnet.kernel import EventKernel, Timer
+from ..simnet.network import Topology
+from .codec import decode_message, encode_message
+from .messages import Message
+
+__all__ = ["Component", "Promise", "Node", "SimNode", "SimTransport"]
+
+
+class Component:
+    """Base class for protocol participants."""
+
+    node: "Node | None" = None
+
+    def bind(self, node: "Node") -> None:
+        if self.node is not None:
+            raise TransportError("component already bound to a node")
+        self.node = node
+        self.on_bind()
+
+    def on_bind(self) -> None:
+        """Hook run once the node is attached (register timers here)."""
+
+    def on_restart(self) -> None:
+        """Hook run when a crashed node is revived (the daemon's restart
+        path): re-arm timers, re-register, drop in-flight state."""
+
+    def on_message(self, src: str, msg: Message) -> None:
+        raise NotImplementedError
+
+
+class Promise:
+    """One-shot result container resolvable with a value or an error.
+
+    The waiting side is transport-specific: the simulated transport runs
+    the event loop until resolution; the TCP transport blocks a thread.
+    """
+
+    __slots__ = ("_done", "_value", "_error", "_callbacks")
+
+    def __init__(self) -> None:
+        self._done = False
+        self._value: Any = None
+        self._error: Optional[BaseException] = None
+        self._callbacks: list[Callable[["Promise"], None]] = []
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    def resolve(self, value: Any) -> None:
+        self._settle(value, None)
+
+    def reject(self, error: BaseException) -> None:
+        if not isinstance(error, BaseException):  # pragma: no cover
+            raise TransportError("reject requires an exception instance")
+        self._settle(None, error)
+
+    def _settle(self, value: Any, error: Optional[BaseException]) -> None:
+        if self._done:
+            raise TransportError("promise settled twice")
+        self._done = True
+        self._value = value
+        self._error = error
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            cb(self)
+
+    def on_settled(self, cb: Callable[["Promise"], None]) -> None:
+        if self._done:
+            cb(self)
+        else:
+            self._callbacks.append(cb)
+
+    def result(self) -> Any:
+        if not self._done:
+            raise TransportError("promise not yet settled")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    @property
+    def error(self) -> Optional[BaseException]:
+        return self._error
+
+
+class Node:
+    """Abstract runtime handle given to a component.
+
+    Subclasses provide the five primitives; everything else in the
+    system is built from them.
+    """
+
+    address: str
+    #: name of the machine this node runs on (the predictor's host key)
+    host_name: str
+
+    def now(self) -> float:
+        raise NotImplementedError
+
+    def send(self, dest: str, msg: Message) -> None:
+        raise NotImplementedError
+
+    def call_after(self, delay: float, fn: Callable[[], None]):
+        """Schedule ``fn``; returns a handle with ``cancel()``."""
+        raise NotImplementedError
+
+    def compute(
+        self,
+        flops: float,
+        thunk: Callable[[], Any],
+        done: Callable[[Any, float], None],
+    ) -> None:
+        """Run ``thunk`` as a CPU job costing ``flops``.
+
+        ``done(result, elapsed_seconds)`` is called on completion;
+        ``result`` is the thunk's return value or the exception it
+        raised (exceptions are passed, not raised, so the component can
+        turn them into error replies).
+        """
+        raise NotImplementedError
+
+    def sample_workload(self) -> float:
+        """Current workload of this node's host (100 x load average)."""
+        raise NotImplementedError
+
+    def endpoint_of(self, address: str) -> str:
+        """Dialable endpoint for ``address`` ("" when logical addresses
+        route directly, as in simulation)."""
+        return ""
+
+    def learn_endpoint(self, address: str, endpoint: str) -> None:
+        """Record a dialable endpoint for a logical address (no-op in
+        simulation)."""
+
+    def promise(self) -> Promise:
+        return Promise()
+
+
+class SimNode(Node):
+    """A node placed on a simulated host."""
+
+    def __init__(
+        self, transport: "SimTransport", address: str, host_name: str
+    ):
+        self.transport = transport
+        self.address = address
+        self.host_name = host_name
+        self.alive = True
+        self.component: Component | None = None
+        self._timers: list[Timer] = []
+        self._jobs: list = []
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    # -- Node API ------------------------------------------------------
+    def now(self) -> float:
+        return self.transport.kernel.now
+
+    def send(self, dest: str, msg: Message) -> None:
+        if not self.alive:
+            return  # a crashed node emits nothing
+        self.transport._deliver(self, dest, msg)
+
+    def call_after(self, delay: float, fn: Callable[[], None]) -> Timer:
+        if not self.alive:
+            raise TransportClosed(f"node {self.address!r} is down")
+
+        def guarded() -> None:
+            if self.alive:
+                fn()
+
+        timer = self.transport.kernel.call_after(delay, guarded)
+        self._timers.append(timer)
+        if len(self._timers) > 64:  # keep the teardown list bounded
+            self._timers = [t for t in self._timers if not t.cancelled]
+        return timer
+
+    def compute(
+        self,
+        flops: float,
+        thunk: Callable[[], Any],
+        done: Callable[[Any, float], None],
+    ) -> None:
+        if not self.alive:
+            raise TransportClosed(f"node {self.address!r} is down")
+        host = self.transport.topology.host(self.host_name)
+        # run the real computation now (real time is cheap); deliver the
+        # result when the virtual CPU job finishes.
+        try:
+            result: Any = thunk()
+        except NetSolveError as exc:
+            result = exc
+        except Exception as exc:  # handler bug: still reply, don't wedge
+            result = exc
+        job = host.submit_job(flops, name=self.address)
+        self._jobs.append(job)
+
+        def finish(elapsed: float) -> None:
+            if self.alive:
+                done(result, elapsed)
+
+        job.done.add_callback(finish)
+
+    def sample_workload(self) -> float:
+        return self.transport.topology.host(self.host_name).workload
+
+    # -- lifecycle -----------------------------------------------------
+    def _shutdown(self) -> None:
+        self.alive = False
+        for t in self._timers:
+            t.cancel()
+        self._timers.clear()
+        for job in self._jobs:
+            job.cancel()
+        self._jobs.clear()
+
+
+class SimTransport:
+    """Routes encoded messages between :class:`SimNode`\\ s over a
+    :class:`~repro.simnet.network.Topology`."""
+
+    def __init__(self, topology: Topology):
+        self.topology = topology
+        self.kernel: EventKernel = topology.kernel
+        self.nodes: dict[str, SimNode] = {}
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+        self.messages_lost = 0
+        self._loss_rate = 0.0
+        self._loss_rng = None
+
+    def set_message_loss(self, rate: float, rng) -> None:
+        """Drop each message independently with probability ``rate``.
+
+        Models a lossy path without transport-level retransmission — the
+        stress case for the request-level retry loop.  Deterministic
+        under the supplied generator.
+        """
+        if not 0.0 <= rate < 1.0:
+            raise SimulationError("loss rate must be in [0, 1)")
+        if rate > 0.0 and rng is None:
+            raise SimulationError("message loss needs an rng")
+        self._loss_rate = float(rate)
+        self._loss_rng = rng
+
+    # ------------------------------------------------------------------
+    def add_node(
+        self, address: str, host_name: str, component: Component
+    ) -> SimNode:
+        """Place ``component`` at ``address`` on host ``host_name``."""
+        if address in self.nodes:
+            raise SimulationError(f"duplicate node address {address!r}")
+        self.topology.host(host_name)  # validate early
+        node = SimNode(self, address, host_name)
+        node.component = component
+        self.nodes[address] = node
+        component.bind(node)
+        return node
+
+    def node(self, address: str) -> SimNode:
+        try:
+            return self.nodes[address]
+        except KeyError:
+            raise SimulationError(f"unknown node {address!r}") from None
+
+    # ------------------------------------------------------------------
+    def _deliver(self, src: SimNode, dest: str, msg: Message) -> None:
+        wire = encode_message(msg)
+        src.messages_sent += 1
+        src.bytes_sent += len(wire)
+        dest_node = self.nodes.get(dest)
+        if dest_node is None:
+            # unknown destination: bytes still burn the wire if we know
+            # the host; with no host to route to, drop at the source.
+            self.messages_dropped += 1
+            return
+        if self._loss_rate > 0.0 and self._loss_rng.random() < self._loss_rate:
+            self.messages_lost += 1
+            return
+        transfer = self.topology.transfer(
+            src.host_name, dest_node.host_name, len(wire)
+        )
+
+        def arrive(_plan) -> None:
+            node = self.nodes.get(dest)
+            if node is None or not node.alive or node.component is None:
+                self.messages_dropped += 1
+                return
+            self.messages_delivered += 1
+            node.component.on_message(src.address, decode_message(wire))
+
+        transfer.add_callback(arrive)
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+    def crash(self, address: str) -> None:
+        """Kill a node: timers cancelled, CPU jobs aborted, messages to
+        and from it silently dropped — exactly what a machine crash
+        looks like from the network."""
+        self.node(address)._shutdown()
+
+    def revive(self, address: str) -> None:
+        """Bring a crashed node back: the component's ``on_restart`` runs
+        so the daemon re-arms timers and re-registers."""
+        node = self.node(address)
+        if node.alive:
+            raise SimulationError(f"node {address!r} is not down")
+        node.alive = True
+        if node.component is not None:
+            node.component.on_restart()
+
+    def is_alive(self, address: str) -> bool:
+        return self.node(address).alive
+
+    # ------------------------------------------------------------------
+    # driving
+    # ------------------------------------------------------------------
+    def run_until(self, promise: Promise, *, limit: float | None = None) -> Any:
+        """Run virtual time forward until ``promise`` settles.
+
+        Returns the promise's value or raises its error; raises
+        :class:`SimulationError` on deadlock or when ``limit`` passes
+        first.
+        """
+        self.kernel.run(until=limit, stop=lambda: promise.done)
+        if not promise.done:
+            raise SimulationError(
+                f"promise never settled (now={self.kernel.now:.3f})"
+            )
+        return promise.result()

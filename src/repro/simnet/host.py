@@ -1,0 +1,249 @@
+"""Simulated computational hosts.
+
+A :class:`SimHost` models a 1996-era workstation or MPP node: a peak
+floating-point rating in Mflop/s, a UNIX-style load average, and a
+processor-sharing CPU.  Foreground jobs (NetSolve requests executing on
+the host) and background load (other users of a shared machine) compete
+for the CPU; with ``n`` foreground jobs and background load ``l`` each
+job progresses at ``peak / (n + l)`` — which reduces, for a single job,
+to the workload model NetSolve's agent assumes:
+
+    effective = peak * 100 / (100 + w)        with  w = 100 * l.
+
+The host keeps a step-function history of its load average so experiments
+can compare the *true* load signal against the agent's belief (figure F2).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import SimulationError
+from .kernel import Event, EventKernel, Timer
+
+__all__ = ["SimHost", "JobHandle"]
+
+
+@dataclass
+class _Job:
+    job_id: int
+    name: str
+    remaining_flops: float
+    started_at: float
+    done: Event
+
+
+class JobHandle:
+    """Public handle for a submitted CPU job."""
+
+    __slots__ = ("job_id", "name", "done", "_host")
+
+    def __init__(self, job_id: int, name: str, done: Event, host: "SimHost"):
+        self.job_id = job_id
+        self.name = name
+        #: fires with the job's elapsed wall-clock (virtual) seconds
+        self.done = done
+        self._host = host
+
+    def cancel(self) -> bool:
+        """Abort the job; returns True if it was still running."""
+        return self._host._cancel_job(self.job_id)
+
+
+class SimHost:
+    """A host with a processor-sharing CPU and a load-average signal."""
+
+    _ids = itertools.count()
+
+    def __init__(
+        self,
+        name: str,
+        kernel: EventKernel,
+        mflops: float,
+        *,
+        background_load: float = 0.0,
+    ):
+        if mflops <= 0:
+            raise SimulationError(f"host {name!r}: mflops must be positive")
+        if background_load < 0:
+            raise SimulationError(f"host {name!r}: background load must be >= 0")
+        self.name = name
+        self.kernel = kernel
+        self.mflops = float(mflops)
+        self._background = float(background_load)
+        self._active: dict[int, _Job] = {}
+        self._last_update = kernel.now
+        self._completion_timer: Optional[Timer] = None
+        #: (time, load_average) step function, for ground-truth plots
+        self.load_history: list[tuple[float, float]] = [
+            (kernel.now, self.load_average)
+        ]
+        self.jobs_completed = 0
+        self.busy_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # observable state
+    # ------------------------------------------------------------------
+    @property
+    def peak_flops(self) -> float:
+        """Peak rate in flop/s."""
+        return self.mflops * 1e6
+
+    @property
+    def background_load(self) -> float:
+        return self._background
+
+    @property
+    def active_jobs(self) -> int:
+        return len(self._active)
+
+    @property
+    def load_average(self) -> float:
+        """UNIX-style load: background runnable processes + our own jobs."""
+        return self._background + len(self._active)
+
+    @property
+    def workload(self) -> float:
+        """NetSolve workload units: 100 x load average."""
+        return 100.0 * self.load_average
+
+    def effective_flops(self, extra_jobs: int = 0) -> float:
+        """flop/s one job would get if ``extra_jobs`` more were running."""
+        competitors = self._background + len(self._active) + extra_jobs
+        share = max(competitors, 1.0)
+        return self.peak_flops / share
+
+    def estimate_seconds(self, flops: float) -> float:
+        """Ground-truth estimate for one *additional* job, at current load."""
+        if flops < 0:
+            raise SimulationError("flops must be >= 0")
+        return flops / self.effective_flops(extra_jobs=1)
+
+    # ------------------------------------------------------------------
+    # processor-sharing engine
+    # ------------------------------------------------------------------
+    def _rate_per_job(self) -> float:
+        n = len(self._active)
+        if n == 0:
+            return 0.0
+        return self.peak_flops / (self._background + n)
+
+    def _advance(self) -> None:
+        """Burn CPU between the last update and now for all active jobs."""
+        now = self.kernel.now
+        elapsed = now - self._last_update
+        if elapsed > 0 and self._active:
+            rate = self._rate_per_job()
+            burned = rate * elapsed
+            for job in self._active.values():
+                job.remaining_flops = max(0.0, job.remaining_flops - burned)
+            self.busy_seconds += elapsed
+        self._last_update = now
+
+    def _reschedule(self) -> None:
+        """Arm a timer for the earliest job completion under current rates."""
+        if self._completion_timer is not None:
+            self._completion_timer.cancel()
+            self._completion_timer = None
+        if not self._active:
+            return
+        rate = self._rate_per_job()
+        if rate <= 0:  # pragma: no cover - background load is finite
+            raise SimulationError(f"host {self.name!r}: zero CPU rate")
+        soonest = min(job.remaining_flops for job in self._active.values())
+        delay = soonest / rate
+        # Guard against float underflow producing a time strictly in the past.
+        if delay < 0 or not math.isfinite(delay):
+            raise SimulationError(f"host {self.name!r}: bad completion delay {delay}")
+        self._completion_timer = self.kernel.call_after(delay, self._complete_due)
+
+    def _complete_due(self) -> None:
+        self._completion_timer = None
+        self._advance()
+        # Finish every job that has (within float noise) no work left.
+        eps = 1e-9 * self.peak_flops
+        finished = [j for j in self._active.values() if j.remaining_flops <= eps]
+        for job in finished:
+            del self._active[job.job_id]
+            self.jobs_completed += 1
+            job.done.succeed(self.kernel.now - job.started_at)
+        self._record_load()
+        self._reschedule()
+
+    def _record_load(self) -> None:
+        now = self.kernel.now
+        load = self.load_average
+        if self.load_history and self.load_history[-1][0] == now:
+            self.load_history[-1] = (now, load)
+        elif not self.load_history or self.load_history[-1][1] != load:
+            self.load_history.append((now, load))
+
+    # ------------------------------------------------------------------
+    # public operations
+    # ------------------------------------------------------------------
+    def submit_job(self, flops: float, name: str = "job") -> JobHandle:
+        """Start a CPU job of ``flops`` floating-point operations.
+
+        The returned handle's ``done`` event fires with the job's elapsed
+        virtual seconds.  Zero-flop jobs complete after one zero-delay
+        event (never synchronously), so callers can rely on callback
+        ordering.
+        """
+        if flops < 0:
+            raise SimulationError("flops must be >= 0")
+        self._advance()
+        job_id = next(self._ids)
+        job = _Job(
+            job_id=job_id,
+            name=name,
+            remaining_flops=float(flops),
+            started_at=self.kernel.now,
+            done=self.kernel.event(),
+        )
+        self._active[job_id] = job
+        self._record_load()
+        self._reschedule()
+        return JobHandle(job_id, name, job.done, self)
+
+    def _cancel_job(self, job_id: int) -> bool:
+        if job_id not in self._active:
+            return False
+        # Burn CPU up to now at the rate that *included* this job, then drop it.
+        self._advance()
+        del self._active[job_id]
+        self._record_load()
+        self._reschedule()
+        return True
+
+    def set_background_load(self, load: float) -> None:
+        """Set the background load average (>= 0); takes effect immediately."""
+        if load < 0:
+            raise SimulationError("background load must be >= 0")
+        if load == self._background:
+            return
+        self._advance()
+        self._background = float(load)
+        self._record_load()
+        self._reschedule()
+
+    def load_at(self, t: float) -> float:
+        """Ground-truth load average at virtual time ``t`` (step function)."""
+        if not self.load_history or t < self.load_history[0][0]:
+            raise SimulationError(f"no load history at t={t}")
+        lo, hi = 0, len(self.load_history)
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if self.load_history[mid][0] <= t:
+                lo = mid
+            else:
+                hi = mid
+        return self.load_history[lo][1]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<SimHost {self.name!r} {self.mflops:g} Mflop/s "
+            f"load={self.load_average:.2f} jobs={len(self._active)}>"
+        )

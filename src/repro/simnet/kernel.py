@@ -1,0 +1,351 @@
+"""Discrete-event simulation kernel.
+
+A minimal, fast, deterministic event loop: a binary heap of
+``(time, priority, sequence, callback)`` entries.  Ties on time are broken
+first by an explicit priority, then by insertion order, so runs are fully
+reproducible.  Virtual time is a float in seconds and never flows
+backwards.
+
+The kernel deliberately exposes *two* programming styles:
+
+* callback style — ``kernel.call_at`` / ``kernel.call_after`` schedule a
+  plain callable; this is what the protocol state machines use, and
+* process style — :class:`Process` wraps a generator that ``yield``s
+  delays (or :class:`Event` objects to wait on), which reads naturally
+  for background load generators and failure injectors.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from ..errors import SimulationError
+
+__all__ = ["EventKernel", "Event", "Timer", "Process"]
+
+
+class Timer:
+    """Handle for a scheduled callback; supports cancellation.
+
+    A cancelled timer stays in the heap but is skipped when popped
+    (lazy deletion), which keeps cancellation O(1).
+    """
+
+    __slots__ = ("time", "callback", "cancelled", "seq")
+
+    def __init__(self, time: float, callback: Callable[[], None], seq: int):
+        self.time = time
+        self.callback = callback
+        self.cancelled = False
+        self.seq = seq
+
+    def cancel(self) -> None:
+        self.cancelled = True
+        self.callback = _noop
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else "armed"
+        return f"<Timer t={self.time:.6f} {state}>"
+
+
+def _noop() -> None:
+    return None
+
+
+class Event:
+    """One-shot condition processes can wait on.
+
+    ``succeed(value)`` wakes every waiter exactly once; late waiters are
+    woken immediately with the stored value.
+    """
+
+    __slots__ = ("kernel", "_value", "_fired", "_waiters")
+
+    def __init__(self, kernel: "EventKernel"):
+        self.kernel = kernel
+        self._value: Any = None
+        self._fired = False
+        self._waiters: list[Callable[[Any], None]] = []
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+    @property
+    def value(self) -> Any:
+        if not self._fired:
+            raise SimulationError("event value read before it fired")
+        return self._value
+
+    def succeed(self, value: Any = None) -> None:
+        if self._fired:
+            raise SimulationError("event fired twice")
+        self._fired = True
+        self._value = value
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            # Wake-ups run as fresh events at the current time so firing
+            # order between waiters is the registration order.
+            self.kernel.call_after(0.0, lambda w=waiter: w(value))
+
+    def add_callback(self, fn: Callable[[Any], None]) -> None:
+        if self._fired:
+            self.kernel.call_after(0.0, lambda: fn(self._value))
+        else:
+            self._waiters.append(fn)
+
+
+class Process:
+    """Generator-based simulated process.
+
+    The generator may ``yield``:
+
+    * a non-negative float — sleep that many virtual seconds,
+    * an :class:`Event` — suspend until it fires; the event's value is
+      sent back into the generator.
+
+    Returning (or ``StopIteration``) ends the process and fires its
+    ``done`` event with the return value.
+    """
+
+    __slots__ = ("kernel", "name", "done", "_gen", "_alive")
+
+    def __init__(
+        self,
+        kernel: "EventKernel",
+        gen: Generator[Any, Any, Any],
+        name: str = "process",
+    ):
+        self.kernel = kernel
+        self.name = name
+        self.done = Event(kernel)
+        self._gen = gen
+        self._alive = True
+        kernel.call_after(0.0, lambda: self._step(None))
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    def interrupt(self) -> None:
+        """Terminate the process at its next resumption point."""
+        if not self._alive:
+            return
+        self._alive = False
+        self._gen.close()
+        if not self.done.fired:
+            self.done.succeed(None)
+
+    def _step(self, sent: Any) -> None:
+        if not self._alive:
+            return
+        try:
+            yielded = self._gen.send(sent)
+        except StopIteration as stop:
+            self._alive = False
+            self.done.succeed(getattr(stop, "value", None))
+            return
+        if isinstance(yielded, Event):
+            yielded.add_callback(self._step)
+        elif isinstance(yielded, (int, float)):
+            if yielded < 0:
+                self._alive = False
+                raise SimulationError(
+                    f"process {self.name!r} yielded negative delay {yielded}"
+                )
+            self.kernel.call_after(float(yielded), lambda: self._step(None))
+        else:
+            self._alive = False
+            raise SimulationError(
+                f"process {self.name!r} yielded {type(yielded).__name__}; "
+                "expected float delay or Event"
+            )
+
+
+class EventKernel:
+    """The virtual clock and event heap.
+
+    Notes
+    -----
+    ``priority`` orders simultaneous events: lower runs first.  The
+    default priority (0) suffices almost everywhere; transports use a
+    slightly higher value for delivery so that local bookkeeping scheduled
+    "now" runs before message arrival at the same instant.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[tuple[float, int, int, Timer]] = []
+        self._seq = itertools.count()
+        self._running = False
+        self.events_processed = 0
+
+    # ------------------------------------------------------------------
+    # clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def call_at(
+        self, when: float, fn: Callable[[], None], priority: int = 0
+    ) -> Timer:
+        """Schedule ``fn`` to run at absolute virtual time ``when``."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule in the past: {when} < now {self._now}"
+            )
+        seq = next(self._seq)
+        timer = Timer(when, fn, seq)
+        heapq.heappush(self._heap, (when, priority, seq, timer))
+        return timer
+
+    def call_after(
+        self, delay: float, fn: Callable[[], None], priority: int = 0
+    ) -> Timer:
+        """Schedule ``fn`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.call_at(self._now + delay, fn, priority)
+
+    def every(
+        self,
+        interval: float,
+        fn: Callable[[], None],
+        *,
+        start: float | None = None,
+        jitter: Callable[[], float] | None = None,
+    ) -> Timer:
+        """Run ``fn`` periodically.  Returns the timer of the *next* firing.
+
+        Cancelling the returned timer stops the cycle *only before its
+        first firing*; for an always-cancellable periodic task, wrap in a
+        :class:`Process`.  ``jitter()`` (if given) is added to each
+        interval — it must return a value > -interval.
+        """
+        if interval <= 0:
+            raise SimulationError("interval must be positive")
+        holder: dict[str, Timer] = {}
+
+        def tick() -> None:
+            fn()
+            delay = interval + (jitter() if jitter else 0.0)
+            if delay <= 0:
+                raise SimulationError("jitter produced non-positive period")
+            holder["timer"] = self.call_after(delay, tick)
+
+        first = self._now + (interval if start is None else max(0.0, start - self._now))
+        holder["timer"] = self.call_at(first, tick)
+        return holder["timer"]
+
+    def event(self) -> Event:
+        """Create a fresh one-shot :class:`Event` bound to this kernel."""
+        return Event(self)
+
+    def process(
+        self, gen: Generator[Any, Any, Any], name: str = "process"
+    ) -> Process:
+        """Spawn a generator-based :class:`Process`."""
+        return Process(self, gen, name)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Run the next pending event.  Returns False if the heap is empty."""
+        while self._heap:
+            when, _prio, _seq, timer = heapq.heappop(self._heap)
+            if timer.cancelled:
+                continue
+            self._now = when
+            self.events_processed += 1
+            timer.callback()
+            return True
+        return False
+
+    def run(
+        self,
+        until: float | None = None,
+        *,
+        stop: Callable[[], bool] | None = None,
+        max_events: int | None = None,
+    ) -> float:
+        """Drain the event heap.
+
+        Parameters
+        ----------
+        until:
+            Stop once virtual time would exceed this bound; the clock is
+            advanced exactly to ``until`` on exit so back-to-back ``run``
+            calls compose.
+        stop:
+            Optional predicate checked after every event.
+        max_events:
+            Safety valve against runaway loops; raises on breach.
+
+        Returns
+        -------
+        float
+            Virtual time at exit.
+        """
+        if self._running:
+            raise SimulationError("kernel.run is not re-entrant")
+        self._running = True
+        processed = 0
+        try:
+            while self._heap:
+                when = self._heap[0][0]
+                if until is not None and when > until:
+                    self._now = until
+                    break
+                if not self.step():
+                    break
+                processed += 1
+                if max_events is not None and processed > max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; runaway simulation?"
+                    )
+                if stop is not None and stop():
+                    break
+            else:
+                if until is not None and until > self._now:
+                    self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def run_until(self, event: Event, *, limit: float | None = None) -> Any:
+        """Run until ``event`` fires; return its value.
+
+        Raises :class:`SimulationError` if the heap drains (or ``limit``
+        is hit) first — the simulated system deadlocked.
+        """
+        self.run(until=limit, stop=lambda: event.fired)
+        if not event.fired:
+            raise SimulationError(
+                "run_until: event never fired "
+                f"(now={self._now:.3f}, pending={len(self._heap)})"
+            )
+        return event.value
+
+    def pending(self) -> int:
+        """Number of live (non-cancelled) scheduled events."""
+        return sum(1 for *_x, t in self._heap if not t.cancelled)
+
+    def peek(self) -> Optional[float]:
+        """Time of the next live event, or None."""
+        for when, _p, _s, timer in sorted(self._heap)[:]:
+            if not timer.cancelled:
+                return when
+        return None
+
+    def drain(self, timers: Iterable[Timer]) -> None:
+        """Cancel a batch of timers (convenience for teardown)."""
+        for t in timers:
+            t.cancel()

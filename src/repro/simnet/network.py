@@ -1,0 +1,213 @@
+"""Simulated network: hosts joined by point-to-point links.
+
+Links have propagation latency (seconds) and bandwidth (bytes/second) and
+are full duplex: each direction is an independent FIFO resource.  A
+message occupies its direction for ``nbytes / bandwidth`` seconds
+(serialization) and arrives ``latency`` seconds after its last byte left,
+so back-to-back messages pipeline the way store-and-forward hardware
+does.  This is deliberately the same two-parameter (latency, bandwidth)
+model NetSolve's agent uses to predict transfer cost — the experiments
+then measure how contention and overhead make reality deviate from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..errors import SimulationError
+from .host import SimHost
+from .kernel import Event, EventKernel
+
+__all__ = ["Link", "LinkStats", "Topology", "TransferPlan"]
+
+
+@dataclass
+class LinkStats:
+    """Per-direction traffic counters."""
+
+    messages: int = 0
+    bytes: int = 0
+    busy_seconds: float = 0.0
+
+
+class Link:
+    """One direction of a point-to-point link."""
+
+    __slots__ = ("src", "dst", "latency", "bandwidth", "busy_until", "stats")
+
+    def __init__(self, src: str, dst: str, latency: float, bandwidth: float):
+        if latency < 0:
+            raise SimulationError(f"link {src}->{dst}: negative latency")
+        if bandwidth <= 0:
+            raise SimulationError(f"link {src}->{dst}: bandwidth must be positive")
+        self.src = src
+        self.dst = dst
+        self.latency = float(latency)
+        self.bandwidth = float(bandwidth)  # bytes per second
+        self.busy_until = 0.0
+        self.stats = LinkStats()
+
+    def serialization_time(self, nbytes: int) -> float:
+        return nbytes / self.bandwidth
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Link {self.src}->{self.dst} lat={self.latency * 1e3:.3g}ms "
+            f"bw={self.bandwidth / 1e6:.3g}MB/s>"
+        )
+
+
+@dataclass(frozen=True)
+class TransferPlan:
+    """Timing decomposition of one (possibly queued) message transfer."""
+
+    start: float
+    queue_delay: float
+    serialization: float
+    latency: float
+
+    @property
+    def arrival(self) -> float:
+        return self.start + self.queue_delay + self.serialization + self.latency
+
+    @property
+    def total(self) -> float:
+        return self.arrival - self.start
+
+
+class Topology:
+    """A set of named hosts and the directed links between them.
+
+    Hosts on the same machine (``src == dst``) communicate through an
+    implicit loopback with :attr:`loopback_latency` and effectively
+    infinite bandwidth, so co-located components cost almost nothing —
+    matching the original's use of Unix-domain loopback.
+    """
+
+    loopback_latency = 20e-6
+    loopback_bandwidth = 400e6
+
+    def __init__(self, kernel: EventKernel, *, per_message_overhead: float = 0.0):
+        if per_message_overhead < 0:
+            raise SimulationError("per_message_overhead must be >= 0")
+        self.kernel = kernel
+        self.per_message_overhead = float(per_message_overhead)
+        self.hosts: dict[str, SimHost] = {}
+        self._links: dict[tuple[str, str], Link] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_host(
+        self, name: str, mflops: float, *, background_load: float = 0.0
+    ) -> SimHost:
+        """Create and register a host."""
+        if name in self.hosts:
+            raise SimulationError(f"duplicate host {name!r}")
+        host = SimHost(
+            name, self.kernel, mflops, background_load=background_load
+        )
+        self.hosts[name] = host
+        return host
+
+    def host(self, name: str) -> SimHost:
+        try:
+            return self.hosts[name]
+        except KeyError:
+            raise SimulationError(f"unknown host {name!r}") from None
+
+    def add_link(
+        self,
+        a: str,
+        b: str,
+        *,
+        latency: float,
+        bandwidth: float,
+        symmetric: bool = True,
+    ) -> None:
+        """Join hosts ``a`` and ``b``; bandwidth in bytes/second."""
+        for name in (a, b):
+            if name not in self.hosts:
+                raise SimulationError(f"unknown host {name!r}")
+        if a == b:
+            raise SimulationError("use loopback, not a self-link")
+        self._links[(a, b)] = Link(a, b, latency, bandwidth)
+        if symmetric:
+            self._links[(b, a)] = Link(b, a, latency, bandwidth)
+
+    def connect_all(self, *, latency: float, bandwidth: float) -> None:
+        """Add a full mesh among all current hosts (skips existing pairs)."""
+        names = sorted(self.hosts)
+        for i, a in enumerate(names):
+            for b in names[i + 1 :]:
+                if (a, b) not in self._links:
+                    self.add_link(a, b, latency=latency, bandwidth=bandwidth)
+
+    def link(self, src: str, dst: str) -> Link:
+        """The directed link ``src -> dst`` (loopback links are implicit)."""
+        if src == dst:
+            key = (src, src)
+            if key not in self._links:
+                self._links[key] = Link(
+                    src, src, self.loopback_latency, self.loopback_bandwidth
+                )
+            return self._links[key]
+        try:
+            return self._links[(src, dst)]
+        except KeyError:
+            raise SimulationError(f"no link {src!r} -> {dst!r}") from None
+
+    def links(self) -> Iterable[Link]:
+        return self._links.values()
+
+    # ------------------------------------------------------------------
+    # traffic
+    # ------------------------------------------------------------------
+    def plan_transfer(self, src: str, dst: str, nbytes: int) -> TransferPlan:
+        """Timing a transfer *would* have if issued now (no side effects)."""
+        link = self.link(src, dst)
+        now = self.kernel.now
+        start_tx = max(now, link.busy_until)
+        ser = link.serialization_time(nbytes) + self.per_message_overhead
+        return TransferPlan(
+            start=now,
+            queue_delay=start_tx - now,
+            serialization=ser,
+            latency=link.latency,
+        )
+
+    def transfer(self, src: str, dst: str, nbytes: int) -> Event:
+        """Send ``nbytes`` from ``src`` to ``dst``; event fires on arrival.
+
+        The event value is the :class:`TransferPlan` actually realised.
+        """
+        if nbytes < 0:
+            raise SimulationError("nbytes must be >= 0")
+        link = self.link(src, dst)
+        plan = self.plan_transfer(src, dst, nbytes)
+        link.busy_until = plan.start + plan.queue_delay + plan.serialization
+        link.stats.messages += 1
+        link.stats.bytes += nbytes
+        link.stats.busy_seconds += plan.serialization
+        done = self.kernel.event()
+        # priority 1: deliveries run after same-instant local bookkeeping
+        self.kernel.call_at(
+            plan.arrival, lambda: done.succeed(plan), priority=1
+        )
+        return done
+
+    def estimate_seconds(self, src: str, dst: str, nbytes: int) -> float:
+        """Contention-free latency+bandwidth estimate (the agent's model)."""
+        link = self.link(src, dst)
+        return (
+            link.latency
+            + nbytes / link.bandwidth
+            + self.per_message_overhead
+        )
+
+    def total_messages(self) -> int:
+        return sum(l.stats.messages for l in self._links.values())
+
+    def total_bytes(self) -> int:
+        return sum(l.stats.bytes for l in self._links.values())

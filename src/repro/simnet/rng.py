@@ -1,0 +1,73 @@
+"""Named, seeded random-number streams.
+
+Every stochastic element of a simulation (each load generator, each
+failure injector, each workload sampler) draws from its *own* child
+stream, derived deterministically from a root seed and a string name.
+Adding a new consumer therefore never perturbs the draws seen by existing
+ones — the property that keeps regression baselines stable as the
+simulator grows.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["RngStreams"]
+
+
+class RngStreams:
+    """Factory of independent ``numpy.random.Generator`` streams.
+
+    Parameters
+    ----------
+    seed:
+        Root seed.  Two ``RngStreams`` with the same seed hand out
+        identical streams for identical names, in any creation order.
+
+    Examples
+    --------
+    >>> streams = RngStreams(42)
+    >>> g1 = streams.get("host0.load")
+    >>> g2 = streams.get("host1.load")
+    >>> g1 is streams.get("host0.load")   # cached
+    True
+    """
+
+    def __init__(self, seed: int = 0):
+        if seed < 0:
+            raise ValueError("seed must be non-negative")
+        self.seed = int(seed)
+        self._cache: dict[str, np.random.Generator] = {}
+
+    def _derive(self, name: str) -> np.random.Generator:
+        # Hash the name into a stable 64-bit stream key; combine with the
+        # root seed through SeedSequence so streams are statistically
+        # independent regardless of how similar their names are.
+        digest = hashlib.sha256(name.encode("utf-8")).digest()
+        key = int.from_bytes(digest[:8], "little")
+        ss = np.random.SeedSequence(entropy=self.seed, spawn_key=(key,))
+        return np.random.Generator(np.random.PCG64(ss))
+
+    def get(self, name: str) -> np.random.Generator:
+        """Return the (cached) stream for ``name``."""
+        gen = self._cache.get(name)
+        if gen is None:
+            gen = self._derive(name)
+            self._cache[name] = gen
+        return gen
+
+    def fresh(self, name: str) -> np.random.Generator:
+        """Return a *new* generator for ``name``, resetting its sequence.
+
+        Useful in tests that want to replay a single stream without
+        rebuilding the whole factory.
+        """
+        gen = self._derive(name)
+        self._cache[name] = gen
+        return gen
+
+    def names(self) -> list[str]:
+        """Names of all streams handed out so far (sorted)."""
+        return sorted(self._cache)

@@ -1,0 +1,186 @@
+"""Background-load generators.
+
+NetSolve's servers were shared departmental machines whose UNIX load
+average moved with other users' work.  These generators drive a
+:class:`~repro.simnet.host.SimHost`'s background load so the
+workload-policy experiments (F2/T2) have a ground-truth signal to track:
+
+* :class:`ConstantLoad` — a fixed level (calibration runs),
+* :class:`SquareWaveLoad` — the classic step pattern used to visualise
+  broadcast hysteresis,
+* :class:`PoissonJobLoad` — jobs arrive as a Poisson process and hold the
+  CPU for exponentially distributed times (an M/G/inf load level),
+* :class:`TraceLoad` — replays an explicit (time, load) trace.
+
+Each generator is started with ``start()`` and stopped with ``stop()``;
+all randomness comes from the named RNG streams so runs replay exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import SimulationError
+from .host import SimHost
+from .kernel import EventKernel, Timer
+
+__all__ = [
+    "LoadGenerator",
+    "ConstantLoad",
+    "SquareWaveLoad",
+    "PoissonJobLoad",
+    "TraceLoad",
+]
+
+
+class LoadGenerator:
+    """Base class: owns a host and a set of timers to cancel on stop."""
+
+    def __init__(self, host: SimHost):
+        self.host = host
+        self.kernel: EventKernel = host.kernel
+        self._timers: list[Timer] = []
+        self._running = False
+
+    def start(self) -> "LoadGenerator":
+        if self._running:
+            raise SimulationError("generator already running")
+        self._running = True
+        self._start()
+        return self
+
+    def stop(self) -> None:
+        self._running = False
+        for t in self._timers:
+            t.cancel()
+        self._timers.clear()
+
+    def _start(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _arm(self, delay: float, fn) -> None:
+        """Schedule ``fn`` if still running; keep the timer for teardown."""
+        def guarded() -> None:
+            if self._running:
+                fn()
+
+        self._timers.append(self.kernel.call_after(delay, guarded))
+
+
+class ConstantLoad(LoadGenerator):
+    """Pin the background load to a fixed level."""
+
+    def __init__(self, host: SimHost, level: float):
+        super().__init__(host)
+        if level < 0:
+            raise SimulationError("load level must be >= 0")
+        self.level = float(level)
+
+    def _start(self) -> None:
+        self.host.set_background_load(self.level)
+
+    def stop(self) -> None:
+        super().stop()
+        self.host.set_background_load(0.0)
+
+
+class SquareWaveLoad(LoadGenerator):
+    """Alternate between ``low`` and ``high`` every ``period/2`` seconds."""
+
+    def __init__(
+        self,
+        host: SimHost,
+        *,
+        low: float = 0.0,
+        high: float = 2.0,
+        period: float = 600.0,
+        start_high: bool = False,
+    ):
+        super().__init__(host)
+        if period <= 0:
+            raise SimulationError("period must be positive")
+        if low < 0 or high < 0:
+            raise SimulationError("load levels must be >= 0")
+        self.low = float(low)
+        self.high = float(high)
+        self.period = float(period)
+        self._phase_high = start_high
+
+    def _start(self) -> None:
+        self._flip()
+
+    def _flip(self) -> None:
+        level = self.high if self._phase_high else self.low
+        self.host.set_background_load(level)
+        self._phase_high = not self._phase_high
+        self._arm(self.period / 2.0, self._flip)
+
+
+class PoissonJobLoad(LoadGenerator):
+    """Background jobs arrive Poisson(rate); each holds +1 load for
+    Exp(mean_duration) seconds.  The resulting load level is an M/M/inf
+    occupancy process with mean ``rate * mean_duration``.
+    """
+
+    def __init__(
+        self,
+        host: SimHost,
+        rng: np.random.Generator,
+        *,
+        rate: float = 1 / 120.0,
+        mean_duration: float = 180.0,
+        unit_load: float = 1.0,
+    ):
+        super().__init__(host)
+        if rate <= 0 or mean_duration <= 0:
+            raise SimulationError("rate and mean_duration must be positive")
+        if unit_load <= 0:
+            raise SimulationError("unit_load must be positive")
+        self.rng = rng
+        self.rate = float(rate)
+        self.mean_duration = float(mean_duration)
+        self.unit_load = float(unit_load)
+        self._level = 0.0
+
+    @property
+    def mean_load(self) -> float:
+        """Steady-state expected background load."""
+        return self.rate * self.mean_duration * self.unit_load
+
+    def _start(self) -> None:
+        self._arm(self.rng.exponential(1.0 / self.rate), self._arrive)
+
+    def _apply(self, delta: float) -> None:
+        self._level = max(0.0, self._level + delta)
+        self.host.set_background_load(self._level)
+
+    def _arrive(self) -> None:
+        self._apply(+self.unit_load)
+        self._arm(self.rng.exponential(self.mean_duration), self._depart)
+        self._arm(self.rng.exponential(1.0 / self.rate), self._arrive)
+
+    def _depart(self) -> None:
+        self._apply(-self.unit_load)
+
+
+class TraceLoad(LoadGenerator):
+    """Replay an explicit ``[(t, load), ...]`` trace (t relative to start)."""
+
+    def __init__(self, host: SimHost, trace: Sequence[tuple[float, float]]):
+        super().__init__(host)
+        if not trace:
+            raise SimulationError("trace must be non-empty")
+        prev = -1.0
+        for t, load in trace:
+            if t < 0 or load < 0:
+                raise SimulationError("trace entries must be non-negative")
+            if t <= prev:
+                raise SimulationError("trace times must be strictly increasing")
+            prev = t
+        self.trace = [(float(t), float(v)) for t, v in trace]
+
+    def _start(self) -> None:
+        for t, load in self.trace:
+            self._arm(t, lambda v=load: self.host.set_background_load(v))

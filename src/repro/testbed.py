@@ -1,0 +1,375 @@
+"""One-call builders for simulated NetSolve deployments.
+
+Everything an experiment needs — kernel, topology, transport, agent,
+servers, clients, RNG streams, event trace — assembled from declarative
+host/server/client definitions.  All benchmarks and the integration
+tests build their worlds through this module, so deployment conventions
+(addresses, link tables, settle behaviour) live in exactly one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from .config import AgentConfig, ClientConfig, ServerConfig, SimConfig
+from .core.agent import Agent
+from .core.client import NetSolveClient, RequestHandle
+from .core.predictor import LinkEstimate, StaticNetworkInfo
+from .core.server import ComputationalServer
+from .errors import ConfigError, SimulationError
+from .problems.builtin import builtin_registry
+from .problems.registry import ProblemRegistry
+from .protocol.transport import SimTransport
+from .simnet.kernel import EventKernel
+from .simnet.network import Topology
+from .simnet.rng import RngStreams
+from .trace.events import EventLog
+
+__all__ = [
+    "HostDef",
+    "ServerDef",
+    "ClientDef",
+    "LinkDef",
+    "Testbed",
+    "build_testbed",
+    "standard_testbed",
+    "AGENT_ADDRESS",
+    "server_address",
+    "client_address",
+]
+
+AGENT_ADDRESS = "agent"
+
+#: 1996-flavoured defaults: 10 Mb/s shared Ethernet, 2 ms latency
+DEFAULT_LATENCY = 2e-3
+DEFAULT_BANDWIDTH = 1.25e6
+
+
+def server_address(server_id: str) -> str:
+    return f"server/{server_id}"
+
+
+def client_address(client_id: str) -> str:
+    return f"client/{client_id}"
+
+
+@dataclass(frozen=True)
+class HostDef:
+    name: str
+    mflops: float
+    background_load: float = 0.0
+
+
+@dataclass(frozen=True)
+class LinkDef:
+    a: str
+    b: str
+    latency: float = DEFAULT_LATENCY
+    bandwidth: float = DEFAULT_BANDWIDTH
+
+
+@dataclass(frozen=True)
+class ServerDef:
+    server_id: str
+    host: str
+    #: None = full builtin catalogue; otherwise a subset of problem names
+    problems: Optional[tuple[str, ...]] = None
+    cfg: ServerConfig = field(default_factory=ServerConfig)
+    #: advertised speed; None = the host's true rating (honest server)
+    mflops: Optional[float] = None
+    #: custom registry; None = (subset of) the builtin catalogue
+    registry: Optional[ProblemRegistry] = None
+    #: which agent this server registers with (federated deployments)
+    agent: str = AGENT_ADDRESS
+
+
+@dataclass(frozen=True)
+class ClientDef:
+    client_id: str
+    host: str
+    cfg: ClientConfig = field(default_factory=ClientConfig)
+    #: which agent this client queries (federated deployments)
+    agent: str = AGENT_ADDRESS
+
+
+class Testbed:
+    """A running simulated deployment."""
+
+    def __init__(
+        self,
+        *,
+        kernel: EventKernel,
+        topology: Topology,
+        transport: SimTransport,
+        agent: Agent,
+        servers: dict[str, ComputationalServer],
+        clients: dict[str, NetSolveClient],
+        rng: RngStreams,
+        trace: EventLog,
+        sim: SimConfig,
+    ):
+        self.kernel = kernel
+        self.topology = topology
+        self.transport = transport
+        self.agent = agent
+        self.servers = servers
+        self.clients = clients
+        self.rng = rng
+        self.trace = trace
+        self.sim = sim
+        #: all agents by address (populated by build_testbed; the primary
+        #: is also available as .agent)
+        self.agents: dict[str, Agent] = {AGENT_ADDRESS: agent}
+
+    # ------------------------------------------------------------------
+    def client(self, client_id: str) -> NetSolveClient:
+        try:
+            return self.clients[client_id]
+        except KeyError:
+            raise SimulationError(f"unknown client {client_id!r}") from None
+
+    def server(self, server_id: str) -> ComputationalServer:
+        try:
+            return self.servers[server_id]
+        except KeyError:
+            raise SimulationError(f"unknown server {server_id!r}") from None
+
+    def host(self, name: str):
+        return self.topology.host(name)
+
+    # ------------------------------------------------------------------
+    def run(self, until: float | None = None) -> float:
+        """Advance virtual time."""
+        return self.kernel.run(until=until)
+
+    def settle(self, seconds: float | None = None) -> None:
+        """Let registrations and the first workload reports land."""
+        if seconds is None:
+            steps = [
+                s.cfg.workload.time_step for s in self.servers.values()
+            ] or [10.0]
+            seconds = max(steps) + 1.0
+        self.kernel.run(until=self.kernel.now + seconds)
+
+    def submit(
+        self, client_id: str, problem: str, args: Sequence[Any]
+    ) -> RequestHandle:
+        """Non-blocking submit (the ``netslnb`` path)."""
+        return self.client(client_id).submit(problem, args)
+
+    def solve(
+        self,
+        client_id: str,
+        problem: str,
+        args: Sequence[Any],
+        *,
+        limit: float | None = None,
+    ) -> tuple:
+        """Blocking solve (the ``netsl`` path): submit, run, return outputs."""
+        handle = self.submit(client_id, problem, args)
+        return self.transport.run_until(handle.promise, limit=limit)
+
+    def wait_all(
+        self, handles: Sequence[RequestHandle], *, limit: float | None = None
+    ) -> list[RequestHandle]:
+        """Run until every handle settles; failed requests stay failed
+        (inspect ``handle.status``), nothing raises here."""
+        self.kernel.run(
+            until=limit, stop=lambda: all(h.done for h in handles)
+        )
+        missing = [h for h in handles if not h.done]
+        if missing:
+            raise SimulationError(
+                f"{len(missing)} request(s) never settled "
+                f"(now={self.kernel.now:.1f})"
+            )
+        return list(handles)
+
+
+def build_testbed(
+    *,
+    hosts: Sequence[HostDef],
+    servers: Sequence[ServerDef],
+    clients: Sequence[ClientDef],
+    agent_host: str,
+    links: Sequence[LinkDef] = (),
+    default_link: LinkDef | None = LinkDef("*", "*"),
+    sim: SimConfig = SimConfig(),
+    agent_cfg: AgentConfig = AgentConfig(),
+    use_workload: bool = True,
+    assignment_feedback: bool = True,
+    network_override=None,
+    extra_agents: Sequence[tuple[str, str]] = (),
+) -> Testbed:
+    """Assemble a deployment.
+
+    Explicit ``links`` take precedence; remaining host pairs get
+    ``default_link`` parameters (set ``default_link=None`` to require a
+    fully explicit link list).  The agent's network table is loaded from
+    the same link definitions — representing NetSolve's network
+    measurements — but never sees per-message overhead or contention.
+    ``network_override`` replaces that oracle table entirely (e.g. a
+    :class:`~repro.core.predictor.LearnedNetworkInfo` over a wrong prior
+    for the measurement-loop experiments).  ``extra_agents`` adds
+    federated sibling agents as ``(address, host)`` pairs — all agents
+    peer with each other, and ``ServerDef.agent`` / ``ClientDef.agent``
+    choose each component's home agent.
+    """
+    if not hosts:
+        raise ConfigError("need at least one host")
+    kernel = EventKernel()
+    rng = RngStreams(sim.seed)
+    trace = EventLog()
+    topology = Topology(kernel, per_message_overhead=sim.per_message_overhead)
+    for h in hosts:
+        topology.add_host(h.name, h.mflops, background_load=h.background_load)
+    for link in links:
+        topology.add_link(
+            link.a, link.b, latency=link.latency, bandwidth=link.bandwidth
+        )
+    if default_link is not None:
+        topology.connect_all(
+            latency=default_link.latency, bandwidth=default_link.bandwidth
+        )
+
+    # the agent's "measured" network characteristics
+    if network_override is not None:
+        network = network_override
+    else:
+        network = StaticNetworkInfo()
+        for link_obj in topology.links():
+            network.set(
+                link_obj.src,
+                link_obj.dst,
+                LinkEstimate(
+                    latency=link_obj.latency, bandwidth=link_obj.bandwidth
+                ),
+            )
+
+    transport = SimTransport(topology)
+    agent_defs = [(AGENT_ADDRESS, agent_host), *extra_agents]
+    agent_addresses = [addr for addr, _h in agent_defs]
+    if len(set(agent_addresses)) != len(agent_addresses):
+        raise ConfigError("duplicate agent address")
+    agents: dict[str, Agent] = {}
+    for addr, host_name in agent_defs:
+        peer_list = tuple(a for a in agent_addresses if a != addr)
+        sibling = Agent(
+            network=network,
+            cfg=agent_cfg,
+            rng=rng.get(f"{addr}.policy"),
+            trace=trace,
+            use_workload=use_workload,
+            assignment_feedback=assignment_feedback,
+            peers=peer_list,
+        )
+        transport.add_node(addr, host_name, sibling)
+        agents[addr] = sibling
+    agent = agents[AGENT_ADDRESS]
+
+    server_map: dict[str, ComputationalServer] = {}
+    for sd in servers:
+        if sd.server_id in server_map:
+            raise ConfigError(f"duplicate server id {sd.server_id!r}")
+        registry = sd.registry
+        if registry is None:
+            registry = builtin_registry()
+            if sd.problems is not None:
+                registry = registry.subset(sd.problems)
+        host = topology.host(sd.host)
+        if sd.agent not in agents:
+            raise ConfigError(f"server {sd.server_id!r}: unknown agent {sd.agent!r}")
+        server = ComputationalServer(
+            server_id=sd.server_id,
+            agent_address=sd.agent,
+            registry=registry,
+            mflops=sd.mflops if sd.mflops is not None else host.mflops,
+            host=sd.host,
+            cfg=sd.cfg,
+            trace=trace,
+        )
+        transport.add_node(server_address(sd.server_id), sd.host, server)
+        server_map[sd.server_id] = server
+
+    client_map: dict[str, NetSolveClient] = {}
+    for cd in clients:
+        if cd.client_id in client_map:
+            raise ConfigError(f"duplicate client id {cd.client_id!r}")
+        if cd.agent not in agents:
+            raise ConfigError(f"client {cd.client_id!r}: unknown agent {cd.agent!r}")
+        client = NetSolveClient(
+            client_id=cd.client_id,
+            agent_address=cd.agent,
+            cfg=cd.cfg,
+            trace=trace,
+        )
+        transport.add_node(client_address(cd.client_id), cd.host, client)
+        client_map[cd.client_id] = client
+
+    tb = Testbed(
+        kernel=kernel,
+        topology=topology,
+        transport=transport,
+        agent=agent,
+        servers=server_map,
+        clients=client_map,
+        rng=rng,
+        trace=trace,
+        sim=sim,
+    )
+    tb.agents = agents
+    return tb
+
+
+def standard_testbed(
+    *,
+    n_servers: int = 4,
+    server_mflops: Sequence[float] | None = None,
+    client_mflops: float = 20.0,
+    latency: float = DEFAULT_LATENCY,
+    bandwidth: float = DEFAULT_BANDWIDTH,
+    seed: int = 0,
+    problems: Optional[tuple[str, ...]] = None,
+    agent_cfg: AgentConfig = AgentConfig(),
+    client_cfg: ClientConfig = ClientConfig(),
+    server_cfg: ServerConfig = ServerConfig(),
+    use_workload: bool = True,
+    assignment_feedback: bool = True,
+) -> Testbed:
+    """The canonical experiment world: one client host, one agent host,
+    ``n_servers`` heterogeneous server hosts on a shared LAN.
+
+    Server speeds default to 50, 100, 150, ... Mflop/s — a spread wide
+    enough that scheduling decisions matter.
+    """
+    if n_servers < 1:
+        raise ConfigError("need at least one server")
+    if server_mflops is None:
+        server_mflops = [50.0 * (i + 1) for i in range(n_servers)]
+    if len(server_mflops) != n_servers:
+        raise ConfigError("server_mflops length must match n_servers")
+    hosts = [
+        HostDef("apollo", client_mflops),
+        HostDef("hermes", 50.0),  # the agent's machine
+    ]
+    servers = []
+    for i, mflops in enumerate(server_mflops):
+        name = f"zeus{i}"
+        hosts.append(HostDef(name, mflops))
+        servers.append(
+            ServerDef(
+                server_id=f"s{i}", host=name, problems=problems, cfg=server_cfg
+            )
+        )
+    return build_testbed(
+        hosts=hosts,
+        servers=servers,
+        clients=[ClientDef("c0", "apollo", cfg=client_cfg)],
+        agent_host="hermes",
+        default_link=LinkDef("*", "*", latency=latency, bandwidth=bandwidth),
+        sim=SimConfig(seed=seed),
+        agent_cfg=agent_cfg,
+        use_workload=use_workload,
+        assignment_feedback=assignment_feedback,
+    )

@@ -1,0 +1,17 @@
+"""Command-line daemons for live TCP deployments.
+
+Each tool runs one NetSolve component in this process, mirroring the
+original's ``netsolve_agent`` / ``netsolve_server`` binaries:
+
+* ``python -m repro.tools.agent --port 7700``
+* ``python -m repro.tools.server --agent HOST:PORT --mflops 200``
+* ``python -m repro.tools.demo --agent HOST:PORT`` (a smoke-test client)
+
+Components in different processes find each other through explicit
+``host:port`` addresses (the directory entries the simulated transport
+gets for free).
+"""
+
+from .common import parse_endpoint, run_forever
+
+__all__ = ["parse_endpoint", "run_forever"]

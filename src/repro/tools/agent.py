@@ -1,0 +1,83 @@
+"""``python -m repro.tools.agent`` — run a NetSolve agent daemon.
+
+Example::
+
+    python -m repro.tools.agent --port 7700 --policy mct --learn-network
+
+Servers register against ``AGENT_HOST:7700``; clients query it.  With
+``--learn-network`` the agent folds client transfer reports into a
+learned per-path bandwidth table instead of trusting the static default.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from ..config import AgentConfig
+from ..core.agent import Agent
+from ..core.predictor import (
+    LearnedNetworkInfo,
+    LinkEstimate,
+    StaticNetworkInfo,
+)
+from ..protocol.tcp import TcpTransport
+from .common import run_forever
+
+__all__ = ["main", "build_parser"]
+
+AGENT_NODE = "agent"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-agent", description="NetSolve agent daemon"
+    )
+    parser.add_argument("--bind", default="127.0.0.1", help="IP to listen on")
+    parser.add_argument("--port", type=int, default=7700)
+    parser.add_argument(
+        "--policy", default="mct",
+        choices=["mct", "random", "roundrobin", "fastestpeak"],
+    )
+    parser.add_argument("--candidates", type=int, default=3,
+                        help="ranked candidate list length")
+    parser.add_argument("--liveness-timeout", type=float, default=900.0)
+    parser.add_argument("--default-latency", type=float, default=1e-4,
+                        help="assumed path latency (seconds)")
+    parser.add_argument("--default-bandwidth", type=float, default=100e6,
+                        help="assumed path bandwidth (bytes/second)")
+    parser.add_argument("--learn-network", action="store_true",
+                        help="learn per-path bandwidth from transfer reports")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    import numpy as np
+
+    network = StaticNetworkInfo(
+        default=LinkEstimate(
+            latency=args.default_latency, bandwidth=args.default_bandwidth
+        )
+    )
+    if args.learn_network:
+        network = LearnedNetworkInfo(network)
+    agent = Agent(
+        network=network,
+        cfg=AgentConfig(
+            policy=args.policy,
+            candidate_list_length=args.candidates,
+            liveness_timeout=args.liveness_timeout,
+        ),
+        rng=np.random.default_rng(),
+    )
+    with TcpTransport(bind_ip=args.bind) as transport:
+        node = transport.add_node(AGENT_NODE, agent, port=args.port)
+        run_forever(
+            f"netsolve agent listening on {args.bind}:{node.port} "
+            f"(policy={args.policy}, learn_network={args.learn_network})"
+        )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

@@ -1,0 +1,42 @@
+"""Shared plumbing for the CLI daemons."""
+
+from __future__ import annotations
+
+import signal
+import threading
+
+from ..errors import ConfigError
+
+__all__ = ["parse_endpoint", "run_forever"]
+
+
+def parse_endpoint(text: str, *, default_port: int | None = None) -> tuple[str, int]:
+    """Parse ``host:port`` (or bare ``host`` with a default port)."""
+    host, sep, port_text = text.partition(":")
+    if not host:
+        raise ConfigError(f"bad endpoint {text!r}")
+    if not sep:
+        if default_port is None:
+            raise ConfigError(f"endpoint {text!r} needs a port")
+        return host, default_port
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ConfigError(f"bad port in {text!r}") from None
+    if not 0 < port < 65536:
+        raise ConfigError(f"port out of range in {text!r}")
+    return host, port
+
+
+def run_forever(banner: str) -> None:
+    """Print a banner and block until SIGINT/SIGTERM."""
+    print(banner, flush=True)
+    stop = threading.Event()
+
+    def handler(_sig, _frame):
+        stop.set()
+
+    signal.signal(signal.SIGINT, handler)
+    signal.signal(signal.SIGTERM, handler)
+    stop.wait()
+    print("shutting down", flush=True)

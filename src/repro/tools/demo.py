@@ -1,0 +1,91 @@
+"""``python -m repro.tools.demo`` — a smoke-test client for a live deployment.
+
+Connects to a running agent, lists its catalogue, then solves a random
+dense system and prints the timings.
+
+Example::
+
+    python -m repro.tools.demo --agent 127.0.0.1:7700 --size 400
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import numpy as np
+
+from ..config import ClientConfig
+from ..core.client import NetSolveClient
+from ..protocol.tcp import TcpSession, TcpTransport
+from .common import parse_endpoint
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-demo", description="NetSolve demo client"
+    )
+    parser.add_argument("--agent", required=True, help="agent host:port")
+    parser.add_argument("--bind", default="127.0.0.1")
+    parser.add_argument("--size", type=int, default=300,
+                        help="dgesv problem size")
+    parser.add_argument("--count", type=int, default=1,
+                        help="number of requests to farm")
+    parser.add_argument("--timeout", type=float, default=120.0)
+    parser.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    agent_host, agent_port = parse_endpoint(args.agent)
+    with TcpTransport(bind_ip=args.bind) as transport:
+        transport.register_remote("agent", agent_host, agent_port)
+        client = NetSolveClient(
+            client_id="demo",
+            agent_address="agent",
+            cfg=ClientConfig(
+                agent_timeout=min(30.0, args.timeout),
+                server_timeout=args.timeout,
+                timeout_floor=min(30.0, args.timeout),
+            ),
+        )
+        node = transport.add_node("client/demo", client, port=0)
+        session = TcpSession(node, timeout=args.timeout)
+
+        names = session.drive_result(session.list_problems(""))
+        print(f"agent at {agent_host}:{agent_port} advertises "
+              f"{len(names)} problems")
+        if "linsys/dgesv" not in names:
+            print("no linsys/dgesv on offer; is a server registered?")
+            return 2
+
+        rng = np.random.default_rng(args.seed)
+        n = args.size
+        failures = 0
+        for i in range(args.count):
+            a = rng.standard_normal((n, n)) + n * np.eye(n)
+            b = rng.standard_normal(n)
+            t0 = time.perf_counter()
+            handle = session.submit("linsys/dgesv", [a, b])
+            try:
+                (x,) = handle.promise.wait(args.timeout)
+            except Exception as exc:  # noqa: BLE001 - CLI surface
+                print(f"request {i}: FAILED ({exc})")
+                failures += 1
+                continue
+            wall = time.perf_counter() - t0
+            resid = float(np.linalg.norm(a @ x - b) / np.linalg.norm(b))
+            record = handle.record
+            print(
+                f"request {i}: n={n} server={record.server_id} "
+                f"wall={wall * 1e3:.0f}ms residual={resid:.2e} "
+                f"retries={record.retries}"
+            )
+        return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

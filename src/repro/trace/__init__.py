@@ -1,0 +1,25 @@
+"""Structured event tracing and experiment metrics."""
+
+from .events import EventLog, TraceEvent
+from .gantt import render_gantt, server_busy_intervals
+from .metrics import (
+    format_table,
+    percentile,
+    request_stats,
+    RequestStats,
+    time_average,
+    mean_abs_error_vs_truth,
+)
+
+__all__ = [
+    "EventLog",
+    "TraceEvent",
+    "render_gantt",
+    "server_busy_intervals",
+    "format_table",
+    "percentile",
+    "request_stats",
+    "RequestStats",
+    "time_average",
+    "mean_abs_error_vs_truth",
+]

@@ -1,0 +1,73 @@
+"""Structured event log.
+
+Components emit typed events (``kind`` + free-form fields) into a shared
+append-only log.  Benchmarks and tests filter it instead of scraping
+stdout; nothing in the system ever *reads* the log on its hot path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+__all__ = ["TraceEvent", "EventLog"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    time: float
+    source: str
+    kind: str
+    fields: dict
+
+    def __getitem__(self, key: str) -> Any:
+        return self.fields[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.fields.get(key, default)
+
+
+class EventLog:
+    """Append-only event collection with simple filtering."""
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+
+    def log(self, time: float, source: str, kind: str, **fields: Any) -> None:
+        self.events.append(TraceEvent(time, source, kind, fields))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def filter(
+        self,
+        *,
+        kind: str | None = None,
+        source: str | None = None,
+        predicate: Callable[[TraceEvent], bool] | None = None,
+    ) -> list[TraceEvent]:
+        out = []
+        for ev in self.events:
+            if kind is not None and ev.kind != kind:
+                continue
+            if source is not None and ev.source != source:
+                continue
+            if predicate is not None and not predicate(ev):
+                continue
+            out.append(ev)
+        return out
+
+    def count(self, kind: str) -> int:
+        return sum(1 for ev in self.events if ev.kind == kind)
+
+    def kinds(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for ev in self.events:
+            out[ev.kind] = out.get(ev.kind, 0) + 1
+        return dict(sorted(out.items()))
+
+    def clear(self) -> None:
+        self.events.clear()

@@ -1,0 +1,84 @@
+"""ASCII Gantt rendering of request timelines.
+
+Turns a batch of :class:`~repro.core.request.RequestRecord`\\ s into a
+terminal-width occupancy chart — one row per server, one glyph per time
+bucket — so examples and postmortems can *see* how a farm spread, where
+a crash opened a hole, and which server carried the tail.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..core.request import RequestRecord
+
+__all__ = ["render_gantt", "server_busy_intervals"]
+
+_GLYPHS = "▁▂▃▄▅▆▇█"
+
+
+def server_busy_intervals(
+    records: Iterable[RequestRecord],
+) -> dict[str, list[tuple[float, float]]]:
+    """Per-server ``(start, end)`` intervals of attempt activity.
+
+    Every attempt with both endpoints counts, including failed ones —
+    a timeout still occupied the wire and (maybe) the server.
+    """
+    out: dict[str, list[tuple[float, float]]] = {}
+    for record in records:
+        for attempt in record.attempts:
+            if attempt.t_end is None:
+                continue
+            out.setdefault(attempt.server_id, []).append(
+                (attempt.t_sent, attempt.t_end)
+            )
+    for intervals in out.values():
+        intervals.sort()
+    return out
+
+
+def render_gantt(
+    records: Sequence[RequestRecord],
+    *,
+    width: int = 72,
+    t0: float | None = None,
+    t1: float | None = None,
+) -> str:
+    """Render per-server occupancy over [t0, t1] as ASCII art.
+
+    Each column is a time bucket; the glyph height encodes how many
+    request-attempts overlapped that server in that bucket (saturating
+    at 8).  Returns a multi-line string.
+    """
+    if width < 10:
+        raise ValueError("width must be >= 10")
+    intervals = server_busy_intervals(records)
+    if not intervals:
+        return "(no completed attempts to render)"
+    all_points = [t for iv in intervals.values() for pair in iv for t in pair]
+    lo = min(all_points) if t0 is None else t0
+    hi = max(all_points) if t1 is None else t1
+    if hi <= lo:
+        hi = lo + 1.0
+    bucket = (hi - lo) / width
+
+    lines = []
+    label_width = max(len(s) for s in intervals) + 1
+    for server_id in sorted(intervals):
+        counts = [0] * width
+        for start, end in intervals[server_id]:
+            first = max(0, int((start - lo) / bucket))
+            last = min(width - 1, int((end - lo) / bucket))
+            for i in range(first, last + 1):
+                counts[i] += 1
+        row = "".join(
+            " " if c == 0 else _GLYPHS[min(c, len(_GLYPHS)) - 1]
+            for c in counts
+        )
+        lines.append(f"{server_id.rjust(label_width)} |{row}|")
+    axis = f"{'':>{label_width}} +{'-' * width}+"
+    scale = (
+        f"{'':>{label_width}}  {lo:<12.2f}{'':^{max(0, width - 24)}}{hi:>12.2f}"
+    )
+    return "\n".join([*lines, axis, scale])

@@ -1,0 +1,165 @@
+"""Experiment metrics and table rendering.
+
+Small, dependency-free helpers the benchmark harness shares: request
+statistics (makespan, percentiles), time-averaging of step signals,
+tracking-error between a ground-truth signal and a sampled belief, and
+fixed-width table formatting so every bench prints paper-style rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..core.request import RequestRecord, RequestStatus
+
+__all__ = [
+    "percentile",
+    "RequestStats",
+    "request_stats",
+    "time_average",
+    "mean_abs_error_vs_truth",
+    "format_table",
+]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    if not len(values):
+        raise ValueError("percentile of empty sequence")
+    return float(np.percentile(np.asarray(values, dtype=np.float64), q))
+
+
+@dataclass(frozen=True)
+class RequestStats:
+    count: int
+    completed: int
+    failed: int
+    makespan: float
+    mean_seconds: float
+    median_seconds: float
+    p95_seconds: float
+    total_retries: int
+
+    def row(self) -> list:
+        return [
+            self.count,
+            self.completed,
+            self.failed,
+            f"{self.makespan:.2f}",
+            f"{self.mean_seconds:.2f}",
+            f"{self.p95_seconds:.2f}",
+            self.total_retries,
+        ]
+
+
+def request_stats(records: Iterable[RequestRecord]) -> RequestStats:
+    """Aggregate a batch of finished request records."""
+    recs = list(records)
+    if not recs:
+        raise ValueError("no records")
+    done = [r for r in recs if r.status is RequestStatus.DONE]
+    failed = [r for r in recs if r.status is RequestStatus.FAILED]
+    times = [r.total_seconds for r in done if r.total_seconds is not None]
+    if times:
+        makespan = max(r.t_done - min(x.t_submit for x in recs) for r in done)
+        mean = float(np.mean(times))
+        median = float(np.median(times))
+        p95 = percentile(times, 95)
+    else:
+        makespan = mean = median = p95 = float("nan")
+    return RequestStats(
+        count=len(recs),
+        completed=len(done),
+        failed=len(failed),
+        makespan=makespan,
+        mean_seconds=mean,
+        median_seconds=median,
+        p95_seconds=p95,
+        total_retries=sum(r.retries for r in recs),
+    )
+
+
+def time_average(
+    history: Sequence[tuple[float, float]], t0: float, t1: float
+) -> float:
+    """Time-average of a right-continuous step signal over [t0, t1]."""
+    if t1 <= t0:
+        raise ValueError("need t1 > t0")
+    if not history:
+        raise ValueError("empty history")
+    total = 0.0
+    # value in effect at t0
+    current = None
+    for when, value in history:
+        if when <= t0:
+            current = value
+        else:
+            break
+    cursor = t0
+    for when, value in history:
+        if when <= t0:
+            continue
+        if when >= t1:
+            break
+        if current is not None:
+            total += current * (when - cursor)
+        cursor = when
+        current = value
+    if current is not None:
+        total += current * (t1 - cursor)
+    return total / (t1 - t0)
+
+
+def mean_abs_error_vs_truth(
+    truth: Sequence[tuple[float, float]],
+    belief: Sequence[tuple[float, float]],
+    t0: float,
+    t1: float,
+    *,
+    samples: int = 2000,
+) -> float:
+    """Mean |truth(t) - belief(t)| over [t0, t1], sampled densely.
+
+    Both signals are step functions given as (time, value) points; the
+    belief before its first point counts as its first value.
+    """
+    if not truth or not belief:
+        raise ValueError("empty signal")
+    ts = np.linspace(t0, t1, samples, endpoint=False)
+
+    def step_at(sig: Sequence[tuple[float, float]], t: float) -> float:
+        value = sig[0][1]
+        for when, v in sig:
+            if when <= t:
+                value = v
+            else:
+                break
+        return value
+
+    errs = [abs(step_at(truth, t) - step_at(belief, t)) for t in ts]
+    return float(np.mean(errs))
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence], *, title: str = ""
+) -> str:
+    """Fixed-width ASCII table (right-aligned numeric-ish columns)."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,142 @@
+"""Unit tests for the BLAS-flavoured kernels."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NumericsError
+from repro.numerics import blas
+
+
+RNG = np.random.default_rng(1234)
+
+
+def test_axpy():
+    x = RNG.standard_normal(50)
+    y = RNG.standard_normal(50)
+    assert np.allclose(blas.axpy(2.5, x, y), 2.5 * x + y)
+
+
+def test_axpy_shape_mismatch():
+    with pytest.raises(NumericsError):
+        blas.axpy(1.0, np.ones(3), np.ones(4))
+
+
+def test_axpy_rejects_matrix():
+    with pytest.raises(NumericsError):
+        blas.axpy(1.0, np.ones((2, 2)), np.ones((2, 2)))
+
+
+def test_dot():
+    x = RNG.standard_normal(64)
+    y = RNG.standard_normal(64)
+    assert blas.dot(x, y) == pytest.approx(float(x @ y))
+
+
+def test_dot_shape_mismatch():
+    with pytest.raises(NumericsError):
+        blas.dot(np.ones(3), np.ones(4))
+
+
+def test_nrm2_matches_numpy():
+    x = RNG.standard_normal(100)
+    assert blas.nrm2(x) == pytest.approx(float(np.linalg.norm(x)))
+
+
+def test_nrm2_overflow_safe():
+    x = np.array([1e200, 1e200])
+    assert blas.nrm2(x) == pytest.approx(np.sqrt(2) * 1e200, rel=1e-12)
+    assert np.isfinite(blas.nrm2(x))
+
+
+def test_nrm2_zero_and_empty():
+    assert blas.nrm2(np.zeros(5)) == 0.0
+    assert blas.nrm2(np.array([])) == 0.0
+
+
+def test_asum():
+    x = np.array([1.0, -2.0, 3.0])
+    assert blas.asum(x) == pytest.approx(6.0)
+
+
+def test_iamax():
+    assert blas.iamax(np.array([1.0, -5.0, 3.0])) == 1
+    with pytest.raises(NumericsError):
+        blas.iamax(np.array([]))
+
+
+def test_scal():
+    assert np.allclose(blas.scal(3.0, np.ones(4)), 3.0 * np.ones(4))
+
+
+def test_gemv_basic():
+    a = RNG.standard_normal((7, 5))
+    x = RNG.standard_normal(5)
+    assert np.allclose(blas.gemv(a, x), a @ x)
+
+
+def test_gemv_alpha_beta():
+    a = RNG.standard_normal((4, 4))
+    x = RNG.standard_normal(4)
+    y = RNG.standard_normal(4)
+    out = blas.gemv(a, x, alpha=2.0, beta=-1.0, y=y)
+    assert np.allclose(out, 2.0 * a @ x - y)
+
+
+def test_gemv_beta_without_y():
+    with pytest.raises(NumericsError, match="requires y"):
+        blas.gemv(np.eye(2), np.ones(2), beta=1.0)
+
+
+def test_gemv_shape_mismatch():
+    with pytest.raises(NumericsError):
+        blas.gemv(np.ones((3, 4)), np.ones(3))
+    with pytest.raises(NumericsError, match="y has length"):
+        blas.gemv(np.ones((3, 4)), np.ones(4), beta=1.0, y=np.ones(5))
+
+
+@pytest.mark.parametrize("m,k,n", [(1, 1, 1), (5, 7, 3), (64, 64, 64), (300, 130, 257)])
+def test_gemm_matches_numpy(m, k, n):
+    a = RNG.standard_normal((m, k))
+    b = RNG.standard_normal((k, n))
+    assert np.allclose(blas.gemm(a, b), a @ b, atol=1e-10)
+
+
+def test_gemm_blocking_boundaries():
+    # sizes straddling the block size exercise partial panels
+    a = RNG.standard_normal((257, 256))
+    b = RNG.standard_normal((256, 255))
+    assert np.allclose(blas.gemm(a, b, block=128), a @ b, atol=1e-9)
+
+
+def test_gemm_small_block():
+    a = RNG.standard_normal((10, 11))
+    b = RNG.standard_normal((11, 12))
+    assert np.allclose(blas.gemm(a, b, block=3), a @ b)
+
+
+def test_gemm_alpha_beta_c():
+    a = RNG.standard_normal((5, 6))
+    b = RNG.standard_normal((6, 4))
+    c = RNG.standard_normal((5, 4))
+    out = blas.gemm(a, b, alpha=0.5, beta=2.0, c=c)
+    assert np.allclose(out, 0.5 * a @ b + 2.0 * c)
+
+
+def test_gemm_beta_without_c():
+    with pytest.raises(NumericsError, match="requires c"):
+        blas.gemm(np.eye(2), np.eye(2), beta=1.0)
+
+
+def test_gemm_shape_checks():
+    with pytest.raises(NumericsError):
+        blas.gemm(np.ones((2, 3)), np.ones((4, 2)))
+    with pytest.raises(NumericsError, match="C has shape"):
+        blas.gemm(np.eye(2), np.eye(2), beta=1.0, c=np.ones((3, 3)))
+    with pytest.raises(NumericsError, match="block"):
+        blas.gemm(np.eye(2), np.eye(2), block=0)
+
+
+def test_gemm_fortran_ordered_inputs():
+    a = np.asfortranarray(RNG.standard_normal((40, 30)))
+    b = np.asfortranarray(RNG.standard_normal((30, 20)))
+    assert np.allclose(blas.gemm(a, b), a @ b)

@@ -1,0 +1,172 @@
+"""Tests for the C-flavoured and MATLAB-flavoured client interfaces."""
+
+import numpy as np
+import pytest
+
+from repro.capi import (
+    NS_BAD_ARGS,
+    NS_NOT_READY,
+    NS_OK,
+    NS_PROB_NOT_FOUND,
+    SimSession,
+    netsl,
+    netslnb,
+    netslpr,
+    netslwt,
+    status_name,
+)
+from repro.errors import NetSolveError, ProblemNotFoundError
+from repro.matlab import MatlabNetSolve
+from repro.testbed import standard_testbed
+
+RNG = np.random.default_rng(3)
+
+
+@pytest.fixture()
+def session():
+    tb = standard_testbed(n_servers=2, seed=11)
+    tb.settle()
+    return SimSession(tb, "c0")
+
+
+def linsys(n=40):
+    a = RNG.standard_normal((n, n)) + n * np.eye(n)
+    b = RNG.standard_normal(n)
+    return a, b
+
+
+# ----------------------------------------------------------------------
+# C API
+# ----------------------------------------------------------------------
+def test_netsl_blocking(session):
+    a, b = linsys()
+    status, (x,) = netsl(session, "linsys/dgesv", a, b)
+    assert status == NS_OK
+    assert np.allclose(a @ x, b, atol=1e-8)
+
+
+def test_netsl_accepts_paren_decoration(session):
+    a, b = linsys()
+    status, (x,) = netsl(session, "linsys/dgesv()", a, b)
+    assert status == NS_OK
+
+
+def test_netslnb_probe_wait_cycle(session):
+    a, b = linsys()
+    status, handle = netslnb(session, "linsys/dgesv", a, b)
+    assert status == NS_OK
+    assert netslpr(handle) == NS_NOT_READY
+    status, (x,) = netslwt(session, handle)
+    assert status == NS_OK
+    assert netslpr(handle) == NS_OK
+    assert np.allclose(a @ x, b, atol=1e-8)
+
+
+def test_unknown_problem_status(session):
+    status, outputs = netsl(session, "does/not/exist", np.ones(3))
+    assert status == NS_PROB_NOT_FOUND
+    assert outputs == ()
+
+
+def test_bad_args_status(session):
+    a, _ = linsys(10)
+    status, _ = netsl(session, "linsys/dgesv", a, np.ones(11))
+    assert status == NS_BAD_ARGS
+
+
+def test_probe_after_failure_returns_error_code(session):
+    _, handle = netslnb(session, "does/not/exist", np.ones(2))
+    netslwt(session, handle)
+    assert netslpr(handle) == NS_PROB_NOT_FOUND
+
+
+def test_status_names():
+    assert status_name(NS_OK) == "NS_OK"
+    assert status_name(NS_BAD_ARGS) == "NS_BAD_ARGS"
+    assert "UNKNOWN" in status_name(-99)
+
+
+def test_multiple_nonblocking_in_flight(session):
+    handles = []
+    for _ in range(5):
+        a, b = linsys(64)
+        _, h = netslnb(session, "linsys/dgesv", a, b)
+        handles.append((h, a, b))
+    for h, a, b in handles:
+        status, (x,) = netslwt(session, h)
+        assert status == NS_OK
+        assert np.allclose(a @ x, b, atol=1e-8)
+
+
+# ----------------------------------------------------------------------
+# MATLAB interface
+# ----------------------------------------------------------------------
+def test_matlab_blocking_single_output_unwraps(session):
+    ml = MatlabNetSolve(session)
+    a, b = linsys()
+    x = ml.netsolve("dgesv", a, b)
+    assert isinstance(x, np.ndarray)
+    assert np.allclose(a @ x, b, atol=1e-8)
+
+
+def test_matlab_multi_output_tuple(session):
+    ml = MatlabNetSolve(session)
+    m = RNG.standard_normal((12, 12))
+    s = (m + m.T) / 2
+    w, v = ml.netsolve("symm", s)
+    assert np.allclose(s @ v, v @ np.diag(w), atol=1e-7)
+
+
+def test_matlab_short_name_resolution(session):
+    ml = MatlabNetSolve(session)
+    assert ml.resolve("dgesv") == "linsys/dgesv"
+    assert ml.resolve("linsys/dgesv") == "linsys/dgesv"
+
+
+def test_matlab_unknown_name(session):
+    ml = MatlabNetSolve(session)
+    with pytest.raises(ProblemNotFoundError):
+        ml.resolve("dtrtri")
+
+
+def test_matlab_ambiguity_detected():
+    # both fit/poly and quad/poly end in /poly
+    tb = standard_testbed(n_servers=1, seed=12)
+    tb.settle()
+    ml = MatlabNetSolve(SimSession(tb, "c0"))
+    with pytest.raises(NetSolveError, match="ambiguous"):
+        ml.resolve("poly")
+
+
+def test_matlab_problem_browser(session):
+    ml = MatlabNetSolve(session)
+    names = ml.problems("linsys/")
+    assert "linsys/dgesv" in names
+    assert all(n.startswith("linsys/") for n in names)
+    assert len(ml.problems()) == 26
+
+
+def test_matlab_nonblocking_probe_wait(session):
+    ml = MatlabNetSolve(session)
+    a, b = linsys()
+    handle = ml.netsolve_nb("dgesv", a, b)
+    assert ml.probe(handle) is False
+    x = ml.wait(handle)
+    assert ml.probe(handle) is True
+    assert np.allclose(a @ x, b, atol=1e-8)
+
+
+def test_matlab_err_variant_no_raise(session):
+    ml = MatlabNetSolve(session)
+    a, b = linsys()
+    x, err = ml.netsolve_err("dgesv", a, b)
+    assert err == "" and x is not None
+    value, err = ml.netsolve_err("dgesv", a, np.ones(len(b) + 1))
+    assert value is None and "size symbol" in err
+    assert ml.last_error == err
+
+
+def test_matlab_scalar_output(session):
+    ml = MatlabNetSolve(session)
+    r = ml.netsolve("ddot", np.arange(4.0), np.arange(4.0))
+    assert r == pytest.approx(14.0)

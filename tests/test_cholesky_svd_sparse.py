@@ -1,0 +1,298 @@
+"""Unit tests for Cholesky, SVD and sparse CSR kernels."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NumericsError
+from repro.numerics import (
+    CsrMatrix,
+    cholesky_factor,
+    cholesky_solve,
+    is_spd,
+    poisson_1d,
+    poisson_2d,
+    sparse_cg,
+    sparse_jacobi,
+    svd_factor,
+    svd_values,
+)
+
+RNG = np.random.default_rng(88)
+
+
+def spd(n):
+    m = RNG.standard_normal((n, n))
+    return m @ m.T + n * np.eye(n)
+
+
+# ----------------------------------------------------------------------
+# Cholesky
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("n", [1, 2, 5, 30, 64, 65, 130])
+def test_cholesky_reconstructs(n):
+    a = spd(n)
+    lower = cholesky_factor(a)
+    assert np.allclose(lower @ lower.T, a, atol=1e-8 * n)
+    assert np.allclose(lower, np.tril(lower))
+
+
+def test_cholesky_matches_numpy():
+    a = spd(40)
+    assert np.allclose(cholesky_factor(a), np.linalg.cholesky(a), atol=1e-8)
+
+
+def test_cholesky_solve_residual():
+    a = spd(50)
+    b = RNG.standard_normal(50)
+    x = cholesky_solve(cholesky_factor(a), b)
+    assert np.allclose(a @ x, b, atol=1e-8)
+
+
+def test_cholesky_panel_sizes_agree():
+    a = spd(100)
+    l1 = cholesky_factor(a, panel=8)
+    l2 = cholesky_factor(a, panel=64)
+    assert np.allclose(l1, l2, atol=1e-9)
+
+
+def test_cholesky_rejects_indefinite():
+    with pytest.raises(NumericsError, match="positive definite"):
+        cholesky_factor(np.diag([1.0, -1.0]))
+
+
+def test_cholesky_rejects_asymmetric():
+    with pytest.raises(NumericsError, match="symmetric"):
+        cholesky_factor(np.array([[1.0, 2.0], [0.0, 1.0]]))
+
+
+def test_cholesky_rejects_bad_shapes():
+    with pytest.raises(NumericsError):
+        cholesky_factor(np.ones((2, 3)))
+    with pytest.raises(NumericsError):
+        cholesky_factor(np.eye(3), panel=0)
+
+
+def test_is_spd():
+    assert is_spd(spd(10))
+    assert not is_spd(np.diag([1.0, -2.0]))
+    assert not is_spd(np.array([[1.0, 5.0], [5.0, 1.0]]))
+
+
+# ----------------------------------------------------------------------
+# SVD
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("m,n", [(1, 1), (5, 3), (10, 10), (40, 12)])
+def test_svd_values_match_numpy(m, n):
+    a = RNG.standard_normal((m, n))
+    assert np.allclose(
+        svd_values(a), np.linalg.svd(a, compute_uv=False), atol=1e-9
+    )
+
+
+def test_svd_values_transpose_invariant():
+    a = RNG.standard_normal((6, 15))
+    assert np.allclose(svd_values(a), svd_values(a.T), atol=1e-10)
+
+
+def test_svd_values_descending():
+    s = svd_values(RNG.standard_normal((20, 7)))
+    assert np.all(np.diff(s) <= 1e-12)
+
+
+def test_svd_factor_reconstructs():
+    a = RNG.standard_normal((25, 9))
+    u, s, vt = svd_factor(a)
+    assert np.allclose(u @ np.diag(s) @ vt, a, atol=1e-8)
+    assert np.allclose(u.T @ u, np.eye(9), atol=1e-8)
+    assert np.allclose(vt @ vt.T, np.eye(9), atol=1e-8)
+
+
+def test_svd_factor_rank_deficient():
+    a = np.outer(RNG.standard_normal(12), RNG.standard_normal(5))
+    u, s, vt = svd_factor(a)
+    assert s[0] > 1e-6
+    assert np.all(s[1:] < 1e-8 * s[0])
+    assert np.allclose(u[:, :1] * s[0] @ vt[:1], a, atol=1e-8)
+
+
+def test_svd_factor_requires_tall():
+    with pytest.raises(NumericsError, match="m >= n"):
+        svd_factor(np.ones((2, 5)))
+
+
+def test_svd_rejects_nonfinite():
+    a = np.ones((3, 2))
+    a[0, 0] = np.nan
+    with pytest.raises(NumericsError):
+        svd_values(a)
+
+
+# ----------------------------------------------------------------------
+# CSR container
+# ----------------------------------------------------------------------
+def test_csr_from_dense_roundtrip():
+    a = RNG.standard_normal((6, 8))
+    a[np.abs(a) < 0.7] = 0.0
+    csr = CsrMatrix.from_dense(a)
+    assert np.allclose(csr.to_dense(), a)
+    assert csr.nnz == np.count_nonzero(a)
+
+
+def test_csr_matvec_matches_dense():
+    a = RNG.standard_normal((7, 5))
+    a[np.abs(a) < 0.5] = 0.0
+    x = RNG.standard_normal(5)
+    assert np.allclose(CsrMatrix.from_dense(a).matvec(x), a @ x)
+
+
+def test_csr_matvec_empty_rows():
+    a = np.zeros((4, 4))
+    a[1, 2] = 3.0
+    csr = CsrMatrix.from_dense(a)
+    out = csr.matvec(np.ones(4))
+    assert np.allclose(out, [0.0, 3.0, 0.0, 0.0])
+
+
+def test_csr_all_zero_matrix():
+    csr = CsrMatrix.from_dense(np.zeros((3, 3)))
+    assert csr.nnz == 0
+    assert np.allclose(csr.matvec(np.ones(3)), 0.0)
+
+
+def test_csr_diagonal():
+    a = np.diag([1.0, 0.0, 3.0]) + np.triu(np.ones((3, 3)), 1)
+    csr = CsrMatrix.from_dense(a)
+    assert np.allclose(csr.diagonal(), [1.0, 0.0, 3.0])
+
+
+def test_csr_validation():
+    with pytest.raises(NumericsError):
+        CsrMatrix((0, 3), [0], [], [])
+    with pytest.raises(NumericsError, match="indptr"):
+        CsrMatrix((2, 2), [0, 1], [0], [1.0])
+    with pytest.raises(NumericsError, match="non-decreasing"):
+        CsrMatrix((2, 2), [0, 2, 1], [0, 1], [1.0, 1.0])
+    with pytest.raises(NumericsError, match="nnz"):
+        CsrMatrix((2, 2), [0, 1, 2], [0], [1.0, 2.0])
+    with pytest.raises(NumericsError, match="out of range"):
+        CsrMatrix((2, 2), [0, 1, 2], [0, 5], [1.0, 2.0])
+    with pytest.raises(NumericsError, match="non-finite"):
+        CsrMatrix((1, 1), [0, 1], [0], [np.inf])
+
+
+def test_csr_matvec_shape_check():
+    csr = poisson_1d(4)
+    with pytest.raises(NumericsError):
+        csr.matvec(np.ones(5))
+
+
+# ----------------------------------------------------------------------
+# sparse solvers & model problems
+# ----------------------------------------------------------------------
+def test_poisson_1d_structure():
+    p = poisson_1d(5)
+    dense = p.to_dense()
+    assert np.allclose(np.diagonal(dense), 2.0)
+    assert np.allclose(np.diagonal(dense, 1), -1.0)
+    assert dense.shape == (5, 5)
+
+
+def test_poisson_2d_structure():
+    p = poisson_2d(3)
+    dense = p.to_dense()
+    assert dense.shape == (9, 9)
+    assert np.allclose(np.diagonal(dense), 4.0)
+    assert np.allclose(dense, dense.T)
+
+
+def test_sparse_cg_solves_poisson():
+    p = poisson_2d(12)
+    b = RNG.standard_normal(144)
+    x, iters = sparse_cg(p, b, tol=1e-12)
+    assert np.allclose(p.matvec(x), b, atol=1e-7)
+    assert 0 < iters < 1440
+
+
+def test_sparse_cg_matches_dense_solver():
+    p = poisson_1d(30)
+    b = RNG.standard_normal(30)
+    x, _ = sparse_cg(p, b, tol=1e-12)
+    assert np.allclose(x, np.linalg.solve(p.to_dense(), b), atol=1e-7)
+
+
+def test_sparse_cg_validation():
+    p = poisson_1d(4)
+    with pytest.raises(NumericsError):
+        sparse_cg(p, np.ones(5))
+    rect = CsrMatrix((2, 3), [0, 1, 2], [0, 1], [1.0, 1.0])
+    with pytest.raises(NumericsError):
+        sparse_cg(rect, np.ones(2))
+
+
+def test_sparse_cg_indefinite_detected():
+    a = CsrMatrix.from_dense(np.diag([1.0, -1.0]))
+    with pytest.raises(NumericsError, match="positive definite"):
+        sparse_cg(a, np.ones(2))
+
+
+def test_sparse_jacobi_solves_dominant_system():
+    dense = RNG.standard_normal((25, 25))
+    dense[np.abs(dense) < 1.0] = 0.0
+    dense += np.diag(np.sum(np.abs(dense), axis=1) + 1.0)
+    csr = CsrMatrix.from_dense(dense)
+    b = RNG.standard_normal(25)
+    x, _ = sparse_jacobi(csr, b, tol=1e-11)
+    assert np.allclose(dense @ x, b, atol=1e-7)
+
+
+def test_sparse_jacobi_zero_diagonal_rejected():
+    a = CsrMatrix.from_dense(np.array([[0.0, 1.0], [1.0, 2.0]]))
+    with pytest.raises(NumericsError, match="diagonal"):
+        sparse_jacobi(a, np.ones(2))
+
+
+# ----------------------------------------------------------------------
+# the wire-level sparse problems
+# ----------------------------------------------------------------------
+def test_sparse_problems_execute_via_registry():
+    from repro.problems import builtin_registry
+
+    reg = builtin_registry()
+    p = poisson_2d(8)
+    b = np.ones(64)
+    (x,) = reg.execute("sparse/cg", [p.indptr, p.indices, p.data, b])
+    assert np.allclose(p.matvec(x), b, atol=1e-7)
+
+
+def test_sparse_problem_bad_indptr_length():
+    from repro.errors import NetSolveError
+    from repro.problems import builtin_registry
+
+    reg = builtin_registry()
+    p = poisson_1d(6)
+    with pytest.raises(NetSolveError):
+        # b of wrong length relative to indptr
+        reg.execute("sparse/cg", [p.indptr, p.indices, p.data, np.ones(5)])
+
+
+def test_spd_and_svd_problems_execute():
+    from repro.problems import builtin_registry
+
+    reg = builtin_registry()
+    a = spd(20)
+    b = RNG.standard_normal(20)
+    (x,) = reg.execute("linsys/spd", [a, b])
+    assert np.allclose(a @ x, b, atol=1e-8)
+    m = RNG.standard_normal((15, 6))
+    (s,) = reg.execute("svd/values", [m])
+    assert np.allclose(s, np.linalg.svd(m, compute_uv=False), atol=1e-9)
+
+
+def test_svd_problem_rejects_wide_matrix():
+    from repro.errors import NetSolveError
+    from repro.problems import builtin_registry
+
+    with pytest.raises(NetSolveError):
+        builtin_registry().execute(
+            "svd/values", [RNG.standard_normal((3, 9))]
+        )

@@ -1,0 +1,265 @@
+"""Unit tests for the binary wire codec."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CodecError
+from repro.protocol.codec import (
+    HEADER,
+    MAGIC,
+    decode_message,
+    decode_value,
+    encode_message,
+    encode_value,
+    frame_size,
+)
+from repro.protocol.messages import (
+    Ping,
+    QueryReply,
+    QueryRequest,
+    RegisterServer,
+    SolveReply,
+    SolveRequest,
+    WorkloadReport,
+)
+
+
+def roundtrip_value(value):
+    buf = bytearray()
+    encode_value(value, buf)
+    return decode_value(bytes(buf))
+
+
+@pytest.mark.parametrize(
+    "value",
+    [
+        None,
+        True,
+        False,
+        0,
+        -1,
+        2**62,
+        -(2**62),
+        3.14159,
+        float("inf"),
+        complex(1.5, -2.5),
+        "",
+        "hello",
+        "ünïcodé ✓",
+        b"",
+        b"\x00\xff raw",
+        [],
+        [1, 2.0, "three", None],
+        {"a": 1, "b": [True, {"c": b"x"}]},
+    ],
+)
+def test_scalar_and_container_roundtrip(value):
+    assert roundtrip_value(value) == value
+
+
+def test_tuple_decodes_as_list():
+    assert roundtrip_value((1, 2)) == [1, 2]
+
+
+@pytest.mark.parametrize(
+    "arr",
+    [
+        np.arange(10, dtype=np.float64),
+        np.arange(6, dtype=np.int64).reshape(2, 3),
+        np.array([], dtype=np.float64),
+        np.linspace(0, 1, 12, dtype=np.float32).reshape(3, 4),
+        np.array([1 + 2j, 3 - 4j], dtype=np.complex128),
+        np.array([[True, False], [False, True]]),
+        np.zeros((2, 3, 4), dtype=np.int32),
+    ],
+)
+def test_ndarray_roundtrip(arr):
+    out = roundtrip_value(arr)
+    assert isinstance(out, np.ndarray)
+    assert out.dtype == arr.dtype
+    assert out.shape == arr.shape
+    assert np.array_equal(out, arr)
+
+
+def test_noncontiguous_array_roundtrip():
+    arr = np.arange(24, dtype=np.float64).reshape(4, 6)[::2, ::3]
+    out = roundtrip_value(arr)
+    assert np.array_equal(out, arr)
+
+
+def test_decoded_array_is_writable_copy():
+    out = roundtrip_value(np.arange(4.0))
+    out[0] = 99.0  # must not raise: decoded arrays own their memory
+
+
+def test_unsupported_dtype_rejected():
+    with pytest.raises(CodecError, match="dtype"):
+        roundtrip_value(np.array(["a", "b"]))
+    with pytest.raises(CodecError, match="dtype"):
+        roundtrip_value(np.arange(3, dtype=np.float16))
+
+
+def test_unencodable_type_rejected():
+    with pytest.raises(CodecError, match="cannot encode"):
+        roundtrip_value(object())
+
+
+def test_non_string_dict_key_rejected():
+    with pytest.raises(CodecError, match="keys must be str"):
+        roundtrip_value({1: "x"})
+
+
+def test_huge_int_rejected():
+    with pytest.raises(CodecError, match="i64"):
+        roundtrip_value(2**70)
+
+
+def test_numpy_scalars_encode_as_primitives():
+    assert roundtrip_value(np.float64(2.5)) == 2.5
+    assert roundtrip_value(np.int64(7)) == 7
+    assert roundtrip_value(np.complex128(1j)) == 1j
+
+
+def test_trailing_bytes_rejected():
+    buf = bytearray()
+    encode_value(1, buf)
+    buf += b"junk"
+    with pytest.raises(CodecError, match="trailing"):
+        decode_value(bytes(buf))
+
+
+def test_truncated_value_rejected():
+    buf = bytearray()
+    encode_value("hello world", buf)
+    with pytest.raises(CodecError, match="truncated"):
+        decode_value(bytes(buf[:-3]))
+
+
+def test_unknown_tag_rejected():
+    with pytest.raises(CodecError, match="unknown tag"):
+        decode_value(b"\xfe")
+
+
+def test_bad_bool_byte_rejected():
+    with pytest.raises(CodecError, match="bool"):
+        decode_value(b"\x01\x05")
+
+
+def test_ndarray_length_mismatch_rejected():
+    buf = bytearray()
+    encode_value(np.arange(4.0), buf)
+    # corrupt the trailing payload-length field region by shrinking buffer
+    with pytest.raises(CodecError):
+        decode_value(bytes(buf[:-8]))
+
+
+# ----------------------------------------------------------------------
+# message framing
+# ----------------------------------------------------------------------
+MESSAGES = [
+    Ping(nonce=42),
+    RegisterServer(
+        server_id="s1", host="h1", mflops=120.0, problems_pdl="problem ..."
+    ),
+    WorkloadReport(server_id="s1", workload=250.0),
+    QueryRequest(
+        problem="linsys/dgesv",
+        sizes={"n": 512},
+        client_host="c1",
+        exclude=("s2",),
+    ),
+    QueryReply(
+        ok=True,
+        candidates=(
+            {
+                "server_id": "s1",
+                "address": "server:s1",
+                "host": "h1",
+                "predicted_seconds": 1.25,
+            },
+        ),
+    ),
+    SolveRequest(
+        request_id=7,
+        problem="blas/ddot",
+        inputs=(np.arange(3.0), np.arange(3.0)),
+        reply_to="client:c1",
+    ),
+    SolveReply(
+        request_id=7, ok=True, outputs=(np.float64(5.0),), compute_seconds=0.25
+    ),
+]
+
+
+@pytest.mark.parametrize("msg", MESSAGES, ids=lambda m: type(m).__name__)
+def test_message_roundtrip(msg):
+    decoded = decode_message(encode_message(msg))
+    assert type(decoded) is type(msg)
+    for name, value in msg.to_fields().items():
+        got = getattr(decoded, name)
+        if isinstance(value, tuple):
+            assert len(got) == len(value)
+            for a, b in zip(got, value):
+                if isinstance(b, np.ndarray):
+                    assert np.array_equal(a, b)
+                else:
+                    assert a == b
+        else:
+            assert got == value
+
+
+def test_frame_size_matches_encoding():
+    msg = Ping(nonce=1)
+    assert frame_size(msg) == len(encode_message(msg))
+
+
+def test_bad_magic_rejected():
+    data = bytearray(encode_message(Ping()))
+    data[:4] = b"XXXX"
+    with pytest.raises(CodecError, match="magic"):
+        decode_message(bytes(data))
+
+
+def test_bad_version_rejected():
+    data = bytearray(encode_message(Ping()))
+    data[4] = 99
+    with pytest.raises(CodecError, match="version"):
+        decode_message(bytes(data))
+
+
+def test_unknown_type_code_rejected():
+    data = bytearray(encode_message(Ping()))
+    data[6] = 0xEE
+    with pytest.raises(CodecError, match="type code"):
+        decode_message(bytes(data))
+
+
+def test_length_mismatch_rejected():
+    data = encode_message(Ping()) + b"extra"
+    with pytest.raises(CodecError, match="length mismatch"):
+        decode_message(data)
+
+
+def test_short_frame_rejected():
+    with pytest.raises(CodecError, match="shorter than header"):
+        decode_message(MAGIC)
+
+
+def test_field_set_enforced():
+    # valid frame whose body is missing a field
+    good = encode_message(WorkloadReport(server_id="s", workload=1.0))
+    from repro.protocol.codec import PROTOCOL_VERSION, encode_value
+    from repro.errors import ProtocolError
+
+    body = bytearray()
+    encode_value({"server_id": "s"}, body)  # workload missing
+    frame = HEADER.pack(MAGIC, PROTOCOL_VERSION, 3, len(body)) + bytes(body)
+    with pytest.raises(ProtocolError, match="field set"):
+        decode_message(frame)
+    decode_message(good)  # sanity: the well-formed one still parses
+
+
+def test_array_payload_dominates_frame_size():
+    small = frame_size(SolveRequest(1, "p", inputs=(np.zeros(1),)))
+    big = frame_size(SolveRequest(1, "p", inputs=(np.zeros(10000),)))
+    assert big - small == pytest.approx(9999 * 8, abs=64)

@@ -1,0 +1,131 @@
+"""Unit tests for complexity-expression parsing and evaluation."""
+
+import math
+
+import pytest
+
+from repro.errors import ComplexityError
+from repro.problems.complexity import Complexity
+
+
+@pytest.mark.parametrize(
+    "text,env,expected",
+    [
+        ("n", {"n": 5}, 5.0),
+        ("2*n", {"n": 5}, 10.0),
+        ("n^2", {"n": 3}, 9.0),
+        ("2/3*n^3", {"n": 3}, 18.0),
+        ("2/3*n^3 + 2*n^2", {"n": 3}, 36.0),
+        ("m*n*k", {"m": 2, "n": 3, "k": 4}, 24.0),
+        ("5*n*log2(n)", {"n": 8}, 120.0),
+        ("n*log(n)", {"n": math.e}, math.e),
+        ("sqrt(n)", {"n": 16}, 4.0),
+        ("min(n, m)", {"n": 3, "m": 7}, 3.0),
+        ("max(n, m)", {"n": 3, "m": 7}, 7.0),
+        ("ceil(n/2)", {"n": 5}, 3.0),
+        ("floor(n/2)", {"n": 5}, 2.0),
+        ("(n+1)*(n+2)", {"n": 1}, 6.0),
+        ("2^n", {"n": 10}, 1024.0),
+        ("2^2^2", {}, 16.0),  # right associative would be 2^(2^2)=16
+        ("1e3*n", {"n": 2}, 2000.0),
+        ("n - -m", {"n": 1, "m": 2}, 3.0),
+        ("log10(n)", {"n": 1000}, 3.0),
+    ],
+)
+def test_evaluation(text, env, expected):
+    assert Complexity(text).flops(env) == pytest.approx(expected)
+
+
+def test_power_right_associative():
+    # 2^(3^2) = 512, (2^3)^2 = 64
+    assert Complexity("2^3^2").flops({}) == pytest.approx(512.0)
+
+
+def test_precedence_mul_before_add():
+    assert Complexity("1 + 2*3").flops({}) == pytest.approx(7.0)
+
+
+def test_unary_minus_binds_tighter_than_mul_operand():
+    assert Complexity("n + 4 - 2").flops({"n": 0}) == pytest.approx(2.0)
+
+
+def test_symbols_collected():
+    cx = Complexity("2*m*n + log2(k)")
+    assert cx.symbols == frozenset({"m", "n", "k"})
+
+
+def test_constant_expression_has_no_symbols():
+    assert Complexity("42").symbols == frozenset()
+
+
+def test_unbound_symbol_raises():
+    with pytest.raises(ComplexityError, match="unbound symbol"):
+        Complexity("n^2").flops({})
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "",
+        "   ",
+        "n +",
+        "* n",
+        "(n",
+        "n)",
+        "foo(n)",
+        "min(n)",
+        "log(n, m)",
+        "n $ m",
+        "2..5",
+        "n n",
+    ],
+)
+def test_syntax_errors(bad):
+    with pytest.raises(ComplexityError):
+        Complexity(bad)
+
+
+def test_division_by_zero():
+    with pytest.raises(ComplexityError, match="division by zero"):
+        Complexity("n/m").flops({"n": 1, "m": 0})
+
+
+def test_log_of_nonpositive():
+    with pytest.raises(ComplexityError):
+        Complexity("log2(n)").flops({"n": 0})
+
+
+def test_log_of_one_is_fine():
+    assert Complexity("n*log2(n)").flops({"n": 1}) == pytest.approx(0.0)
+
+
+def test_sqrt_of_negative():
+    with pytest.raises(ComplexityError):
+        Complexity("sqrt(n)").flops({"n": -1})
+
+
+def test_negative_result_rejected():
+    with pytest.raises(ComplexityError, match="negative"):
+        Complexity("n - 10").flops({"n": 1})
+
+
+def test_nonfinite_result_rejected():
+    with pytest.raises(ComplexityError):
+        Complexity("n^n").flops({"n": 1e308})
+
+
+def test_equality_and_hash_by_text():
+    a = Complexity("2*n")
+    b = Complexity("2*n")
+    c = Complexity("2 * n")
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != c  # textual identity, deliberately
+
+
+def test_repr():
+    assert "2*n" in repr(Complexity("2*n"))
+
+
+def test_whitespace_stripped():
+    assert Complexity("  2*n  ").text == "2*n"

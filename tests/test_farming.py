@@ -1,0 +1,112 @@
+"""Tests for request farming."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RequestFailed
+from repro.farming import submit_farm
+from repro.testbed import server_address, standard_testbed
+
+RNG = np.random.default_rng(17)
+
+
+def farm_args(count, n=96):
+    out = []
+    for _ in range(count):
+        a = RNG.standard_normal((n, n)) + n * np.eye(n)
+        b = RNG.standard_normal(n)
+        out.append([a, b])
+    return out
+
+
+def test_farm_completes_and_results_ordered():
+    tb = standard_testbed(n_servers=3, seed=21)
+    tb.settle()
+    args = farm_args(6)
+    farm = submit_farm(tb.client("c0"), "linsys/dgesv", args)
+    assert not farm.done
+    tb.wait_all(farm.handles)
+    assert farm.done
+    results = farm.results()
+    assert len(results) == 6
+    for (a, b), (x,) in zip(args, results):
+        assert np.allclose(a @ x, b, atol=1e-8)
+
+
+def test_farm_spreads_over_servers():
+    tb = standard_testbed(n_servers=4, seed=22)
+    tb.settle()
+    farm = submit_farm(tb.client("c0"), "linsys/dgesv", farm_args(16, n=128))
+    tb.wait_all(farm.handles)
+    used = farm.servers_used()
+    assert len(used) >= 3
+    assert sum(used.values()) == 16
+
+
+def test_farm_makespan_and_stats():
+    tb = standard_testbed(n_servers=2, seed=23)
+    tb.settle()
+    farm = submit_farm(tb.client("c0"), "linsys/dgesv", farm_args(4))
+    tb.wait_all(farm.handles)
+    stats = farm.stats()
+    assert stats.completed == 4 and stats.failed == 0
+    assert farm.makespan > 0
+    assert stats.makespan == pytest.approx(farm.makespan, rel=1e-6)
+
+
+def test_farm_makespan_before_done_raises():
+    tb = standard_testbed(n_servers=1, seed=24)
+    tb.settle()
+    farm = submit_farm(tb.client("c0"), "linsys/dgesv", farm_args(2))
+    with pytest.raises(RequestFailed):
+        _ = farm.makespan
+    tb.wait_all(farm.handles)
+
+
+def test_farm_partial_failure_collection():
+    tb = standard_testbed(n_servers=2, seed=25)
+    tb.settle()
+    good = farm_args(2, n=32)
+    bad = [[np.ones((8, 8)), np.ones(8)]]  # singular: every server errors
+    farm = submit_farm(tb.client("c0"), "linsys/dgesv", good + bad)
+    tb.wait_all(farm.handles)
+    assert len(farm.completed) == 2
+    assert len(farm.failed) == 1
+    with pytest.raises(RequestFailed):
+        farm.results()
+
+
+def test_farm_survives_one_server_crash():
+    tb = standard_testbed(n_servers=3, seed=26)
+    tb.settle()
+    farm = submit_farm(tb.client("c0"), "linsys/dgesv", farm_args(8, n=128))
+    tb.transport.crash(server_address("s2"))
+    tb.wait_all(farm.handles)
+    assert len(farm.completed) == 8
+    assert "s2" not in farm.servers_used() or farm.servers_used().get("s2", 0) < 8
+
+
+def test_empty_farm_rejected():
+    tb = standard_testbed(n_servers=1, seed=27)
+    tb.settle()
+    with pytest.raises(RequestFailed):
+        submit_farm(tb.client("c0"), "linsys/dgesv", [])
+
+
+def test_farm_faster_with_more_servers():
+    """The core farming claim: more servers, smaller makespan."""
+
+    def makespan(n_servers):
+        tb = standard_testbed(
+            n_servers=n_servers,
+            server_mflops=[100.0] * n_servers,
+            seed=28,
+        )
+        tb.settle()
+        farm = submit_farm(
+            tb.client("c0"), "linsys/dgesv", farm_args(12, n=256)
+        )
+        tb.wait_all(farm.handles)
+        return farm.makespan
+
+    assert makespan(4) < makespan(1)

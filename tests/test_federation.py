@@ -1,0 +1,170 @@
+"""Tests for federated (multi-agent) deployments."""
+
+import numpy as np
+import pytest
+
+from repro.config import ClientConfig
+from repro.core.request import RequestStatus
+from repro.errors import ConfigError
+from repro.testbed import (
+    ClientDef,
+    HostDef,
+    ServerDef,
+    build_testbed,
+    server_address,
+)
+
+RNG = np.random.default_rng(77)
+
+
+def federated_testbed(**kwargs):
+    """Two agents; servers split between them; one client per agent."""
+    return build_testbed(
+        hosts=[
+            HostDef("ag1", 50.0), HostDef("ag2", 50.0),
+            HostDef("sh1", 100.0), HostDef("sh2", 200.0),
+            HostDef("ch1", 20.0), HostDef("ch2", 20.0),
+        ],
+        servers=[
+            ServerDef("s1", "sh1", agent="agent"),
+            ServerDef("s2", "sh2", agent="agent-b"),
+        ],
+        clients=[
+            ClientDef("c1", "ch1", agent="agent",
+                      cfg=ClientConfig(timeout_floor=5.0)),
+            ClientDef("c2", "ch2", agent="agent-b",
+                      cfg=ClientConfig(timeout_floor=5.0)),
+        ],
+        agent_host="ag1",
+        extra_agents=[("agent-b", "ag2")],
+        **kwargs,
+    )
+
+
+def linsys(n=64):
+    a = RNG.standard_normal((n, n)) + n * np.eye(n)
+    return a, RNG.standard_normal(n)
+
+
+def test_registrations_mirror_to_all_agents():
+    tb = federated_testbed()
+    tb.settle()
+    for agent in tb.agents.values():
+        assert {"s1", "s2"} <= {e.server_id for e in agent.table.entries()}
+        assert "linsys/dgesv" in agent.specs
+    # each agent saw one direct + one mirrored registration
+    assert tb.agents["agent"].registrations == 2
+    assert tb.agents["agent-b"].registrations == 2
+
+
+def test_no_forward_loops():
+    tb = federated_testbed()
+    tb.settle()
+    # forwards happen once per direct event, never re-forwarded: with 2
+    # agents each direct registration yields exactly 1 forward
+    total_direct = 2  # s1 -> agent, s2 -> agent-b
+    total_forwards = sum(a.forwards_sent for a in tb.agents.values())
+    # registrations + workload reports mirrored so far; every mirrored
+    # message is consumed without triggering another forward
+    reports = sum(a.reports_received for a in tb.agents.values())
+    assert total_forwards >= total_direct
+    # loop check: run much longer; forwards grow only with direct events
+    before = sum(a.forwards_sent for a in tb.agents.values())
+    tb.run(until=tb.kernel.now + 0.5)  # no new direct events in 0.5 s
+    after = sum(a.forwards_sent for a in tb.agents.values())
+    assert after == before
+
+
+def test_client_solves_via_other_agents_server():
+    tb = federated_testbed()
+    tb.settle()
+    a, b = linsys(200)
+    # c1's home agent is "agent"; the best server (s2, 200 Mflop/s)
+    # registered with "agent-b" — federation makes it visible
+    (x,) = tb.solve("c1", "linsys/dgesv", [a, b])
+    assert np.allclose(a @ x, b, atol=1e-8)
+    assert tb.client("c1").records[-1].server_id == "s2"
+
+
+def test_workload_reports_mirror():
+    tb = federated_testbed()
+    tb.host("sh1").set_background_load(2.0)
+    tb.settle(30.0)
+    for agent in tb.agents.values():
+        assert agent.table.get("s1").workload == pytest.approx(200.0)
+
+
+def test_failure_reports_mirror():
+    tb = federated_testbed()
+    tb.settle()
+    tb.transport.crash(server_address("s2"))
+    a, b = linsys(64)
+    tb.solve("c1", "linsys/dgesv", [a, b])  # times out on s2, retries s1
+    record = tb.client("c1").records[-1]
+    assert record.status is RequestStatus.DONE
+    # both agents now consider s2 suspect
+    for agent in tb.agents.values():
+        assert not agent.table.get("s2").alive
+
+
+def test_agent_crash_failover_by_client_choice():
+    """A client whose home agent dies can be pointed at a sibling (the
+    federation holds the same state)."""
+    tb = federated_testbed()
+    tb.settle()
+    tb.transport.crash("agent")
+    a, b = linsys(64)
+    # c2 queries agent-b: unaffected
+    (x,) = tb.solve("c2", "linsys/dgesv", [a, b])
+    assert np.allclose(a @ x, b, atol=1e-8)
+    # c1's home agent is dead: retarget to the sibling
+    tb.client("c1").agent_address = "agent-b"
+    (x,) = tb.solve("c1", "linsys/dgesv", [a, b])
+    assert np.allclose(a @ x, b, atol=1e-8)
+
+
+def test_duplicate_agent_address_rejected():
+    with pytest.raises(ConfigError, match="duplicate agent"):
+        build_testbed(
+            hosts=[HostDef("h", 10.0)],
+            servers=[],
+            clients=[],
+            agent_host="h",
+            extra_agents=[("agent", "h")],
+        )
+
+
+def test_unknown_home_agent_rejected():
+    with pytest.raises(ConfigError, match="unknown agent"):
+        build_testbed(
+            hosts=[HostDef("h", 10.0)],
+            servers=[ServerDef("s", "h", agent="nope")],
+            clients=[],
+            agent_host="h",
+        )
+    with pytest.raises(ConfigError, match="unknown agent"):
+        build_testbed(
+            hosts=[HostDef("h", 10.0)],
+            servers=[],
+            clients=[ClientDef("c", "h", agent="nope")],
+            agent_host="h",
+        )
+
+
+def test_three_agent_mesh():
+    tb = build_testbed(
+        hosts=[HostDef(f"h{i}", 50.0) for i in range(5)],
+        servers=[ServerDef("s0", "h3", agent="agent-c")],
+        clients=[ClientDef("c0", "h4", agent="agent")],
+        agent_host="h0",
+        extra_agents=[("agent-b", "h1"), ("agent-c", "h2")],
+    )
+    tb.settle()
+    # one direct registration mirrored to both siblings
+    assert all(
+        "s0" in {e.server_id for e in a.table.entries()}
+        for a in tb.agents.values()
+    )
+    a, b = linsys(32)
+    (x,) = tb.solve("c0", "linsys/dgesv", [a, b])
+    assert np.allclose(a @ x, b, atol=1e-8)

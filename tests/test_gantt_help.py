@@ -1,0 +1,145 @@
+"""Tests for the Gantt renderer, client.describe and the MATLAB help verb."""
+
+import numpy as np
+import pytest
+
+from repro.capi import SimSession
+from repro.core.request import AttemptRecord, RequestRecord
+from repro.errors import ProblemNotFoundError
+from repro.matlab import MatlabNetSolve
+from repro.testbed import standard_testbed
+from repro.trace import render_gantt, server_busy_intervals
+
+RNG = np.random.default_rng(61)
+
+
+def record_with(attempts):
+    record = RequestRecord(request_id=1, problem="p", sizes={})
+    record.attempts.extend(attempts)
+    return record
+
+
+# ----------------------------------------------------------------------
+# gantt
+# ----------------------------------------------------------------------
+def test_busy_intervals_collects_finished_attempts():
+    record = record_with([
+        AttemptRecord("s0", "a", 1.0, 0.0, 2.0, outcome="timeout"),
+        AttemptRecord("s1", "a", 1.0, 2.0, 5.0, outcome="ok"),
+        AttemptRecord("s1", "a", 1.0, 6.0, None),  # in flight: skipped
+    ])
+    intervals = server_busy_intervals([record])
+    assert intervals == {"s0": [(0.0, 2.0)], "s1": [(2.0, 5.0)]}
+
+
+def test_render_gantt_shape():
+    record = record_with([
+        AttemptRecord("s0", "a", 1.0, 0.0, 10.0, outcome="ok"),
+        AttemptRecord("srv-long", "a", 1.0, 5.0, 10.0, outcome="ok"),
+    ])
+    art = render_gantt([record], width=40)
+    lines = art.splitlines()
+    assert len(lines) == 4  # 2 servers + axis + scale
+    assert "s0" in lines[0] and "srv-long" in lines[1]
+    # both chart rows have equal drawn width
+    assert lines[0].index("|") >= 0
+    body0 = lines[0].split("|")[1]
+    body1 = lines[1].split("|")[1]
+    assert len(body0) == len(body1) == 40
+    # s0 busy the whole window, srv-long only the second half
+    assert body0.strip() != ""
+    assert body1[:10].strip() == ""
+
+
+def test_render_gantt_stacking_levels():
+    # three overlapping attempts on one server -> taller glyph
+    record = record_with([
+        AttemptRecord("s0", "a", 1.0, 0.0, 10.0, outcome="ok"),
+        AttemptRecord("s0", "a", 1.0, 0.0, 10.0, outcome="ok"),
+        AttemptRecord("s0", "a", 1.0, 0.0, 10.0, outcome="ok"),
+    ])
+    single = render_gantt(
+        [record_with([AttemptRecord("s0", "a", 1.0, 0.0, 10.0, outcome="ok")])],
+        width=20,
+    ).splitlines()[0]
+    triple = render_gantt([record], width=20).splitlines()[0]
+    assert single != triple  # occupancy is visible
+
+
+def test_render_gantt_empty():
+    assert "no completed attempts" in render_gantt([])
+
+
+def test_render_gantt_validates_width():
+    with pytest.raises(ValueError):
+        render_gantt([record_with([])], width=3)
+
+
+def test_render_gantt_window_override():
+    record = record_with([
+        AttemptRecord("s0", "a", 1.0, 100.0, 110.0, outcome="ok"),
+    ])
+    art = render_gantt([record], width=20, t0=0.0, t1=200.0)
+    body = art.splitlines()[0].split("|")[1]
+    # busy only in the middle tenth of the forced window
+    assert body[0] == " " and body[-1] == " "
+    assert body.strip() != ""
+
+
+def test_render_gantt_on_real_farm():
+    from repro.farming import submit_farm
+
+    tb = standard_testbed(n_servers=2, server_mflops=[100.0] * 2, seed=71)
+    tb.settle()
+    args = []
+    for _ in range(4):
+        a = RNG.standard_normal((128, 128)) + 128 * np.eye(128)
+        args.append([a, RNG.standard_normal(128)])
+    farm = submit_farm(tb.client("c0"), "linsys/dgesv", args)
+    tb.wait_all(farm.handles)
+    art = render_gantt(farm.records, width=50)
+    assert "s0" in art and "s1" in art
+
+
+# ----------------------------------------------------------------------
+# describe / help
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def ml():
+    tb = standard_testbed(n_servers=1, seed=72)
+    tb.settle()
+    return MatlabNetSolve(SimSession(tb, "c0")), tb
+
+
+def test_client_describe_roundtrip(ml):
+    _ml, tb = ml
+    promise = tb.client("c0").describe("linsys/dgesv")
+    spec = tb.transport.run_until(promise)
+    assert spec.name == "linsys/dgesv"
+    # second call hits the cache: resolves without running the kernel
+    cached = tb.client("c0").describe("linsys/dgesv")
+    assert cached.done and cached.result() is spec
+
+
+def test_client_describe_unknown_rejects(ml):
+    _ml, tb = ml
+    promise = tb.client("c0").describe("zzz/zzz")
+    tb.run(until=tb.kernel.now + 5.0)
+    assert promise.done
+    with pytest.raises(ProblemNotFoundError):
+        promise.result()
+
+
+def test_matlab_help_renders_signature(ml):
+    m, _tb = ml
+    text = m.help("dgesv")
+    assert "linsys/dgesv(A:matrix, b:vector)" in text
+    assert "2/3*n^3" in text
+    assert "LAPACK" in text
+    assert "coefficient matrix" in text
+
+
+def test_matlab_help_unknown(ml):
+    m, _tb = ml
+    with pytest.raises(ProblemNotFoundError):
+        m.help("nonexistent")

@@ -1,0 +1,100 @@
+"""Golden-number regression: the simulation's timing behaviour.
+
+Every experiment depends on the virtual-time outcomes of the same small
+set of mechanisms (transfer timing, processor sharing, scheduling,
+retry).  These tests pin a handful of canonical scenarios to their exact
+golden values: any change — a new message on a hot path, a model tweak,
+a float reordering — shows up here first, as a *deliberate* diff.
+
+If you change timing behaviour on purpose, update the goldens in the
+same commit and say why.
+"""
+
+import numpy as np
+import pytest
+
+from repro.farming import submit_farm
+from repro.simnet.rng import RngStreams
+from repro.testbed import standard_testbed
+
+GOLDEN_REL = 1e-9
+
+
+def canonical_world(**kwargs):
+    return standard_testbed(
+        n_servers=3, server_mflops=[50.0, 100.0, 200.0], seed=2026,
+        bandwidth=1.25e6, **kwargs,
+    )
+
+
+def canonical_system(n=256):
+    rng = RngStreams(2026).get("golden.data")
+    a = rng.standard_normal((n, n)) + n * np.eye(n)
+    b = rng.standard_normal(n)
+    return a, b
+
+
+def test_single_solve_timeline_golden():
+    tb = canonical_world()
+    tb.settle()
+    a, b = canonical_system()
+    tb.solve("c0", "linsys/dgesv", [a, b])
+    record = tb.client("c0").records[-1]
+    # golden values: exact virtual-time decomposition of this scenario
+    assert record.server_id == "s2"
+    assert record.total_seconds == pytest.approx(0.49835541333333566,
+                                                 rel=GOLDEN_REL)
+    assert record.negotiation_seconds == pytest.approx(0.006480000000001596,
+                                                       rel=GOLDEN_REL)
+    assert record.compute_seconds == pytest.approx(0.05657941333333305,
+                                                   rel=GOLDEN_REL)
+
+
+def test_farm_makespan_golden():
+    tb = canonical_world()
+    tb.settle()
+    args = [list(canonical_system(128)) for _ in range(6)]
+    farm = submit_farm(tb.client("c0"), "linsys/dgesv", args)
+    tb.wait_all(farm.handles)
+    assert farm.makespan == pytest.approx(0.34635594666667124, rel=GOLDEN_REL)
+    assert farm.servers_used() == {"s0": 1, "s1": 2, "s2": 3}
+
+
+def test_workload_report_times_golden():
+    tb = canonical_world()
+    tb.host("zeus1").set_background_load(1.5)
+    tb.settle(30.0)
+    reports = [
+        (e.time, e["workload"])
+        for e in tb.trace.filter(kind="workload_report")
+        if e["server_id"] == "s1"
+    ]
+    assert len(reports) >= 1
+    # first report lands one time-step plus one hop after start
+    assert reports[0][1] == pytest.approx(150.0)
+    assert reports[0][0] == pytest.approx(10.003064, rel=GOLDEN_REL)
+
+
+def test_total_message_count_golden():
+    """The settle phase's protocol chatter is exactly reproducible."""
+    tb = canonical_world()
+    tb.settle()
+    # 3 x (RegisterServer + RegisterAck + first WorkloadReport) = 9
+    assert tb.transport.messages_delivered == 9
+
+
+def test_seed_isolation():
+    """Changing the data RNG does not perturb deployment timing."""
+
+    def timeline(data_seed):
+        tb = canonical_world()
+        tb.settle()
+        rng = RngStreams(data_seed).get("x")
+        n = 128
+        a = rng.standard_normal((n, n)) + n * np.eye(n)
+        b = rng.standard_normal(n)
+        tb.solve("c0", "linsys/dgesv", [a, b])
+        return tb.client("c0").records[-1].total_seconds
+
+    # same sizes, different values: identical virtual timing
+    assert timeline(1) == timeline(2)

@@ -1,0 +1,182 @@
+"""Unit tests for the processor-sharing host model."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simnet.kernel import EventKernel
+from repro.simnet.host import SimHost
+
+
+def make_host(mflops=100.0, load=0.0):
+    k = EventKernel()
+    return k, SimHost("h", k, mflops, background_load=load)
+
+
+def test_invalid_construction():
+    k = EventKernel()
+    with pytest.raises(SimulationError):
+        SimHost("h", k, 0.0)
+    with pytest.raises(SimulationError):
+        SimHost("h", k, 10.0, background_load=-1.0)
+
+
+def test_single_job_runs_at_peak_speed():
+    k, h = make_host(mflops=100.0)
+    job = h.submit_job(1e9)  # 1 Gflop on a 100 Mflop/s host -> 10 s
+    k.run()
+    assert job.done.fired
+    assert job.done.value == pytest.approx(10.0)
+    assert k.now == pytest.approx(10.0)
+
+
+def test_background_load_halves_speed():
+    k, h = make_host(mflops=100.0, load=1.0)
+    job = h.submit_job(1e9)
+    k.run()
+    assert job.done.value == pytest.approx(20.0)
+
+
+def test_two_jobs_share_processor():
+    k, h = make_host(mflops=100.0)
+    a = h.submit_job(1e9)
+    b = h.submit_job(1e9)
+    k.run()
+    # both get half speed throughout -> both finish at 20 s
+    assert a.done.value == pytest.approx(20.0)
+    assert b.done.value == pytest.approx(20.0)
+
+
+def test_short_job_speeds_up_after_long_job_departs():
+    k, h = make_host(mflops=100.0)
+    short = h.submit_job(0.5e9)   # alone: 5 s
+    long = h.submit_job(2.0e9)    # alone: 20 s
+    k.run()
+    # shared until short finishes at t=10 (0.5 Gflop at 50 Mflop/s);
+    # long then has 1.5 Gflop left at full speed -> 15 s more.
+    assert short.done.value == pytest.approx(10.0)
+    assert long.done.value == pytest.approx(25.0)
+
+
+def test_staggered_submission():
+    k, h = make_host(mflops=100.0)
+    results = {}
+    first = h.submit_job(1e9)
+    first.done.add_callback(lambda v: results.setdefault("first", k.now))
+
+    def submit_second():
+        second = h.submit_job(1e9)
+        second.done.add_callback(lambda v: results.setdefault("second", k.now))
+
+    k.call_after(5.0, submit_second)
+    k.run()
+    # first: 5 s alone (0.5 Gflop done) + shares until done.
+    # At t=5 both have work; first has 0.5 Gflop, second 1.0 Gflop.
+    # Shared 50 Mflop/s each: first done at t=15; second then 0.5 Gflop
+    # left at full speed -> t=20.
+    assert results["first"] == pytest.approx(15.0)
+    assert results["second"] == pytest.approx(20.0)
+
+
+def test_load_change_mid_job():
+    k, h = make_host(mflops=100.0)
+    job = h.submit_job(1e9)
+    k.call_after(5.0, lambda: h.set_background_load(1.0))
+    k.run()
+    # 5 s at full speed = 0.5 Gflop; rest at 50 Mflop/s = 10 s -> total 15 s
+    assert job.done.value == pytest.approx(15.0)
+
+
+def test_zero_flop_job_completes_via_event_not_synchronously():
+    k, h = make_host()
+    job = h.submit_job(0.0)
+    assert not job.done.fired
+    k.run()
+    assert job.done.fired
+    assert job.done.value == pytest.approx(0.0)
+
+
+def test_negative_flops_rejected():
+    _, h = make_host()
+    with pytest.raises(SimulationError):
+        h.submit_job(-1.0)
+
+
+def test_cancel_running_job():
+    k, h = make_host(mflops=100.0)
+    a = h.submit_job(1e9)
+    b = h.submit_job(1e9)
+    k.call_after(5.0, a.cancel)
+    k.run()
+    assert not a.done.fired
+    # b: 5 s shared (0.25 Gflop) then full speed for 0.75 Gflop (7.5 s)
+    assert b.done.value == pytest.approx(12.5)
+    assert h.jobs_completed == 1
+
+
+def test_cancel_twice_returns_false():
+    k, h = make_host()
+    job = h.submit_job(1e9)
+    assert job.cancel() is True
+    assert job.cancel() is False
+    k.run()
+
+
+def test_load_average_includes_own_jobs():
+    k, h = make_host(load=0.5)
+    assert h.load_average == pytest.approx(0.5)
+    h.submit_job(1e9)
+    h.submit_job(1e9)
+    assert h.load_average == pytest.approx(2.5)
+    assert h.workload == pytest.approx(250.0)
+    k.run()
+    assert h.load_average == pytest.approx(0.5)
+
+
+def test_estimate_seconds_matches_actual_for_one_job():
+    k, h = make_host(mflops=50.0, load=1.0)
+    est = h.estimate_seconds(1e9)
+    job = h.submit_job(1e9)
+    k.run()
+    assert job.done.value == pytest.approx(est)
+
+
+def test_effective_flops_scales_with_competitors():
+    _, h = make_host(mflops=100.0)
+    assert h.effective_flops(extra_jobs=1) == pytest.approx(100e6)
+    h.submit_job(1e9)
+    assert h.effective_flops(extra_jobs=1) == pytest.approx(50e6)
+
+
+def test_load_history_records_steps():
+    k, h = make_host()
+    k.call_after(10.0, lambda: h.set_background_load(2.0))
+    k.call_after(20.0, lambda: h.set_background_load(0.0))
+    k.run(until=30.0)
+    assert h.load_at(5.0) == pytest.approx(0.0)
+    assert h.load_at(15.0) == pytest.approx(2.0)
+    assert h.load_at(25.0) == pytest.approx(0.0)
+
+
+def test_load_at_before_history_raises():
+    k = EventKernel()
+    k.call_after(5.0, lambda: None)
+    k.run()
+    h = SimHost("late", k, 10.0)
+    with pytest.raises(SimulationError):
+        h.load_at(1.0)
+
+
+def test_busy_seconds_accounting():
+    k, h = make_host(mflops=100.0)
+    h.submit_job(1e9)
+    k.run()
+    assert h.busy_seconds == pytest.approx(10.0)
+
+
+def test_many_equal_jobs_finish_together():
+    k, h = make_host(mflops=100.0)
+    jobs = [h.submit_job(1e8) for _ in range(8)]
+    k.run()
+    for j in jobs:
+        assert j.done.value == pytest.approx(8.0)
+    assert h.jobs_completed == 8

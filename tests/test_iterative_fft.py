@@ -1,0 +1,201 @@
+"""Unit tests for iterative solvers, FFT and convolution."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError, NumericsError
+from repro.numerics import (
+    conjugate_gradient,
+    fft,
+    gmres,
+    ifft,
+    jacobi,
+    rfft_convolve,
+)
+
+RNG = np.random.default_rng(21)
+
+
+def spd_system(n):
+    m = RNG.standard_normal((n, n))
+    a = m @ m.T + n * np.eye(n)
+    b = RNG.standard_normal(n)
+    return a, b
+
+
+def dd_system(n):
+    a = RNG.standard_normal((n, n))
+    a += np.diag(np.sum(np.abs(a), axis=1) + 1.0)
+    b = RNG.standard_normal(n)
+    return a, b
+
+
+# ----------------------------------------------------------------------
+# Jacobi
+# ----------------------------------------------------------------------
+def test_jacobi_converges_on_diagonally_dominant():
+    a, b = dd_system(30)
+    x, iters = jacobi(a, b, tol=1e-12)
+    assert np.allclose(a @ x, b, atol=1e-8)
+    assert iters > 0
+
+
+def test_jacobi_zero_diagonal_rejected():
+    a = np.array([[0.0, 1.0], [1.0, 1.0]])
+    with pytest.raises(NumericsError, match="diagonal"):
+        jacobi(a, np.ones(2))
+
+
+def test_jacobi_divergence_detected():
+    # strongly non-dominant: Jacobi diverges, budget must trip
+    a = np.array([[1.0, 10.0], [10.0, 1.0]])
+    with pytest.raises(ConvergenceError):
+        jacobi(a, np.ones(2), max_iter=100)
+
+
+def test_jacobi_warm_start():
+    a, b = dd_system(10)
+    x_exact = np.linalg.solve(a, b)
+    _x, iters_cold = jacobi(a, b, tol=1e-10)
+    _x, iters_warm = jacobi(a, b, tol=1e-10, x0=x_exact)
+    assert iters_warm < iters_cold
+
+
+# ----------------------------------------------------------------------
+# conjugate gradients
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("n", [2, 10, 50, 120])
+def test_cg_matches_direct(n):
+    a, b = spd_system(n)
+    x, iters = conjugate_gradient(a, b, tol=1e-12)
+    assert np.allclose(x, np.linalg.solve(a, b), atol=1e-6)
+    assert iters <= 10 * n
+
+
+def test_cg_identity_converges_in_one():
+    b = RNG.standard_normal(20)
+    x, iters = conjugate_gradient(np.eye(20), b)
+    assert iters <= 1
+    assert np.allclose(x, b)
+
+
+def test_cg_zero_rhs_immediate():
+    a, _ = spd_system(5)
+    x, iters = conjugate_gradient(a, np.zeros(5))
+    assert iters == 0
+    assert np.allclose(x, 0.0)
+
+
+def test_cg_indefinite_rejected():
+    a = np.diag([1.0, -1.0])
+    with pytest.raises(NumericsError, match="positive definite"):
+        conjugate_gradient(a, np.array([1.0, 1.0]))
+
+
+def test_cg_budget_trips():
+    a, b = spd_system(50)
+    with pytest.raises(ConvergenceError):
+        conjugate_gradient(a, b, tol=1e-30, max_iter=2)
+
+
+def test_system_shape_validation():
+    with pytest.raises(NumericsError):
+        conjugate_gradient(np.ones((2, 3)), np.ones(2))
+    with pytest.raises(NumericsError):
+        jacobi(np.eye(3), np.ones(4))
+
+
+# ----------------------------------------------------------------------
+# GMRES
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("n", [2, 10, 40])
+def test_gmres_general_system(n):
+    a = RNG.standard_normal((n, n)) + n * np.eye(n)
+    b = RNG.standard_normal(n)
+    x, _ = gmres(a, b, tol=1e-12)
+    assert np.allclose(a @ x, b, atol=1e-7)
+
+
+def test_gmres_nonsymmetric():
+    a = np.array([[4.0, 1.0], [-1.0, 3.0]])
+    b = np.array([1.0, 2.0])
+    x, _ = gmres(a, b)
+    assert np.allclose(a @ x, b, atol=1e-8)
+
+
+def test_gmres_restart_smaller_than_n():
+    n = 60
+    a = RNG.standard_normal((n, n)) + n * np.eye(n)
+    b = RNG.standard_normal(n)
+    x, total = gmres(a, b, restart=5, tol=1e-10)
+    assert np.allclose(a @ x, b, atol=1e-6)
+    assert total >= 5  # actually restarted at least once or converged fast
+
+
+def test_gmres_bad_restart():
+    with pytest.raises(NumericsError):
+        gmres(np.eye(2), np.ones(2), restart=0)
+
+
+def test_gmres_budget():
+    n = 40
+    a = RNG.standard_normal((n, n))  # likely ill-conditioned for GMRES(2)
+    b = RNG.standard_normal(n)
+    with pytest.raises(ConvergenceError):
+        gmres(a, b, restart=2, tol=1e-14, max_outer=1)
+
+
+# ----------------------------------------------------------------------
+# FFT
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("n", [1, 2, 4, 8, 64, 256, 1024])
+def test_fft_matches_numpy(n):
+    x = RNG.standard_normal(n) + 1j * RNG.standard_normal(n)
+    assert np.allclose(fft(x), np.fft.fft(x), atol=1e-9)
+
+
+def test_ifft_inverts_fft():
+    x = RNG.standard_normal(128) + 1j * RNG.standard_normal(128)
+    assert np.allclose(ifft(fft(x)), x, atol=1e-10)
+
+
+def test_ifft_matches_numpy():
+    x = RNG.standard_normal(64) + 1j * RNG.standard_normal(64)
+    assert np.allclose(ifft(x), np.fft.ifft(x), atol=1e-10)
+
+
+def test_fft_non_power_of_two_rejected():
+    with pytest.raises(NumericsError, match="power of two"):
+        fft(np.ones(12))
+    with pytest.raises(NumericsError, match="power of two"):
+        ifft(np.ones(0))
+
+
+def test_fft_rejects_matrix():
+    with pytest.raises(NumericsError):
+        fft(np.ones((4, 4)))
+
+
+def test_fft_parseval():
+    x = RNG.standard_normal(256)
+    y = fft(x)
+    assert np.sum(np.abs(x) ** 2) == pytest.approx(
+        np.sum(np.abs(y) ** 2) / 256, rel=1e-10
+    )
+
+
+def test_convolve_matches_numpy():
+    a = RNG.standard_normal(37)
+    b = RNG.standard_normal(23)
+    assert np.allclose(rfft_convolve(a, b), np.convolve(a, b), atol=1e-9)
+
+
+def test_convolve_impulse_identity():
+    a = RNG.standard_normal(16)
+    out = rfft_convolve(a, np.array([1.0]))
+    assert np.allclose(out, a, atol=1e-10)
+
+
+def test_convolve_empty_rejected():
+    with pytest.raises(NumericsError):
+        rfft_convolve(np.array([]), np.ones(3))

@@ -1,0 +1,277 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simnet.kernel import EventKernel
+
+
+def test_clock_starts_at_zero():
+    k = EventKernel()
+    assert k.now == 0.0
+
+
+def test_call_after_orders_by_time():
+    k = EventKernel()
+    seen = []
+    k.call_after(2.0, lambda: seen.append("b"))
+    k.call_after(1.0, lambda: seen.append("a"))
+    k.call_after(3.0, lambda: seen.append("c"))
+    k.run()
+    assert seen == ["a", "b", "c"]
+    assert k.now == 3.0
+
+
+def test_simultaneous_events_run_in_insertion_order():
+    k = EventKernel()
+    seen = []
+    for i in range(5):
+        k.call_at(1.0, lambda i=i: seen.append(i))
+    k.run()
+    assert seen == [0, 1, 2, 3, 4]
+
+
+def test_priority_breaks_ties_before_insertion_order():
+    k = EventKernel()
+    seen = []
+    k.call_at(1.0, lambda: seen.append("low"), priority=2)
+    k.call_at(1.0, lambda: seen.append("high"), priority=0)
+    k.run()
+    assert seen == ["high", "low"]
+
+
+def test_cannot_schedule_in_the_past():
+    k = EventKernel()
+    k.call_after(1.0, lambda: None)
+    k.run()
+    with pytest.raises(SimulationError):
+        k.call_at(0.5, lambda: None)
+
+
+def test_negative_delay_rejected():
+    k = EventKernel()
+    with pytest.raises(SimulationError):
+        k.call_after(-1.0, lambda: None)
+
+
+def test_timer_cancellation():
+    k = EventKernel()
+    seen = []
+    t = k.call_after(1.0, lambda: seen.append("x"))
+    t.cancel()
+    k.call_after(2.0, lambda: seen.append("y"))
+    k.run()
+    assert seen == ["y"]
+
+
+def test_run_until_bound_advances_clock_exactly():
+    k = EventKernel()
+    seen = []
+    k.call_after(10.0, lambda: seen.append("late"))
+    k.run(until=5.0)
+    assert k.now == 5.0
+    assert seen == []
+    k.run(until=20.0)
+    assert seen == ["late"]
+    assert k.now == 20.0
+
+
+def test_run_until_bound_with_empty_heap_advances_clock():
+    k = EventKernel()
+    k.run(until=7.0)
+    assert k.now == 7.0
+
+
+def test_nested_scheduling_from_callbacks():
+    k = EventKernel()
+    seen = []
+
+    def outer():
+        seen.append(("outer", k.now))
+        k.call_after(1.5, inner)
+
+    def inner():
+        seen.append(("inner", k.now))
+
+    k.call_after(1.0, outer)
+    k.run()
+    assert seen == [("outer", 1.0), ("inner", 2.5)]
+
+
+def test_run_is_not_reentrant():
+    k = EventKernel()
+
+    def recurse():
+        with pytest.raises(SimulationError):
+            k.run()
+
+    k.call_after(1.0, recurse)
+    k.run()
+
+
+def test_max_events_guard():
+    k = EventKernel()
+
+    def loop():
+        k.call_after(0.0, loop)
+
+    k.call_after(0.0, loop)
+    with pytest.raises(SimulationError):
+        k.run(max_events=100)
+
+
+def test_every_fires_periodically():
+    k = EventKernel()
+    ticks = []
+    k.every(10.0, lambda: ticks.append(k.now))
+    k.run(until=35.0)
+    assert ticks == [10.0, 20.0, 30.0]
+
+
+def test_every_with_explicit_start():
+    k = EventKernel()
+    ticks = []
+    k.every(10.0, lambda: ticks.append(k.now), start=0.0)
+    k.run(until=25.0)
+    assert ticks == [0.0, 10.0, 20.0]
+
+
+def test_every_rejects_nonpositive_interval():
+    k = EventKernel()
+    with pytest.raises(SimulationError):
+        k.every(0.0, lambda: None)
+
+
+def test_event_wakes_all_waiters_with_value():
+    k = EventKernel()
+    ev = k.event()
+    got = []
+    ev.add_callback(lambda v: got.append(("a", v)))
+    ev.add_callback(lambda v: got.append(("b", v)))
+    k.call_after(3.0, lambda: ev.succeed(42))
+    k.run()
+    assert got == [("a", 42), ("b", 42)]
+    assert ev.fired and ev.value == 42
+
+
+def test_event_late_waiter_fires_immediately():
+    k = EventKernel()
+    ev = k.event()
+    k.call_after(1.0, lambda: ev.succeed("v"))
+    k.run()
+    got = []
+    ev.add_callback(got.append)
+    k.run()
+    assert got == ["v"]
+
+
+def test_event_double_fire_raises():
+    k = EventKernel()
+    ev = k.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_event_value_before_fire_raises():
+    k = EventKernel()
+    ev = k.event()
+    with pytest.raises(SimulationError):
+        _ = ev.value
+
+
+def test_run_until_event_returns_value():
+    k = EventKernel()
+    ev = k.event()
+    k.call_after(2.0, lambda: ev.succeed("done"))
+    assert k.run_until(ev) == "done"
+    assert k.now == 2.0
+
+
+def test_run_until_event_deadlock_detected():
+    k = EventKernel()
+    ev = k.event()
+    with pytest.raises(SimulationError):
+        k.run_until(ev)
+
+
+def test_process_sleeps_and_returns():
+    k = EventKernel()
+    log = []
+
+    def proc():
+        log.append(("start", k.now))
+        yield 5.0
+        log.append(("mid", k.now))
+        yield 2.5
+        log.append(("end", k.now))
+        return "result"
+
+    p = k.process(proc())
+    k.run()
+    assert log == [("start", 0.0), ("mid", 5.0), ("end", 7.5)]
+    assert p.done.fired and p.done.value == "result"
+    assert not p.alive
+
+
+def test_process_waits_on_event_and_receives_value():
+    k = EventKernel()
+    ev = k.event()
+    got = []
+
+    def proc():
+        value = yield ev
+        got.append(value)
+
+    k.process(proc())
+    k.call_after(4.0, lambda: ev.succeed("payload"))
+    k.run()
+    assert got == ["payload"]
+
+
+def test_process_interrupt_stops_execution():
+    k = EventKernel()
+    log = []
+
+    def proc():
+        yield 1.0
+        log.append("a")
+        yield 1.0
+        log.append("b")
+
+    p = k.process(proc())
+    k.call_after(1.5, p.interrupt)
+    k.run()
+    assert log == ["a"]
+    assert p.done.fired
+
+
+def test_process_bad_yield_type_raises():
+    k = EventKernel()
+
+    def proc():
+        yield "nonsense"
+
+    k.process(proc())
+    with pytest.raises(SimulationError):
+        k.run()
+
+
+def test_pending_and_peek():
+    k = EventKernel()
+    assert k.peek() is None
+    t1 = k.call_after(5.0, lambda: None)
+    k.call_after(9.0, lambda: None)
+    assert k.pending() == 2
+    assert k.peek() == 5.0
+    t1.cancel()
+    assert k.pending() == 1
+    assert k.peek() == 9.0
+
+
+def test_events_processed_counter():
+    k = EventKernel()
+    for _ in range(7):
+        k.call_after(1.0, lambda: None)
+    k.run()
+    assert k.events_processed == 7

@@ -1,0 +1,186 @@
+"""Unit tests for LU factorization and the dense solvers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NumericsError, SingularMatrixError
+from repro.numerics import (
+    determinant,
+    inverse,
+    lu_factor,
+    lu_solve,
+    solve,
+    solve_triangular,
+)
+
+RNG = np.random.default_rng(7)
+
+
+def random_system(n, nrhs=None):
+    a = RNG.standard_normal((n, n)) + n * np.eye(n)
+    if nrhs is None:
+        b = RNG.standard_normal(n)
+    else:
+        b = RNG.standard_normal((n, nrhs))
+    return a, b
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 17, 64, 65, 129, 300])
+def test_solve_matches_numpy(n):
+    a, b = random_system(n)
+    x = solve(a, b)
+    assert np.allclose(x, np.linalg.solve(a, b), atol=1e-8)
+    assert np.linalg.norm(a @ x - b) / np.linalg.norm(b) < 1e-10
+
+
+def test_solve_multiple_rhs():
+    a, b = random_system(50, nrhs=4)
+    x = solve(a, b)
+    assert x.shape == (50, 4)
+    assert np.allclose(a @ x, b, atol=1e-8)
+
+
+def test_solve_does_not_mutate_inputs():
+    a, b = random_system(20)
+    a0, b0 = a.copy(), b.copy()
+    solve(a, b)
+    assert np.array_equal(a, a0)
+    assert np.array_equal(b, b0)
+
+
+def test_lu_factor_reconstructs():
+    n = 40
+    a = RNG.standard_normal((n, n))
+    lu, piv = lu_factor(a)
+    lower = np.tril(lu, -1) + np.eye(n)
+    upper = np.triu(lu)
+    # apply recorded pivots to a copy of A
+    pa = a.copy()
+    for k, p in enumerate(piv):
+        if p != k:
+            pa[[k, p]] = pa[[p, k]]
+    assert np.allclose(lower @ upper, pa, atol=1e-10)
+
+
+def test_lu_factor_needs_pivoting():
+    # zero on the diagonal forces a row interchange
+    a = np.array([[0.0, 1.0], [1.0, 0.0]])
+    x = solve(a, np.array([2.0, 3.0]))
+    assert np.allclose(x, [3.0, 2.0])
+
+
+def test_lu_panel_sizes_agree():
+    a = RNG.standard_normal((100, 100)) + 100 * np.eye(100)
+    b = RNG.standard_normal(100)
+    lu1, piv1 = lu_factor(a.copy(), panel=8)
+    lu2, piv2 = lu_factor(a.copy(), panel=64)
+    assert np.allclose(lu_solve(lu1, piv1, b), lu_solve(lu2, piv2, b))
+
+
+def test_lu_bad_panel():
+    with pytest.raises(NumericsError):
+        lu_factor(np.eye(3), panel=0)
+
+
+def test_singular_matrix_detected():
+    a = np.ones((3, 3))
+    with pytest.raises(SingularMatrixError):
+        solve(a, np.ones(3))
+
+
+def test_non_square_rejected():
+    with pytest.raises(NumericsError):
+        solve(np.ones((2, 3)), np.ones(2))
+
+
+def test_empty_rejected():
+    with pytest.raises(NumericsError):
+        solve(np.empty((0, 0)), np.empty(0))
+
+
+def test_nonfinite_rejected():
+    a = np.eye(3)
+    a[1, 1] = np.nan
+    with pytest.raises(NumericsError, match="non-finite"):
+        solve(a, np.ones(3))
+
+
+def test_rhs_shape_mismatch():
+    a, _ = random_system(4)
+    with pytest.raises(NumericsError, match="rhs"):
+        solve(a, np.ones(5))
+
+
+def test_inverse_matches_numpy():
+    a, _ = random_system(30)
+    assert np.allclose(inverse(a), np.linalg.inv(a), atol=1e-8)
+
+
+def test_inverse_identity():
+    assert np.allclose(inverse(np.eye(5)), np.eye(5))
+
+
+@pytest.mark.parametrize("n", [1, 2, 5, 20])
+def test_determinant_matches_numpy(n):
+    a = RNG.standard_normal((n, n))
+    assert determinant(a) == pytest.approx(float(np.linalg.det(a)), rel=1e-8)
+
+
+def test_determinant_singular_is_zero():
+    assert determinant(np.ones((4, 4))) == 0.0
+
+
+def test_determinant_sign_tracking():
+    # permutation matrix with det -1
+    a = np.array([[0.0, 1.0], [1.0, 0.0]])
+    assert determinant(a) == pytest.approx(-1.0)
+
+
+def test_determinant_large_magnitude_no_overflow():
+    a = np.diag(np.full(400, 10.0))
+    # det = 10^400 overflows float64; implementation may return inf but
+    # must not crash and must keep the sign
+    value = determinant(a)
+    assert value > 0
+
+
+def test_solve_triangular_upper():
+    a = np.triu(RNG.standard_normal((6, 6))) + 6 * np.eye(6)
+    b = RNG.standard_normal(6)
+    x = solve_triangular(a, b)
+    assert np.allclose(a @ x, b)
+
+
+def test_solve_triangular_lower():
+    a = np.tril(RNG.standard_normal((6, 6))) + 6 * np.eye(6)
+    b = RNG.standard_normal(6)
+    x = solve_triangular(a, b, lower=True)
+    assert np.allclose(a @ x, b)
+
+
+def test_solve_triangular_unit_diagonal():
+    a = np.tril(RNG.standard_normal((5, 5)), -1) + np.eye(5)
+    b = RNG.standard_normal(5)
+    x = solve_triangular(a, b, lower=True, unit_diagonal=True)
+    assert np.allclose(a @ x, b)
+
+
+def test_solve_triangular_matrix_rhs():
+    a = np.triu(RNG.standard_normal((5, 5))) + 5 * np.eye(5)
+    b = RNG.standard_normal((5, 3))
+    x = solve_triangular(a, b)
+    assert np.allclose(a @ x, b)
+
+
+def test_solve_triangular_zero_diagonal():
+    a = np.triu(np.ones((3, 3)))
+    a[1, 1] = 0.0
+    with pytest.raises(SingularMatrixError):
+        solve_triangular(a, np.ones(3))
+
+
+def test_solve_triangular_validation():
+    with pytest.raises(NumericsError):
+        solve_triangular(np.ones((2, 3)), np.ones(2))
+    with pytest.raises(NumericsError, match="rhs"):
+        solve_triangular(np.eye(3), np.ones(4))

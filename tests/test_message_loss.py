@@ -1,0 +1,169 @@
+"""Tests for message-loss injection and control-message retries."""
+
+import numpy as np
+import pytest
+
+from repro.config import ClientConfig
+from repro.core.request import RequestStatus
+from repro.errors import SimulationError
+from repro.testbed import standard_testbed
+
+RNG = np.random.default_rng(91)
+
+
+def lossy_testbed(rate, seed=7, **client_kwargs):
+    from repro.config import AgentConfig
+
+    cfg = ClientConfig(
+        agent_timeout=5.0, agent_retries=4, timeout_floor=5.0,
+        max_retries=6, **client_kwargs,
+    )
+    tb = standard_testbed(
+        n_servers=2, seed=seed, client_cfg=cfg,
+        # probe suspects fast enough that false suspects rejoin inside a
+        # request's no-server backoff window (4 x 5 s)
+        agent_cfg=AgentConfig(suspect_probe_interval=8.0),
+    )
+    tb.transport.set_message_loss(rate, tb.rng.get("loss"))
+    return tb
+
+
+def linsys(n=48):
+    a = RNG.standard_normal((n, n)) + n * np.eye(n)
+    return a, RNG.standard_normal(n)
+
+
+def test_loss_rate_validation():
+    tb = standard_testbed(n_servers=1, seed=1)
+    with pytest.raises(SimulationError):
+        tb.transport.set_message_loss(1.0, tb.rng.get("x"))
+    with pytest.raises(SimulationError):
+        tb.transport.set_message_loss(-0.1, tb.rng.get("x"))
+    with pytest.raises(SimulationError):
+        tb.transport.set_message_loss(0.5, None)
+    tb.transport.set_message_loss(0.0, None)  # zero needs no rng
+
+
+def test_zero_loss_drops_nothing():
+    tb = lossy_testbed(0.0)
+    tb.settle()
+    a, b = linsys()
+    tb.solve("c0", "linsys/dgesv", [a, b])
+    assert tb.transport.messages_lost == 0
+
+
+def test_loss_counter_increments():
+    tb = lossy_testbed(0.5, seed=9)
+    tb.settle(60.0)
+    assert tb.transport.messages_lost > 0
+
+
+def test_loss_is_deterministic():
+    def run():
+        tb = lossy_testbed(0.3, seed=11)
+        tb.settle(60.0)
+        return tb.transport.messages_lost
+
+    assert run() == run()
+
+
+def test_moderate_loss_requests_still_complete():
+    tb = lossy_testbed(0.05, seed=12)
+    tb.settle(30.0)
+    handles = [tb.submit("c0", "linsys/dgesv", list(linsys())) for _ in range(6)]
+    tb.wait_all(handles, limit=tb.kernel.now + 3600.0)
+    assert all(h.status is RequestStatus.DONE for h in handles)
+    for h in handles:
+        (x,) = h.result()  # results are intact despite the lossy wire
+
+
+def test_describe_retry_survives_lost_reply():
+    """Force the loss of the first describe exchange; the retry saves it."""
+    tb = lossy_testbed(0.0, seed=13)
+    tb.settle(30.0)
+    # drop exactly the next two messages (describe + nothing else): use a
+    # scripted rng that fires twice then never again
+    class Script:
+        def __init__(self, drops):
+            self.drops = drops
+
+        def random(self):
+            if self.drops > 0:
+                self.drops -= 1
+                return 0.0  # below any positive rate: dropped
+            return 1.0
+
+    tb.transport.set_message_loss(0.5, Script(drops=1))
+    a, b = linsys()
+    handle = tb.submit("c0", "linsys/dgesv", [a, b])
+    tb.wait_all([handle], limit=tb.kernel.now + 600.0)
+    assert handle.status is RequestStatus.DONE
+    assert tb.trace.count("describe_retry") >= 1
+
+
+def test_query_retry_survives_lost_reply():
+    tb = lossy_testbed(0.0, seed=14)
+    tb.settle(30.0)
+    a, b = linsys()
+    tb.solve("c0", "linsys/dgesv", [a, b])  # warm the spec cache losslessly
+
+    class Script:
+        def __init__(self, drops):
+            self.drops = drops
+
+        def random(self):
+            if self.drops > 0:
+                self.drops -= 1
+                return 0.0
+            return 1.0
+
+    tb.transport.set_message_loss(0.5, Script(drops=1))  # lose the query
+    handle = tb.submit("c0", "linsys/dgesv", [a, b])
+    tb.wait_all([handle], limit=tb.kernel.now + 600.0)
+    assert handle.status is RequestStatus.DONE
+    assert tb.trace.count("query_retry") >= 1
+
+
+def test_agent_permanently_gone_still_fails():
+    tb = lossy_testbed(0.0, seed=15)
+    tb.settle(30.0)
+    tb.transport.crash("agent")
+    handle = tb.submit("c0", "linsys/dgesv", list(linsys()))
+    tb.wait_all([handle], limit=tb.kernel.now + 3600.0)
+    assert handle.status is RequestStatus.FAILED
+    # the retry budget was spent before giving up
+    assert tb.trace.count("describe_retry") == 3  # agent_retries - 1
+
+
+def test_unknown_problem_not_retried():
+    """ok=False with retryable=False (unknown problem) fails immediately,
+    not after a backoff loop."""
+    tb = lossy_testbed(0.0, seed=16)
+    tb.settle(30.0)
+    start = tb.kernel.now
+    handle = tb.submit("c0", "nope/nope", [np.ones(2)])
+    tb.wait_all([handle], limit=start + 600.0)
+    assert handle.status is RequestStatus.FAILED
+    assert tb.kernel.now - start < 10.0  # no 4 x backoff cycles
+    assert tb.trace.count("query_backoff") == 0
+
+
+def test_transient_empty_pool_recovers_via_backoff():
+    from repro.testbed import server_address
+
+    tb = lossy_testbed(0.0, seed=17)
+    tb.settle(30.0)
+    a, b = linsys()
+    tb.solve("c0", "linsys/dgesv", [a, b])  # cache the spec
+    # kill both servers, submit, then revive one during the backoff
+    for sid in ("s0", "s1"):
+        tb.transport.crash(server_address(sid))
+    # make the agent notice: a failed request marks them suspect
+    probe = tb.submit("c0", "linsys/dgesv", [a, b])
+    tb.wait_all([probe], limit=tb.kernel.now + 3600.0)
+    handle = tb.submit("c0", "linsys/dgesv", [a, b])
+    tb.run(until=tb.kernel.now + 2.0)
+    tb.transport.revive(server_address("s0"))
+    tb.wait_all([handle], limit=tb.kernel.now + 3600.0)
+    assert handle.status is RequestStatus.DONE
+    assert tb.trace.count("query_backoff") >= 1

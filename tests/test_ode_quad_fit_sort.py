@@ -1,0 +1,286 @@
+"""Unit tests for ODE integrators, quadrature, fitting and sorting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError, NumericsError
+from repro.numerics import (
+    adaptive_simpson,
+    composite_trapezoid,
+    cubic_smooth,
+    linear_spline,
+    merge_sort,
+    polyfit_ls,
+    quickselect,
+    rk4,
+    rkf45,
+)
+
+RNG = np.random.default_rng(5)
+
+
+# ----------------------------------------------------------------------
+# ODE
+# ----------------------------------------------------------------------
+def test_rk4_exponential_decay():
+    y = rk4(lambda t, y: -y, np.array([1.0]), 0.0, 1.0, 1000)
+    assert y[0] == pytest.approx(np.exp(-1.0), rel=1e-10)
+
+
+def test_rk4_harmonic_oscillator():
+    def f(t, y):
+        return np.array([y[1], -y[0]])
+
+    y = rk4(f, np.array([1.0, 0.0]), 0.0, 2 * np.pi, 2000)
+    assert np.allclose(y, [1.0, 0.0], atol=1e-9)
+
+
+def test_rk4_fourth_order_convergence():
+    exact = np.exp(-2.0)
+    errs = []
+    for steps in (10, 20):
+        y = rk4(lambda t, y: -y, np.array([1.0]), 0.0, 2.0, steps)
+        errs.append(abs(y[0] - exact))
+    # halving h should shrink error ~16x
+    assert errs[0] / errs[1] > 12.0
+
+
+def test_rk4_validation():
+    with pytest.raises(NumericsError):
+        rk4(lambda t, y: y, np.array([1.0]), 0.0, 1.0, 0)
+    with pytest.raises(NumericsError):
+        rk4(lambda t, y: y, np.array([1.0]), 1.0, 0.0, 10)
+    with pytest.raises(NumericsError):
+        rk4(lambda t, y: y, np.array([[1.0]]), 0.0, 1.0, 10)
+
+
+def test_rk4_rhs_shape_checked():
+    with pytest.raises(NumericsError, match="rhs returned"):
+        rk4(lambda t, y: np.ones(3), np.array([1.0]), 0.0, 1.0, 10)
+
+
+def test_rkf45_matches_exact():
+    y, steps = rkf45(lambda t, y: -y, np.array([1.0]), 0.0, 3.0, rtol=1e-10)
+    assert y[0] == pytest.approx(np.exp(-3.0), rel=1e-8)
+    assert steps > 0
+
+
+def test_rkf45_adapts_step_count_to_tolerance():
+    _, loose = rkf45(lambda t, y: np.cos(t) * y, np.array([1.0]), 0.0, 5.0, rtol=1e-4)
+    _, tight = rkf45(lambda t, y: np.cos(t) * y, np.array([1.0]), 0.0, 5.0, rtol=1e-10)
+    assert tight > loose
+
+
+def test_rkf45_stiff_blowup_guard():
+    with pytest.raises(ConvergenceError):
+        # absurd tolerance on a fast system with a tiny step budget
+        rkf45(lambda t, y: -1e6 * y, np.array([1.0]), 0.0, 1.0, rtol=1e-12,
+              max_steps=5)
+
+
+def test_rkf45_validation():
+    with pytest.raises(NumericsError):
+        rkf45(lambda t, y: y, np.array([1.0]), 0.0, 1.0, h0=-1.0)
+
+
+# ----------------------------------------------------------------------
+# quadrature
+# ----------------------------------------------------------------------
+def test_trapezoid_linear_exact():
+    assert composite_trapezoid(lambda x: 2 * x + 1, 0.0, 2.0, 1) == pytest.approx(6.0)
+
+
+def test_trapezoid_quadratic_converges():
+    coarse = composite_trapezoid(lambda x: x * x, 0.0, 1.0, 4)
+    fine = composite_trapezoid(lambda x: x * x, 0.0, 1.0, 4000)
+    assert abs(fine - 1 / 3) < abs(coarse - 1 / 3)
+    assert fine == pytest.approx(1 / 3, abs=1e-7)
+
+
+def test_trapezoid_validation():
+    with pytest.raises(NumericsError):
+        composite_trapezoid(lambda x: x, 0.0, 1.0, 0)
+    with pytest.raises(NumericsError):
+        composite_trapezoid(lambda x: x, 1.0, 0.0, 5)
+    with pytest.raises(NumericsError, match="non-finite"):
+        composite_trapezoid(lambda x: float("nan"), 0.0, 1.0, 3)
+
+
+def test_simpson_polynomial_near_exact():
+    value, evals = adaptive_simpson(lambda x: x**3 - 2 * x + 1, 0.0, 2.0)
+    assert value == pytest.approx(2.0, abs=1e-9)
+    assert evals >= 5
+
+
+def test_simpson_oscillatory():
+    value, _ = adaptive_simpson(np.sin, 0.0, np.pi, tol=1e-12)
+    assert value == pytest.approx(2.0, abs=1e-9)
+
+
+def test_simpson_sharp_feature_adapts():
+    # narrow Gaussian needs subdivision near the spike
+    f = lambda x: np.exp(-((x - 0.5) ** 2) * 1e4)  # noqa: E731
+    value, evals = adaptive_simpson(f, 0.0, 1.0, tol=1e-10)
+    assert value == pytest.approx(np.sqrt(np.pi) / 100.0, rel=1e-6)
+    assert evals > 100  # must have subdivided
+
+
+def test_simpson_validation():
+    with pytest.raises(NumericsError):
+        adaptive_simpson(lambda x: x, 1.0, 0.0)
+    with pytest.raises(NumericsError):
+        adaptive_simpson(lambda x: x, 0.0, 1.0, tol=0.0)
+    with pytest.raises(NumericsError, match="non-finite"):
+        adaptive_simpson(lambda x: 1.0 / x, 0.0, 1.0)
+
+
+# ----------------------------------------------------------------------
+# fitting
+# ----------------------------------------------------------------------
+def test_polyfit_recovers_exact_polynomial():
+    x = np.linspace(-2, 3, 40)
+    y = 1.5 - 2.0 * x + 0.5 * x**2
+    coeffs = polyfit_ls(x, y, 2)
+    assert np.allclose(coeffs, [1.5, -2.0, 0.5], atol=1e-8)
+
+
+def test_polyfit_matches_numpy_on_noisy_data():
+    x = np.linspace(0, 10, 100)
+    y = 3 * x + 1 + RNG.standard_normal(100)
+    mine = polyfit_ls(x, y, 1)
+    ref = np.polyfit(x, y, 1)[::-1]
+    assert np.allclose(mine, ref, atol=1e-8)
+
+
+def test_polyfit_degree_zero():
+    y = np.array([1.0, 2.0, 3.0])
+    coeffs = polyfit_ls(np.arange(3.0), y, 0)
+    assert coeffs[0] == pytest.approx(2.0)
+
+
+def test_polyfit_conditioning_large_offsets():
+    # x far from origin: naive Vandermonde would be disastrous
+    x = np.linspace(1e6, 1e6 + 1, 50)
+    y = 2.0 * (x - 1e6) + 5.0
+    coeffs = polyfit_ls(x, y, 1)
+    fitted = coeffs[0] + coeffs[1] * x
+    assert np.allclose(fitted, y, atol=1e-5)
+
+
+def test_polyfit_validation():
+    with pytest.raises(NumericsError):
+        polyfit_ls(np.arange(3.0), np.arange(3.0), -1)
+    with pytest.raises(NumericsError, match="at least"):
+        polyfit_ls(np.arange(2.0), np.arange(2.0), 3)
+    with pytest.raises(NumericsError):
+        polyfit_ls(np.arange(3.0), np.arange(4.0), 1)
+
+
+def test_linear_spline_interpolates_knots():
+    x = np.array([0.0, 1.0, 3.0])
+    y = np.array([1.0, 2.0, 0.0])
+    out = linear_spline(x, y, x)
+    assert np.allclose(out, y)
+
+
+def test_linear_spline_midpoints():
+    x = np.array([0.0, 2.0])
+    y = np.array([0.0, 4.0])
+    assert linear_spline(x, y, np.array([1.0]))[0] == pytest.approx(2.0)
+
+
+def test_linear_spline_clamps_out_of_range():
+    x = np.array([0.0, 1.0])
+    y = np.array([5.0, 7.0])
+    out = linear_spline(x, y, np.array([-10.0, 10.0]))
+    assert np.allclose(out, [5.0, 7.0])
+
+
+def test_linear_spline_validation():
+    with pytest.raises(NumericsError, match="increasing"):
+        linear_spline(np.array([0.0, 0.0]), np.array([1.0, 2.0]), np.array([0.0]))
+    with pytest.raises(NumericsError, match="two knots"):
+        linear_spline(np.array([0.0]), np.array([1.0]), np.array([0.0]))
+
+
+def test_cubic_smooth_lambda_zero_identity():
+    y = RNG.standard_normal(20)
+    assert np.allclose(cubic_smooth(y, 0.0), y)
+
+
+def test_cubic_smooth_preserves_lines():
+    # second differences of a line are zero: penalty-free fixed point
+    y = 3.0 * np.arange(30.0) + 2.0
+    assert np.allclose(cubic_smooth(y, 1e6), y, atol=1e-6)
+
+
+def test_cubic_smooth_reduces_roughness():
+    y = np.sin(np.linspace(0, 3 * np.pi, 100)) + RNG.standard_normal(100)
+    s = cubic_smooth(y, 10.0)
+    rough = lambda v: float(np.sum(np.diff(v, 2) ** 2))  # noqa: E731
+    assert rough(s) < rough(y)
+
+
+def test_cubic_smooth_validation():
+    with pytest.raises(NumericsError):
+        cubic_smooth(np.ones(2), 1.0)
+    with pytest.raises(NumericsError):
+        cubic_smooth(np.ones(5), -1.0)
+
+
+# ----------------------------------------------------------------------
+# sorting / selection
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("n", [0, 1, 2, 3, 10, 100, 1000, 1023])
+def test_merge_sort_matches_numpy(n):
+    x = RNG.standard_normal(n)
+    assert np.array_equal(merge_sort(x), np.sort(x))
+
+
+def test_merge_sort_already_sorted_and_reversed():
+    x = np.arange(50.0)
+    assert np.array_equal(merge_sort(x), x)
+    assert np.array_equal(merge_sort(x[::-1]), x)
+
+
+def test_merge_sort_duplicates():
+    x = np.array([3.0, 1.0, 3.0, 1.0, 2.0])
+    assert np.array_equal(merge_sort(x), np.sort(x))
+
+
+def test_merge_sort_int64():
+    x = RNG.integers(-100, 100, size=77)
+    out = merge_sort(x)
+    assert out.dtype == x.dtype
+    assert np.array_equal(out, np.sort(x))
+
+
+def test_merge_sort_rejects_matrix():
+    with pytest.raises(NumericsError):
+        merge_sort(np.ones((2, 2)))
+
+
+@pytest.mark.parametrize("k", [0, 1, 25, 49])
+def test_quickselect_matches_sorted(k):
+    x = RNG.standard_normal(50)
+    assert quickselect(x, k) == pytest.approx(float(np.sort(x)[k]))
+
+
+def test_quickselect_with_duplicates():
+    x = np.array([2.0, 2.0, 1.0, 2.0, 3.0])
+    assert quickselect(x, 2) == 2.0
+
+
+def test_quickselect_adversarial_sorted_input():
+    x = np.arange(1000.0)
+    assert quickselect(x, 500) == 500.0
+    assert quickselect(x[::-1].copy(), 0) == 0.0
+
+
+def test_quickselect_validation():
+    with pytest.raises(NumericsError):
+        quickselect(np.array([]), 0)
+    with pytest.raises(NumericsError):
+        quickselect(np.ones(3), 3)
+    with pytest.raises(NumericsError):
+        quickselect(np.ones(3), -1)

@@ -1,0 +1,134 @@
+"""Unit tests for the problem description language."""
+
+import pytest
+
+from repro.errors import PdlSyntaxError
+from repro.problems.pdl import parse_pdl, parse_pdl_file, render_pdl
+from repro.problems.spec import ObjectKind
+
+GOOD = """
+# a comment
+problem linsys/dgesv
+    lib         LAPACK
+    description Solve A*x = b
+    complexity  2/3*n^3 + 2*n^2
+    input  A matrix[n,n]  "coefficient matrix"
+    input  b vector[n]
+    output x vector[n]    "solution"
+end
+
+problem ode/rk4
+    description Integrate with RK4
+    complexity  40*d*steps
+    input  y0    vector[d]
+    input  steps scalar int64 binds=steps
+    input  t1    scalar
+    output y     vector[d]
+end
+"""
+
+
+def test_parse_two_problems():
+    specs = parse_pdl(GOOD)
+    assert [s.name for s in specs] == ["linsys/dgesv", "ode/rk4"]
+
+
+def test_parsed_fields():
+    spec = parse_pdl(GOOD)[0]
+    assert spec.provenance == "LAPACK"
+    assert spec.description == "Solve A*x = b"
+    assert spec.complexity.text == "2/3*n^3 + 2*n^2"
+    assert spec.inputs[0].kind is ObjectKind.MATRIX
+    assert spec.inputs[0].dims == ("n", "n")
+    assert spec.inputs[0].description == "coefficient matrix"
+    assert spec.outputs[0].name == "x"
+
+
+def test_scalar_binds_parsed():
+    spec = parse_pdl(GOOD)[1]
+    steps = spec.inputs[1]
+    assert steps.kind is ObjectKind.SCALAR
+    assert steps.dtype == "int64"
+    assert steps.binds is not None and steps.binds.symbol == "steps"
+
+
+def test_fixed_integer_dims():
+    spec = parse_pdl(
+        "problem p\ncomplexity 1\ninput x vector[3]\noutput y scalar\nend"
+    )[0]
+    assert spec.inputs[0].dims == (3,)
+
+
+def test_dtype_defaults_to_float64():
+    spec = parse_pdl(GOOD)[0]
+    assert all(o.dtype == "float64" for o in spec.inputs)
+
+
+def test_complex_dtype():
+    spec = parse_pdl(
+        "problem p\ncomplexity n\ninput x vector[n] complex128\n"
+        "output y vector[n] complex128\nend"
+    )[0]
+    assert spec.inputs[0].dtype == "complex128"
+
+
+@pytest.mark.parametrize(
+    "bad,match",
+    [
+        ("problem p\nend", "no complexity"),
+        ("problem p\ncomplexity 1\nend", "no outputs"),
+        ("problem p\ncomplexity 1\noutput y scalar", "not closed"),
+        ("end", "outside a problem"),
+        ("problem\n", "needs a name"),
+        ("problem p\nfrobnicate x\noutput y scalar\nend", "unknown directive"),
+        ("problem p\ncomplexity 1\ninput x blob\noutput y scalar\nend", "bad object"),
+        ("problem p\ncomplexity 1+\noutput y scalar\nend", "unexpected end"),
+        ("problem p\ncomplexity 1\noutput y scalar binds=k\nend", "only valid on inputs"),
+        ("problem p\ncomplexity 1\ninput x vector[]\noutput y scalar\nend", "empty dimension"),
+        ("problem a\nproblem b\n", "not closed"),
+        ("problem p\ncomplexity 1\nend trailing", "takes no arguments"),
+        ("problem p\ncomplexity n\noutput y scalar\nend", "unbound"),
+        ("problem p\ncomplexity 1\ninput x vector[0]\noutput y scalar\nend", "positive"),
+    ],
+)
+def test_syntax_errors(bad, match):
+    with pytest.raises(PdlSyntaxError, match=match):
+        parse_pdl(bad)
+
+
+def test_error_carries_line_number():
+    with pytest.raises(PdlSyntaxError) as exc_info:
+        parse_pdl("problem p\n\nbogus directive here\n")
+    assert exc_info.value.line == 3
+
+
+def test_comments_and_blank_lines_ignored():
+    text = "# header\n\nproblem p # trailing\n complexity 1\n output y scalar\nend\n"
+    assert parse_pdl(text)[0].name == "p"
+
+
+def test_roundtrip_render_parse():
+    specs = parse_pdl(GOOD)
+    rendered = render_pdl(specs)
+    reparsed = parse_pdl(rendered)
+    assert reparsed == specs
+
+
+def test_roundtrip_single_spec():
+    spec = parse_pdl(GOOD)[0]
+    assert parse_pdl(render_pdl(spec)) == [spec]
+
+
+def test_builtin_catalogue_roundtrips():
+    from repro.problems.builtin import BUILTIN_PDL
+
+    specs = parse_pdl(BUILTIN_PDL)
+    assert len(specs) == 26
+    assert parse_pdl(render_pdl(specs)) == specs
+
+
+def test_parse_file(tmp_path):
+    path = tmp_path / "probs.pdl"
+    path.write_text(GOOD)
+    specs = parse_pdl_file(path)
+    assert len(specs) == 2

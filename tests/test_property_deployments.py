@@ -1,0 +1,132 @@
+"""Property-based end-to-end tests over randomized deployments.
+
+Hypothesis drives the deployment shape (pool size, speeds, link
+parameters, problem sizes, request counts); the properties hold for all
+of them: solves return numerically correct answers, request timelines
+are monotone, virtual time never runs backwards, and conservation laws
+(every submitted request settles exactly once) hold.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.request import RequestStatus
+from repro.farming import submit_farm
+from repro.simnet.rng import RngStreams
+from repro.testbed import standard_testbed
+
+deployments = st.fixed_dictionaries(
+    {
+        "n_servers": st.integers(1, 5),
+        "speeds": st.lists(
+            st.sampled_from([25.0, 50.0, 100.0, 200.0]), min_size=5, max_size=5
+        ),
+        "bandwidth": st.sampled_from([1.25e6, 12.5e6, 125e6]),
+        "latency": st.sampled_from([1e-4, 2e-3, 2e-2]),
+        "seed": st.integers(0, 10_000),
+        "n_requests": st.integers(1, 6),
+        "size": st.sampled_from([16, 48, 96]),
+    }
+)
+
+
+def timeline_is_monotone(record):
+    stamps = [record.t_submit]
+    if record.t_query_sent is not None:
+        stamps.append(record.t_query_sent)
+    if record.t_candidates is not None:
+        stamps.append(record.t_candidates)
+    for attempt in record.attempts:
+        stamps.append(attempt.t_sent)
+        if attempt.t_end is not None:
+            stamps.append(attempt.t_end)
+    if record.t_done is not None:
+        stamps.append(record.t_done)
+    return all(a <= b + 1e-12 for a, b in zip(stamps, stamps[1:]))
+
+
+@given(deployments)
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_random_deployment_solves_correctly(cfg):
+    tb = standard_testbed(
+        n_servers=cfg["n_servers"],
+        server_mflops=cfg["speeds"][: cfg["n_servers"]],
+        bandwidth=cfg["bandwidth"],
+        latency=cfg["latency"],
+        seed=cfg["seed"],
+    )
+    tb.settle()
+    rng = RngStreams(cfg["seed"]).get("prop.data")
+    n = cfg["size"]
+    args = []
+    for _ in range(cfg["n_requests"]):
+        a = rng.standard_normal((n, n)) + n * np.eye(n)
+        args.append([a, rng.standard_normal(n)])
+    t_before = tb.kernel.now
+    farm = submit_farm(tb.client("c0"), "linsys/dgesv", args)
+    tb.wait_all(farm.handles, limit=tb.kernel.now + 24 * 3600.0)
+
+    # 1. every request settles exactly once, successfully
+    assert len(farm.handles) == cfg["n_requests"]
+    for handle, (a, b) in zip(farm.handles, args):
+        assert handle.status is RequestStatus.DONE
+        (x,) = handle.result()
+        assert np.allclose(a @ x, b, atol=1e-6)
+
+    # 2. timelines are monotone and inside the run window
+    t_after = tb.kernel.now
+    for record in farm.records:
+        assert timeline_is_monotone(record)
+        assert t_before <= record.t_submit <= record.t_done <= t_after
+
+    # 3. virtual time advanced (messages and compute cost something)
+    assert t_after > t_before
+
+    # 4. chosen servers exist and predictions were positive
+    valid = {f"s{i}" for i in range(cfg["n_servers"])}
+    for record in farm.records:
+        assert record.server_id in valid
+        assert record.successful_attempt.predicted_seconds > 0
+
+    # 5. message conservation: delivered + dropped + lost == sent
+    # (drain first: the final TransferReport may still be in flight)
+    tb.run(until=tb.kernel.now + 60.0)
+    sent = sum(node.messages_sent for node in tb.transport.nodes.values())
+    accounted = (
+        tb.transport.messages_delivered
+        + tb.transport.messages_dropped
+        + tb.transport.messages_lost
+    )
+    assert accounted == sent
+
+
+@given(
+    seed=st.integers(0, 1000),
+    load=st.floats(0.0, 4.0),
+)
+@settings(max_examples=20, deadline=None)
+def test_load_never_speeds_things_up(seed, load):
+    """Monotonicity: background load on every server can only slow a
+    request down relative to the idle pool."""
+
+    def total(with_load):
+        tb = standard_testbed(
+            n_servers=2, server_mflops=[100.0, 100.0], seed=seed
+        )
+        if with_load:
+            for i in range(2):
+                tb.host(f"zeus{i}").set_background_load(load)
+        tb.settle(30.0)
+        rng = RngStreams(seed).get("mono")
+        n = 64
+        a = rng.standard_normal((n, n)) + n * np.eye(n)
+        b = rng.standard_normal(n)
+        tb.solve("c0", "linsys/dgesv", [a, b])
+        return tb.client("c0").records[-1].total_seconds
+
+    assert total(True) >= total(False) - 1e-9

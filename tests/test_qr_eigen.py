@@ -1,0 +1,211 @@
+"""Unit tests for QR factorization, least squares and eigensolvers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError, NumericsError, SingularMatrixError
+from repro.numerics import (
+    eig_symmetric,
+    eigvals_general,
+    power_iteration,
+    qr_factor,
+    qr_solve_ls,
+)
+
+RNG = np.random.default_rng(99)
+
+
+# ----------------------------------------------------------------------
+# QR
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("m,n", [(1, 1), (5, 3), (20, 20), (100, 40), (64, 64)])
+def test_qr_reconstructs(m, n):
+    a = RNG.standard_normal((m, n))
+    q, r = qr_factor(a)
+    assert q.shape == (m, n)
+    assert r.shape == (n, n)
+    assert np.allclose(q @ r, a, atol=1e-10)
+
+
+def test_qr_q_orthonormal():
+    a = RNG.standard_normal((30, 12))
+    q, _r = qr_factor(a)
+    assert np.allclose(q.T @ q, np.eye(12), atol=1e-10)
+
+
+def test_qr_r_upper_triangular():
+    a = RNG.standard_normal((10, 6))
+    _q, r = qr_factor(a)
+    assert np.allclose(r, np.triu(r))
+
+
+def test_qr_wide_rejected():
+    with pytest.raises(NumericsError, match="m >= n"):
+        qr_factor(np.ones((3, 5)))
+
+
+def test_qr_nonfinite_rejected():
+    a = np.ones((3, 2))
+    a[0, 0] = np.inf
+    with pytest.raises(NumericsError):
+        qr_factor(a)
+
+
+def test_qr_solve_ls_exact_system():
+    a = RNG.standard_normal((8, 8)) + 8 * np.eye(8)
+    b = RNG.standard_normal(8)
+    assert np.allclose(qr_solve_ls(a, b), np.linalg.solve(a, b), atol=1e-8)
+
+
+def test_qr_solve_ls_overdetermined_matches_lstsq():
+    a = RNG.standard_normal((50, 8))
+    b = RNG.standard_normal(50)
+    ref, *_ = np.linalg.lstsq(a, b, rcond=None)
+    assert np.allclose(qr_solve_ls(a, b), ref, atol=1e-8)
+
+
+def test_qr_solve_ls_residual_orthogonal_to_range():
+    a = RNG.standard_normal((30, 5))
+    b = RNG.standard_normal(30)
+    x = qr_solve_ls(a, b)
+    assert np.allclose(a.T @ (a @ x - b), 0.0, atol=1e-8)
+
+
+def test_qr_solve_ls_matrix_rhs():
+    a = RNG.standard_normal((20, 4))
+    b = RNG.standard_normal((20, 3))
+    x = qr_solve_ls(a, b)
+    ref, *_ = np.linalg.lstsq(a, b, rcond=None)
+    assert np.allclose(x, ref, atol=1e-8)
+
+
+def test_qr_solve_ls_rank_deficient():
+    a = np.zeros((5, 2))
+    a[:, 0] = 1.0  # second column identically zero
+    with pytest.raises(SingularMatrixError):
+        qr_solve_ls(a, np.ones(5))
+
+
+def test_qr_solve_ls_rhs_mismatch():
+    with pytest.raises(NumericsError):
+        qr_solve_ls(np.ones((4, 2)), np.ones(5))
+
+
+# ----------------------------------------------------------------------
+# power iteration
+# ----------------------------------------------------------------------
+def test_power_iteration_dominant_pair():
+    a = np.diag([5.0, 2.0, 1.0])
+    lam, v = power_iteration(a)
+    assert lam == pytest.approx(5.0, abs=1e-8)
+    assert abs(v[0]) == pytest.approx(1.0, abs=1e-6)
+
+
+def test_power_iteration_random_spd():
+    m = RNG.standard_normal((20, 20))
+    a = m @ m.T
+    lam, v = power_iteration(a, tol=1e-12)
+    ref = float(np.max(np.linalg.eigvalsh(a)))
+    assert lam == pytest.approx(ref, rel=1e-6)
+    assert np.linalg.norm(a @ v - lam * v) < 1e-4 * abs(lam)
+
+
+def test_power_iteration_custom_start():
+    a = np.diag([3.0, 1.0])
+    lam, _ = power_iteration(a, x0=np.array([1.0, 1.0]))
+    assert lam == pytest.approx(3.0, abs=1e-8)
+
+
+def test_power_iteration_bad_start():
+    with pytest.raises(NumericsError):
+        power_iteration(np.eye(3), x0=np.zeros(3))
+    with pytest.raises(NumericsError):
+        power_iteration(np.eye(3), x0=np.ones(4))
+
+
+def test_power_iteration_nilpotent_matrix():
+    # start vector in the null space after one multiply: A@A = 0
+    a = np.array([[0.0, 1.0], [0.0, 0.0]])
+    lam, _v = power_iteration(a)
+    assert lam == pytest.approx(0.0, abs=1e-12)
+
+
+def test_power_iteration_convergence_budget():
+    # near-degenerate spectrum: the Rayleigh quotient drifts slowly, so a
+    # tiny iteration budget with an absurd tolerance must trip
+    a = np.diag([1.0, 0.999])
+    with pytest.raises(ConvergenceError):
+        power_iteration(
+            a, x0=np.array([0.001, 1.0]), tol=1e-30, max_iter=3
+        )
+
+
+# ----------------------------------------------------------------------
+# symmetric eigendecomposition
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("n", [1, 2, 3, 10, 40])
+def test_eig_symmetric_matches_numpy(n):
+    m = RNG.standard_normal((n, n))
+    a = (m + m.T) / 2.0
+    w, v = eig_symmetric(a)
+    ref = np.linalg.eigvalsh(a)
+    assert np.allclose(w, ref, atol=1e-8)
+    assert np.allclose(a @ v, v @ np.diag(w), atol=1e-7)
+
+
+def test_eig_symmetric_eigenvalues_ascending():
+    m = RNG.standard_normal((15, 15))
+    w, _ = eig_symmetric((m + m.T) / 2.0)
+    assert np.all(np.diff(w) >= -1e-12)
+
+
+def test_eig_symmetric_orthogonal_vectors():
+    m = RNG.standard_normal((12, 12))
+    _, v = eig_symmetric((m + m.T) / 2.0)
+    assert np.allclose(v.T @ v, np.eye(12), atol=1e-9)
+
+
+def test_eig_symmetric_rejects_asymmetric():
+    with pytest.raises(NumericsError, match="symmetric"):
+        eig_symmetric(np.array([[1.0, 2.0], [0.0, 1.0]]))
+
+
+def test_eig_symmetric_diagonal_fast_path():
+    w, v = eig_symmetric(np.diag([3.0, 1.0, 2.0]))
+    assert np.allclose(w, [1.0, 2.0, 3.0])
+
+
+# ----------------------------------------------------------------------
+# general eigenvalues
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("n", [1, 2, 3, 8, 15, 30])
+def test_eigvals_general_matches_numpy(n):
+    a = RNG.standard_normal((n, n))
+    mine = np.sort_complex(eigvals_general(a))
+    ref = np.sort_complex(np.linalg.eigvals(a))
+    assert np.allclose(mine, ref, atol=1e-6)
+
+
+def test_eigvals_complex_pairs():
+    # rotation matrix: eigenvalues e^{+-i theta}
+    theta = 0.7
+    a = np.array(
+        [[np.cos(theta), -np.sin(theta)], [np.sin(theta), np.cos(theta)]]
+    )
+    w = eigvals_general(a)
+    assert np.allclose(sorted(w.imag), [-np.sin(theta), np.sin(theta)], atol=1e-12)
+    assert np.allclose(w.real, np.cos(theta), atol=1e-12)
+
+
+def test_eigvals_defective_matrix():
+    # Jordan block: double eigenvalue 2
+    a = np.array([[2.0, 1.0], [0.0, 2.0]])
+    w = eigvals_general(a)
+    assert np.allclose(np.sort(w.real), [2.0, 2.0], atol=1e-6)
+    assert np.allclose(w.imag, 0.0, atol=1e-6)
+
+
+def test_eigvals_upper_triangular_reads_diagonal():
+    a = np.triu(RNG.standard_normal((6, 6)))
+    w = eigvals_general(a)
+    assert np.allclose(np.sort(w.real), np.sort(np.diagonal(a)), atol=1e-8)

@@ -1,0 +1,152 @@
+"""Unit tests for the problem registry."""
+
+import numpy as np
+import pytest
+
+from repro.errors import BadArgumentsError, ProblemNotFoundError
+from repro.problems import builtin_registry
+from repro.problems.complexity import Complexity
+from repro.problems.registry import ProblemRegistry
+from repro.problems.spec import ObjectKind, ObjectSpec, ProblemSpec
+
+
+def tiny_spec(name="demo/sum"):
+    return ProblemSpec(
+        name=name,
+        inputs=(ObjectSpec("x", ObjectKind.VECTOR, dims=("n",)),),
+        outputs=(ObjectSpec("s", ObjectKind.SCALAR),),
+        complexity=Complexity("n"),
+    )
+
+
+def test_register_and_get():
+    reg = ProblemRegistry()
+    reg.register(tiny_spec(), lambda x: np.float64(x.sum()))
+    assert "demo/sum" in reg
+    assert reg.get("demo/sum").spec.name == "demo/sum"
+    assert len(reg) == 1
+
+
+def test_duplicate_registration_rejected():
+    reg = ProblemRegistry()
+    reg.register(tiny_spec(), lambda x: np.float64(0))
+    with pytest.raises(BadArgumentsError, match="already registered"):
+        reg.register(tiny_spec(), lambda x: np.float64(0))
+
+
+def test_non_callable_handler_rejected():
+    reg = ProblemRegistry()
+    with pytest.raises(BadArgumentsError, match="not callable"):
+        reg.register(tiny_spec(), "not-a-function")
+
+
+def test_unknown_problem_raises():
+    reg = ProblemRegistry()
+    with pytest.raises(ProblemNotFoundError):
+        reg.get("nope")
+    with pytest.raises(ProblemNotFoundError):
+        reg.unregister("nope")
+
+
+def test_unregister():
+    reg = ProblemRegistry()
+    reg.register(tiny_spec(), lambda x: np.float64(0))
+    reg.unregister("demo/sum")
+    assert "demo/sum" not in reg
+
+
+def test_iteration_sorted():
+    reg = ProblemRegistry()
+    reg.register(tiny_spec("z/p"), lambda x: np.float64(0))
+    reg.register(tiny_spec("a/p"), lambda x: np.float64(0))
+    assert list(reg) == ["a/p", "z/p"]
+    assert reg.names() == ["a/p", "z/p"]
+
+
+def test_search_prefix():
+    reg = builtin_registry()
+    hits = reg.search("linsys/")
+    assert "linsys/dgesv" in hits
+    assert all(h.startswith("linsys/") for h in hits)
+
+
+def test_subset():
+    reg = builtin_registry()
+    sub = reg.subset(["linsys/dgesv", "blas/ddot"])
+    assert len(sub) == 2
+    assert "eigen/symm" not in sub
+
+
+def test_subset_unknown_name_raises():
+    with pytest.raises(ProblemNotFoundError):
+        builtin_registry().subset(["does/not/exist"])
+
+
+def test_execute_validates_and_runs():
+    reg = ProblemRegistry()
+    reg.register(tiny_spec(), lambda x: np.float64(x.sum()))
+    (s,) = reg.execute("demo/sum", [np.arange(5.0)])
+    assert s == pytest.approx(10.0)
+
+
+def test_execute_wraps_single_return():
+    reg = ProblemRegistry()
+    reg.register(tiny_spec(), lambda x: np.float64(1.0))
+    out = reg.execute("demo/sum", [np.ones(3)])
+    assert isinstance(out, tuple) and len(out) == 1
+
+
+def test_execute_checks_output_count():
+    reg = ProblemRegistry()
+    reg.register(tiny_spec(), lambda x: (np.float64(1.0), np.float64(2.0)))
+    with pytest.raises(BadArgumentsError, match="output"):
+        reg.execute("demo/sum", [np.ones(3)])
+
+
+def test_execute_checks_output_rank():
+    reg = ProblemRegistry()
+    reg.register(tiny_spec(), lambda x: np.ones(3))  # vector, spec says scalar
+    with pytest.raises(BadArgumentsError, match="rank"):
+        reg.execute("demo/sum", [np.ones(3)])
+
+
+def test_execute_bad_args_rejected_before_handler():
+    called = []
+    reg = ProblemRegistry()
+    reg.register(tiny_spec(), lambda x: called.append(1) or np.float64(0))
+    with pytest.raises(BadArgumentsError):
+        reg.execute("demo/sum", [np.ones((2, 2))])
+    assert not called
+
+
+def test_builtin_registry_fresh_copies():
+    a = builtin_registry()
+    b = builtin_registry()
+    a.unregister("linsys/dgesv")
+    assert "linsys/dgesv" in b
+
+
+@pytest.mark.parametrize(
+    "name,args,check",
+    [
+        ("blas/ddot", [np.arange(4.0), np.arange(4.0)], lambda out: out[0] == 14.0),
+        ("blas/dnrm2", [np.array([3.0, 4.0])], lambda out: out[0] == 5.0),
+        (
+            "sort/select",
+            [np.array([5.0, 1.0, 3.0]), 1],
+            lambda out: out[0] == 3.0,
+        ),
+    ],
+)
+def test_builtin_problem_smoke(name, args, check):
+    reg = builtin_registry()
+    assert check(reg.execute(name, args))
+
+
+def test_builtin_string_free_round_trip_of_specs():
+    """Every builtin spec survives the PDL round trip (wire format)."""
+    from repro.problems.pdl import parse_pdl, render_pdl
+
+    reg = builtin_registry()
+    for spec in reg.specs():
+        assert parse_pdl(render_pdl(spec)) == [spec]

@@ -1,0 +1,267 @@
+"""Unit tests for problem/object specifications and argument validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import BadArgumentsError, ComplexityError
+from repro.problems.complexity import Complexity
+from repro.problems.spec import (
+    ObjectKind,
+    ObjectSpec,
+    ProblemSpec,
+    SizeRule,
+    bind_output_env,
+    validate_inputs,
+)
+
+
+def dgesv_spec():
+    return ProblemSpec(
+        name="linsys/dgesv",
+        inputs=(
+            ObjectSpec("A", ObjectKind.MATRIX, dims=("n", "n")),
+            ObjectSpec("b", ObjectKind.VECTOR, dims=("n",)),
+        ),
+        outputs=(ObjectSpec("x", ObjectKind.VECTOR, dims=("n",)),),
+        complexity=Complexity("2/3*n^3 + 2*n^2"),
+    )
+
+
+# ----------------------------------------------------------------------
+# ObjectSpec construction
+# ----------------------------------------------------------------------
+def test_matrix_needs_two_dims():
+    with pytest.raises(BadArgumentsError):
+        ObjectSpec("A", ObjectKind.MATRIX, dims=("n",))
+
+
+def test_vector_needs_one_dim():
+    with pytest.raises(BadArgumentsError):
+        ObjectSpec("v", ObjectKind.VECTOR, dims=("n", "m"))
+
+
+def test_scalar_takes_no_dims():
+    with pytest.raises(BadArgumentsError):
+        ObjectSpec("s", ObjectKind.SCALAR, dims=("n",))
+
+
+def test_bad_dtype_rejected():
+    with pytest.raises(BadArgumentsError):
+        ObjectSpec("v", ObjectKind.VECTOR, dims=("n",), dtype="float16")
+
+
+def test_bad_dim_rejected():
+    with pytest.raises(BadArgumentsError):
+        ObjectSpec("v", ObjectKind.VECTOR, dims=(0,))
+    with pytest.raises(BadArgumentsError):
+        ObjectSpec("v", ObjectKind.VECTOR, dims=("2n",))
+
+
+def test_binds_only_on_scalars():
+    with pytest.raises(BadArgumentsError):
+        ObjectSpec("v", ObjectKind.VECTOR, dims=("n",), binds=SizeRule("n"))
+
+
+def test_bad_object_name():
+    with pytest.raises(BadArgumentsError):
+        ObjectSpec("2bad", ObjectKind.SCALAR)
+
+
+def test_nbytes_matrix():
+    obj = ObjectSpec("A", ObjectKind.MATRIX, dims=("n", "m"))
+    assert obj.nbytes({"n": 10, "m": 20}) == 10 * 20 * 8
+
+
+def test_nbytes_fixed_dim():
+    obj = ObjectSpec("A", ObjectKind.MATRIX, dims=(3, "m"))
+    assert obj.nbytes({"m": 4}) == 3 * 4 * 8
+
+
+def test_nbytes_complex_dtype():
+    obj = ObjectSpec("v", ObjectKind.VECTOR, dims=("n",), dtype="complex128")
+    assert obj.nbytes({"n": 5}) == 5 * 16
+
+
+def test_nbytes_scalar_and_string_constant():
+    assert ObjectSpec("s", ObjectKind.SCALAR).nbytes({}) == 8
+    assert ObjectSpec("t", ObjectKind.STRING).nbytes({}) > 0
+
+
+# ----------------------------------------------------------------------
+# ProblemSpec construction
+# ----------------------------------------------------------------------
+def test_spec_signature():
+    assert "linsys/dgesv" in dgesv_spec().signature()
+
+
+def test_spec_requires_outputs():
+    with pytest.raises(BadArgumentsError):
+        ProblemSpec(
+            name="p",
+            inputs=(ObjectSpec("x", ObjectKind.VECTOR, dims=("n",)),),
+            outputs=(),
+            complexity=Complexity("n"),
+        )
+
+
+def test_spec_rejects_duplicate_object_names():
+    with pytest.raises(BadArgumentsError):
+        ProblemSpec(
+            name="p",
+            inputs=(ObjectSpec("x", ObjectKind.VECTOR, dims=("n",)),),
+            outputs=(ObjectSpec("x", ObjectKind.VECTOR, dims=("n",)),),
+            complexity=Complexity("n"),
+        )
+
+
+def test_spec_rejects_unbound_complexity_symbols():
+    with pytest.raises(ComplexityError, match="unbound"):
+        ProblemSpec(
+            name="p",
+            inputs=(ObjectSpec("x", ObjectKind.VECTOR, dims=("n",)),),
+            outputs=(ObjectSpec("y", ObjectKind.VECTOR, dims=("n",)),),
+            complexity=Complexity("n*m"),
+        )
+
+
+def test_spec_rejects_unbound_output_symbols():
+    with pytest.raises(BadArgumentsError, match="unbound"):
+        ProblemSpec(
+            name="p",
+            inputs=(ObjectSpec("x", ObjectKind.VECTOR, dims=("n",)),),
+            outputs=(ObjectSpec("y", ObjectKind.VECTOR, dims=("m",)),),
+            complexity=Complexity("n"),
+        )
+
+
+def test_spec_bad_name():
+    with pytest.raises(BadArgumentsError):
+        ProblemSpec(
+            name="has space",
+            inputs=(),
+            outputs=(ObjectSpec("y", ObjectKind.SCALAR),),
+            complexity=Complexity("1"),
+        )
+
+
+def test_input_output_bytes():
+    spec = dgesv_spec()
+    env = {"n": 100}
+    assert spec.input_bytes(env) == 100 * 100 * 8 + 100 * 8
+    assert spec.output_bytes(env) == 100 * 8
+    assert spec.flops(env) == pytest.approx(2 / 3 * 1e6 + 2e4)
+
+
+# ----------------------------------------------------------------------
+# validate_inputs
+# ----------------------------------------------------------------------
+def test_validate_happy_path():
+    spec = dgesv_spec()
+    a = np.eye(4)
+    b = np.ones(4)
+    coerced, env = validate_inputs(spec, [a, b])
+    assert env == {"n": 4}
+    assert coerced[0].dtype == np.float64
+    assert coerced[1].shape == (4,)
+
+
+def test_validate_wrong_arg_count():
+    with pytest.raises(BadArgumentsError, match="takes 2"):
+        validate_inputs(dgesv_spec(), [np.eye(3)])
+
+
+def test_validate_inconsistent_sizes():
+    with pytest.raises(BadArgumentsError, match="size symbol"):
+        validate_inputs(dgesv_spec(), [np.eye(4), np.ones(5)])
+
+
+def test_validate_nonsquare_matrix_same_symbol():
+    with pytest.raises(BadArgumentsError, match="size symbol"):
+        validate_inputs(dgesv_spec(), [np.ones((3, 4)), np.ones(4)])
+
+
+def test_validate_rank_mismatch():
+    with pytest.raises(BadArgumentsError, match="rank"):
+        validate_inputs(dgesv_spec(), [np.ones(4), np.ones(4)])
+
+
+def test_validate_coerces_lists():
+    coerced, env = validate_inputs(
+        dgesv_spec(), [[[1.0, 0.0], [0.0, 1.0]], [1.0, 2.0]]
+    )
+    assert isinstance(coerced[0], np.ndarray)
+    assert env == {"n": 2}
+
+
+def test_validate_rejects_non_numeric():
+    with pytest.raises(BadArgumentsError):
+        validate_inputs(dgesv_spec(), [np.eye(2), ["a", "b"]])
+
+
+def test_validate_fixed_dimension():
+    spec = ProblemSpec(
+        name="p",
+        inputs=(ObjectSpec("x", ObjectKind.VECTOR, dims=(3,)),),
+        outputs=(ObjectSpec("y", ObjectKind.SCALAR),),
+        complexity=Complexity("1"),
+    )
+    validate_inputs(spec, [np.ones(3)])
+    with pytest.raises(BadArgumentsError, match="fixed"):
+        validate_inputs(spec, [np.ones(4)])
+
+
+def scalar_bind_spec():
+    return ProblemSpec(
+        name="p",
+        inputs=(
+            ObjectSpec("y0", ObjectKind.VECTOR, dims=("d",)),
+            ObjectSpec(
+                "steps", ObjectKind.SCALAR, dtype="int64", binds=SizeRule("s")
+            ),
+        ),
+        outputs=(ObjectSpec("y", ObjectKind.VECTOR, dims=("d",)),),
+        complexity=Complexity("d*s"),
+    )
+
+
+def test_scalar_binds_symbol():
+    _, env = validate_inputs(scalar_bind_spec(), [np.ones(4), 100])
+    assert env == {"d": 4, "s": 100}
+
+
+def test_scalar_bind_must_be_positive_integer():
+    with pytest.raises(BadArgumentsError, match="positive integer"):
+        validate_inputs(scalar_bind_spec(), [np.ones(4), 0])
+    with pytest.raises(BadArgumentsError):
+        validate_inputs(scalar_bind_spec(), [np.ones(4), -3])
+
+
+def test_scalar_rejects_bool_and_none():
+    with pytest.raises(BadArgumentsError):
+        validate_inputs(scalar_bind_spec(), [np.ones(4), True])
+    with pytest.raises(BadArgumentsError):
+        validate_inputs(scalar_bind_spec(), [np.ones(4), None])
+
+
+def test_string_argument():
+    spec = ProblemSpec(
+        name="p",
+        inputs=(ObjectSpec("mode", ObjectKind.STRING),),
+        outputs=(ObjectSpec("y", ObjectKind.SCALAR),),
+        complexity=Complexity("1"),
+    )
+    coerced, _ = validate_inputs(spec, ["fast"])
+    assert coerced == ["fast"]
+    with pytest.raises(BadArgumentsError):
+        validate_inputs(spec, [42])
+
+
+def test_bind_output_env_restricts_and_copies():
+    spec = dgesv_spec()
+    out_env = bind_output_env(spec, {"n": 7, "extra": 9})
+    assert out_env == {"n": 7}
+
+
+def test_bind_output_env_missing_symbol():
+    with pytest.raises(BadArgumentsError, match="unbound"):
+        bind_output_env(dgesv_spec(), {})

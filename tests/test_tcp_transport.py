@@ -1,0 +1,231 @@
+"""Integration tests over real localhost TCP sockets.
+
+The same agent/server/client components that run in simulation run here
+over actual sockets and threads — proving the protocol logic is
+transport-independent.
+"""
+
+import numpy as np
+import pytest
+
+from repro.capi import NS_OK, netsl
+from repro.config import ClientConfig, ServerConfig, WorkloadPolicy
+from repro.core.agent import Agent
+from repro.core.client import NetSolveClient
+from repro.core.predictor import LinkEstimate, StaticNetworkInfo
+from repro.core.server import ComputationalServer
+from repro.errors import TransportError
+from repro.matlab import MatlabNetSolve
+from repro.problems.builtin import builtin_registry
+from repro.protocol.messages import Ping, Pong
+from repro.protocol.tcp import TcpSession, TcpTransport, ThreadPromise
+from repro.protocol.transport import Component
+
+RNG = np.random.default_rng(101)
+WAIT = 30.0
+
+
+@pytest.fixture()
+def deployment():
+    transport = TcpTransport()
+    network = StaticNetworkInfo(default=LinkEstimate(latency=1e-4, bandwidth=1e9))
+    agent = Agent(network=network)
+    transport.add_node("agent", agent, port=0)
+    servers = []
+    for i, mflops in enumerate((200.0, 400.0)):
+        server = ComputationalServer(
+            server_id=f"s{i}",
+            agent_address="agent",
+            registry=builtin_registry(),
+            mflops=mflops,
+            host=transport.host_name,
+            cfg=ServerConfig(
+                workload=WorkloadPolicy(time_step=0.2, threshold=10.0)
+            ),
+        )
+        transport.add_node(f"server/s{i}", server, port=0)
+        servers.append(server)
+    client = NetSolveClient(
+        client_id="c0",
+        agent_address="agent",
+        cfg=ClientConfig(agent_timeout=10.0, timeout_floor=10.0),
+    )
+    client_node = transport.add_node("client/c0", client, port=0)
+    session = TcpSession(client_node, timeout=WAIT)
+    try:
+        yield transport, agent, servers, session
+    finally:
+        transport.close()
+
+
+def wait_for(predicate, timeout=10.0):
+    import time
+
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return False
+
+
+def test_servers_register_over_tcp(deployment):
+    _transport, agent, _servers, _session = deployment
+    assert wait_for(lambda: agent.registrations >= 2)
+    assert set(e.server_id for e in agent.table.entries()) == {"s0", "s1"}
+
+
+def test_blocking_solve_over_tcp(deployment):
+    _t, agent, _s, session = deployment
+    assert wait_for(lambda: agent.registrations >= 2)
+    n = 60
+    a = RNG.standard_normal((n, n)) + n * np.eye(n)
+    b = RNG.standard_normal(n)
+    handle = session.submit("linsys/dgesv", [a, b])
+    (x,) = handle.promise.wait(WAIT)
+    assert np.allclose(a @ x, b, atol=1e-8)
+
+
+def test_capi_over_tcp(deployment):
+    _t, agent, _s, session = deployment
+    assert wait_for(lambda: agent.registrations >= 2)
+    a = RNG.standard_normal((20, 20)) + 20 * np.eye(20)
+    b = RNG.standard_normal(20)
+    status, (x,) = netsl(session, "linsys/dgesv", a, b)
+    assert status == NS_OK
+    assert np.allclose(a @ x, b, atol=1e-8)
+
+
+def test_matlab_over_tcp(deployment):
+    _t, agent, _s, session = deployment
+    assert wait_for(lambda: agent.registrations >= 2)
+    ml = MatlabNetSolve(session)
+    r = ml.netsolve("ddot", np.arange(5.0), np.arange(5.0))
+    assert r == pytest.approx(30.0)
+
+
+def test_workload_reports_flow_over_tcp(deployment):
+    _t, agent, _s, _session = deployment
+    assert wait_for(lambda: agent.reports_received >= 2, timeout=15.0)
+
+
+def test_concurrent_requests_over_tcp(deployment):
+    _t, agent, _s, session = deployment
+    assert wait_for(lambda: agent.registrations >= 2)
+    handles = []
+    for _ in range(4):
+        n = 30
+        a = RNG.standard_normal((n, n)) + n * np.eye(n)
+        b = RNG.standard_normal(n)
+        handles.append((session.submit("linsys/dgesv", [a, b]), a, b))
+    for handle, a, b in handles:
+        (x,) = handle.promise.wait(WAIT)
+        assert np.allclose(a @ x, b, atol=1e-8)
+
+
+def test_raw_ping_pong_over_tcp():
+    class Recorder(Component):
+        def __init__(self):
+            self.pongs = []
+
+        def on_message(self, src, msg):
+            if isinstance(msg, Ping):
+                self.node.send(src, Pong(nonce=msg.nonce))
+            elif isinstance(msg, Pong):
+                self.pongs.append(msg.nonce)
+
+    with TcpTransport() as transport:
+        a = Recorder()
+        b = Recorder()
+        na = transport.add_node("a", a)
+        transport.add_node("b", b)
+        na.send("b", Ping(nonce=5))
+        assert wait_for(lambda: a.pongs == [5])
+
+
+def test_unknown_destination_is_dropped_not_fatal():
+    with TcpTransport() as transport:
+        node = transport.add_node("a", _Sink())
+        node.send("ghost", Ping())  # must not raise
+
+
+class _Sink(Component):
+    def on_message(self, src, msg):
+        pass
+
+
+def test_duplicate_address_rejected():
+    with TcpTransport() as transport:
+        transport.add_node("a", _Sink())
+        with pytest.raises(TransportError):
+            transport.add_node("a", _Sink())
+
+
+def test_thread_promise_timeout():
+    p = ThreadPromise()
+    with pytest.raises(TransportError, match="timed out"):
+        p.wait(0.05)
+
+
+def test_thread_promise_cross_thread_resolution():
+    import threading
+
+    p = ThreadPromise()
+    threading.Timer(0.05, lambda: p.resolve("late")).start()
+    assert p.wait(5.0) == "late"
+
+
+def test_malformed_bytes_do_not_kill_listener():
+    import socket
+
+    with TcpTransport() as transport:
+        recorder = _Sink()
+        node = transport.add_node("a", recorder)
+        with socket.create_connection(("127.0.0.1", node.port)) as conn:
+            conn.sendall(b"GARBAGE GARBAGE GARBAGE")
+        # node still serves well-formed traffic afterwards
+        b = TcpTransport()
+        try:
+            sender = b.add_node("z", _Sink())
+            b.register_remote("a", "127.0.0.1", node.port)
+            sender.send("a", Ping())
+        finally:
+            b.close()
+
+
+def test_object_store_and_sequencing_over_tcp(deployment):
+    """The request-sequencing path (store + ObjectRef) over real sockets."""
+    from repro.protocol.messages import ObjectRef
+
+    _t, agent, _s, session = deployment
+    assert wait_for(lambda: agent.registrations >= 2)
+    client = session.client
+    node = session.node
+
+    a = RNG.standard_normal((40, 40)) + 40 * np.eye(40)
+    with node.lock:
+        store_promise = client.store("server/s1", "seq/A", a)
+    nbytes = store_promise.wait(WAIT)
+    assert nbytes > 40 * 40 * 8
+
+    x = RNG.standard_normal(40)
+    with node.lock:
+        handle = client.submit_pinned(
+            "blas/dgemv", [ObjectRef("seq/A"), x], "server/s1",
+            server_id="s1",
+        )
+    (y,) = handle.promise.wait(WAIT)
+    assert np.allclose(y, a @ x)
+
+    with node.lock:
+        delete_promise = client.delete_stored("server/s1", "seq/A")
+    assert delete_promise.wait(WAIT) == nbytes
+
+
+def test_describe_over_tcp(deployment):
+    _t, agent, _s, session = deployment
+    assert wait_for(lambda: agent.registrations >= 2)
+    with session.node.lock:
+        promise = session.client.describe("eigen/symm")
+    spec = promise.wait(WAIT)
+    assert spec.name == "eigen/symm"

@@ -1,0 +1,140 @@
+"""Tests for the CLI daemons, including a real multi-process deployment."""
+
+import socket
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.tools.agent import build_parser as agent_parser
+from repro.tools.common import parse_endpoint
+from repro.tools.demo import build_parser as demo_parser
+from repro.tools.server import build_parser as server_parser, select_problems
+
+
+# ----------------------------------------------------------------------
+# argument plumbing
+# ----------------------------------------------------------------------
+def test_parse_endpoint():
+    assert parse_endpoint("10.0.0.1:8080") == ("10.0.0.1", 8080)
+    assert parse_endpoint("host", default_port=7) == ("host", 7)
+    with pytest.raises(ConfigError):
+        parse_endpoint("host")
+    with pytest.raises(ConfigError):
+        parse_endpoint(":80")
+    with pytest.raises(ConfigError):
+        parse_endpoint("h:notaport")
+    with pytest.raises(ConfigError):
+        parse_endpoint("h:70000")
+
+
+def test_agent_parser_defaults():
+    args = agent_parser().parse_args([])
+    assert args.port == 7700 and args.policy == "mct"
+    assert not args.learn_network
+
+
+def test_agent_parser_rejects_bad_policy():
+    with pytest.raises(SystemExit):
+        agent_parser().parse_args(["--policy", "bogus"])
+
+
+def test_server_parser_requires_agent_and_mflops():
+    with pytest.raises(SystemExit):
+        server_parser().parse_args([])
+    args = server_parser().parse_args(
+        ["--agent", "h:1", "--mflops", "100", "--problems", "linsys/"]
+    )
+    assert args.problems == ["linsys/"]
+
+
+def test_select_problems_prefix_filter():
+    registry = select_problems(["linsys/", "blas/"])
+    assert all(
+        n.startswith(("linsys/", "blas/")) for n in registry.names()
+    )
+    assert len(registry) > 0
+    assert len(select_problems(None)) == 26
+
+
+def test_demo_parser():
+    args = demo_parser().parse_args(["--agent", "h:1", "--size", "64"])
+    assert args.size == 64
+
+
+# ----------------------------------------------------------------------
+# a real three-process deployment
+# ----------------------------------------------------------------------
+def free_port() -> int:
+    with socket.socket() as s:
+        s.bind(("127.0.0.1", 0))
+        return s.getsockname()[1]
+
+
+def test_multiprocess_deployment():
+    port = free_port()
+    agent = subprocess.Popen(
+        [sys.executable, "-m", "repro.tools.agent", "--port", str(port)],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+    )
+    server = None
+    try:
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            try:
+                socket.create_connection(("127.0.0.1", port), 0.2).close()
+                break
+            except OSError:
+                time.sleep(0.05)
+        server = subprocess.Popen(
+            [sys.executable, "-m", "repro.tools.server",
+             "--agent", f"127.0.0.1:{port}", "--mflops", "250",
+             "--server-id", "t0", "--workload-step", "0.5"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        )
+        time.sleep(1.0)
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.tools.demo",
+             "--agent", f"127.0.0.1:{port}", "--size", "120",
+             "--count", "2", "--timeout", "60"],
+            capture_output=True, text=True, timeout=90,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "server=t0" in result.stdout
+        assert "residual" in result.stdout
+    finally:
+        agent.terminate()
+        if server is not None:
+            server.terminate()
+        agent.wait(timeout=10)
+        if server is not None:
+            server.wait(timeout=10)
+
+
+def test_server_refuses_empty_problem_set(tmp_path):
+    from repro.tools.server import main
+
+    rc = main([
+        "--agent", "127.0.0.1:1",
+        "--mflops", "10",
+        "--problems", "no-such-prefix/",
+    ])
+    assert rc == 2
+
+
+def test_server_validates_extra_pdl(tmp_path, capsys):
+    pdl = tmp_path / "extra.pdl"
+    pdl.write_text(
+        "problem x/y\ncomplexity n\ninput a vector[n]\noutput b scalar\nend\n"
+    )
+    from repro.errors import PdlSyntaxError
+    from repro.problems.pdl import parse_pdl_file
+
+    assert len(parse_pdl_file(pdl)) == 1
+    bad = tmp_path / "bad.pdl"
+    bad.write_text("problem broken\n")
+    with pytest.raises(PdlSyntaxError):
+        parse_pdl_file(bad)

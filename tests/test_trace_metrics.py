@@ -1,0 +1,192 @@
+"""Unit tests for the event log and experiment metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.request import AttemptRecord, RequestRecord, RequestStatus
+from repro.trace.events import EventLog
+from repro.trace.metrics import (
+    format_table,
+    mean_abs_error_vs_truth,
+    percentile,
+    request_stats,
+    time_average,
+)
+
+
+# ----------------------------------------------------------------------
+# EventLog
+# ----------------------------------------------------------------------
+def test_log_and_filter():
+    log = EventLog()
+    log.log(1.0, "agent", "query", problem="p")
+    log.log(2.0, "server/s0", "request_started", request_id=1)
+    log.log(3.0, "agent", "query", problem="q")
+    assert len(log) == 3
+    assert len(log.filter(kind="query")) == 2
+    assert len(log.filter(source="agent")) == 2
+    assert len(log.filter(kind="query", source="agent")) == 2
+    hits = log.filter(predicate=lambda e: e.get("problem") == "q")
+    assert len(hits) == 1 and hits[0].time == 3.0
+
+
+def test_event_field_access():
+    log = EventLog()
+    log.log(0.0, "x", "k", a=1)
+    ev = log.events[0]
+    assert ev["a"] == 1
+    assert ev.get("missing") is None
+    with pytest.raises(KeyError):
+        _ = ev["missing"]
+
+
+def test_count_and_kinds():
+    log = EventLog()
+    for _ in range(3):
+        log.log(0.0, "x", "a")
+    log.log(0.0, "x", "b")
+    assert log.count("a") == 3
+    assert log.kinds() == {"a": 3, "b": 1}
+
+
+def test_clear():
+    log = EventLog()
+    log.log(0.0, "x", "a")
+    log.clear()
+    assert len(log) == 0
+
+
+def test_iteration_order_is_append_order():
+    log = EventLog()
+    log.log(5.0, "x", "later")
+    log.log(1.0, "x", "earlier")
+    assert [e.kind for e in log] == ["later", "earlier"]
+
+
+# ----------------------------------------------------------------------
+# percentile / time_average / tracking error
+# ----------------------------------------------------------------------
+def test_percentile():
+    values = list(range(1, 101))
+    assert percentile(values, 50) == pytest.approx(50.5)
+    assert percentile(values, 95) == pytest.approx(95.05)
+    with pytest.raises(ValueError):
+        percentile([], 50)
+
+
+def test_time_average_constant():
+    assert time_average([(0.0, 3.0)], 0.0, 10.0) == pytest.approx(3.0)
+
+
+def test_time_average_step():
+    history = [(0.0, 0.0), (5.0, 10.0)]
+    assert time_average(history, 0.0, 10.0) == pytest.approx(5.0)
+
+
+def test_time_average_window_after_last_point():
+    history = [(0.0, 1.0), (2.0, 4.0)]
+    assert time_average(history, 5.0, 10.0) == pytest.approx(4.0)
+
+
+def test_time_average_validation():
+    with pytest.raises(ValueError):
+        time_average([(0.0, 1.0)], 5.0, 5.0)
+    with pytest.raises(ValueError):
+        time_average([], 0.0, 1.0)
+
+
+def test_tracking_error_identical_signals_zero():
+    sig = [(0.0, 1.0), (10.0, 2.0), (20.0, 0.5)]
+    assert mean_abs_error_vs_truth(sig, sig, 0.0, 30.0) == pytest.approx(0.0)
+
+
+def test_tracking_error_constant_offset():
+    truth = [(0.0, 5.0)]
+    belief = [(0.0, 3.0)]
+    assert mean_abs_error_vs_truth(truth, belief, 0.0, 10.0) == pytest.approx(2.0)
+
+
+def test_tracking_error_lag():
+    truth = [(0.0, 0.0), (10.0, 10.0)]
+    late = [(0.0, 0.0), (15.0, 10.0)]
+    err = mean_abs_error_vs_truth(truth, late, 0.0, 20.0, samples=2000)
+    assert err == pytest.approx(2.5, rel=0.05)  # wrong for 5 of 20 seconds
+
+
+def test_tracking_error_validation():
+    with pytest.raises(ValueError):
+        mean_abs_error_vs_truth([], [(0.0, 1.0)], 0.0, 1.0)
+
+
+# ----------------------------------------------------------------------
+# request_stats
+# ----------------------------------------------------------------------
+def make_record(rid, t_submit, t_done, *, failed=False, retries=0):
+    record = RequestRecord(request_id=rid, problem="p", sizes={"n": 8},
+                           t_submit=t_submit)
+    for i in range(retries):
+        record.attempts.append(
+            AttemptRecord("sX", "a", 1.0, t_submit + i, t_submit + i + 0.5,
+                          outcome="timeout")
+        )
+    if failed:
+        record.status = RequestStatus.FAILED
+    else:
+        record.attempts.append(
+            AttemptRecord("s0", "a", 1.0, t_submit + retries, t_done,
+                          outcome="ok", compute_seconds=0.5)
+        )
+        record.status = RequestStatus.DONE
+    record.t_done = t_done
+    return record
+
+
+def test_request_stats_aggregates():
+    records = [
+        make_record(1, 0.0, 2.0),
+        make_record(2, 0.0, 4.0, retries=1),
+        make_record(3, 1.0, 3.0),
+        make_record(4, 0.0, 5.0, failed=True, retries=2),
+    ]
+    stats = request_stats(records)
+    assert stats.count == 4
+    assert stats.completed == 3
+    assert stats.failed == 1
+    assert stats.makespan == pytest.approx(4.0)  # last DONE at 4.0
+    assert stats.mean_seconds == pytest.approx((2.0 + 4.0 + 2.0) / 3)
+    assert stats.total_retries == 3
+    assert len(stats.row()) == 7
+
+
+def test_request_stats_empty_raises():
+    with pytest.raises(ValueError):
+        request_stats([])
+
+
+def test_request_stats_all_failed_nan_times():
+    stats = request_stats([make_record(1, 0.0, 1.0, failed=True)])
+    assert stats.failed == 1
+    assert np.isnan(stats.makespan)
+
+
+# ----------------------------------------------------------------------
+# format_table
+# ----------------------------------------------------------------------
+def test_format_table_alignment():
+    out = format_table(["a", "bbb"], [[1, 2], [333, 4]], title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "bbb" in lines[1]
+    assert lines[2].count("-") >= 4
+    # all rows equal width
+    assert len(set(len(l) for l in lines[1:])) == 1
+
+
+def test_format_table_ragged_row_rejected():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [[1]])
+
+
+def test_format_table_no_title():
+    out = format_table(["x"], [[1]])
+    assert out.splitlines()[0].strip() == "x"

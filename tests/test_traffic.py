@@ -1,0 +1,161 @@
+"""Unit tests for background-load generators."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simnet.kernel import EventKernel
+from repro.simnet.host import SimHost
+from repro.simnet.rng import RngStreams
+from repro.simnet.traffic import (
+    ConstantLoad,
+    PoissonJobLoad,
+    SquareWaveLoad,
+    TraceLoad,
+)
+
+
+def make_host():
+    k = EventKernel()
+    return k, SimHost("h", k, 100.0)
+
+
+def test_constant_load_sets_and_clears():
+    k, h = make_host()
+    gen = ConstantLoad(h, 1.5).start()
+    assert h.background_load == pytest.approx(1.5)
+    gen.stop()
+    assert h.background_load == pytest.approx(0.0)
+
+
+def test_constant_load_rejects_negative():
+    _, h = make_host()
+    with pytest.raises(SimulationError):
+        ConstantLoad(h, -1.0)
+
+
+def test_double_start_rejected():
+    _, h = make_host()
+    gen = ConstantLoad(h, 1.0)
+    gen.start()
+    with pytest.raises(SimulationError):
+        gen.start()
+
+
+def test_square_wave_alternates():
+    k, h = make_host()
+    SquareWaveLoad(h, low=0.0, high=2.0, period=100.0).start()
+    k.run(until=1.0)
+    assert h.background_load == pytest.approx(0.0)
+    k.run(until=60.0)
+    assert h.background_load == pytest.approx(2.0)
+    k.run(until=110.0)
+    assert h.background_load == pytest.approx(0.0)
+    k.run(until=160.0)
+    assert h.background_load == pytest.approx(2.0)
+
+
+def test_square_wave_start_high():
+    k, h = make_host()
+    SquareWaveLoad(h, low=0.5, high=3.0, period=10.0, start_high=True).start()
+    k.run(until=1.0)
+    assert h.background_load == pytest.approx(3.0)
+
+
+def test_square_wave_stop_freezes_timers():
+    k, h = make_host()
+    gen = SquareWaveLoad(h, low=0.0, high=2.0, period=10.0).start()
+    k.run(until=1.0)
+    gen.stop()
+    k.run(until=100.0)
+    assert h.background_load == pytest.approx(0.0)
+
+
+def test_square_wave_validation():
+    _, h = make_host()
+    with pytest.raises(SimulationError):
+        SquareWaveLoad(h, period=0.0)
+    with pytest.raises(SimulationError):
+        SquareWaveLoad(h, low=-1.0)
+
+
+def test_poisson_load_mean_matches_theory():
+    k, h = make_host()
+    rng = RngStreams(7).get("poisson")
+    gen = PoissonJobLoad(h, rng, rate=1 / 30.0, mean_duration=60.0)
+    assert gen.mean_load == pytest.approx(2.0)
+    gen.start()
+    # time-average the load over a long window
+    horizon = 200_000.0
+    k.run(until=horizon)
+    hist = h.load_history
+    total = 0.0
+    for (t0, v), (t1, _) in zip(hist, hist[1:]):
+        total += v * (t1 - t0)
+    total += hist[-1][1] * (horizon - hist[-1][0])
+    avg = total / horizon
+    assert avg == pytest.approx(2.0, rel=0.15)
+
+
+def test_poisson_load_never_negative():
+    k, h = make_host()
+    rng = RngStreams(3).get("poisson2")
+    PoissonJobLoad(h, rng, rate=1 / 10.0, mean_duration=20.0).start()
+    k.run(until=5000.0)
+    assert all(v >= 0.0 for _, v in h.load_history)
+
+
+def test_poisson_load_deterministic_replay():
+    def run(seed):
+        k, h = make_host()
+        rng = RngStreams(seed).get("p")
+        PoissonJobLoad(h, rng, rate=0.05, mean_duration=30.0).start()
+        k.run(until=2000.0)
+        return h.load_history
+
+    assert run(11) == run(11)
+    assert run(11) != run(12)
+
+
+def test_poisson_validation():
+    _, h = make_host()
+    rng = RngStreams(0).get("x")
+    with pytest.raises(SimulationError):
+        PoissonJobLoad(h, rng, rate=0.0)
+    with pytest.raises(SimulationError):
+        PoissonJobLoad(h, rng, mean_duration=0.0)
+    with pytest.raises(SimulationError):
+        PoissonJobLoad(h, rng, unit_load=0.0)
+
+
+def test_trace_load_replays_points():
+    k, h = make_host()
+    TraceLoad(h, [(5.0, 1.0), (10.0, 3.0), (15.0, 0.5)]).start()
+    k.run(until=6.0)
+    assert h.background_load == pytest.approx(1.0)
+    k.run(until=11.0)
+    assert h.background_load == pytest.approx(3.0)
+    k.run(until=16.0)
+    assert h.background_load == pytest.approx(0.5)
+
+
+def test_trace_load_validation():
+    _, h = make_host()
+    with pytest.raises(SimulationError):
+        TraceLoad(h, [])
+    with pytest.raises(SimulationError):
+        TraceLoad(h, [(5.0, 1.0), (5.0, 2.0)])  # not increasing
+    with pytest.raises(SimulationError):
+        TraceLoad(h, [(-1.0, 1.0)])
+    with pytest.raises(SimulationError):
+        TraceLoad(h, [(1.0, -2.0)])
+
+
+def test_generators_compose_on_separate_hosts():
+    k = EventKernel()
+    h1 = SimHost("h1", k, 50.0)
+    h2 = SimHost("h2", k, 50.0)
+    SquareWaveLoad(h1, low=0.0, high=1.0, period=20.0).start()
+    ConstantLoad(h2, 2.0).start()
+    k.run(until=15.0)
+    assert h1.background_load == pytest.approx(1.0)
+    assert h2.background_load == pytest.approx(2.0)

@@ -1,0 +1,188 @@
+"""Unit tests for the tridiagonal solver and Gauss-Legendre quadrature."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NumericsError
+from repro.numerics import (
+    gauss_legendre,
+    legendre_nodes,
+    thomas_solve,
+    tridiag_matvec,
+    tridiag_solve_pivoting,
+)
+
+RNG = np.random.default_rng(53)
+
+
+def dominant_bands(n):
+    dl = RNG.uniform(-1, 1, n - 1)
+    du = RNG.uniform(-1, 1, n - 1)
+    d = 4.0 + RNG.uniform(0, 1, n)
+    return dl, d, du
+
+
+# ----------------------------------------------------------------------
+# tridiagonal
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("n", [1, 2, 3, 50, 500])
+def test_thomas_solves_dominant_systems(n):
+    dl, d, du = dominant_bands(max(n, 1))
+    b = RNG.standard_normal(n)
+    x = thomas_solve(dl, d, du, b)
+    assert np.allclose(tridiag_matvec(dl, d, du, x), b, atol=1e-10)
+
+
+def test_thomas_matches_dense_solver():
+    n = 40
+    dl, d, du = dominant_bands(n)
+    b = RNG.standard_normal(n)
+    dense = np.diag(d) + np.diag(dl, -1) + np.diag(du, 1)
+    assert np.allclose(
+        thomas_solve(dl, d, du, b), np.linalg.solve(dense, b), atol=1e-10
+    )
+
+
+def test_thomas_rejects_non_dominant():
+    # zero pivot risk: dominance check must refuse
+    dl = np.array([5.0])
+    d = np.array([1.0, 1.0])
+    du = np.array([5.0])
+    with pytest.raises(NumericsError, match="dominance"):
+        thomas_solve(dl, d, du, np.ones(2))
+
+
+def test_pivoting_fallback_handles_general_systems():
+    dl = np.array([5.0])
+    d = np.array([1.0, 1.0])
+    du = np.array([5.0])
+    b = np.array([2.0, 3.0])
+    x = tridiag_solve_pivoting(dl, d, du, b)
+    dense = np.diag(d) + np.diag(dl, -1) + np.diag(du, 1)
+    assert np.allclose(dense @ x, b, atol=1e-10)
+
+
+def test_tridiag_band_length_validation():
+    with pytest.raises(NumericsError, match="lower band"):
+        thomas_solve(np.ones(3), np.ones(3), np.ones(2), np.ones(3))
+    with pytest.raises(NumericsError, match="upper band"):
+        thomas_solve(np.ones(2), np.ones(3), np.ones(3), np.ones(3))
+    with pytest.raises(NumericsError, match="rhs"):
+        thomas_solve(np.ones(2), np.ones(3), np.ones(2), np.ones(4))
+    with pytest.raises(NumericsError, match="non-finite"):
+        thomas_solve(np.ones(2), np.array([4.0, np.nan, 4.0]), np.ones(2),
+                     np.ones(3))
+
+
+def test_tridiag_matvec_matches_dense():
+    n = 20
+    dl, d, du = dominant_bands(n)
+    x = RNG.standard_normal(n)
+    dense = np.diag(d) + np.diag(dl, -1) + np.diag(du, 1)
+    assert np.allclose(tridiag_matvec(dl, d, du, x), dense @ x)
+
+
+def test_tridiag_n_equals_one():
+    x = thomas_solve(np.array([]), np.array([2.0]), np.array([]),
+                     np.array([6.0]))
+    assert x[0] == pytest.approx(3.0)
+
+
+# ----------------------------------------------------------------------
+# Gauss-Legendre
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("n", [1, 2, 3, 5, 10, 20, 64])
+def test_nodes_match_numpy(n):
+    x, w = legendre_nodes(n)
+    xr, wr = np.polynomial.legendre.leggauss(n)
+    assert np.allclose(x, xr, atol=1e-12)
+    assert np.allclose(w, wr, atol=1e-12)
+
+
+def test_nodes_symmetric_and_weights_sum_to_two():
+    x, w = legendre_nodes(17)
+    assert np.allclose(x, -x[::-1], atol=1e-12)
+    assert np.sum(w) == pytest.approx(2.0)
+    assert np.all(w > 0)
+
+
+def test_exactness_degree_2n_minus_1():
+    # 4-point rule integrates x^7 exactly over [-1, 1] (odd: 0) and x^6
+    exact_x6 = 2.0 / 7.0
+    assert gauss_legendre(lambda x: x**6, -1.0, 1.0, 4) == pytest.approx(
+        exact_x6, rel=1e-12
+    )
+    assert gauss_legendre(lambda x: x**7, -1.0, 1.0, 4) == pytest.approx(
+        0.0, abs=1e-14
+    )
+
+
+def test_interval_mapping():
+    assert gauss_legendre(lambda x: x, 2.0, 4.0, 3) == pytest.approx(6.0)
+    assert gauss_legendre(np.exp, 0.0, 1.0, 12) == pytest.approx(
+        np.e - 1.0, rel=1e-12
+    )
+
+
+def test_convergence_with_points():
+    exact = 2.0  # integral of sin over [0, pi]
+    errs = [
+        abs(gauss_legendre(np.sin, 0.0, np.pi, n) - exact) for n in (2, 4, 8)
+    ]
+    assert errs[0] > errs[1] > errs[2]
+    assert errs[2] < 1e-10
+
+
+def test_gauss_validation():
+    with pytest.raises(NumericsError):
+        legendre_nodes(0)
+    with pytest.raises(NumericsError):
+        gauss_legendre(lambda x: x, 1.0, 0.0, 4)
+    with pytest.raises(NumericsError, match="failed"):
+        gauss_legendre(lambda x: 1.0 / (x - x), 0.0, 1.0, 4)
+    with pytest.raises(NumericsError, match="non-finite"):
+        gauss_legendre(lambda x: float("inf"), 0.0, 1.0, 4)
+
+
+def test_cache_returns_copies():
+    x1, w1 = legendre_nodes(9)
+    x1[0] = 999.0
+    x2, _ = legendre_nodes(9)
+    assert x2[0] != 999.0
+
+
+# ----------------------------------------------------------------------
+# the wire-level problems
+# ----------------------------------------------------------------------
+def test_tridiag_problem_via_registry():
+    from repro.problems import builtin_registry
+
+    reg = builtin_registry()
+    n = 30
+    dl, d, du = dominant_bands(n)
+    b = RNG.standard_normal(n)
+    (x,) = reg.execute("linsys/tridiag", [dl, d, du, b])
+    assert np.allclose(tridiag_matvec(dl, d, du, x), b, atol=1e-10)
+
+
+def test_tridiag_problem_band_mismatch_rejected():
+    from repro.errors import NetSolveError
+    from repro.problems import builtin_registry
+
+    reg = builtin_registry()
+    with pytest.raises(NetSolveError):
+        # sub/superdiagonal length inconsistent with diag: nm1 symbol
+        # binds fine but the handler's n-1 coupling check fires
+        reg.execute(
+            "linsys/tridiag",
+            [np.ones(5), np.ones(3), np.ones(5), np.ones(3)],
+        )
+
+
+def test_gauss_problem_via_registry():
+    from repro.problems import builtin_registry
+
+    reg = builtin_registry()
+    coeffs = np.array([1.0, 0.0, 3.0])  # 1 + 3x^2
+    (value,) = reg.execute("quad/gauss", [coeffs, -1.0, 1.0, 6])
+    assert value == pytest.approx(4.0)

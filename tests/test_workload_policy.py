@@ -1,0 +1,128 @@
+"""Unit tests for the hysteretic workload-broadcast policy."""
+
+import pytest
+
+from repro.config import WorkloadPolicy
+from repro.errors import ConfigError
+from repro.core.workload import WorkloadReporter
+
+
+def make_reporter(threshold=10.0, time_step=10.0, forced=300.0, sample=None):
+    values = {"w": 0.0}
+
+    def default_sample():
+        return values["w"]
+
+    sent = []
+    reporter = WorkloadReporter(
+        WorkloadPolicy(
+            time_step=time_step, threshold=threshold, forced_interval=forced
+        ),
+        sample=sample or default_sample,
+        broadcast=sent.append,
+    )
+    return reporter, values, sent
+
+
+def test_policy_validation():
+    with pytest.raises(ConfigError):
+        WorkloadPolicy(time_step=0.0)
+    with pytest.raises(ConfigError):
+        WorkloadPolicy(threshold=-1.0)
+    with pytest.raises(ConfigError):
+        WorkloadPolicy(time_step=10.0, forced_interval=5.0)
+
+
+def test_first_sample_always_broadcast():
+    reporter, _, sent = make_reporter()
+    assert reporter.tick(0.0) is True
+    assert sent == [0.0]
+
+
+def test_small_change_suppressed():
+    reporter, values, sent = make_reporter(threshold=10.0)
+    reporter.tick(0.0)
+    values["w"] = 5.0  # |5 - 0| <= 10: hold
+    assert reporter.tick(10.0) is False
+    assert sent == [0.0]
+
+
+def test_threshold_is_strict_inequality():
+    reporter, values, sent = make_reporter(threshold=10.0)
+    reporter.tick(0.0)
+    values["w"] = 10.0
+    assert reporter.tick(10.0) is False  # exactly at threshold: hold
+    values["w"] = 10.5
+    assert reporter.tick(20.0) is True
+    assert sent == [0.0, 10.5]
+
+
+def test_hysteresis_reference_is_last_sent_not_last_sample():
+    reporter, values, sent = make_reporter(threshold=10.0)
+    reporter.tick(0.0)
+    # drift up in sub-threshold steps: each vs the SENT value
+    for t, w in [(10.0, 6.0), (20.0, 9.0)]:
+        values["w"] = w
+        reporter.tick(t)
+    assert sent == [0.0]
+    values["w"] = 11.0  # now |11 - 0| > 10
+    reporter.tick(30.0)
+    assert sent == [0.0, 11.0]
+
+
+def test_forced_interval_keepalive():
+    reporter, values, sent = make_reporter(threshold=50.0, forced=100.0)
+    reporter.tick(0.0)
+    reporter.tick(50.0)  # unchanged, inside forced interval
+    assert len(sent) == 1
+    reporter.tick(100.0)  # forced keep-alive
+    assert len(sent) == 2
+
+
+def test_zero_threshold_broadcasts_every_change():
+    reporter, values, sent = make_reporter(threshold=0.0)
+    for t, w in [(0.0, 0.0), (10.0, 1.0), (20.0, 2.0)]:
+        values["w"] = w
+        reporter.tick(t)
+    assert sent == [0.0, 1.0, 2.0]
+
+
+def test_zero_threshold_suppresses_identical_values():
+    reporter, values, sent = make_reporter(threshold=0.0, forced=1000.0)
+    reporter.tick(0.0)
+    reporter.tick(10.0)  # same value, |0-0| > 0 false: hold
+    assert sent == [0.0]
+
+
+def test_counters():
+    reporter, values, _ = make_reporter(threshold=10.0)
+    reporter.tick(0.0)
+    values["w"] = 1.0
+    reporter.tick(10.0)
+    values["w"] = 100.0
+    reporter.tick(20.0)
+    assert reporter.samples == 3
+    assert reporter.broadcasts == 2
+
+
+def test_sent_history_and_agent_view():
+    reporter, values, _ = make_reporter(threshold=5.0)
+    reporter.tick(0.0)
+    values["w"] = 50.0
+    reporter.tick(10.0)
+    values["w"] = 100.0
+    reporter.tick(20.0)
+    assert reporter.sent_history == [(0.0, 0.0), (10.0, 50.0), (20.0, 100.0)]
+    assert reporter.agent_view_at(5.0) == 0.0
+    assert reporter.agent_view_at(15.0) == 50.0
+    assert reporter.agent_view_at(25.0) == 100.0
+    assert reporter.agent_view_at(-1.0) is None
+
+
+def test_decide_is_pure():
+    reporter, _, _ = make_reporter(threshold=10.0)
+    reporter.tick(0.0)
+    before = reporter.broadcasts
+    assert reporter.decide(100.0, 1.0) is True
+    assert reporter.decide(1.0, 1.0) is False
+    assert reporter.broadcasts == before  # decide must not mutate
