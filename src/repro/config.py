@@ -147,6 +147,11 @@ class SimConfig:
     #: per-message fixed software overhead added to every transfer (seconds);
     #: models protocol stack cost on 1996-era hosts
     per_message_overhead: float = 1e-3
+    #: encode→decode every delivered message through the real codec (the
+    #: fidelity invariant: codec bugs surface in every run).  False skips
+    #: the materialization for huge farming sweeps — virtual time and all
+    #: tables are unchanged, but sender and receiver share payload objects
+    codec_roundtrip: bool = True
 
     def __post_init__(self) -> None:
         _require(self.seed >= 0, "seed must be >= 0")

@@ -31,7 +31,15 @@ from .messages import (
     Ping,
     Pong,
 )
-from .codec import encode_message, decode_message, encode_value, decode_value
+from .codec import (
+    encode_message,
+    encode_message_iov,
+    decode_message,
+    encode_value,
+    decode_value,
+    encoded_size,
+    frame_size,
+)
 from .transport import Node, Promise, SimTransport, SimNode, Component
 
 __all__ = [
@@ -52,9 +60,12 @@ __all__ = [
     "Ping",
     "Pong",
     "encode_message",
+    "encode_message_iov",
     "decode_message",
     "encode_value",
     "decode_value",
+    "encoded_size",
+    "frame_size",
     "Node",
     "Promise",
     "Component",

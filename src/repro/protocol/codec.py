@@ -16,6 +16,20 @@ Frame layout::
 Value encoding is a tagged union (tag u8 + payload); containers nest.
 Tuples encode as lists; dataclass messages restore declared tuple fields
 on decode.
+
+Zero-copy discipline.  The encoder is scatter/gather at heart:
+:func:`encode_message_iov` returns a list of buffers — small fields
+packed into one shared scratch ``bytearray``, large ndarray payloads
+referenced as ``memoryview``\\ s of the (C-contiguous) array — so a
+megabyte matrix is never duplicated just to frame it.  ``b"".join`` of
+the parts is byte-identical to the single-buffer encoding, which
+:func:`encode_message` produces with exactly one payload copy.
+:func:`frame_size` walks the value tree summing tag/header/``nbytes``
+analytically, materializing nothing, so the simulated wire can charge a
+frame without serializing it.  On decode, frames held in a *writable*
+buffer (``bytearray``) yield ndarrays aliasing that buffer — no payload
+copy; read-only input (``bytes``) still copies so decoded arrays stay
+writable either way.
 """
 
 from __future__ import annotations
@@ -33,10 +47,13 @@ __all__ = [
     "encode_value",
     "decode_value",
     "encode_message",
+    "encode_message_iov",
     "decode_message",
+    "encoded_size",
     "frame_size",
     "MAGIC",
     "HEADER",
+    "MAX_BODY",
 ]
 
 PROTOCOL_VERSION = 1
@@ -62,13 +79,61 @@ _MAX_CONTAINER = 1_000_000
 _MAX_NDIM = 8
 _MAX_BODY = 1 << 34  # 16 GiB
 
+#: public alias so transports can bound receive buffers before allocating
+MAX_BODY = _MAX_BODY
+
+#: payloads at least this large ride as their own iov entry instead of
+#: being copied into the scratch buffer (below it, locality wins)
+_IOV_PAYLOAD_MIN = 1024
+
+_pack_i64 = struct.Struct("<q").pack
+_pack_f64 = struct.Struct("<d").pack
+_pack_c128 = struct.Struct("<dd").pack
+_pack_u64 = struct.Struct("<Q").pack
+
 
 def _pack_u32(n: int) -> bytes:
     return struct.pack("<I", n)
 
 
-def encode_value(value: Any, out: bytearray) -> None:
-    """Append the tagged encoding of ``value`` to ``out``."""
+class _IovBuilder:
+    """Accumulates an encoding as scratch-buffer runs + payload views.
+
+    Scratch offsets are recorded as ``(start, end, None)`` and sliced
+    only in :meth:`finish` — taking a ``memoryview`` of the scratch
+    earlier would lock the bytearray against further appends.
+    """
+
+    __slots__ = ("scratch", "_segments", "_run_start")
+
+    def __init__(self) -> None:
+        self.scratch = bytearray()
+        self._segments: list[tuple[int, int, Any]] = []
+        self._run_start = 0
+
+    def add_payload(self, buf) -> None:
+        """Emit ``buf`` (bytes or a C-contiguous memoryview) in place."""
+        end = len(self.scratch)
+        if end > self._run_start:
+            self._segments.append((self._run_start, end, None))
+        self._segments.append((0, 0, buf))
+        self._run_start = end
+
+    def finish(self) -> list:
+        end = len(self.scratch)
+        if end > self._run_start:
+            self._segments.append((self._run_start, end, None))
+            self._run_start = end
+        view = memoryview(self.scratch)
+        return [
+            view[s:e] if buf is None else buf
+            for s, e, buf in self._segments
+        ]
+
+
+def _encode_iov(value: Any, b: _IovBuilder) -> None:
+    """Append the tagged encoding of ``value`` to the builder."""
+    out = b.scratch
     if value is None:
         out.append(_T_NONE)
     elif isinstance(value, bool):
@@ -79,24 +144,31 @@ def encode_value(value: Any, out: bytearray) -> None:
         if not -(2**63) <= iv < 2**63:
             raise CodecError(f"integer out of i64 range: {iv}")
         out.append(_T_INT)
-        out += struct.pack("<q", iv)
+        out += _pack_i64(iv)
     elif isinstance(value, (float, np.floating)):
         out.append(_T_FLOAT)
-        out += struct.pack("<d", float(value))
+        out += _pack_f64(float(value))
     elif isinstance(value, (complex, np.complexfloating)):
         out.append(_T_COMPLEX)
         cv = complex(value)
-        out += struct.pack("<dd", cv.real, cv.imag)
+        out += _pack_c128(cv.real, cv.imag)
     elif isinstance(value, str):
         raw = value.encode("utf-8")
         out.append(_T_STR)
         out += _pack_u32(len(raw))
         out += raw
     elif isinstance(value, (bytes, bytearray, memoryview)):
-        raw = bytes(value)
+        if isinstance(value, memoryview) and not (
+            value.c_contiguous and value.format == "B"
+        ):
+            value = bytes(value)
+        nbytes = value.nbytes if isinstance(value, memoryview) else len(value)
         out.append(_T_BYTES)
-        out += _pack_u32(len(raw))
-        out += raw
+        out += _pack_u32(nbytes)
+        if nbytes >= _IOV_PAYLOAD_MIN:
+            b.add_payload(bytes(value) if isinstance(value, bytearray) else value)
+        else:
+            out += value
     elif isinstance(value, np.ndarray):
         name = value.dtype.name
         if name not in _ALLOWED_DTYPES:
@@ -110,10 +182,14 @@ def encode_value(value: Any, out: bytearray) -> None:
         out += dname
         out.append(contig.ndim)
         for dim in contig.shape:
-            out += struct.pack("<q", dim)
-        raw = contig.tobytes()
-        out += struct.pack("<Q", len(raw))
-        out += raw
+            out += _pack_i64(dim)
+        out += _pack_u64(contig.nbytes)
+        if contig.nbytes >= _IOV_PAYLOAD_MIN:
+            # the memoryview keeps ``contig`` alive until the parts are
+            # consumed; no byte materialization happens here
+            b.add_payload(memoryview(contig).cast("B"))
+        elif contig.nbytes:
+            out += memoryview(contig).cast("B")
     elif isinstance(value, ObjectRef):
         raw = value.key.encode("utf-8")
         out.append(_T_OBJREF)
@@ -125,7 +201,7 @@ def encode_value(value: Any, out: bytearray) -> None:
         out.append(_T_LIST)
         out += _pack_u32(len(value))
         for item in value:
-            encode_value(item, out)
+            _encode_iov(item, b)
     elif isinstance(value, dict):
         if len(value) > _MAX_CONTAINER:
             raise CodecError("container too large")
@@ -134,20 +210,79 @@ def encode_value(value: Any, out: bytearray) -> None:
         for key, item in value.items():
             if not isinstance(key, str):
                 raise CodecError(f"dict keys must be str, got {type(key).__name__}")
-            encode_value(key, out)
-            encode_value(item, out)
+            _encode_iov(key, b)
+            _encode_iov(item, b)
     else:
         raise CodecError(f"cannot encode {type(value).__name__}")
+
+
+def encode_value(value: Any, out: bytearray) -> None:
+    """Append the tagged encoding of ``value`` to ``out``."""
+    b = _IovBuilder()
+    _encode_iov(value, b)
+    for part in b.finish():
+        out += part
+
+
+def encoded_size(value: Any) -> int:
+    """Exact byte count :func:`encode_value` would produce — computed
+    analytically, with the same validation, materializing no payloads."""
+    if value is None:
+        return 1
+    if isinstance(value, bool):
+        return 2
+    if isinstance(value, (int, np.integer)):
+        iv = int(value)
+        if not -(2**63) <= iv < 2**63:
+            raise CodecError(f"integer out of i64 range: {iv}")
+        return 9
+    if isinstance(value, (float, np.floating)):
+        return 9
+    if isinstance(value, (complex, np.complexfloating)):
+        return 17
+    if isinstance(value, str):
+        return 5 + len(value.encode("utf-8"))
+    if isinstance(value, (bytes, bytearray)):
+        return 5 + len(value)
+    if isinstance(value, memoryview):
+        return 5 + value.nbytes
+    if isinstance(value, np.ndarray):
+        name = value.dtype.name
+        if name not in _ALLOWED_DTYPES:
+            raise CodecError(f"unsupported ndarray dtype {name!r}")
+        if value.ndim > _MAX_NDIM:
+            raise CodecError(f"ndarray rank {value.ndim} exceeds {_MAX_NDIM}")
+        # ascontiguousarray promotes 0-d to shape (1,) on the wire
+        ndim = value.ndim or 1
+        return 1 + 1 + len(name) + 1 + 8 * ndim + 8 + value.nbytes
+    if isinstance(value, ObjectRef):
+        return 5 + len(value.key.encode("utf-8"))
+    if isinstance(value, (list, tuple)):
+        if len(value) > _MAX_CONTAINER:
+            raise CodecError("container too large")
+        return 5 + sum(encoded_size(item) for item in value)
+    if isinstance(value, dict):
+        if len(value) > _MAX_CONTAINER:
+            raise CodecError("container too large")
+        total = 5
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise CodecError(f"dict keys must be str, got {type(key).__name__}")
+            total += 5 + len(key.encode("utf-8")) + encoded_size(item)
+        return total
+    raise CodecError(f"cannot encode {type(value).__name__}")
 
 
 class _Reader:
     __slots__ = ("data", "pos")
 
-    def __init__(self, data: bytes):
-        self.data = data
+    def __init__(self, data):
+        # a memoryview keeps per-``take`` slices copy-free whether the
+        # frame arrived as bytes, bytearray or another view
+        self.data = data if isinstance(data, memoryview) else memoryview(data)
         self.pos = 0
 
-    def take(self, n: int) -> bytes:
+    def take(self, n: int) -> memoryview:
         if n < 0 or self.pos + n > len(self.data):
             raise CodecError("truncated frame")
         chunk = self.data[self.pos : self.pos + n]
@@ -155,7 +290,11 @@ class _Reader:
         return chunk
 
     def u8(self) -> int:
-        return self.take(1)[0]
+        if self.pos >= len(self.data):
+            raise CodecError("truncated frame")
+        byte = self.data[self.pos]
+        self.pos += 1
+        return byte
 
     def u32(self) -> int:
         return struct.unpack("<I", self.take(4))[0]
@@ -194,14 +333,14 @@ def _decode(reader: _Reader, depth: int = 0) -> Any:
     if tag == _T_STR:
         raw = reader.take(reader.u32())
         try:
-            return raw.decode("utf-8")
+            return bytes(raw).decode("utf-8")
         except UnicodeDecodeError as exc:
             raise CodecError(f"bad utf-8: {exc}") from None
     if tag == _T_BYTES:
-        return reader.take(reader.u32())
+        return bytes(reader.take(reader.u32()))
     if tag == _T_NDARRAY:
         try:
-            dname = reader.take(reader.u8()).decode("ascii")
+            dname = bytes(reader.take(reader.u8())).decode("ascii")
         except UnicodeDecodeError as exc:
             raise CodecError(f"bad dtype name bytes: {exc}") from None
         if dname not in _ALLOWED_DTYPES:
@@ -221,11 +360,18 @@ def _decode(reader: _Reader, depth: int = 0) -> Any:
                 f"implies {expected}"
             )
         raw = reader.take(nbytes)
-        return np.frombuffer(raw, dtype=dtype).reshape(shape).copy()
+        arr = np.frombuffer(raw, dtype=dtype).reshape(shape)
+        if not arr.flags.writeable or not arr.flags.aligned:
+            # copy only when forced: a read-only source buffer (bytes)
+            # must not leak into mutable decoded arrays, and an array at
+            # a misaligned frame offset would poison every downstream
+            # BLAS call (unaligned loads are ~2x slower than one memcpy)
+            arr = arr.copy()
+        return arr
     if tag == _T_OBJREF:
         raw = reader.take(reader.u32())
         try:
-            return ObjectRef(raw.decode("utf-8"))
+            return ObjectRef(bytes(raw).decode("utf-8"))
         except UnicodeDecodeError as exc:
             raise CodecError(f"bad utf-8 in object key: {exc}") from None
     if tag == _T_LIST:
@@ -247,13 +393,17 @@ def _decode(reader: _Reader, depth: int = 0) -> Any:
     raise CodecError(f"unknown tag {tag}")
 
 
-def decode_value(data: bytes) -> Any:
-    """Decode a single tagged value; the buffer must be fully consumed."""
+def decode_value(data) -> Any:
+    """Decode a single tagged value; the buffer must be fully consumed.
+
+    ``data`` may be bytes, bytearray or a memoryview; ndarrays decoded
+    from a *writable* buffer alias it instead of copying.
+    """
     reader = _Reader(data)
     value = _decode(reader)
     if not reader.done():
         raise CodecError(
-            f"{len(data) - reader.pos} trailing byte(s) after value"
+            f"{len(reader.data) - reader.pos} trailing byte(s) after value"
         )
     return value
 
@@ -261,41 +411,73 @@ def decode_value(data: bytes) -> Any:
 # ----------------------------------------------------------------------
 # message framing
 # ----------------------------------------------------------------------
-def encode_message(msg: Message) -> bytes:
-    """Encode a message into one framed byte string."""
+def encode_message_iov(msg: Message) -> list:
+    """Scatter/gather encoding: header + body as a list of buffers.
+
+    Small fields share one scratch bytearray; each large ndarray payload
+    is a ``memoryview`` of the array's own memory.  ``b"".join(parts)``
+    equals :func:`encode_message` byte for byte.  The views pin their
+    arrays, so the parts stay valid as long as the list is referenced —
+    but mutating a source array before the parts are consumed mutates
+    the wire bytes.
+    """
     if type(msg).TYPE_CODE not in MESSAGE_TYPES:
         raise CodecError(f"unregistered message type {type(msg).__name__}")
-    body = bytearray()
-    encode_value(msg.to_fields(), body)
-    header = HEADER.pack(MAGIC, PROTOCOL_VERSION, type(msg).TYPE_CODE, len(body))
-    return header + bytes(body)
+    b = _IovBuilder()
+    b.scratch += bytes(HEADER.size)  # reserved; patched once sizes are known
+    _encode_iov(msg.to_fields(), b)
+    parts = b.finish()
+    body_len = sum(
+        part.nbytes if isinstance(part, memoryview) else len(part)
+        for part in parts
+    ) - HEADER.size
+    HEADER.pack_into(
+        b.scratch, 0, MAGIC, PROTOCOL_VERSION, type(msg).TYPE_CODE, body_len
+    )
+    return parts
 
 
-def decode_message(data: bytes) -> Message:
-    """Decode one framed message; the buffer must hold exactly one frame."""
-    if len(data) < HEADER.size:
-        raise CodecError(f"frame shorter than header ({len(data)} bytes)")
-    magic, version, type_code, length = HEADER.unpack_from(data)
+def encode_message(msg: Message) -> bytes:
+    """Encode a message into one framed byte string (a single payload
+    copy — the join; the scatter/gather path avoids even that)."""
+    return b"".join(encode_message_iov(msg))
+
+
+def decode_message(data) -> Message:
+    """Decode one framed message; the buffer must hold exactly one frame.
+
+    Accepts bytes, bytearray or a memoryview.  When the buffer is
+    writable (a ``bytearray``), decoded ndarrays alias it zero-copy; the
+    arrays keep the buffer alive, so only hand in a buffer you will not
+    recycle — or pass ``bytes`` to force owning copies.
+    """
+    view = data if isinstance(data, memoryview) else memoryview(data)
+    if len(view) < HEADER.size:
+        raise CodecError(f"frame shorter than header ({len(view)} bytes)")
+    magic, version, type_code, length = HEADER.unpack_from(view)
     if magic != MAGIC:
         raise CodecError(f"bad magic {magic!r}")
     if version != PROTOCOL_VERSION:
         raise CodecError(f"protocol version {version}, expected {PROTOCOL_VERSION}")
     if length > _MAX_BODY:
         raise CodecError(f"body length {length} exceeds limit")
-    if len(data) != HEADER.size + length:
+    if len(view) != HEADER.size + length:
         raise CodecError(
             f"frame length mismatch: header says {length}, "
-            f"got {len(data) - HEADER.size}"
+            f"got {len(view) - HEADER.size}"
         )
     cls = MESSAGE_TYPES.get(type_code)
     if cls is None:
         raise CodecError(f"unknown message type code {type_code}")
-    fields = decode_value(data[HEADER.size :])
+    fields = decode_value(view[HEADER.size :])
     if not isinstance(fields, dict):
         raise CodecError("message body is not a field dict")
     return cls.from_fields(fields)
 
 
 def frame_size(msg: Message) -> int:
-    """Byte count of the encoded frame (what the simulated wire charges)."""
-    return len(encode_message(msg))
+    """Byte count of the encoded frame (what the simulated wire charges),
+    computed analytically — no payload is serialized or copied."""
+    if type(msg).TYPE_CODE not in MESSAGE_TYPES:
+        raise CodecError(f"unregistered message type {type(msg).__name__}")
+    return HEADER.size + encoded_size(msg.to_fields())

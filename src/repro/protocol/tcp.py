@@ -1,12 +1,18 @@
 """Real-socket transport: the same components over localhost TCP.
 
-Each node owns a listening socket and an accept thread; every message is
-one short-lived connection carrying an envelope (sender's logical
-address) followed by one codec frame — the per-request-connection style
-of the original system.  Component entry points (message dispatch,
-timers, compute completions, and user-thread calls like
-``client.submit``) are serialized by a per-node re-entrant lock, so the
-sans-IO state machines need no thread awareness of their own.
+Each node owns a listening socket and an accept thread.  Outbound
+traffic rides a per-destination **persistent connection pool**: the
+first message to a peer dials it, later messages reuse the socket (idle
+connections expire, dead ones are detected and redialed, the pool is
+bounded).  A connection carries any number of messages, each framed as
+an envelope (sender's logical address + return endpoint) followed by
+one codec frame — the envelope bytes are precomputed once per node, and
+each message goes out with a single ``socket.sendmsg()`` scatter/gather
+call straight from the codec's iov parts, so large ndarray payloads are
+never concatenated into one big buffer.  Component entry points
+(message dispatch, timers, compute completions, and user-thread calls
+like ``client.submit``) are serialized by a per-node re-entrant lock,
+so the sans-IO state machines need no thread awareness of their own.
 
 This transport exists to prove the protocol is real: the integration
 tests run a full agent/server/client deployment over actual sockets and
@@ -15,6 +21,7 @@ get bit-identical results to the simulated runs.
 
 from __future__ import annotations
 
+import select
 import socket
 import struct
 import threading
@@ -22,7 +29,7 @@ import time
 from typing import Any, Callable, Optional
 
 from ..errors import TransportClosed, TransportError
-from .codec import HEADER, decode_message, encode_message
+from .codec import HEADER, MAX_BODY, decode_message, encode_message_iov
 from .messages import Message
 from .transport import Component, Node, Promise
 
@@ -31,6 +38,12 @@ __all__ = ["TcpNode", "TcpTransport", "ThreadPromise", "TcpSession"]
 _ENVELOPE = struct.Struct("<I")
 _ACCEPT_BACKLOG = 64
 _CONNECT_TIMEOUT = 5.0
+#: outbound sockets unused this long are closed instead of reused
+_POOL_IDLE_TIMEOUT = 30.0
+#: pooled outbound sockets per node; least-recently-used beyond this close
+_POOL_MAX = 32
+#: keep sendmsg iov counts well under the kernel's IOV_MAX
+_SENDMSG_MAX_BUFFERS = 256
 
 
 class ThreadPromise(Promise):
@@ -49,16 +62,102 @@ class ThreadPromise(Promise):
         return self.result()
 
 
-def _read_exact(conn: socket.socket, n: int) -> bytes:
-    chunks = []
-    remaining = n
-    while remaining > 0:
-        chunk = conn.recv(min(remaining, 1 << 16))
-        if not chunk:
+def _read_exact_into(conn: socket.socket, view: memoryview) -> None:
+    while view.nbytes:
+        got = conn.recv_into(view, view.nbytes)
+        if not got:
             raise TransportError("peer closed mid-frame")
-        chunks.append(chunk)
-        remaining -= len(chunk)
-    return b"".join(chunks)
+        view = view[got:]
+
+
+def _read_exact(conn: socket.socket, n: int) -> bytearray:
+    buf = bytearray(n)
+    _read_exact_into(conn, memoryview(buf))
+    return buf
+
+
+def _sendmsg_all(conn: socket.socket, parts: list) -> None:
+    """Drain a buffer list through ``sendmsg``, handling short writes."""
+    buffers = [memoryview(p).cast("B") if not isinstance(p, memoryview) else p
+               for p in parts]
+    while buffers:
+        sent = conn.sendmsg(buffers[:_SENDMSG_MAX_BUFFERS])
+        while sent:
+            head = buffers[0]
+            if head.nbytes <= sent:
+                sent -= head.nbytes
+                buffers.pop(0)
+            else:
+                buffers[0] = head[sent:]
+                sent = 0
+
+
+class _ConnPool:
+    """Per-node cache of outbound sockets keyed by (ip, port).
+
+    ``acquire`` checks a socket *out* (concurrent sends to one peer get
+    their own connections; surplus ones close on release), verifies the
+    peer has not hung up — on these one-way links readability can only
+    mean EOF or reset — and discards idle-expired entries.
+    """
+
+    def __init__(self, idle_timeout: float, max_size: int):
+        self.idle_timeout = idle_timeout
+        self.max_size = max_size
+        self._lock = threading.Lock()
+        self._conns: dict[tuple[str, int], tuple[socket.socket, float]] = {}
+        self.dials = 0
+        self.reuses = 0
+
+    def acquire(self, key: tuple[str, int]) -> socket.socket | None:
+        with self._lock:
+            entry = self._conns.pop(key, None)
+        if entry is None:
+            return None
+        conn, last_used = entry
+        if time.monotonic() - last_used > self.idle_timeout or not self._alive(conn):
+            _close_quietly(conn)
+            return None
+        self.reuses += 1
+        return conn
+
+    @staticmethod
+    def _alive(conn: socket.socket) -> bool:
+        try:
+            readable, _, _ = select.select([conn], [], [], 0)
+        except (OSError, ValueError):
+            return False
+        return not readable  # peers never talk back: readable == closed
+
+    def release(self, key: tuple[str, int], conn: socket.socket) -> None:
+        with self._lock:
+            if key in self._conns:
+                extra = [conn]  # a concurrent send already parked one
+            else:
+                self._conns[key] = (conn, time.monotonic())
+                extra = []
+                while len(self._conns) > self.max_size:
+                    oldest_key = min(
+                        self._conns, key=lambda k: self._conns[k][1]
+                    )
+                    old, _t = self._conns.pop(oldest_key)
+                    extra.append(old)
+        for old in extra:
+            _close_quietly(old)
+
+    def close(self) -> None:
+        with self._lock:
+            conns = [c for c, _t in self._conns.values()]
+            self._conns.clear()
+        for conn in conns:
+            _close_quietly(conn)
+
+
+def _close_quietly(conn: socket.socket) -> None:
+    try:
+        conn.close()
+    except OSError:  # pragma: no cover
+        pass
 
 
 class TcpNode(Node):
@@ -77,6 +176,16 @@ class TcpNode(Node):
         self._listener.bind((transport.bind_ip, port))
         self._listener.listen(_ACCEPT_BACKLOG)
         self.port = self._listener.getsockname()[1]
+        self._pool = _ConnPool(transport.pool_idle_timeout, transport.pool_max)
+        self._inbound: set[socket.socket] = set()
+        self._inbound_lock = threading.Lock()
+        # envelope prefix (our logical address + dial-back endpoint) is
+        # identical on every message: build it exactly once
+        src = self.address.encode("utf-8")
+        ret = f"{transport.advertise_ip}:{self.port}".encode("ascii")
+        self._envelope = b"".join(
+            (_ENVELOPE.pack(len(src)), src, _ENVELOPE.pack(len(ret)), ret)
+        )
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name=f"tcp-accept-{address}", daemon=True
         )
@@ -94,24 +203,28 @@ class TcpNode(Node):
         if not self.alive:
             return
         try:
-            ip, port = self.transport.resolve(dest)
+            key = self.transport.resolve(dest)
         except TransportError:
             return  # unknown destination: drop, like a bad DNS name
-        frame = encode_message(msg)
-        src = self.address.encode("utf-8")
-        # advertise our own listening endpoint so a peer in another
-        # process learns the return path without manual directory setup
-        ret = f"{self.transport.advertise_ip}:{self.port}".encode("ascii")
-        payload = (
-            _ENVELOPE.pack(len(src)) + src + _ENVELOPE.pack(len(ret)) + ret + frame
-        )
+        parts = [self._envelope, *encode_message_iov(msg)]
+        conn = self._pool.acquire(key)
+        if conn is not None:
+            try:
+                _sendmsg_all(conn, parts)
+            except OSError:
+                _close_quietly(conn)  # stale peer: redial below
+            else:
+                self._pool.release(key, conn)
+                return
         try:
-            with socket.create_connection(
-                (ip, port), timeout=_CONNECT_TIMEOUT
-            ) as conn:
-                conn.sendall(payload)
+            conn = socket.create_connection(key, timeout=_CONNECT_TIMEOUT)
+            self._pool.dials += 1
+            _sendmsg_all(conn, parts)
         except OSError:
+            if conn is not None:
+                _close_quietly(conn)
             return  # unreachable peer == dropped message
+        self._pool.release(key, conn)
 
     def call_after(self, delay: float, fn: Callable[[], None]):
         if not self.alive:
@@ -188,6 +301,11 @@ class TcpNode(Node):
                 conn, _peer = self._listener.accept()
             except OSError:
                 return  # listener closed
+            with self._inbound_lock:
+                if not self.alive:
+                    _close_quietly(conn)
+                    return
+                self._inbound.add(conn)
             threading.Thread(
                 target=self._serve_conn,
                 args=(conn,),
@@ -198,26 +316,66 @@ class TcpNode(Node):
     def _serve_conn(self, conn: socket.socket) -> None:
         try:
             with conn:
-                conn.settimeout(_CONNECT_TIMEOUT)
-                (src_len,) = _ENVELOPE.unpack(_read_exact(conn, _ENVELOPE.size))
-                src = _read_exact(conn, src_len).decode("utf-8")
-                (ret_len,) = _ENVELOPE.unpack(_read_exact(conn, _ENVELOPE.size))
-                ret = _read_exact(conn, ret_len).decode("ascii")
-                header = _read_exact(conn, HEADER.size)
-                _magic, _ver, _type, length = HEADER.unpack(header)
-                body = _read_exact(conn, length)
-                msg = decode_message(header + body)
-        except (TransportError, OSError, Exception):
-            return  # malformed peer: drop the connection, stay up
-        # learn the sender's return path (no-op for same-process nodes)
-        try:
-            ip, port_text = ret.rsplit(":", 1)
-            self.transport.learn_peer(src, ip, int(port_text))
-        except ValueError:
-            return  # malformed return endpoint: drop
-        with self.lock:
-            if self.alive and self.component is not None:
-                self.component.on_message(src, msg)
+                # a connection now carries a message stream: loop until
+                # the sender hangs up (or its pool expires the socket)
+                while True:
+                    try:
+                        # idle between messages is normal for a pooled
+                        # sender; allow well past its idle timeout
+                        conn.settimeout(
+                            self.transport.pool_idle_timeout * 2 + 1.0
+                        )
+                        first = conn.recv(_ENVELOPE.size)
+                    except (OSError, TransportError):
+                        return
+                    if not first:
+                        return  # clean close between messages
+                    try:
+                        head = bytearray(first)
+                        if len(head) < _ENVELOPE.size:
+                            head += _read_exact(
+                                conn, _ENVELOPE.size - len(head)
+                            )
+                        conn.settimeout(_CONNECT_TIMEOUT)
+                        (src_len,) = _ENVELOPE.unpack(head)
+                        src = bytes(_read_exact(conn, src_len)).decode("utf-8")
+                        (ret_len,) = _ENVELOPE.unpack(
+                            _read_exact(conn, _ENVELOPE.size)
+                        )
+                        ret = bytes(_read_exact(conn, ret_len)).decode("ascii")
+                        frame = bytearray(HEADER.size)
+                        _read_exact_into(conn, memoryview(frame))
+                        _magic, _ver, _type, length = HEADER.unpack_from(frame)
+                        if length > MAX_BODY:
+                            return  # hostile length: never allocate it
+                        # grow with the data so a hostile length field
+                        # costs at most one spare chunk, not 16 GiB
+                        remaining = length
+                        while remaining:
+                            chunk = min(remaining, 1 << 22)
+                            start = len(frame)
+                            frame += bytes(chunk)
+                            _read_exact_into(conn, memoryview(frame)[start:])
+                            remaining -= chunk
+                        # decode straight off the writable receive buffer:
+                        # ndarray payloads alias it, no copy
+                        msg = decode_message(frame)
+                    except (TransportError, OSError, Exception):
+                        return  # malformed peer: drop the connection, stay up
+                    # learn the sender's return path (no-op for
+                    # same-process nodes)
+                    try:
+                        ip, port_text = ret.rsplit(":", 1)
+                        self.transport.learn_peer(src, ip, int(port_text))
+                    except ValueError:
+                        return  # malformed return endpoint: drop
+                    with self.lock:
+                        if not self.alive or self.component is None:
+                            return
+                        self.component.on_message(src, msg)
+        finally:
+            with self._inbound_lock:
+                self._inbound.discard(conn)
 
     def shutdown(self) -> None:
         with self.lock:
@@ -225,10 +383,37 @@ class TcpNode(Node):
         for t in self._timers:
             t.cancel()
         self._timers.clear()
+        self._pool.close()
+        try:
+            # wake the blocked accept() so the close isn't deferred by
+            # the interpreter's in-use fd protection (the port must be
+            # genuinely free for an immediate restart)
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
         try:
             self._listener.close()
         except OSError:  # pragma: no cover
             pass
+        with self._inbound_lock:
+            inbound = list(self._inbound)
+            self._inbound.clear()
+        for conn in inbound:
+            try:
+                # abortive close: no TIME_WAIT holding the port, and
+                # senders' pooled sockets see the death instead of
+                # hanging half-open
+                conn.setsockopt(
+                    socket.SOL_SOCKET, socket.SO_LINGER,
+                    struct.pack("ii", 1, 0),
+                )
+            except OSError:  # pragma: no cover
+                pass
+            try:
+                conn.shutdown(socket.SHUT_RDWR)  # wake the serve thread
+            except OSError:
+                pass
+            _close_quietly(conn)
 
 
 class _TimerHandle:
@@ -250,11 +435,19 @@ class TcpTransport:
         bind_ip: str = "127.0.0.1",
         host_name: str | None = None,
         advertise_ip: str | None = None,
+        pool_idle_timeout: float = _POOL_IDLE_TIMEOUT,
+        pool_max: int = _POOL_MAX,
     ):
         self.bind_ip = bind_ip
         #: the IP peers should dial back; defaults to the bind address
         self.advertise_ip = advertise_ip or bind_ip
         self.host_name = host_name or socket.gethostname()
+        if pool_idle_timeout <= 0:
+            raise TransportError("pool_idle_timeout must be positive")
+        if pool_max < 1:
+            raise TransportError("pool_max must be >= 1")
+        self.pool_idle_timeout = pool_idle_timeout
+        self.pool_max = pool_max
         self.epoch = time.monotonic()
         self.nodes: dict[str, TcpNode] = {}
         self._directory: dict[str, tuple[str, int]] = {}

@@ -8,9 +8,15 @@ drives the node — virtual time here, real sockets in
 same, which is what makes simulated performance results honest about
 protocol behaviour.
 
-``SimNode.send`` *encodes* every message and charges the simulated wire
-with the encoded byte count, then decodes at delivery — so codec bugs
-surface in every simulation, and message sizes are real, not modelled.
+``SimNode.send`` charges the simulated wire with the *analytic* frame
+size (:func:`~repro.protocol.codec.frame_size` — exact, but no payload
+is serialized), then runs every delivered message through the
+scatter/gather encode → zero-copy decode round trip — so codec bugs
+surface in every simulation and message sizes are real, not modelled,
+while lost or undeliverable messages cost no serialization at all.
+``SimTransport(codec_roundtrip=False)`` skips even the delivered-path
+materialization for huge farming runs (sender and receiver then share
+the same payload objects; virtual timing is unchanged).
 """
 
 from __future__ import annotations
@@ -20,7 +26,7 @@ from typing import Any, Callable, Optional
 from ..errors import NetSolveError, SimulationError, TransportClosed, TransportError
 from ..simnet.kernel import EventKernel, Timer
 from ..simnet.network import Topology
-from .codec import decode_message, encode_message
+from .codec import decode_message, encode_message_iov, frame_size
 from .messages import Message
 
 __all__ = ["Component", "Promise", "Node", "SimNode", "SimTransport"]
@@ -239,9 +245,13 @@ class SimTransport:
     """Routes encoded messages between :class:`SimNode`\\ s over a
     :class:`~repro.simnet.network.Topology`."""
 
-    def __init__(self, topology: Topology):
+    def __init__(self, topology: Topology, *, codec_roundtrip: bool = True):
         self.topology = topology
         self.kernel: EventKernel = topology.kernel
+        #: encode→decode every delivered message (the fidelity default);
+        #: False skips materialization and hands the receiver the
+        #: sender's message object — timing identical, payloads shared
+        self.codec_roundtrip = codec_roundtrip
         self.nodes: dict[str, SimNode] = {}
         self.messages_delivered = 0
         self.messages_dropped = 0
@@ -285,20 +295,51 @@ class SimTransport:
 
     # ------------------------------------------------------------------
     def _deliver(self, src: SimNode, dest: str, msg: Message) -> None:
-        wire = encode_message(msg)
-        src.messages_sent += 1
-        src.bytes_sent += len(wire)
         dest_node = self.nodes.get(dest)
-        if dest_node is None:
-            # unknown destination: bytes still burn the wire if we know
-            # the host; with no host to route to, drop at the source.
-            self.messages_dropped += 1
+        lost = (
+            dest_node is not None
+            and self._loss_rate > 0.0
+            and self._loss_rng.random() < self._loss_rate
+        )
+        if dest_node is None or lost:
+            # dropped or lost messages never pay for serialization: the
+            # analytic size charges the sender's counters without
+            # materializing a byte
+            src.messages_sent += 1
+            src.bytes_sent += frame_size(msg)
+            if dest_node is None:
+                self.messages_dropped += 1
+            else:
+                self.messages_lost += 1
             return
-        if self._loss_rate > 0.0 and self._loss_rng.random() < self._loss_rate:
-            self.messages_lost += 1
-            return
+        if self.codec_roundtrip:
+            # gather into one writable buffer so delivery can decode
+            # zero-copy (arrays alias the wire bytearray); the frame
+            # itself is the byte count — no separate sizing walk
+            parts = encode_message_iov(msg)
+            sizes = [len(p) for p in parts]
+            nbytes = sum(sizes)
+            # left-pad the buffer so the first (dominant) array payload
+            # sits 8-byte aligned: the decoder then aliases it instead
+            # of paying an alignment memcpy
+            off = pad = 0
+            for part, size in zip(parts, sizes):
+                if isinstance(part, memoryview):
+                    pad = -off % 8
+                    break
+                off += size
+            wire = memoryview(bytearray(pad + nbytes))[pad:]
+            pos = 0
+            for part, size in zip(parts, sizes):
+                wire[pos:pos + size] = part
+                pos += size
+        else:
+            wire = None
+            nbytes = frame_size(msg)
+        src.messages_sent += 1
+        src.bytes_sent += nbytes
         transfer = self.topology.transfer(
-            src.host_name, dest_node.host_name, len(wire)
+            src.host_name, dest_node.host_name, nbytes
         )
 
         def arrive(_plan) -> None:
@@ -307,7 +348,8 @@ class SimTransport:
                 self.messages_dropped += 1
                 return
             self.messages_delivered += 1
-            node.component.on_message(src.address, decode_message(wire))
+            delivered = msg if wire is None else decode_message(wire)
+            node.component.on_message(src.address, delivered)
 
         transfer.add_callback(arrive)
 

@@ -247,7 +247,7 @@ def build_testbed(
                 ),
             )
 
-    transport = SimTransport(topology)
+    transport = SimTransport(topology, codec_roundtrip=sim.codec_roundtrip)
     agent_defs = [(AGENT_ADDRESS, agent_host), *extra_agents]
     agent_addresses = [addr for addr, _h in agent_defs]
     if len(set(agent_addresses)) != len(agent_addresses):

@@ -10,7 +10,9 @@ from repro.protocol.codec import (
     decode_message,
     decode_value,
     encode_message,
+    encode_message_iov,
     encode_value,
+    encoded_size,
     frame_size,
 )
 from repro.protocol.messages import (
@@ -211,6 +213,131 @@ def test_message_roundtrip(msg):
 def test_frame_size_matches_encoding():
     msg = Ping(nonce=1)
     assert frame_size(msg) == len(encode_message(msg))
+
+
+@pytest.mark.parametrize("msg", MESSAGES, ids=lambda m: type(m).__name__)
+def test_frame_size_analytic_matches_all_messages(msg):
+    assert frame_size(msg) == len(encode_message(msg))
+
+
+@pytest.mark.parametrize("msg", MESSAGES, ids=lambda m: type(m).__name__)
+def test_iov_join_equals_single_buffer_encode(msg):
+    assert b"".join(encode_message_iov(msg)) == encode_message(msg)
+
+
+def test_iov_references_large_payloads_without_copy():
+    a = np.arange(4096, dtype=np.float64)
+    msg = SolveRequest(request_id=1, problem="p", inputs=(a,))
+    parts = encode_message_iov(msg)
+    views = [p for p in parts if isinstance(p, memoryview) and p.nbytes == a.nbytes]
+    assert len(views) == 1
+    base = views[0].obj
+    assert isinstance(base, np.ndarray)
+    assert np.shares_memory(base, a)
+
+
+def test_iov_parts_survive_source_scope():
+    # the memoryview parts must pin their arrays even after the caller
+    # drops every other reference to the message
+    def build():
+        big = np.full(4096, 7.0)
+        return encode_message_iov(
+            SolveRequest(request_id=1, problem="p", inputs=(big,))
+        )
+
+    parts = build()
+    frame = b"".join(parts)
+    out = decode_message(frame)
+    assert np.array_equal(out.inputs[0], np.full(4096, 7.0))
+
+
+def test_encoded_size_scalar_cases():
+    for value in [None, True, 3, 2.5, 1 + 2j, "héllo", b"xyz", [1, "a"],
+                  {"k": (1, 2)}, np.zeros((3, 4))]:
+        buf = bytearray()
+        encode_value(value, buf)
+        assert encoded_size(value) == len(buf), value
+
+
+def test_encoded_size_validates_like_encode():
+    with pytest.raises(CodecError, match="i64"):
+        encoded_size(2**70)
+    with pytest.raises(CodecError, match="dtype"):
+        encoded_size(np.arange(3, dtype=np.float16))
+    with pytest.raises(CodecError, match="keys must be str"):
+        encoded_size({1: "x"})
+    with pytest.raises(CodecError, match="cannot encode"):
+        encoded_size(object())
+
+
+def test_frame_size_allocates_no_payload_buffer():
+    import tracemalloc
+
+    a = np.zeros((512, 512))  # 2 MiB payload
+    msg = SolveRequest(request_id=1, problem="p", inputs=(a,))
+    frame_size(msg)  # warm any caches
+    tracemalloc.start()
+    nbytes = frame_size(msg)
+    _current, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    assert nbytes > a.nbytes
+    assert peak < a.nbytes / 8  # nothing payload-sized was materialized
+
+
+def test_decode_from_bytearray_is_zero_copy_and_writable():
+    a = np.arange(4096, dtype=np.float64)
+    # the 8-char problem name puts the payload at an 8-byte-aligned
+    # frame offset, so the decoder may (and must) alias instead of copy
+    wire = bytearray(
+        encode_message(SolveRequest(request_id=1, problem="p" * 8, inputs=(a,)))
+    )
+    out = decode_message(wire)
+    arr = out.inputs[0]
+    assert arr.flags.writeable
+    assert np.shares_memory(arr, np.frombuffer(wire, dtype=np.uint8))
+    arr[0] = -1.0  # mutating the decoded array is mutating the frame buffer
+
+
+def test_decode_misaligned_payload_copies_to_aligned():
+    a = np.arange(4096, dtype=np.float64)
+    # a 1-char name leaves the payload at offset % 8 == 1: aliasing it
+    # would hand every downstream BLAS call an unaligned array, so the
+    # decoder pays one memcpy instead
+    wire = bytearray(
+        encode_message(SolveRequest(request_id=1, problem="p", inputs=(a,)))
+    )
+    arr = decode_message(wire).inputs[0]
+    assert arr.flags.aligned
+    assert arr.flags.writeable
+    assert not np.shares_memory(arr, np.frombuffer(wire, dtype=np.uint8))
+    assert np.array_equal(arr, a)
+
+
+def test_decode_from_bytes_still_copies():
+    a = np.arange(64, dtype=np.float64)
+    frame = encode_message(SolveRequest(request_id=1, problem="p", inputs=(a,)))
+    out = decode_message(frame)
+    assert out.inputs[0].flags.writeable
+    assert out.inputs[0].base is None or isinstance(out.inputs[0].base, np.ndarray)
+
+
+@pytest.mark.parametrize(
+    "arr",
+    [
+        np.array(2.5),  # 0-d
+        np.asfortranarray(np.arange(24.0).reshape(4, 6)),  # F-order
+        np.arange(40.0)[::3],  # strided view
+        np.arange(12.0).reshape(3, 4).T,  # transpose
+    ],
+    ids=["0d", "forder", "strided", "transposed"],
+)
+def test_awkward_layouts_size_and_roundtrip(arr):
+    buf = bytearray()
+    encode_value(arr, buf)
+    assert encoded_size(arr) == len(buf)
+    out = decode_value(bytes(buf))
+    # the wire canonicalizes to C-order and promotes 0-d to shape (1,)
+    assert np.array_equal(out, np.ascontiguousarray(arr))
 
 
 def test_bad_magic_rejected():

@@ -81,6 +81,190 @@ def test_codec_roundtrip_arrays(arr):
     assert np.array_equal(out, arr)
 
 
+# ----------------------------------------------------------------------
+# codec: the zero-copy wire path is byte-identical to the legacy
+# single-buffer encoder, and frame_size is exact without serializing
+# ----------------------------------------------------------------------
+def _legacy_encode_value(value, out: bytearray) -> None:
+    """The seed codec's single-buffer encoder, kept verbatim as the
+    byte-identity reference for the scatter/gather path."""
+    import struct
+
+    from repro.protocol.codec import (
+        _T_BOOL, _T_BYTES, _T_COMPLEX, _T_DICT, _T_FLOAT, _T_INT, _T_LIST,
+        _T_NDARRAY, _T_NONE, _T_OBJREF, _T_STR,
+    )
+    from repro.protocol.messages import ObjectRef
+
+    if value is None:
+        out.append(_T_NONE)
+    elif isinstance(value, bool):
+        out.append(_T_BOOL)
+        out.append(1 if value else 0)
+    elif isinstance(value, (int, np.integer)):
+        out.append(_T_INT)
+        out += struct.pack("<q", int(value))
+    elif isinstance(value, (float, np.floating)):
+        out.append(_T_FLOAT)
+        out += struct.pack("<d", float(value))
+    elif isinstance(value, (complex, np.complexfloating)):
+        out.append(_T_COMPLEX)
+        cv = complex(value)
+        out += struct.pack("<dd", cv.real, cv.imag)
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        out.append(_T_STR)
+        out += struct.pack("<I", len(raw))
+        out += raw
+    elif isinstance(value, (bytes, bytearray, memoryview)):
+        raw = bytes(value)
+        out.append(_T_BYTES)
+        out += struct.pack("<I", len(raw))
+        out += raw
+    elif isinstance(value, np.ndarray):
+        contig = np.ascontiguousarray(value)
+        out.append(_T_NDARRAY)
+        dname = value.dtype.name.encode("ascii")
+        out.append(len(dname))
+        out += dname
+        out.append(contig.ndim)
+        for dim in contig.shape:
+            out += struct.pack("<q", dim)
+        raw = contig.tobytes()
+        out += struct.pack("<Q", len(raw))
+        out += raw
+    elif isinstance(value, ObjectRef):
+        raw = value.key.encode("utf-8")
+        out.append(_T_OBJREF)
+        out += struct.pack("<I", len(raw))
+        out += raw
+    elif isinstance(value, (list, tuple)):
+        out.append(_T_LIST)
+        out += struct.pack("<I", len(value))
+        for item in value:
+            _legacy_encode_value(item, out)
+    elif isinstance(value, dict):
+        out.append(_T_DICT)
+        out += struct.pack("<I", len(value))
+        for key, item in value.items():
+            _legacy_encode_value(key, out)
+            _legacy_encode_value(item, out)
+    else:  # pragma: no cover - strategy only generates encodables
+        raise AssertionError(f"unexpected {type(value)}")
+
+
+def _legacy_encode_message(msg) -> bytes:
+    from repro.protocol.codec import HEADER, MAGIC, PROTOCOL_VERSION
+
+    body = bytearray()
+    _legacy_encode_value(msg.to_fields(), body)
+    header = HEADER.pack(MAGIC, PROTOCOL_VERSION, type(msg).TYPE_CODE, len(body))
+    return header + bytes(body)
+
+
+_wire_dtypes = st.sampled_from(
+    [np.float64, np.int64, np.complex128, np.float32, np.int32, np.bool_]
+)
+
+
+@st.composite
+def _wire_arrays(draw):
+    """Arrays over every allowed dtype, including 0-d, empty, F-order,
+    and non-contiguous strided layouts."""
+    dtype = draw(_wire_dtypes)
+    shape = draw(
+        st.one_of(
+            st.just(()),  # 0-d
+            hnp.array_shapes(min_dims=1, max_dims=3, max_side=6),
+            st.tuples(st.just(0)),  # empty
+            st.tuples(st.integers(1, 4), st.just(0)),  # empty 2-d
+        )
+    )
+    arr = np.zeros(shape, dtype=dtype)
+    if arr.size:
+        flat = np.arange(arr.size)
+        arr = (flat.astype(dtype) if dtype is not np.bool_
+               else (flat % 2).astype(bool)).reshape(shape)
+    layout = draw(st.sampled_from(["c", "f", "strided", "transposed"]))
+    if layout == "f":
+        arr = np.asfortranarray(arr)
+    elif layout == "strided" and arr.ndim >= 1 and arr.shape[0] > 1:
+        base = np.repeat(arr, 2, axis=0)
+        arr = base[::2]
+    elif layout == "transposed" and arr.ndim >= 2:
+        arr = arr.T
+    return arr
+
+
+_wire_message_values = st.recursive(
+    st.one_of(wire_scalars, _wire_arrays()),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+@st.composite
+def _wire_messages(draw):
+    from repro.protocol.messages import (
+        ProblemList, QueryRequest, SolveReply, SolveRequest, StoreObject,
+    )
+
+    kind = draw(st.integers(0, 4))
+    if kind == 0:
+        return SolveRequest(
+            request_id=draw(st.integers(0, 2**31)),
+            problem=draw(st.text(max_size=20)),
+            inputs=tuple(draw(st.lists(_wire_message_values, max_size=4))),
+            reply_to=draw(st.text(max_size=20)),
+        )
+    if kind == 1:
+        return SolveReply(
+            request_id=draw(st.integers(0, 2**31)),
+            ok=draw(st.booleans()),
+            outputs=tuple(draw(st.lists(_wire_message_values, max_size=3))),
+            detail=draw(st.text(max_size=30)),
+            compute_seconds=draw(st.floats(0, 1e6, allow_nan=False)),
+        )
+    if kind == 2:
+        return QueryRequest(
+            problem=draw(st.text(max_size=20)),
+            sizes=draw(
+                st.dictionaries(
+                    st.text(max_size=6), st.integers(0, 2**30), max_size=4
+                )
+            ),
+            client_host=draw(st.text(max_size=12)),
+            exclude=tuple(draw(st.lists(st.text(max_size=8), max_size=3))),
+            tag=draw(st.integers(-(2**31), 2**31)),
+        )
+    if kind == 3:
+        return StoreObject(
+            key=draw(st.text(min_size=1, max_size=16)),
+            value=draw(_wire_message_values),
+        )
+    return ProblemList(
+        names=tuple(draw(st.lists(st.text(max_size=12), max_size=5))),
+        prefix=draw(st.text(max_size=8)),
+    )
+
+
+@given(_wire_messages())
+@settings(max_examples=150, deadline=None)
+def test_wire_path_matches_legacy_encoder(msg):
+    from repro.protocol.codec import (
+        decode_message, encode_message, encode_message_iov, frame_size,
+    )
+
+    legacy = _legacy_encode_message(msg)
+    assert encode_message(msg) == legacy
+    assert b"".join(encode_message_iov(msg)) == legacy
+    assert frame_size(msg) == len(legacy)
+    decode_message(bytearray(legacy))  # zero-copy decode accepts the frame
+
+
 @given(st.binary(min_size=1, max_size=200))
 @settings(max_examples=200)
 def test_codec_never_crashes_on_garbage(data):

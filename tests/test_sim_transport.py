@@ -264,6 +264,56 @@ def test_component_double_bind_rejected():
         c.bind(transport.node("a"))
 
 
+def test_codec_roundtrip_false_same_timing_and_content():
+    import numpy as np
+
+    from repro.protocol.messages import SolveRequest
+
+    arr = np.arange(1024.0)
+    times = {}
+    for flag in (True, False):
+        kernel = EventKernel()
+        topo = Topology(kernel)
+        topo.add_host("h1", 100.0)
+        topo.add_host("h2", 100.0)
+        topo.add_link("h1", "h2", latency=0.01, bandwidth=1e6)
+        transport = SimTransport(topo, codec_roundtrip=flag)
+        sink = Collector()
+        transport.add_node("a", "h1", Collector())
+        transport.add_node("b", "h2", sink)
+        transport.node("a").send(
+            "b", SolveRequest(request_id=1, problem="p", inputs=(arr,))
+        )
+        kernel.run()
+        assert len(sink.seen) == 1
+        got = sink.seen[0][1]
+        assert np.array_equal(got.inputs[0], arr)
+        # roundtrip=True hands over a decoded copy; =False the original
+        assert np.shares_memory(got.inputs[0], arr) is (not flag)
+        times[flag] = (sink.seen[0][2], kernel.now)
+    # skipping materialization must not change the virtual clock
+    assert times[True] == times[False]
+
+
+def test_lost_message_charges_wire_but_skips_encode():
+    class AlwaysLose:
+        def random(self):
+            return 0.0
+
+    kernel, _, transport = make_world()
+    b = Collector()
+    transport.add_node("a", "h1", Collector())
+    transport.add_node("b", "h2", b)
+    transport.set_message_loss(0.5, AlwaysLose())
+    transport.node("a").send("b", Ping())
+    kernel.run()
+    assert b.seen == []
+    assert transport.messages_lost == 1
+    assert transport.messages_delivered == 0
+    # the sender still paid for the bytes it put on the wire
+    assert transport.node("a").bytes_sent > 20
+
+
 def test_sample_workload_reads_host():
     kernel, topo, transport = make_world()
     transport.add_node("a", "h1", Collector())

@@ -222,6 +222,132 @@ def test_object_store_and_sequencing_over_tcp(deployment):
     assert delete_promise.wait(WAIT) == nbytes
 
 
+def _open_fds() -> int:
+    import os
+
+    return len(os.listdir("/proc/self/fd"))
+
+
+def test_connection_reused_across_sends():
+    """Consecutive messages to one peer ride a single pooled socket."""
+
+    class Counter(Component):
+        def __init__(self):
+            self.nonces = []
+
+        def on_message(self, src, msg):
+            self.nonces.append(msg.nonce)
+
+    with TcpTransport() as transport:
+        receiver = Counter()
+        transport.add_node("rx", receiver)
+        sender = transport.add_node("tx", _Sink())
+        for i in range(8):
+            sender.send("rx", Ping(nonce=i))
+        assert wait_for(lambda: len(receiver.nonces) == 8)
+        # messages on one connection arrive in order
+        assert receiver.nonces == list(range(8))
+        assert sender._pool.dials == 1
+        assert sender._pool.reuses == 7
+
+
+def test_pool_reconnects_after_peer_restart():
+    import time
+
+    class Counter(Component):
+        def __init__(self):
+            self.count = 0
+
+        def on_message(self, src, msg):
+            self.count += 1
+
+    t_rx = TcpTransport()
+    t_tx = TcpTransport()
+    try:
+        rx = Counter()
+        node_rx = t_rx.add_node("rx", rx)
+        port = node_rx.port
+        sender = t_tx.add_node("tx", _Sink())
+        t_tx.register_remote("rx", "127.0.0.1", port)
+        sender.send("rx", Ping())
+        assert wait_for(lambda: rx.count == 1)
+        # restart the peer on the same port: pooled socket is now dead
+        node_rx.shutdown()
+        del t_rx.nodes["rx"]
+        rx2 = Counter()
+        node_rx2 = t_rx.add_node("rx", rx2, port=port)
+        assert node_rx2.port == port
+        time.sleep(0.1)  # let the FIN reach the sender's pooled socket
+        sender.send("rx", Ping())
+        assert wait_for(lambda: rx2.count == 1)
+        assert sender._pool.dials == 2
+    finally:
+        t_tx.close()
+        t_rx.close()
+
+
+def test_pool_closes_no_descriptor_leak():
+    before = _open_fds()
+    for _ in range(3):
+        with TcpTransport() as transport:
+            receiver = _Sink()
+            transport.add_node("rx", receiver)
+            sender = transport.add_node("tx", _Sink())
+            for i in range(5):
+                sender.send("rx", Ping(nonce=i))
+            wait_for(lambda: True, timeout=0.05)
+    # serve threads notice the close asynchronously
+    assert wait_for(lambda: _open_fds() <= before + 1, timeout=5.0), (
+        f"fds before={before} after={_open_fds()}"
+    )
+
+
+def test_pool_bounded_size():
+    with TcpTransport(pool_max=2) as transport:
+        sender = transport.add_node("tx", _Sink())
+        for i in range(5):
+            transport.add_node(f"rx{i}", _Sink())
+        for i in range(5):
+            sender.send(f"rx{i}", Ping())
+        assert len(sender._pool._conns) <= 2
+
+
+def test_pool_idle_timeout_redials():
+    import time
+
+    with TcpTransport(pool_idle_timeout=0.05) as transport:
+        receiver = _Sink()
+        transport.add_node("rx", receiver)
+        sender = transport.add_node("tx", _Sink())
+        sender.send("rx", Ping())
+        time.sleep(0.15)  # pooled socket expires
+        sender.send("rx", Ping())
+        assert sender._pool.dials == 2
+        assert sender._pool.reuses == 0
+
+
+def test_large_payload_sendmsg_roundtrip():
+    """A multi-megabyte SolveRequest survives the scatter/gather path."""
+    from repro.protocol.messages import SolveRequest
+
+    class Catcher(Component):
+        def __init__(self):
+            self.got = None
+
+        def on_message(self, src, msg):
+            self.got = msg
+
+    with TcpTransport() as transport:
+        catcher = Catcher()
+        transport.add_node("rx", catcher)
+        sender = transport.add_node("tx", _Sink())
+        a = RNG.standard_normal((512, 512))
+        sender.send("rx", SolveRequest(request_id=3, problem="p", inputs=(a,)))
+        assert wait_for(lambda: catcher.got is not None)
+        assert np.array_equal(catcher.got.inputs[0], a)
+        assert catcher.got.inputs[0].flags.writeable
+
+
 def test_describe_over_tcp(deployment):
     _t, agent, _s, session = deployment
     assert wait_for(lambda: agent.registrations >= 2)
