@@ -24,6 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Mapping, Optional, Protocol
 
+import numpy as np
+
 from ..errors import ConfigError
 from ..problems.spec import ProblemSpec
 
@@ -36,6 +38,7 @@ __all__ = [
     "effective_mflops",
     "predict",
     "predict_for",
+    "predict_batch",
 ]
 
 
@@ -220,6 +223,54 @@ def predict_for(
         workload=workload,
         use_workload=use_workload,
     )
+
+
+def predict_batch(
+    *,
+    flops: float,
+    input_bytes: float,
+    output_bytes: float,
+    latency: np.ndarray,
+    bandwidth: np.ndarray,
+    peak_mflops: np.ndarray,
+    workload: np.ndarray,
+    pending: np.ndarray,
+    use_workload: bool = True,
+) -> np.ndarray:
+    """Vectorized :func:`predict` over a candidate set.
+
+    ``flops``/``input_bytes``/``output_bytes`` are the per-query
+    invariants (they depend only on the problem spec and the size
+    bindings, so the caller evaluates them once); the array arguments
+    carry one element per candidate.  ``pending`` is the agent's
+    pending-assignment count per candidate — each live hint inflates the
+    compute term by one service time, exactly as
+    :meth:`~repro.core.agent.Agent.predict_entry` does.
+
+    Returns total predicted seconds as a float64 array.  Every
+    arithmetic step mirrors the scalar path operation for operation, so
+    each element is bit-identical to ``predict_for(...)`` plus the
+    pending inflation — the property tests pin this, and the scalar path
+    remains the reference implementation.
+    """
+    if flops < 0 or input_bytes < 0 or output_bytes < 0:
+        raise ConfigError("flops and byte counts must be >= 0")
+    peak_mflops = np.asarray(peak_mflops, dtype=np.float64)
+    workload = np.asarray(workload, dtype=np.float64)
+    latency = np.asarray(latency, dtype=np.float64)
+    bandwidth = np.asarray(bandwidth, dtype=np.float64)
+    pending = np.asarray(pending)
+    if peak_mflops.size and peak_mflops.min() <= 0:
+        raise ConfigError("peak_mflops must be positive")
+    if workload.size and workload.min() < 0:
+        raise ConfigError("workload must be >= 0")
+    if not use_workload:
+        workload = np.zeros_like(workload)
+    mflops = peak_mflops * 100.0 / (100.0 + workload)
+    send = latency + input_bytes / bandwidth
+    compute = (flops / (mflops * 1e6)) * (1 + pending)
+    recv = latency + output_bytes / bandwidth
+    return send + compute + recv
 
 
 PredictFn = Callable[..., Prediction]

@@ -12,10 +12,27 @@ reports would all pick the same momentarily-idle server — the classic
 herd effect; without the expiry, short jobs finishing between samples
 (which the hysteretic policy never reports) would pollute the view
 until the forced keep-alive.
+
+Every client query walks this table, so its read paths are indexed
+rather than recomputed:
+
+* a **problem index** (``problem -> {server ids}``) is maintained
+  incrementally by :meth:`ServerTable.register` (the only operation that
+  changes a server's problem set), making :meth:`candidates_for` cost
+  O(candidates) and :meth:`known_problems` O(1);
+* the **id-sorted views** (:meth:`entries` and the per-problem candidate
+  views) are cached and invalidated only when table *membership*
+  changes — workload reports, liveness sweeps and failure marks mutate
+  entry attributes in place and never reorder or re-key the views, so
+  they leave the caches intact;
+* pending hints live in a **min-heap** ordered by expiry, so dropping
+  expired hints pops only what actually expired instead of rebuilding
+  the list.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 
 from ..errors import NetSolveError
@@ -35,7 +52,8 @@ class ServerEntry:
     workload: float = 0.0
     alive: bool = True
     failures: int = 0
-    #: expiry times of assignments not yet reflected in a workload report
+    #: min-heap of expiry times of assignments not yet reflected in a
+    #: workload report (push via heapq only)
     pending_expiries: list[float] = field(default_factory=list)
     assignments: int = 0
 
@@ -45,9 +63,10 @@ class ServerEntry:
 
     def live_pending(self, now: float) -> int:
         """Pending-assignment count after dropping expired hints."""
-        if self.pending_expiries:
-            self.pending_expiries = [t for t in self.pending_expiries if t > now]
-        return len(self.pending_expiries)
+        heap = self.pending_expiries
+        while heap and heap[0] <= now:
+            heapq.heappop(heap)
+        return len(heap)
 
     def effective_workload(
         self, now: float = 0.0, *, pending_weight: float = 100.0
@@ -62,9 +81,7 @@ class ServerEntry:
         the expiry a short job assigned between samples would pollute the
         agent's view until the forced keep-alive.
         """
-        if self.pending_expiries:
-            self.pending_expiries = [t for t in self.pending_expiries if t > now]
-        return self.workload + pending_weight * len(self.pending_expiries)
+        return self.workload + pending_weight * self.live_pending(now)
 
 
 class ServerTable:
@@ -72,8 +89,30 @@ class ServerTable:
 
     def __init__(self) -> None:
         self._entries: dict[str, ServerEntry] = {}
+        #: incremental problem -> server-id index; ids stay in the index
+        #: while suspect/dead (candidates_for filters on ``alive``) and
+        #: leave it only when a re-registration drops the problem
+        self._by_problem: dict[str, set[str]] = {}
+        #: cached id-sorted views, dropped when membership changes
+        self._sorted_entries: list[ServerEntry] | None = None
+        self._problem_views: dict[str, tuple[ServerEntry, ...]] = {}
 
     # ------------------------------------------------------------------
+    def _index_add(self, server_id: str, problems: set[str]) -> None:
+        for name in problems:
+            self._by_problem.setdefault(name, set()).add(server_id)
+            self._problem_views.pop(name, None)
+
+    def _index_discard(self, server_id: str, problems: set[str]) -> None:
+        for name in problems:
+            ids = self._by_problem.get(name)
+            if ids is None:
+                continue
+            ids.discard(server_id)
+            if not ids:
+                del self._by_problem[name]
+            self._problem_views.pop(name, None)
+
     def register(
         self,
         *,
@@ -101,11 +140,17 @@ class ServerTable:
                 last_report=now,
             )
             self._entries[server_id] = entry
+            self._sorted_entries = None
+            self._index_add(server_id, entry.problems)
         else:
+            old = entry.problems
+            new = set(problems)
+            self._index_discard(server_id, old - new)
+            self._index_add(server_id, new - old)
             entry.address = address
             entry.host = host
             entry.mflops = mflops
-            entry.problems = set(problems)
+            entry.problems = new
             entry.last_report = now
             entry.alive = True
             entry.pending_expiries.clear()
@@ -124,7 +169,11 @@ class ServerTable:
         return len(self._entries)
 
     def entries(self) -> list[ServerEntry]:
-        return [self._entries[k] for k in sorted(self._entries)]
+        if self._sorted_entries is None:
+            self._sorted_entries = [
+                self._entries[k] for k in sorted(self._entries)
+            ]
+        return list(self._sorted_entries)
 
     def alive_entries(self) -> list[ServerEntry]:
         return [e for e in self.entries() if e.alive]
@@ -147,7 +196,7 @@ class ServerTable:
         that request: once it should have finished, the hint expires.
         """
         entry = self.get(server_id)
-        entry.pending_expiries.append(now + max(0.0, hold_for))
+        heapq.heappush(entry.pending_expiries, now + max(0.0, hold_for))
         entry.assignments += 1
 
     def mark_failed(self, server_id: str) -> None:
@@ -172,16 +221,25 @@ class ServerTable:
     def candidates_for(
         self, problem: str, *, exclude: tuple[str, ...] = ()
     ) -> list[ServerEntry]:
-        """Live servers able to solve ``problem``, minus exclusions."""
-        banned = set(exclude)
-        return [
-            e
-            for e in self.entries()
-            if e.alive and problem in e.problems and e.server_id not in banned
-        ]
+        """Live servers able to solve ``problem``, minus exclusions.
+
+        Served from the problem index: cost is proportional to the
+        number of servers advertising ``problem``, not the fleet size.
+        """
+        if problem not in self._by_problem:
+            return []
+        view = self._problem_views.get(problem)
+        if view is None:
+            view = tuple(
+                self._entries[k] for k in sorted(self._by_problem[problem])
+            )
+            self._problem_views[problem] = view
+        if exclude:
+            banned = set(exclude)
+            return [
+                e for e in view if e.alive and e.server_id not in banned
+            ]
+        return [e for e in view if e.alive]
 
     def known_problems(self) -> set[str]:
-        out: set[str] = set()
-        for e in self._entries.values():
-            out |= e.problems
-        return out
+        return set(self._by_problem)

@@ -16,6 +16,7 @@ down the list on failure, so policy choice also shapes retry behaviour.
 
 from __future__ import annotations
 
+import heapq
 from typing import Callable, Sequence
 
 import numpy as np
@@ -31,6 +32,7 @@ __all__ = [
     "RoundRobinPolicy",
     "FastestPeakPolicy",
     "make_policy",
+    "mct_top_k",
 ]
 
 PredictEntry = Callable[[ServerEntry], Prediction]
@@ -57,6 +59,27 @@ class MinimumCompletionTime(SchedulingPolicy):
         return sorted(
             entries, key=lambda e: (predict(e).total, e.server_id)
         )
+
+
+def mct_top_k(
+    entries: Sequence[ServerEntry], totals: Sequence[float], k: int
+) -> list[int]:
+    """Indices of the ``k`` best candidates under the MCT ordering.
+
+    Partial selection over precomputed totals: O(n log k) instead of the
+    full O(n log n) sort, while returning exactly
+    ``MinimumCompletionTime.rank(...)[:k]`` — ``heapq.nsmallest`` is
+    defined to equal ``sorted(...)[:k]``, including the (total,
+    server_id) tie-break.
+    """
+
+    def key(i: int) -> tuple[float, str]:
+        return (totals[i], entries[i].server_id)
+
+    indices = range(len(entries))
+    if k >= len(entries):
+        return sorted(indices, key=key)
+    return heapq.nsmallest(k, indices, key=key)
 
 
 class RandomPolicy(SchedulingPolicy):

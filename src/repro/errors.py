@@ -20,6 +20,7 @@ __all__ = [
     "NoServerError",
     "ServerFailure",
     "RequestFailed",
+    "FarmNotFinished",
     "RequestNotFound",
     "PdlSyntaxError",
     "ComplexityError",
@@ -87,6 +88,18 @@ class RequestFailed(NetSolveError):
         msg = f"request {request_id} failed" + (f": {detail}" if detail else "")
         super().__init__(msg)
         self.request_id = request_id
+
+
+class FarmNotFinished(NetSolveError):
+    """A farm-wide aggregate was read before every instance completed."""
+
+    def __init__(self, pending: tuple[int, ...]):
+        ids = ", ".join(str(i) for i in pending)
+        super().__init__(
+            f"farm not finished: {len(pending)} instance(s) still "
+            f"pending (request ids {ids})"
+        )
+        self.pending = tuple(pending)
 
 
 class RequestNotFound(NetSolveError):

@@ -16,7 +16,7 @@ from typing import Any, Iterable, Sequence
 
 from .core.client import NetSolveClient, RequestHandle
 from .core.request import RequestRecord, RequestStatus
-from .errors import RequestFailed
+from .errors import FarmNotFinished, RequestFailed
 from .trace.metrics import RequestStats, request_stats
 
 __all__ = ["FarmResult", "submit_farm"]
@@ -77,13 +77,19 @@ class FarmResult:
 
     @property
     def makespan(self) -> float:
-        """Submission of the first to completion of the last (virtual s)."""
+        """Submission of the first to completion of the last (virtual s).
+
+        Raises :class:`FarmNotFinished` (carrying the still-pending
+        request ids) when any instance has not completed yet.
+        """
         records = self.records
+        still_pending = tuple(
+            h.request_id for h in self.handles if h.record.t_done is None
+        )
+        if still_pending:
+            raise FarmNotFinished(still_pending)
         start = min(r.t_submit for r in records)
-        ends = [r.t_done for r in records if r.t_done is not None]
-        if len(ends) != len(records):
-            raise RequestFailed(0, "farm not finished")
-        return max(ends) - start
+        return max(r.t_done for r in records) - start
 
 
 def submit_farm(

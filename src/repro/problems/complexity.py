@@ -7,7 +7,19 @@ servers (predicted compute time = flops / effective speed) and, in
 simulation, to decide how long the job actually holds the CPU.
 
 Expressions are parsed by a small recursive-descent parser into an AST —
-never ``eval`` — and evaluated against a ``{symbol: value}`` binding.
+never ``eval`` of user text — and evaluated against a ``{symbol: value}``
+binding.  Because the agent evaluates the same expression for every
+candidate of every query, the checked AST is additionally *lowered* to a
+Python code object at parse time: codegen walks our own validated parse
+tree node by node (no raw text ever reaches ``compile``), the generated
+code sees only guarded function wrappers in its globals, and every check
+the tree-walking evaluator performs — division by zero, log/sqrt domain,
+overflow, unbound symbols, finiteness — is preserved.  A small per-
+instance memo keyed by the bound symbol values makes repeat evaluations
+(the common case: many queries at the same problem size) a dict hit.
+The tree-walking interpreter remains available as
+:meth:`Complexity.interpret`, the reference implementation the compiled
+path is property-tested against.
 
 Grammar::
 
@@ -23,6 +35,7 @@ Supported functions: ``log`` (natural), ``log2``, ``log10``, ``sqrt``,
 
 from __future__ import annotations
 
+import ast as _pyast
 import math
 import re
 from typing import Callable, Iterator, Mapping
@@ -111,6 +124,11 @@ class _BinOp(_Node):
             raise ComplexityError("division by zero in complexity expression")
         try:
             return self._OPS[self.op](a, b)
+        except ZeroDivisionError:
+            # 0^negative raises like division; report it the same way
+            raise ComplexityError(
+                "division by zero in complexity expression"
+            ) from None
         except OverflowError:
             raise ComplexityError(
                 f"overflow evaluating {a!r} {self.op} {b!r}"
@@ -264,8 +282,108 @@ class _Parser:
         raise ComplexityError(f"unexpected token {value!r} in {self.text!r}")
 
 
+# ----------------------------------------------------------------------
+# codegen: lower the checked AST to a Python code object
+# ----------------------------------------------------------------------
+# The compiled function's globals hold *only* these guarded wrappers (no
+# builtins), so the generated code can reach nothing but arithmetic and
+# the checked math functions — the same surface the interpreter exposes.
+def _guarded_function(name: str) -> Callable[..., float]:
+    _arity, fn = _FUNCTIONS[name]
+    if name in ("log", "log2", "log10"):
+
+        def wrapped(x: float, _fn=fn, _name=name) -> float:
+            if x <= 0:
+                raise ComplexityError(
+                    f"{_name}() of non-positive value {x}"
+                )
+            return float(_fn(x))
+
+    elif name == "sqrt":
+
+        def wrapped(x: float, _fn=fn) -> float:
+            if x < 0:
+                raise ComplexityError("sqrt() of negative value")
+            return float(_fn(x))
+
+    else:
+
+        def wrapped(*args: float, _fn=fn) -> float:
+            return float(_fn(*args))
+
+    return wrapped
+
+
+_COMPILED_GLOBALS: dict[str, object] = {"__builtins__": {}}
+_COMPILED_GLOBALS.update(
+    {f"_fn_{name}": _guarded_function(name) for name in _FUNCTIONS}
+)
+
+_BIN_AST = {
+    "+": _pyast.Add,
+    "-": _pyast.Sub,
+    "*": _pyast.Mult,
+    "/": _pyast.Div,
+    "^": _pyast.Pow,
+}
+
+
+def _lower(node: _Node, names: Mapping[str, str]) -> _pyast.expr:
+    """Translate one checked parse-tree node into a Python ast node."""
+    if isinstance(node, _Num):
+        return _pyast.Constant(node.value)
+    if isinstance(node, _Sym):
+        return _pyast.Name(id=names[node.name], ctx=_pyast.Load())
+    if isinstance(node, _Neg):
+        return _pyast.UnaryOp(
+            op=_pyast.USub(), operand=_lower(node.child, names)
+        )
+    if isinstance(node, _BinOp):
+        return _pyast.BinOp(
+            left=_lower(node.left, names),
+            op=_BIN_AST[node.op](),
+            right=_lower(node.right, names),
+        )
+    if isinstance(node, _Call):
+        return _pyast.Call(
+            func=_pyast.Name(id=f"_fn_{node.name}", ctx=_pyast.Load()),
+            args=[_lower(a, names) for a in node.args],
+            keywords=[],
+        )
+    raise AssertionError(f"unexpected node {node!r}")  # pragma: no cover
+
+
+def _compile_ast(root: _Node, arg_order: tuple[str, ...]) -> Callable[..., float]:
+    """Build ``lambda _s0, _s1, ...: <expr>`` from the checked tree.
+
+    Symbols become mangled positional arguments (so a size symbol named
+    like a function or keyword can never collide), and the lambda closes
+    over nothing — its globals are the guarded wrappers above.
+    """
+    names = {s: f"_s{i}" for i, s in enumerate(arg_order)}
+    lam = _pyast.Lambda(
+        args=_pyast.arguments(
+            posonlyargs=[],
+            args=[_pyast.arg(arg=names[s]) for s in arg_order],
+            vararg=None,
+            kwonlyargs=[],
+            kw_defaults=[],
+            kwarg=None,
+            defaults=[],
+        ),
+        body=_lower(root, names),
+    )
+    tree = _pyast.Expression(lam)
+    _pyast.fix_missing_locations(tree)
+    code = compile(tree, "<complexity>", "eval")
+    return eval(code, dict(_COMPILED_GLOBALS))  # noqa: S307 — our own AST
+
+
+_MEMO_LIMIT = 4096
+
+
 class Complexity:
-    """A parsed, reusable complexity expression.
+    """A parsed, compiled, reusable complexity expression.
 
     Examples
     --------
@@ -276,7 +394,7 @@ class Complexity:
     ['n']
     """
 
-    __slots__ = ("text", "_ast", "symbols")
+    __slots__ = ("text", "_ast", "symbols", "_arg_order", "_fn", "_memo")
 
     def __init__(self, text: str):
         if not text or not text.strip():
@@ -285,10 +403,11 @@ class Complexity:
         self._ast = _Parser(self.text).parse()
         #: the size symbols the expression needs bound
         self.symbols: frozenset[str] = self._ast.symbols()
+        self._arg_order: tuple[str, ...] = tuple(sorted(self.symbols))
+        self._fn = _compile_ast(self._ast, self._arg_order)
+        self._memo: dict[tuple[float, ...], float] = {}
 
-    def flops(self, env: Mapping[str, float]) -> float:
-        """Evaluate to a flop count; must be finite and non-negative."""
-        value = self._ast.evaluate(env)
+    def _check(self, value: float, env: Mapping[str, float]) -> float:
         if not math.isfinite(value):
             raise ComplexityError(
                 f"complexity {self.text!r} evaluated to {value} with {dict(env)}"
@@ -298,6 +417,46 @@ class Complexity:
                 f"complexity {self.text!r} is negative ({value}) with {dict(env)}"
             )
         return float(value)
+
+    def flops(self, env: Mapping[str, float]) -> float:
+        """Evaluate to a flop count; must be finite and non-negative.
+
+        Runs the compiled code object with a per-instance memo over the
+        bound symbol values; falls back to nothing — the compiled form
+        covers the full grammar.
+        """
+        try:
+            key = tuple(float(env[s]) for s in self._arg_order)
+        except KeyError as exc:
+            raise ComplexityError(
+                f"unbound symbol {exc.args[0]!r}"
+            ) from None
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        try:
+            value = self._fn(*key)
+        except ZeroDivisionError:
+            raise ComplexityError(
+                "division by zero in complexity expression"
+            ) from None
+        except OverflowError:
+            raise ComplexityError(
+                f"overflow evaluating complexity {self.text!r} with {dict(env)}"
+            ) from None
+        value = self._check(value, env)
+        if len(self._memo) >= _MEMO_LIMIT:
+            self._memo.clear()
+        self._memo[key] = value
+        return value
+
+    def interpret(self, env: Mapping[str, float]) -> float:
+        """Reference implementation: tree-walk the AST (no memo).
+
+        Kept for the T1/A1 experiments and the property tests that pin
+        the compiled path to it; same checks, same result, same errors.
+        """
+        return self._check(self._ast.evaluate(env), env)
 
     def __eq__(self, other: object) -> bool:
         return isinstance(other, Complexity) and self.text == other.text

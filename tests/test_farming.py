@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import RequestFailed
+from repro.errors import FarmNotFinished, RequestFailed
 from repro.farming import submit_farm
 from repro.testbed import server_address, standard_testbed
 
@@ -58,9 +58,25 @@ def test_farm_makespan_before_done_raises():
     tb = standard_testbed(n_servers=1, seed=24)
     tb.settle()
     farm = submit_farm(tb.client("c0"), "linsys/dgesv", farm_args(2))
-    with pytest.raises(RequestFailed):
+    with pytest.raises(FarmNotFinished) as exc_info:
         _ = farm.makespan
+    # the error names exactly the handles still in flight
+    assert exc_info.value.pending == tuple(h.request_id for h in farm.handles)
     tb.wait_all(farm.handles)
+
+
+def test_farm_makespan_error_shrinks_as_instances_finish():
+    tb = standard_testbed(n_servers=2, seed=26)
+    tb.settle()
+    farm = submit_farm(tb.client("c0"), "linsys/dgesv", farm_args(3))
+    tb.wait_all(farm.handles[:1])
+    with pytest.raises(FarmNotFinished) as exc_info:
+        _ = farm.makespan
+    pending = exc_info.value.pending
+    assert farm.handles[0].request_id not in pending
+    assert 0 < len(pending) < 3
+    tb.wait_all(farm.handles)
+    assert farm.makespan > 0
 
 
 def test_farm_partial_failure_collection():
