@@ -37,6 +37,7 @@ from ..protocol.messages import (
 )
 from ..protocol.transport import Component
 from ..trace.events import EventLog
+from ..trace.instruments import MetricsRegistry
 from .predictor import (
     NetworkInfo,
     Prediction,
@@ -53,6 +54,45 @@ from .scheduler import (
 )
 
 __all__ = ["Agent"]
+
+
+class _AgentMetrics:
+    """Pre-resolved instrument bundle — hooks stay a None check + inc,
+    so the PR-2 query fast path pays nothing measurable."""
+
+    __slots__ = (
+        "queries", "query_rejects", "registrations", "register_rejects",
+        "workload_reports", "failure_reports", "transfer_reports",
+        "describes", "lists", "mirror_forwards", "servers_alive",
+        "servers_total", "predicted_head_seconds",
+    )
+
+    def __init__(self, m: MetricsRegistry):
+        c, g, h = m.counter, m.gauge, m.histogram
+        self.queries = c("agent.queries", "QueryRequests handled")
+        self.query_rejects = c("agent.query_rejects",
+                               "queries answered with no candidates")
+        self.registrations = c("agent.registrations",
+                               "server registrations accepted")
+        self.register_rejects = c("agent.register_rejects",
+                                  "server registrations refused")
+        self.workload_reports = c("agent.workload_reports",
+                                  "workload reports folded in")
+        self.failure_reports = c("agent.failure_reports",
+                                 "client failure reports received")
+        self.transfer_reports = c("agent.transfer_reports",
+                                  "transfer observations received")
+        self.describes = c("agent.describes", "DescribeProblems answered")
+        self.lists = c("agent.lists", "ListProblems answered")
+        self.mirror_forwards = c("agent.mirror_forwards",
+                                 "ground-truth messages mirrored to peers")
+        self.servers_alive = g("agent.servers_alive",
+                               "registered servers not under suspicion")
+        self.servers_total = g("agent.servers_total", "registered servers")
+        self.predicted_head_seconds = h(
+            "agent.predicted_head_seconds",
+            help="MCT prediction shipped for each query's head candidate",
+        )
 
 
 class Agent(Component):
@@ -86,12 +126,14 @@ class Agent(Component):
         cfg: AgentConfig = AgentConfig(),
         rng: Optional[np.random.Generator] = None,
         trace: Optional[EventLog] = None,
+        metrics: Optional[MetricsRegistry] = None,
         use_workload: bool = True,
         assignment_feedback: bool = True,
         peers: tuple[str, ...] = (),
     ):
         self.cfg = cfg
         self.network = network
+        self._metrics = _AgentMetrics(metrics) if metrics is not None else None
         #: sibling agents; registrations, workload and failure reports
         #: mirror to them so any agent can broker any request
         self.peers = tuple(peers)
@@ -124,6 +166,8 @@ class Agent(Component):
             )
             for server_id in died:
                 self._trace("server_presumed_dead", server_id=server_id)
+            if died:
+                self._update_server_gauges()
             self._arm_sweep(interval)
 
         self.node.call_after(interval, sweep)
@@ -143,15 +187,30 @@ class Agent(Component):
         self.node.call_after(interval, probe)
 
     def _handle_pong(self, src: str) -> None:
+        revived = False
         for entry in self.table.entries():
             if entry.address == src and not entry.alive:
                 entry.alive = True
                 entry.last_report = self.node.now()
+                revived = True
                 self._trace("server_revived_by_probe", server_id=entry.server_id)
+        if revived:
+            self._update_server_gauges()
 
     def _trace(self, kind: str, **fields) -> None:
         if self.trace is not None:
             self.trace.log(self.node.now(), self.node.address, kind, **fields)
+
+    def _update_server_gauges(self) -> None:
+        """Recount alive/total servers; called only on rare table-shape
+        events (register, failure, sweep, probe revival) — never per
+        query."""
+        m = self._metrics
+        if m is None:
+            return
+        entries = self.table.entries()
+        m.servers_total.set(len(entries))
+        m.servers_alive.set(sum(1 for e in entries if e.alive))
 
     # ------------------------------------------------------------------
     def on_message(self, src: str, msg: Message) -> None:
@@ -164,6 +223,8 @@ class Agent(Component):
         elif isinstance(msg, DescribeProblem):
             self._handle_describe(src, msg)
         elif isinstance(msg, ListProblems):
+            if self._metrics is not None:
+                self._metrics.lists.inc()
             self.node.send(
                 src,
                 ProblemList(
@@ -190,15 +251,21 @@ class Agent(Component):
         for peer in self.peers:
             self.node.send(peer, msg)
             self.forwards_sent += 1
+            if self._metrics is not None:
+                self._metrics.mirror_forwards.inc()
 
     def _handle_register(self, src: str, msg: RegisterServer) -> None:
         try:
             specs = parse_pdl(msg.problems_pdl, source=f"<{msg.server_id}>")
         except PdlSyntaxError as exc:
+            if self._metrics is not None:
+                self._metrics.register_rejects.inc()
             if not msg.forwarded:
                 self.node.send(src, RegisterAck(ok=False, detail=str(exc)))
             return
         if not specs:
+            if self._metrics is not None:
+                self._metrics.register_rejects.inc()
             if not msg.forwarded:
                 self.node.send(
                     src,
@@ -208,6 +275,8 @@ class Agent(Component):
         for spec in specs:
             known = self.specs.get(spec.name)
             if known is not None and known != spec:
+                if self._metrics is not None:
+                    self._metrics.register_rejects.inc()
                 if not msg.forwarded:
                     self.node.send(
                         src,
@@ -234,6 +303,9 @@ class Agent(Component):
             now=self.node.now(),
         )
         self.registrations += 1
+        if self._metrics is not None:
+            self._metrics.registrations.inc()
+            self._update_server_gauges()
         self._trace(
             "server_registered",
             server_id=msg.server_id,
@@ -260,6 +332,8 @@ class Agent(Component):
             msg.server_id, msg.workload, self.node.now()
         )
         self.reports_received += 1
+        if self._metrics is not None:
+            self._metrics.workload_reports.inc()
         self._trace(
             "workload_report", server_id=msg.server_id, workload=msg.workload
         )
@@ -271,6 +345,9 @@ class Agent(Component):
     def _handle_failure(self, msg: FailureReport) -> None:
         self.table.mark_failed(msg.server_id)
         self.failures_reported += 1
+        if self._metrics is not None:
+            self._metrics.failure_reports.inc()
+            self._update_server_gauges()
         self._trace(
             "failure_report",
             server_id=msg.server_id,
@@ -283,6 +360,8 @@ class Agent(Component):
             self._mirror(replace(msg, forwarded=True))
 
     def _handle_transfer_report(self, msg: TransferReport) -> None:
+        if self._metrics is not None:
+            self._metrics.transfer_reports.inc()
         observe = getattr(self.network, "observe", None)
         if observe is None:
             return  # static table: measurements are not folded in
@@ -383,8 +462,12 @@ class Agent(Component):
 
     def _handle_query(self, src: str, msg: QueryRequest) -> None:
         self.queries_served += 1
+        if self._metrics is not None:
+            self._metrics.queries.inc()
         spec = self.specs.get(msg.problem)
         if spec is None:
+            if self._metrics is not None:
+                self._metrics.query_rejects.inc()
             self.node.send(
                 src,
                 QueryReply(ok=False, detail=f"unknown problem {msg.problem!r}", tag=msg.tag),
@@ -392,6 +475,8 @@ class Agent(Component):
             return
         entries = self.table.candidates_for(msg.problem, exclude=msg.exclude)
         if not entries:
+            if self._metrics is not None:
+                self._metrics.query_rejects.inc()
             self.node.send(
                 src,
                 QueryReply(
@@ -446,6 +531,8 @@ class Agent(Component):
             # hint for roughly that request's predicted lifetime
             hold = min(600.0, max(1.0, predicted[0] * 1.5))
             self.table.note_assignment(top[0].server_id, now, hold_for=hold)
+            if self._metrics is not None:
+                self._metrics.predicted_head_seconds.observe(predicted[0])
         candidates = [
             Candidate(
                 server_id=e.server_id,
@@ -466,6 +553,8 @@ class Agent(Component):
         self.node.send(src, QueryReply.from_candidates(candidates, tag=msg.tag))
 
     def _handle_describe(self, src: str, msg: DescribeProblem) -> None:
+        if self._metrics is not None:
+            self._metrics.describes.inc()
         spec = self.specs.get(msg.problem)
         if spec is None:
             self.node.send(

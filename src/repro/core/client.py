@@ -15,6 +15,10 @@ non-blocking submit/probe/wait triple (``netslnb``/``netslpr``/
 
 Every request keeps a full :class:`~repro.core.request.RequestRecord`
 timeline, which is where the breakdown/fault experiments read from.
+With a :class:`~repro.trace.instruments.MetricsRegistry` and/or
+:class:`~repro.trace.spans.SpanLog` attached, the same lifecycle also
+feeds live counters/histograms and per-request span timelines; without
+them every hook is a single ``is not None`` check.
 """
 
 from __future__ import annotations
@@ -52,9 +56,68 @@ from ..protocol.messages import (
 )
 from ..protocol.transport import Component, Promise
 from ..trace.events import EventLog
+from ..trace.instruments import (
+    ERROR_SECONDS_BUCKETS,
+    MetricsRegistry,
+)
+from ..trace.spans import SpanLog
 from .request import AttemptRecord, RequestRecord, RequestStatus
 
 __all__ = ["NetSolveClient", "RequestHandle"]
+
+
+class _ClientMetrics:
+    """Pre-resolved instrument bundle (one attribute load per hook)."""
+
+    __slots__ = (
+        "submits", "pinned_submits", "describe_sends", "describe_retries",
+        "queries", "query_retries", "query_backoffs", "attempts",
+        "attempt_ok", "attempt_errors", "attempt_timeouts", "failovers",
+        "requests_done", "requests_failed", "store_ops", "store_timeouts",
+        "active", "request_seconds", "negotiation_seconds",
+        "attempt_seconds", "prediction_error_seconds",
+    )
+
+    def __init__(self, m: MetricsRegistry):
+        c, g, h = m.counter, m.gauge, m.histogram
+        self.submits = c("client.submits", "brokered requests accepted")
+        self.pinned_submits = c("client.pinned_submits",
+                                "pinned (sequenced) requests accepted")
+        self.describe_sends = c("client.describe_sends",
+                                "DescribeProblem messages sent")
+        self.describe_retries = c("client.describe_retries",
+                                  "DescribeProblem re-sends on silence")
+        self.queries = c("client.queries", "QueryRequest messages sent")
+        self.query_retries = c("client.query_retries",
+                               "agent query re-sends on silence")
+        self.query_backoffs = c("client.query_backoffs",
+                                "empty-pool backoffs before re-query")
+        self.attempts = c("client.attempts", "SolveRequests sent to servers")
+        self.attempt_ok = c("client.attempt_ok", "attempts answered ok")
+        self.attempt_errors = c("client.attempt_errors",
+                                "attempts answered with an error")
+        self.attempt_timeouts = c("client.attempt_timeouts",
+                                  "attempts abandoned on timeout")
+        self.failovers = c("client.failovers",
+                           "failures reported to the agent before retry")
+        self.requests_done = c("client.requests_done", "requests resolved")
+        self.requests_failed = c("client.requests_failed",
+                                 "requests rejected")
+        self.store_ops = c("client.store_ops",
+                           "store/delete operations started")
+        self.store_timeouts = c("client.store_timeouts",
+                                "store/delete batches timed out")
+        self.active = g("client.active_requests", "requests in flight")
+        self.request_seconds = h("client.request_seconds",
+                                 help="submit -> settle wall-clock")
+        self.negotiation_seconds = h("client.negotiation_seconds",
+                                     help="query -> candidate list")
+        self.attempt_seconds = h("client.attempt_seconds",
+                                 help="SolveRequest -> SolveReply")
+        self.prediction_error_seconds = h(
+            "client.prediction_error_seconds", ERROR_SECONDS_BUCKETS,
+            help="attempt elapsed minus agent prediction (signed)",
+        )
 
 
 class RequestHandle:
@@ -98,6 +161,7 @@ class _Active:
         "timer",
         "pinned",
         "query_silences",
+        "span",
     )
 
     def __init__(self, handle: RequestHandle, problem: str, raw_args: list):
@@ -116,6 +180,8 @@ class _Active:
         self.pinned = False
         #: unanswered agent queries so far (control-message retry budget)
         self.query_silences = 0
+        #: per-request span (None when no SpanLog is attached)
+        self.span = None
 
 
 class NetSolveClient(Component):
@@ -128,11 +194,15 @@ class NetSolveClient(Component):
         agent_address: str,
         cfg: ClientConfig = ClientConfig(),
         trace: Optional[EventLog] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        spans: Optional[SpanLog] = None,
     ):
         self.client_id = client_id
         self.agent_address = agent_address
         self.cfg = cfg
         self.trace = trace
+        self._metrics = _ClientMetrics(metrics) if metrics is not None else None
+        self.spans = spans
         self._rids = itertools.count(1)
         self._specs: dict[str, ProblemSpec] = {}
         self._describing: dict[str, list[_Active]] = {}
@@ -161,14 +231,29 @@ class NetSolveClient(Component):
         req = _Active(handle, problem, list(args))
         self._active[rid] = req
         self._trace("submit", request_id=rid, problem=problem)
+        if self._metrics is not None:
+            self._metrics.submits.inc()
+            self._metrics.active.inc()
+        if self.spans is not None:
+            req.span = self.spans.begin(
+                rid, problem, self.client_id, record.t_submit
+            )
         spec = self._specs.get(problem)
         if spec is not None:
             self._validate_and_query(req, spec)
         else:
-            waiting = self._describing.setdefault(problem, [])
-            waiting.append(req)
-            if len(waiting) == 1:
+            if req.span is not None:
+                req.span.begin_phase("describe", record.t_submit)
+            # exactly one DescribeProblem retry chain per problem: a
+            # `describe()` call may already have inserted the (empty)
+            # waiter-list marker and sent the message — appending to an
+            # existing list must never re-send
+            waiting = self._describing.get(problem)
+            if waiting is None:
+                self._describing[problem] = [req]
                 self._send_describe(problem, attempt=1)
+            else:
+                waiting.append(req)
         return handle
 
     def known_problems(self) -> list[str]:
@@ -191,8 +276,10 @@ class NetSolveClient(Component):
         waiting = self._storing.setdefault((server_address, key), [])
         waiting.append(promise)
         if len(waiting) == 1:
+            if self._metrics is not None:
+                self._metrics.store_ops.inc()
             self.node.send(server_address, StoreObject(key=key, value=value))
-            self._arm_store_timeout(server_address, key)
+            self._arm_store_timeout(server_address, key, waiting)
         return promise
 
     def delete_stored(self, server_address: str, key: str) -> Promise:
@@ -201,13 +288,26 @@ class NetSolveClient(Component):
         waiting = self._storing.setdefault((server_address, key), [])
         waiting.append(promise)
         if len(waiting) == 1:
+            if self._metrics is not None:
+                self._metrics.store_ops.inc()
             self.node.send(server_address, DeleteObject(key=key))
-            self._arm_store_timeout(server_address, key)
+            self._arm_store_timeout(server_address, key, waiting)
         return promise
 
-    def _arm_store_timeout(self, server_address: str, key: str) -> None:
+    def _arm_store_timeout(
+        self, server_address: str, key: str, batch: list[Promise]
+    ) -> None:
         def fire() -> None:
-            for p in self._storing.pop((server_address, key), []):
+            # generation guard: an ack resolves and *pops* the batch, so a
+            # later operation on the same key lives in a fresh list — this
+            # timer may only reject the batch that armed it, never a
+            # successor still legitimately in flight
+            if self._storing.get((server_address, key)) is not batch:
+                return
+            del self._storing[(server_address, key)]
+            if self._metrics is not None:
+                self._metrics.store_timeouts.inc()
+            for p in batch:
                 if not p.done:
                     p.reject(
                         RequestFailed(
@@ -252,6 +352,13 @@ class NetSolveClient(Component):
             "submit_pinned", request_id=rid, problem=problem,
             server=server_address,
         )
+        if self._metrics is not None:
+            self._metrics.pinned_submits.inc()
+            self._metrics.active.inc()
+        if self.spans is not None:
+            req.span = self.spans.begin(
+                rid, problem, self.client_id, record.t_submit
+            )
         spec = self._specs.get(problem)
         refs = any(isinstance(a, ObjectRef) for a in args)
         if spec is not None and not refs:
@@ -346,10 +453,17 @@ class NetSolveClient(Component):
         waiting.append(promise)
         if len(waiting) == 1:
             self.node.send(self.agent_address, ListProblems(prefix=prefix))
+            batch = waiting  # only the batch that armed the timer may die
 
             def timed_out() -> None:
-                stale = self._listing.pop(prefix, [])
-                for p in stale:
+                # generation guard: once the agent's ProblemList resolves
+                # and pops this batch, a later list_problems() on the same
+                # prefix starts a *new* list — this (now stale) timer must
+                # not reject it mid-flight
+                if self._listing.get(prefix) is not batch:
+                    return
+                del self._listing[prefix]
+                for p in batch:
                     if not p.done:
                         p.reject(
                             RequestFailed(0, "agent did not answer ListProblems")
@@ -372,15 +486,29 @@ class NetSolveClient(Component):
         rid = req.record.request_id
         self._cancel_timer(req)
         self._active.pop(rid, None)
-        req.record.t_done = self.node.now()
+        now = self.node.now()
+        req.record.t_done = now
         if error is None:
             req.record.status = RequestStatus.DONE
             self._trace("request_done", request_id=rid)
+            if self._metrics is not None:
+                self._metrics.active.dec()
+                self._metrics.requests_done.inc()
+                self._metrics.request_seconds.observe(now - req.record.t_submit)
+            if req.span is not None:
+                req.span.finish(now, RequestStatus.DONE.value)
             req.handle.promise.resolve(value)
         else:
             req.record.status = RequestStatus.FAILED
             req.record.error = str(error)
             self._trace("request_failed", request_id=rid, error=str(error))
+            if self._metrics is not None:
+                self._metrics.active.dec()
+                self._metrics.requests_failed.inc()
+            if req.span is not None:
+                req.span.finish(
+                    now, RequestStatus.FAILED.value, error=str(error)
+                )
             req.handle.promise.reject(error)
 
     def _cancel_timer(self, req: _Active) -> None:
@@ -394,6 +522,8 @@ class NetSolveClient(Component):
     def _send_describe(self, problem: str, attempt: int) -> None:
         """Fire a DescribeProblem, re-sending on silence: the wire has no
         retransmission, so control messages carry their own retry."""
+        if self._metrics is not None:
+            self._metrics.describe_sends.inc()
         self.node.send(self.agent_address, DescribeProblem(problem=problem))
 
         def fire() -> None:
@@ -403,6 +533,8 @@ class NetSolveClient(Component):
                 self._trace(
                     "describe_retry", problem=problem, attempt=attempt + 1
                 )
+                if self._metrics is not None:
+                    self._metrics.describe_retries.inc()
                 self._send_describe(problem, attempt + 1)
                 return
             waiting = self._describing.pop(problem, [])
@@ -479,11 +611,19 @@ class NetSolveClient(Component):
     def _query(self, req: _Active) -> None:
         rid = req.record.request_id
         req.record.queries += 1
-        req.record.t_query_sent = self.node.now()
+        now = self.node.now()
+        req.record.t_query_sent = now
         req.record.status = RequestStatus.QUERYING
         self._trace(
             "query_sent", request_id=rid, exclude=list(req.tried)
         )
+        if self._metrics is not None:
+            self._metrics.queries.inc()
+        if req.span is not None:
+            req.span.begin_phase(
+                "query", now, number=req.record.queries,
+                excluded=len(req.tried),
+            )
         self.node.send(
             self.agent_address,
             QueryRequest(
@@ -508,6 +648,8 @@ class NetSolveClient(Component):
             self._trace(
                 "query_retry", request_id=rid, attempt=req.query_silences
             )
+            if self._metrics is not None:
+                self._metrics.query_retries.inc()
             self._query(req)
             return
         self._finish(req, RequestFailed(rid, "agent did not answer query"))
@@ -519,7 +661,12 @@ class NetSolveClient(Component):
         if req is None or req.record.status is not RequestStatus.QUERYING:
             return  # late or duplicate reply
         self._cancel_timer(req)
-        req.record.t_candidates = self.node.now()
+        now = self.node.now()
+        req.record.t_candidates = now
+        if self._metrics is not None and req.record.t_query_sent is not None:
+            self._metrics.negotiation_seconds.observe(
+                now - req.record.t_query_sent
+            )
         if not msg.ok:
             if msg.retryable and req.query_silences < self.cfg.agent_retries:
                 # the pool may recover (suspected servers report back in,
@@ -533,6 +680,12 @@ class NetSolveClient(Component):
                     request_id=req.record.request_id,
                     attempt=req.query_silences,
                 )
+                if self._metrics is not None:
+                    self._metrics.query_backoffs.inc()
+                if req.span is not None:
+                    req.span.begin_phase(
+                        "backoff", now, attempt=req.query_silences
+                    )
                 req.timer = self.node.call_after(
                     self.cfg.timeout_floor, lambda: self._query(req)
                 )
@@ -554,6 +707,12 @@ class NetSolveClient(Component):
                     request_id=req.record.request_id,
                     attempt=req.query_silences,
                 )
+                if self._metrics is not None:
+                    self._metrics.query_backoffs.inc()
+                if req.span is not None:
+                    req.span.begin_phase(
+                        "backoff", now, attempt=req.query_silences
+                    )
                 req.timer = self.node.call_after(
                     self.cfg.timeout_floor, lambda: self._query(req)
                 )
@@ -571,6 +730,8 @@ class NetSolveClient(Component):
             request_id=req.record.request_id,
             servers=[c.server_id for c in req.candidates],
         )
+        if req.span is not None:
+            req.span.end_phase(now, candidates=len(candidates))
         self._try_next(req)
 
     # ------------------------------------------------------------------
@@ -618,6 +779,14 @@ class NetSolveClient(Component):
             server_id=cand.server_id,
             predicted=cand.predicted_seconds,
         )
+        if self._metrics is not None:
+            self._metrics.attempts.inc()
+        if req.span is not None:
+            req.span.begin_phase(
+                "attempt", attempt.t_sent, server=cand.server_id,
+                number=len(req.record.attempts),
+                predicted=round(cand.predicted_seconds, 6),
+            )
         assert req.inputs is not None
         self.node.send(
             cand.address,
@@ -653,23 +822,35 @@ class NetSolveClient(Component):
         ):
             return
         assert req.attempt is not None
-        req.attempt.t_end = self.node.now()
+        now = self.node.now()
+        req.attempt.t_end = now
         req.attempt.outcome = "timeout"
         self._trace("attempt_timeout", request_id=rid, server_id=server_id)
+        if self._metrics is not None:
+            self._metrics.attempt_timeouts.inc()
+        if req.span is not None:
+            req.span.end_phase(now, outcome="timeout")
         self._report_failure(req, "timeout")
         self._try_next(req)
 
     def _report_failure(self, req: _Active, detail: str) -> None:
         assert req.current is not None
         req.tried.append(req.current.server_id)
-        self.node.send(
-            self.agent_address,
-            FailureReport(
-                server_id=req.current.server_id,
-                problem=req.problem,
-                detail=detail,
-            ),
-        )
+        if not req.pinned:
+            # pinned requests bypassed the agent on the way in, so their
+            # failures must bypass it on the way out: reporting one would
+            # penalise the server's suspicion state for a request the
+            # agent never scheduled (the attempt record still stands)
+            if self._metrics is not None:
+                self._metrics.failovers.inc()
+            self.node.send(
+                self.agent_address,
+                FailureReport(
+                    server_id=req.current.server_id,
+                    problem=req.problem,
+                    detail=detail,
+                ),
+            )
         req.current = None
         req.attempt = None
 
@@ -705,10 +886,22 @@ class NetSolveClient(Component):
             return  # reply from an attempt we already gave up on
         self._cancel_timer(req)
         assert req.attempt is not None
-        req.attempt.t_end = self.node.now()
+        now = self.node.now()
+        req.attempt.t_end = now
         req.attempt.compute_seconds = msg.compute_seconds
+        if self._metrics is not None:
+            elapsed = now - req.attempt.t_sent
+            self._metrics.attempt_seconds.observe(elapsed)
+            if req.attempt.predicted_seconds > 0:
+                self._metrics.prediction_error_seconds.observe(
+                    elapsed - req.attempt.predicted_seconds
+                )
         if msg.ok:
             req.attempt.outcome = "ok"
+            if self._metrics is not None:
+                self._metrics.attempt_ok.inc()
+            if req.span is not None:
+                req.span.end_phase(now, outcome="ok")
             if self.cfg.report_transfers:
                 self._report_transfer(req)
             self._finish(req, None, tuple(msg.outputs))
@@ -721,6 +914,10 @@ class NetSolveClient(Component):
                 server_id=req.current.server_id,
                 detail=msg.detail,
             )
+            if self._metrics is not None:
+                self._metrics.attempt_errors.inc()
+            if req.span is not None:
+                req.span.end_phase(now, outcome="error")
             self._report_failure(req, msg.detail)
             self._try_next(req)
 

@@ -36,9 +36,46 @@ from ..protocol.messages import (
 )
 from ..protocol.transport import Component
 from ..trace.events import EventLog
+from ..trace.instruments import MetricsRegistry
 from .workload import WorkloadReporter
 
 __all__ = ["ComputationalServer"]
+
+
+class _ServerMetrics:
+    """Pre-resolved instrument bundle; one ``is not None`` check per hook.
+
+    Instruments are shared registry-wide, so a farm of servers reporting
+    into one registry aggregates (queue-depth gauges sum via inc/dec).
+    """
+
+    __slots__ = (
+        "requests", "ok", "errors", "queued", "stores", "store_rejects",
+        "deletes", "queue_depth", "executing", "compute_seconds",
+        "queue_wait_seconds",
+    )
+
+    def __init__(self, registry: MetricsRegistry):
+        self.requests = registry.counter(
+            "server.requests", "solve requests accepted")
+        self.ok = registry.counter("server.ok", "successful solve replies")
+        self.errors = registry.counter("server.errors", "failed solve replies")
+        self.queued = registry.counter(
+            "server.queued", "requests held in the FIFO queue")
+        self.stores = registry.counter(
+            "server.stores", "objects stored in the sequencing cache")
+        self.store_rejects = registry.counter(
+            "server.store_rejects", "stores rejected (cache full / codec)")
+        self.deletes = registry.counter(
+            "server.deletes", "stored-object deletions")
+        self.queue_depth = registry.gauge(
+            "server.queue_depth", "requests waiting, all servers")
+        self.executing = registry.gauge(
+            "server.executing", "requests executing, all servers")
+        self.compute_seconds = registry.histogram(
+            "server.compute_seconds", help="per-request execution time")
+        self.queue_wait_seconds = registry.histogram(
+            "server.queue_wait_seconds", help="time spent queued before start")
 
 
 class ComputationalServer(Component):
@@ -54,6 +91,7 @@ class ComputationalServer(Component):
         host: str,
         cfg: ServerConfig = ServerConfig(),
         trace: Optional[EventLog] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if mflops <= 0:
             raise NetSolveError(f"server {server_id!r}: bad mflops {mflops}")
@@ -66,10 +104,12 @@ class ComputationalServer(Component):
         self.host = host
         self.cfg = cfg
         self.trace = trace
+        self._metrics = _ServerMetrics(metrics) if metrics is not None else None
         self.reporter: Optional[WorkloadReporter] = None
         self.registered = False
         self._executing = 0
-        self._queue: deque[tuple[str, SolveRequest]] = deque()
+        #: queued as (src, msg, t_enqueued) so starts can observe the wait
+        self._queue: deque[tuple[str, SolveRequest, float]] = deque()
         self.requests_served = 0
         self.requests_failed = 0
         #: request-sequencing object cache: key -> (value, nbytes)
@@ -91,6 +131,9 @@ class ComputationalServer(Component):
     def on_restart(self) -> None:
         """Restart path: a revived daemon forgets in-flight work, then
         re-registers and re-arms its reporting exactly like a cold start."""
+        if self._metrics is not None:
+            self._metrics.queue_depth.dec(len(self._queue))
+            self._metrics.executing.dec(self._executing)
         self._queue.clear()
         self._executing = 0
         self.registered = False
@@ -164,12 +207,16 @@ class ComputationalServer(Component):
         try:
             encode_value(msg.value, buf)
         except NetSolveError as exc:  # pragma: no cover - codec rejected it
+            if self._metrics is not None:
+                self._metrics.store_rejects.inc()
             self.node.send(src, StoreAck(key=msg.key, ok=False, detail=str(exc)))
             return
         nbytes = len(buf)
         old = self._objects.get(msg.key)
         projected = self._objects_bytes - (old[1] if old else 0) + nbytes
         if projected > self.cfg.object_cache_bytes:
+            if self._metrics is not None:
+                self._metrics.store_rejects.inc()
             self._trace("store_rejected", key=msg.key, nbytes=nbytes)
             self.node.send(
                 src,
@@ -183,11 +230,15 @@ class ComputationalServer(Component):
             return
         self._objects[msg.key] = (msg.value, nbytes)
         self._objects_bytes = projected
+        if self._metrics is not None:
+            self._metrics.stores.inc()
         self._trace("object_stored", key=msg.key, nbytes=nbytes)
         self.node.send(src, StoreAck(key=msg.key, ok=True, nbytes=nbytes))
 
     def _delete_object(self, src: str, msg: DeleteObject) -> None:
         # idempotent: deleting an absent key still acks ok (nbytes=0)
+        if self._metrics is not None:
+            self._metrics.deletes.inc()
         entry = self._objects.pop(msg.key, None)
         freed = entry[1] if entry is not None else 0
         self._objects_bytes -= freed
@@ -218,7 +269,10 @@ class ComputationalServer(Component):
     # ------------------------------------------------------------------
     def _enqueue(self, src: str, msg: SolveRequest) -> None:
         if self._executing >= self.cfg.max_concurrent:
-            self._queue.append((src, msg))
+            self._queue.append((src, msg, self.node.now()))
+            if self._metrics is not None:
+                self._metrics.queued.inc()
+                self._metrics.queue_depth.inc()
             self._trace(
                 "request_queued", request_id=msg.request_id, depth=len(self._queue)
             )
@@ -227,8 +281,12 @@ class ComputationalServer(Component):
 
     def _start(self, src: str, msg: SolveRequest) -> None:
         reply_to = msg.reply_to or src
+        if self._metrics is not None:
+            self._metrics.requests.inc()
         if msg.problem not in self.registry:
             self.requests_failed += 1
+            if self._metrics is not None:
+                self._metrics.errors.inc()
             self.node.send(
                 reply_to,
                 SolveReply(
@@ -246,6 +304,8 @@ class ComputationalServer(Component):
             flops = spec.flops(env)
         except NetSolveError as exc:
             self.requests_failed += 1
+            if self._metrics is not None:
+                self._metrics.errors.inc()
             self.node.send(
                 reply_to,
                 SolveReply(request_id=msg.request_id, ok=False, detail=str(exc)),
@@ -254,6 +314,8 @@ class ComputationalServer(Component):
             return
 
         self._executing += 1
+        if self._metrics is not None:
+            self._metrics.executing.inc()
         self._trace(
             "request_started",
             request_id=msg.request_id,
@@ -266,8 +328,13 @@ class ComputationalServer(Component):
 
         def done(result, elapsed: float) -> None:
             self._executing -= 1
+            if self._metrics is not None:
+                self._metrics.executing.dec()
+                self._metrics.compute_seconds.observe(elapsed)
             if isinstance(result, BaseException):
                 self.requests_failed += 1
+                if self._metrics is not None:
+                    self._metrics.errors.inc()
                 self._trace(
                     "request_error",
                     request_id=msg.request_id,
@@ -284,6 +351,8 @@ class ComputationalServer(Component):
                 )
             else:
                 self.requests_served += 1
+                if self._metrics is not None:
+                    self._metrics.ok.inc()
                 self._trace(
                     "request_done",
                     request_id=msg.request_id,
@@ -304,7 +373,12 @@ class ComputationalServer(Component):
 
     def _drain(self) -> None:
         while self._queue and self._executing < self.cfg.max_concurrent:
-            src, msg = self._queue.popleft()
+            src, msg, t_queued = self._queue.popleft()
+            if self._metrics is not None:
+                self._metrics.queue_depth.dec()
+                self._metrics.queue_wait_seconds.observe(
+                    self.node.now() - t_queued
+                )
             self._start(src, msg)
 
     # ------------------------------------------------------------------

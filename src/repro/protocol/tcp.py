@@ -29,9 +29,10 @@ import time
 from typing import Any, Callable, Optional
 
 from ..errors import TransportClosed, TransportError
+from ..trace.instruments import MetricsRegistry
 from .codec import HEADER, MAX_BODY, decode_message, encode_message_iov
 from .messages import Message
-from .transport import Component, Node, Promise
+from .transport import Component, Node, Promise, _WireMetrics
 
 __all__ = ["TcpNode", "TcpTransport", "ThreadPromise", "TcpSession"]
 
@@ -215,6 +216,7 @@ class TcpNode(Node):
                 _close_quietly(conn)  # stale peer: redial below
             else:
                 self._pool.release(key, conn)
+                self._count_sent(parts)
                 return
         try:
             conn = socket.create_connection(key, timeout=_CONNECT_TIMEOUT)
@@ -223,8 +225,20 @@ class TcpNode(Node):
         except OSError:
             if conn is not None:
                 _close_quietly(conn)
+            if self.transport._metrics is not None:
+                self.transport._metrics.dropped.inc()
             return  # unreachable peer == dropped message
         self._pool.release(key, conn)
+        self._count_sent(parts)
+
+    def _count_sent(self, parts: list) -> None:
+        metrics = self.transport._metrics
+        if metrics is None:
+            return  # the byte-sizing walk only happens when observed
+        nbytes = sum(len(p) for p in parts)
+        metrics.messages.inc()
+        metrics.bytes.inc(nbytes)
+        metrics.frame_bytes.observe(nbytes)
 
     def call_after(self, delay: float, fn: Callable[[], None]):
         if not self.alive:
@@ -372,6 +386,8 @@ class TcpNode(Node):
                     with self.lock:
                         if not self.alive or self.component is None:
                             return
+                        if self.transport._metrics is not None:
+                            self.transport._metrics.delivered.inc()
                         self.component.on_message(src, msg)
         finally:
             with self._inbound_lock:
@@ -437,8 +453,10 @@ class TcpTransport:
         advertise_ip: str | None = None,
         pool_idle_timeout: float = _POOL_IDLE_TIMEOUT,
         pool_max: int = _POOL_MAX,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.bind_ip = bind_ip
+        self._metrics = _WireMetrics(metrics) if metrics is not None else None
         #: the IP peers should dial back; defaults to the bind address
         self.advertise_ip = advertise_ip or bind_ip
         self.host_name = host_name or socket.gethostname()

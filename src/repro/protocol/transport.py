@@ -26,10 +26,30 @@ from typing import Any, Callable, Optional
 from ..errors import NetSolveError, SimulationError, TransportClosed, TransportError
 from ..simnet.kernel import EventKernel, Timer
 from ..simnet.network import Topology
+from ..trace.instruments import BYTES_BUCKETS, MetricsRegistry
 from .codec import decode_message, encode_message_iov, frame_size
 from .messages import Message
 
 __all__ = ["Component", "Promise", "Node", "SimNode", "SimTransport"]
+
+
+class _WireMetrics:
+    """Pre-resolved wire instruments shared by both transports."""
+
+    __slots__ = ("messages", "bytes", "delivered", "dropped", "lost",
+                 "frame_bytes")
+
+    def __init__(self, registry: MetricsRegistry):
+        self.messages = registry.counter("wire.messages", "frames sent")
+        self.bytes = registry.counter("wire.bytes", "payload bytes sent")
+        self.delivered = registry.counter(
+            "wire.delivered", "frames handed to a live component")
+        self.dropped = registry.counter(
+            "wire.dropped", "frames to dead or unknown nodes")
+        self.lost = registry.counter(
+            "wire.lost", "frames dropped by injected message loss")
+        self.frame_bytes = registry.histogram(
+            "wire.frame_bytes", BYTES_BUCKETS, help="frame size distribution")
 
 
 class Component:
@@ -245,13 +265,20 @@ class SimTransport:
     """Routes encoded messages between :class:`SimNode`\\ s over a
     :class:`~repro.simnet.network.Topology`."""
 
-    def __init__(self, topology: Topology, *, codec_roundtrip: bool = True):
+    def __init__(
+        self,
+        topology: Topology,
+        *,
+        codec_roundtrip: bool = True,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
         self.topology = topology
         self.kernel: EventKernel = topology.kernel
         #: encode→decode every delivered message (the fidelity default);
         #: False skips materialization and hands the receiver the
         #: sender's message object — timing identical, payloads shared
         self.codec_roundtrip = codec_roundtrip
+        self._metrics = _WireMetrics(metrics) if metrics is not None else None
         self.nodes: dict[str, SimNode] = {}
         self.messages_delivered = 0
         self.messages_dropped = 0
@@ -306,11 +333,20 @@ class SimTransport:
             # analytic size charges the sender's counters without
             # materializing a byte
             src.messages_sent += 1
-            src.bytes_sent += frame_size(msg)
+            nbytes = frame_size(msg)
+            src.bytes_sent += nbytes
+            if self._metrics is not None:
+                self._metrics.messages.inc()
+                self._metrics.bytes.inc(nbytes)
+                self._metrics.frame_bytes.observe(nbytes)
             if dest_node is None:
                 self.messages_dropped += 1
+                if self._metrics is not None:
+                    self._metrics.dropped.inc()
             else:
                 self.messages_lost += 1
+                if self._metrics is not None:
+                    self._metrics.lost.inc()
             return
         if self.codec_roundtrip:
             # gather into one writable buffer so delivery can decode
@@ -338,6 +374,10 @@ class SimTransport:
             nbytes = frame_size(msg)
         src.messages_sent += 1
         src.bytes_sent += nbytes
+        if self._metrics is not None:
+            self._metrics.messages.inc()
+            self._metrics.bytes.inc(nbytes)
+            self._metrics.frame_bytes.observe(nbytes)
         transfer = self.topology.transfer(
             src.host_name, dest_node.host_name, nbytes
         )
@@ -346,8 +386,12 @@ class SimTransport:
             node = self.nodes.get(dest)
             if node is None or not node.alive or node.component is None:
                 self.messages_dropped += 1
+                if self._metrics is not None:
+                    self._metrics.dropped.inc()
                 return
             self.messages_delivered += 1
+            if self._metrics is not None:
+                self._metrics.delivered.inc()
             delivered = msg if wire is None else decode_message(wire)
             node.component.on_message(src.address, delivered)
 

@@ -25,6 +25,7 @@ from .simnet.kernel import EventKernel
 from .simnet.network import Topology
 from .simnet.rng import RngStreams
 from .trace.events import EventLog
+from .trace.instruments import Observability
 
 __all__ = [
     "HostDef",
@@ -108,6 +109,7 @@ class Testbed:
         rng: RngStreams,
         trace: EventLog,
         sim: SimConfig,
+        observability: Observability | None = None,
     ):
         self.kernel = kernel
         self.topology = topology
@@ -118,6 +120,9 @@ class Testbed:
         self.rng = rng
         self.trace = trace
         self.sim = sim
+        #: the metrics/span bundle every role reports into (None when the
+        #: deployment was built unobserved — the zero-cost default)
+        self.observability = observability
         #: all agents by address (populated by build_testbed; the primary
         #: is also available as .agent)
         self.agents: dict[str, Agent] = {AGENT_ADDRESS: agent}
@@ -186,6 +191,24 @@ class Testbed:
             )
         return list(handles)
 
+    # ------------------------------------------------------------------
+    def _require_observability(self) -> Observability:
+        if self.observability is None:
+            raise SimulationError(
+                "testbed was built without observability; pass "
+                "observability=Observability() to build_testbed"
+            )
+        return self.observability
+
+    def metrics_snapshot(self, *, max_spans: int | None = None) -> dict:
+        """JSON-able metrics + span dump of the run so far."""
+        return self._require_observability().snapshot(max_spans=max_spans)
+
+    def metrics_report(self, *, max_spans: int = 0) -> str:
+        """Text report of the run so far (``max_spans`` > 0 appends
+        per-request span timelines)."""
+        return self._require_observability().report(max_spans=max_spans)
+
 
 def build_testbed(
     *,
@@ -201,6 +224,7 @@ def build_testbed(
     assignment_feedback: bool = True,
     network_override=None,
     extra_agents: Sequence[tuple[str, str]] = (),
+    observability: Observability | None = None,
 ) -> Testbed:
     """Assemble a deployment.
 
@@ -214,7 +238,9 @@ def build_testbed(
     for the measurement-loop experiments).  ``extra_agents`` adds
     federated sibling agents as ``(address, host)`` pairs — all agents
     peer with each other, and ``ServerDef.agent`` / ``ClientDef.agent``
-    choose each component's home agent.
+    choose each component's home agent.  ``observability`` attaches one
+    metrics registry (and span log, for clients) to every role; omit it
+    and no instrumentation hooks fire anywhere.
     """
     if not hosts:
         raise ConfigError("need at least one host")
@@ -247,7 +273,11 @@ def build_testbed(
                 ),
             )
 
-    transport = SimTransport(topology, codec_roundtrip=sim.codec_roundtrip)
+    metrics = observability.metrics if observability is not None else None
+    spans = observability.spans if observability is not None else None
+    transport = SimTransport(
+        topology, codec_roundtrip=sim.codec_roundtrip, metrics=metrics
+    )
     agent_defs = [(AGENT_ADDRESS, agent_host), *extra_agents]
     agent_addresses = [addr for addr, _h in agent_defs]
     if len(set(agent_addresses)) != len(agent_addresses):
@@ -263,6 +293,7 @@ def build_testbed(
             use_workload=use_workload,
             assignment_feedback=assignment_feedback,
             peers=peer_list,
+            metrics=metrics,
         )
         transport.add_node(addr, host_name, sibling)
         agents[addr] = sibling
@@ -288,6 +319,7 @@ def build_testbed(
             host=sd.host,
             cfg=sd.cfg,
             trace=trace,
+            metrics=metrics,
         )
         transport.add_node(server_address(sd.server_id), sd.host, server)
         server_map[sd.server_id] = server
@@ -303,6 +335,8 @@ def build_testbed(
             agent_address=cd.agent,
             cfg=cd.cfg,
             trace=trace,
+            metrics=metrics,
+            spans=spans,
         )
         transport.add_node(client_address(cd.client_id), cd.host, client)
         client_map[cd.client_id] = client
@@ -317,6 +351,7 @@ def build_testbed(
         rng=rng,
         trace=trace,
         sim=sim,
+        observability=observability,
     )
     tb.agents = agents
     return tb
@@ -336,6 +371,7 @@ def standard_testbed(
     server_cfg: ServerConfig = ServerConfig(),
     use_workload: bool = True,
     assignment_feedback: bool = True,
+    observability: Observability | None = None,
 ) -> Testbed:
     """The canonical experiment world: one client host, one agent host,
     ``n_servers`` heterogeneous server hosts on a shared LAN.
@@ -372,4 +408,5 @@ def standard_testbed(
         agent_cfg=agent_cfg,
         use_workload=use_workload,
         assignment_feedback=assignment_feedback,
+        observability=observability,
     )

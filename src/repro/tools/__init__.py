@@ -6,6 +6,8 @@ original's ``netsolve_agent`` / ``netsolve_server`` binaries:
 * ``python -m repro.tools.agent --port 7700``
 * ``python -m repro.tools.server --agent HOST:PORT --mflops 200``
 * ``python -m repro.tools.demo --agent HOST:PORT`` (a smoke-test client)
+* ``python -m repro.tools.metrics sim`` (observability report from a
+  simulated farm; ``show`` re-renders saved snapshots)
 
 Components in different processes find each other through explicit
 ``host:port`` addresses (the directory entries the simulated transport

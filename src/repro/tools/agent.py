@@ -21,6 +21,7 @@ from ..core.predictor import (
     StaticNetworkInfo,
 )
 from ..protocol.tcp import TcpTransport
+from ..trace.instruments import MetricsRegistry
 from .common import run_forever
 
 __all__ = ["main", "build_parser"]
@@ -47,6 +48,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="assumed path bandwidth (bytes/second)")
     parser.add_argument("--learn-network", action="store_true",
                         help="learn per-path bandwidth from transfer reports")
+    parser.add_argument("--metrics-json", metavar="PATH", default=None,
+                        help="attach a metrics registry and dump its "
+                             "snapshot to PATH at shutdown")
     return parser
 
 
@@ -61,6 +65,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     if args.learn_network:
         network = LearnedNetworkInfo(network)
+    metrics = MetricsRegistry() if args.metrics_json else None
     agent = Agent(
         network=network,
         cfg=AgentConfig(
@@ -69,13 +74,18 @@ def main(argv: list[str] | None = None) -> int:
             liveness_timeout=args.liveness_timeout,
         ),
         rng=np.random.default_rng(),
+        metrics=metrics,
     )
-    with TcpTransport(bind_ip=args.bind) as transport:
+    with TcpTransport(bind_ip=args.bind, metrics=metrics) as transport:
         node = transport.add_node(AGENT_NODE, agent, port=args.port)
         run_forever(
             f"netsolve agent listening on {args.bind}:{node.port} "
             f"(policy={args.policy}, learn_network={args.learn_network})"
         )
+    if metrics is not None:
+        with open(args.metrics_json, "w", encoding="utf-8") as fh:
+            fh.write(metrics.to_json())
+        print(f"metrics snapshot written to {args.metrics_json}", flush=True)
     return 0
 
 

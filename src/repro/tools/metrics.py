@@ -1,0 +1,158 @@
+"""``python -m repro.tools.metrics`` — the observability layer's CLI.
+
+Two subcommands:
+
+* ``sim`` runs a small simulated farm with an
+  :class:`~repro.trace.instruments.Observability` bundle attached and
+  prints the metrics report plus per-request span timelines — the
+  quickest way to see what the layer records (and the source of the CI
+  sample-snapshot artifact via ``--json``);
+* ``show`` renders a previously saved JSON snapshot back into the same
+  text report, so dumps from daemons (``--metrics-json``) or CI
+  artifacts stay readable without the process that produced them.
+
+Example::
+
+    python -m repro.tools.metrics sim --requests 12 --spans 4
+    python -m repro.tools.metrics sim --json snapshot.json
+    python -m repro.tools.metrics show snapshot.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from ..errors import NetSolveError
+from ..trace.instruments import Observability, render_snapshot
+from ..trace.spans import RequestSpan
+
+__all__ = ["main", "build_parser", "run_sim_farm"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-metrics",
+        description="inspect the request-lifecycle observability layer",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser(
+        "sim", help="run an observed simulated farm and print the report"
+    )
+    sim.add_argument("--servers", type=int, default=4)
+    sim.add_argument("--requests", type=int, default=8,
+                     help="linsys requests to farm")
+    sim.add_argument("--size", type=int, default=120,
+                     help="dense system size per request")
+    sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument("--crash", action="store_true",
+                     help="crash the fastest server mid-farm so retries, "
+                          "failovers and failure reports show up")
+    sim.add_argument("--spans", type=int, default=0,
+                     help="append this many request span timelines")
+    sim.add_argument("--json", metavar="PATH", default=None,
+                     help="also dump the snapshot (metrics + spans) as JSON")
+
+    show = sub.add_parser("show", help="render a saved JSON snapshot")
+    show.add_argument("path", help="snapshot file written by sim --json "
+                                   "or a daemon's --metrics-json")
+    show.add_argument("--spans", type=int, default=0,
+                      help="append this many span timelines (when present)")
+    return parser
+
+
+def run_sim_farm(
+    *,
+    n_servers: int = 4,
+    n_requests: int = 8,
+    size: int = 120,
+    seed: int = 0,
+    crash: bool = False,
+) -> Observability:
+    """Farm ``n_requests`` dense solves through an observed testbed and
+    return the populated observability bundle."""
+    import numpy as np
+
+    from ..testbed import server_address, standard_testbed
+
+    obs = Observability()
+    tb = standard_testbed(
+        n_servers=n_servers, seed=seed, observability=obs
+    )
+    tb.settle()
+    rng = np.random.default_rng(seed)
+    handles = []
+    for _ in range(n_requests):
+        a = rng.standard_normal((size, size)) + size * np.eye(size)
+        b = rng.standard_normal(size)
+        handles.append(tb.submit("c0", "linsys/dgesv", [a, b]))
+    if crash:
+        # take out the fastest machine before any attempt lands: the
+        # scheduler still ranks it first, so the farm has to discover
+        # the death the hard way — timeouts, failure reports, failovers
+        tb.transport.crash(server_address(f"s{n_servers - 1}"))
+    tb.wait_all(handles, limit=tb.kernel.now + 48 * 3600.0)
+    return obs
+
+
+def _render_spans(span_dicts: list[dict], limit: int) -> str:
+    spans = []
+    for d in span_dicts[:limit]:
+        span = RequestSpan(
+            d["request_id"], d["problem"], d["source"], d["t_start"]
+        )
+        for p in d.get("phases", ()):
+            span.begin_phase(p["name"], p["t_start"], **p.get("fields", {}))
+            if p["t_end"] is not None:
+                span.end_phase(p["t_end"])
+        span.t_end = d.get("t_end")
+        span.status = d.get("status", "?")
+        span.error = d.get("error", "")
+        spans.append(span.timeline())
+    return "\n".join(spans)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "sim":
+        obs = run_sim_farm(
+            n_servers=args.servers,
+            n_requests=args.requests,
+            size=args.size,
+            seed=args.seed,
+            crash=args.crash,
+        )
+        print(obs.report(max_spans=args.spans))
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                fh.write(obs.to_json())
+            print(f"\nsnapshot written to {args.json}")
+        return 0
+
+    assert args.command == "show"
+    try:
+        with open(args.path, "r", encoding="utf-8") as fh:
+            snapshot = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read snapshot {args.path!r}: {exc}")
+        return 2
+    if not isinstance(snapshot, dict):
+        print(f"snapshot {args.path!r} is not a JSON object")
+        return 2
+    # daemons dump a bare registry snapshot; sim dumps {metrics, spans}
+    metrics = snapshot.get("metrics", snapshot)
+    try:
+        print(render_snapshot(metrics))
+    except (KeyError, TypeError, NetSolveError) as exc:
+        print(f"snapshot {args.path!r} is malformed: {exc}")
+        return 2
+    if args.spans:
+        timelines = _render_spans(snapshot.get("spans") or [], args.spans)
+        if timelines:
+            print("\nrequest spans\n" + timelines)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

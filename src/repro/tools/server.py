@@ -21,6 +21,7 @@ from ..core.server import ComputationalServer
 from ..problems.builtin import builtin_registry
 from ..problems.pdl import parse_pdl_file
 from ..protocol.tcp import TcpTransport
+from ..trace.instruments import MetricsRegistry
 from .common import parse_endpoint, run_forever
 
 __all__ = ["main", "build_parser"]
@@ -50,6 +51,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--max-concurrent", type=int, default=1)
     parser.add_argument("--reregister", type=float, default=300.0,
                         help="re-registration interval (seconds, 0=off)")
+    parser.add_argument("--metrics-json", metavar="PATH", default=None,
+                        help="attach a metrics registry and dump its "
+                             "snapshot to PATH at shutdown")
     return parser
 
 
@@ -76,7 +80,8 @@ def main(argv: list[str] | None = None) -> int:
         print("no problems selected; refusing to register an empty server")
         return 2
 
-    with TcpTransport(bind_ip=args.bind) as transport:
+    metrics = MetricsRegistry() if args.metrics_json else None
+    with TcpTransport(bind_ip=args.bind, metrics=metrics) as transport:
         transport.register_remote("agent", agent_host, agent_port)
         server_id = args.server_id or f"{transport.host_name}"
         server = ComputationalServer(
@@ -93,6 +98,7 @@ def main(argv: list[str] | None = None) -> int:
                 max_concurrent=args.max_concurrent,
                 reregister_interval=args.reregister,
             ),
+            metrics=metrics,
         )
         node = transport.add_node(f"server/{server_id}", server, port=args.port)
         run_forever(
@@ -100,6 +106,10 @@ def main(argv: list[str] | None = None) -> int:
             f"({len(registry)} problems, {args.mflops:g} Mflop/s, "
             f"agent {agent_host}:{agent_port})"
         )
+    if metrics is not None:
+        with open(args.metrics_json, "w", encoding="utf-8") as fh:
+            fh.write(metrics.to_json())
+        print(f"metrics snapshot written to {args.metrics_json}", flush=True)
     return 0
 
 

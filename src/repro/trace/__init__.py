@@ -1,7 +1,18 @@
-"""Structured event tracing and experiment metrics."""
+"""Structured event tracing, live metrics/spans, and experiment stats."""
 
 from .events import EventLog, TraceEvent
 from .gantt import render_gantt, server_busy_intervals
+from .instruments import (
+    BYTES_BUCKETS,
+    Counter,
+    ERROR_SECONDS_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Observability,
+    SECONDS_BUCKETS,
+    render_snapshot,
+)
 from .metrics import (
     format_table,
     percentile,
@@ -10,12 +21,25 @@ from .metrics import (
     time_average,
     mean_abs_error_vs_truth,
 )
+from .spans import RequestSpan, SpanLog, SpanPhase
 
 __all__ = [
     "EventLog",
     "TraceEvent",
     "render_gantt",
     "server_busy_intervals",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observability",
+    "render_snapshot",
+    "SECONDS_BUCKETS",
+    "BYTES_BUCKETS",
+    "ERROR_SECONDS_BUCKETS",
+    "RequestSpan",
+    "SpanLog",
+    "SpanPhase",
     "format_table",
     "percentile",
     "request_stats",

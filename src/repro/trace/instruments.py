@@ -1,0 +1,303 @@
+"""Operational metrics: counters, gauges and fixed-bucket histograms.
+
+This is the *live* half of the trace package.  :mod:`repro.trace.metrics`
+computes post-hoc experiment statistics from finished request records;
+the :class:`MetricsRegistry` here is attached to running components
+(client, agent, server, transports) and accumulates counts as the system
+executes — the request-lifecycle observability layer.
+
+Design constraints, in order:
+
+* **zero-cost when absent** — components hold pre-resolved instrument
+  bundles and guard every hook with one ``is not None`` check; no name
+  lookup, no dict churn, no allocation on the hot paths;
+* **snapshot-friendly** — :meth:`MetricsRegistry.snapshot` returns a
+  plain JSON-able dict, :func:`render_snapshot` turns any snapshot
+  (live or loaded from disk) into the same fixed-width text report;
+* **dependency-free** — instruments are plain Python with ``bisect``;
+  nothing here imports numpy or the core components.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+from typing import Iterator, Optional
+
+from ..errors import NetSolveError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observability",
+    "render_snapshot",
+    "SECONDS_BUCKETS",
+    "BYTES_BUCKETS",
+    "ERROR_SECONDS_BUCKETS",
+]
+
+#: latency-flavoured buckets (seconds), spanning sim RTTs to batch runs
+SECONDS_BUCKETS = (
+    0.001, 0.005, 0.02, 0.1, 0.5, 2.0, 10.0, 60.0, 300.0, 3600.0,
+)
+#: wire-frame sizes (bytes): header-only control messages to big operands
+BYTES_BUCKETS = (64, 256, 1024, 4096, 16384, 65536, 1 << 20, 1 << 24)
+#: signed predicted-vs-actual completion error (seconds); negative means
+#: the predictor overestimated
+ERROR_SECONDS_BUCKETS = (
+    -60.0, -10.0, -1.0, -0.1, 0.0, 0.1, 1.0, 10.0, 60.0,
+)
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A value that goes up and down (queue depths, in-flight requests)."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram with count/total/min/max.
+
+    ``bounds`` are ascending upper bucket edges (``le`` semantics); one
+    implicit overflow bucket catches everything beyond the last edge.
+    """
+
+    __slots__ = ("name", "help", "bounds", "counts", "count", "total",
+                 "min", "max")
+
+    def __init__(self, name: str, bounds: tuple = SECONDS_BUCKETS,
+                 help: str = ""):
+        if not bounds or list(bounds) != sorted(bounds):
+            raise NetSolveError(
+                f"histogram {name!r}: bounds must be ascending and non-empty"
+            )
+        self.name = name
+        self.help = help
+        self.bounds = tuple(float(b) for b in bounds)
+        self.counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        self.counts[bisect_left(self.bounds, value)] += 1
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.total / self.count if self.count else None
+
+
+class MetricsRegistry:
+    """Named instruments with get-or-create semantics.
+
+    A name belongs to exactly one instrument type for the registry's
+    lifetime; re-requesting it returns the same object, so several
+    components may share (say) one ``wire.bytes_sent`` counter.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, object] = {}
+
+    def _get(self, kind, name: str, *args, **kwargs):
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if not isinstance(existing, kind):
+                raise NetSolveError(
+                    f"metric {name!r} is a {type(existing).__name__}, "
+                    f"not a {kind.__name__}"
+                )
+            return existing
+        instrument = kind(name, *args, **kwargs)
+        self._instruments[name] = instrument
+        return instrument
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(Gauge, name, help)
+
+    def histogram(
+        self, name: str, bounds: tuple = SECONDS_BUCKETS, help: str = ""
+    ) -> Histogram:
+        return self._get(Histogram, name, bounds, help)
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __iter__(self) -> Iterator[object]:
+        return iter(self._instruments.values())
+
+    def get(self, name: str):
+        """Look an instrument up by name (None when absent)."""
+        return self._instruments.get(name)
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-able view of every instrument, names sorted."""
+        counters: dict[str, int] = {}
+        gauges: dict[str, float] = {}
+        histograms: dict[str, dict] = {}
+        for name in sorted(self._instruments):
+            inst = self._instruments[name]
+            if isinstance(inst, Counter):
+                counters[name] = inst.value
+            elif isinstance(inst, Gauge):
+                gauges[name] = inst.value
+            else:
+                assert isinstance(inst, Histogram)
+                histograms[name] = {
+                    "count": inst.count,
+                    "total": inst.total,
+                    "min": inst.min,
+                    "max": inst.max,
+                    "mean": inst.mean,
+                    "buckets": [
+                        {"le": le, "count": c}
+                        for le, c in zip(inst.bounds, inst.counts)
+                    ],
+                    "overflow": inst.counts[-1],
+                }
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent)
+
+    def report(self) -> str:
+        return render_snapshot(self.snapshot())
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_snapshot(snapshot: dict) -> str:
+    """Fixed-width text report from a :meth:`MetricsRegistry.snapshot`
+    dict (works equally on one loaded back from JSON)."""
+    from .metrics import format_table  # table renderer lives with the stats
+
+    sections: list[str] = []
+    counters = snapshot.get("counters") or {}
+    if counters:
+        sections.append(format_table(
+            ["counter", "value"],
+            [[k, v] for k, v in counters.items()],
+            title="counters",
+        ))
+    gauges = snapshot.get("gauges") or {}
+    if gauges:
+        sections.append(format_table(
+            ["gauge", "value"],
+            [[k, _fmt(v)] for k, v in gauges.items()],
+            title="gauges",
+        ))
+    histograms = snapshot.get("histograms") or {}
+    if histograms:
+        rows = []
+        for name, h in histograms.items():
+            rows.append([
+                name, h["count"], _fmt(h["mean"]), _fmt(h["min"]),
+                _fmt(h["max"]), _fmt(h["total"]),
+            ])
+        sections.append(format_table(
+            ["histogram", "count", "mean", "min", "max", "total"],
+            rows,
+            title="histograms",
+        ))
+        detail = []
+        for name, h in histograms.items():
+            if not h["count"]:
+                continue
+            cells = [
+                f"le{b['le']:g}:{b['count']}"
+                for b in h["buckets"] if b["count"]
+            ]
+            if h["overflow"]:
+                cells.append(f"inf:{h['overflow']}")
+            detail.append(f"  {name}: " + " ".join(cells))
+        if detail:
+            sections.append("bucket detail (non-empty buckets)\n"
+                            + "\n".join(detail))
+    if not sections:
+        return "(no metrics recorded)"
+    return "\n\n".join(sections)
+
+
+class Observability:
+    """One bundle wiring a deployment for metrics *and* spans.
+
+    Pass an instance to :func:`repro.testbed.build_testbed` (or hand
+    ``.metrics`` / ``.spans`` to components directly) and every role
+    reports into it; ``snapshot()``/``report()`` dump the whole run.
+    """
+
+    def __init__(self) -> None:
+        from .spans import SpanLog
+
+        self.metrics = MetricsRegistry()
+        self.spans = SpanLog()
+
+    def snapshot(self, *, max_spans: int | None = None) -> dict:
+        return {
+            "metrics": self.metrics.snapshot(),
+            "spans": self.spans.snapshot(limit=max_spans),
+        }
+
+    def to_json(self, *, indent: int = 2, max_spans: int | None = None) -> str:
+        return json.dumps(self.snapshot(max_spans=max_spans), indent=indent)
+
+    def report(self, *, max_spans: int = 0) -> str:
+        """Text report; ``max_spans`` > 0 appends span timelines."""
+        out = self.metrics.report()
+        if max_spans:
+            timelines = self.spans.render(limit=max_spans)
+            if timelines:
+                out += "\n\nrequest spans\n" + timelines
+        return out

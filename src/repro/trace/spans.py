@@ -1,0 +1,177 @@
+"""Per-request spans: the lifecycle of one request as timed phases.
+
+A :class:`RequestSpan` is opened when the client accepts a request and
+closed when its promise settles; in between the client opens one phase
+at a time — ``describe`` → ``query`` → ``attempt`` (repeated on retry)
+— so the span reads as a timeline of where the request's wall-clock
+went.  Phases carry free-form fields (server id, predicted seconds,
+outcome) and at most one phase is open per span, mirroring the client's
+own single-threaded request state machine.
+
+Like the :class:`~repro.trace.events.EventLog`, nothing on a hot path
+ever *reads* a span; recording appends to lists and assigns floats.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+__all__ = ["SpanPhase", "RequestSpan", "SpanLog"]
+
+
+class SpanPhase:
+    """One timed slice of a request's life."""
+
+    __slots__ = ("name", "t_start", "t_end", "fields")
+
+    def __init__(self, name: str, t_start: float, fields: dict):
+        self.name = name
+        self.t_start = t_start
+        self.t_end: Optional[float] = None
+        self.fields = fields
+
+    @property
+    def elapsed(self) -> Optional[float]:
+        if self.t_end is None:
+            return None
+        return self.t_end - self.t_start
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "t_start": self.t_start,
+            "t_end": self.t_end,
+            **({"fields": self.fields} if self.fields else {}),
+        }
+
+
+class RequestSpan:
+    """Timeline of one request, from acceptance to settlement."""
+
+    __slots__ = ("request_id", "problem", "source", "t_start", "t_end",
+                 "status", "error", "phases", "_open")
+
+    def __init__(
+        self, request_id: int, problem: str, source: str, t_start: float
+    ):
+        self.request_id = request_id
+        self.problem = problem
+        #: which client (or component) owns the request
+        self.source = source
+        self.t_start = t_start
+        self.t_end: Optional[float] = None
+        self.status = "active"
+        self.error = ""
+        self.phases: list[SpanPhase] = []
+        self._open: Optional[SpanPhase] = None
+
+    # ------------------------------------------------------------------
+    def begin_phase(self, name: str, t: float, **fields: Any) -> SpanPhase:
+        """Open a phase, closing any phase still open at the same time."""
+        if self._open is not None:
+            self.end_phase(t)
+        phase = SpanPhase(name, t, fields)
+        self.phases.append(phase)
+        self._open = phase
+        return phase
+
+    def end_phase(self, t: float, **fields: Any) -> None:
+        if self._open is None:
+            return
+        self._open.t_end = t
+        if fields:
+            self._open.fields.update(fields)
+        self._open = None
+
+    def finish(self, t: float, status: str, *, error: str = "") -> None:
+        self.end_phase(t)
+        self.t_end = t
+        self.status = status
+        self.error = error
+
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return self.t_end is not None
+
+    @property
+    def total_seconds(self) -> Optional[float]:
+        if self.t_end is None:
+            return None
+        return self.t_end - self.t_start
+
+    def to_dict(self) -> dict:
+        return {
+            "request_id": self.request_id,
+            "problem": self.problem,
+            "source": self.source,
+            "status": self.status,
+            "t_start": self.t_start,
+            "t_end": self.t_end,
+            **({"error": self.error} if self.error else {}),
+            "phases": [p.to_dict() for p in self.phases],
+        }
+
+    def timeline(self) -> str:
+        """Human-readable per-phase rendering (times relative to start)."""
+        total = self.total_seconds
+        head = (
+            f"req {self.request_id} {self.problem} [{self.source}] "
+            f"{self.status}"
+            + (f" total={total:.3f}s" if total is not None else "")
+            + (f" error={self.error!r}" if self.error else "")
+        )
+        lines = [head]
+        for phase in self.phases:
+            start = phase.t_start - self.t_start
+            end = (
+                f"{phase.t_end - self.t_start:8.3f}"
+                if phase.t_end is not None else "    ... "
+            )
+            fields = "".join(
+                f" {k}={v!r}" if isinstance(v, str) else f" {k}={v}"
+                for k, v in phase.fields.items()
+            )
+            lines.append(f"  {start:8.3f} -> {end}  {phase.name}{fields}")
+        return "\n".join(lines)
+
+
+class SpanLog:
+    """Append-only collection of request spans."""
+
+    def __init__(self) -> None:
+        self.spans: list[RequestSpan] = []
+
+    def begin(
+        self, request_id: int, problem: str, source: str, t: float
+    ) -> RequestSpan:
+        span = RequestSpan(request_id, problem, source, t)
+        self.spans.append(span)
+        return span
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def __iter__(self) -> Iterator[RequestSpan]:
+        return iter(self.spans)
+
+    def find(self, request_id: int, *, source: str | None = None):
+        """The span for one request id (newest first on collisions)."""
+        for span in reversed(self.spans):
+            if span.request_id != request_id:
+                continue
+            if source is not None and span.source != source:
+                continue
+            return span
+        return None
+
+    def snapshot(self, *, limit: int | None = None) -> list[dict]:
+        spans = self.spans if limit is None else self.spans[:limit]
+        return [s.to_dict() for s in spans]
+
+    def render(self, *, limit: int | None = None) -> str:
+        spans = self.spans if limit is None else self.spans[:limit]
+        return "\n".join(s.timeline() for s in spans)
+
+    def clear(self) -> None:
+        self.spans.clear()

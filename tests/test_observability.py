@@ -1,0 +1,249 @@
+"""Tests for the request-lifecycle observability layer: instruments,
+spans, testbed wiring, and the metrics CLI."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.config import ClientConfig
+from repro.errors import NetSolveError, SimulationError
+from repro.testbed import server_address, standard_testbed
+from repro.trace.instruments import (
+    BYTES_BUCKETS,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    Observability,
+    render_snapshot,
+)
+from repro.trace.spans import SpanLog
+
+RNG = np.random.default_rng(55)
+
+
+def linsys(n=48):
+    a = RNG.standard_normal((n, n)) + n * np.eye(n)
+    return a, RNG.standard_normal(n)
+
+
+# ----------------------------------------------------------------------
+# instruments
+# ----------------------------------------------------------------------
+def test_counter_gauge_basics():
+    reg = MetricsRegistry()
+    c = reg.counter("x", "help text")
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+    g = reg.gauge("y")
+    g.inc(2)
+    g.dec()
+    g.set(7.5)
+    assert g.value == 7.5
+
+
+def test_histogram_bucket_semantics():
+    h = Histogram("h", bounds=(1.0, 10.0))
+    for v in (0.5, 1.0, 5.0, 10.0, 11.0):
+        h.observe(v)
+    assert h.count == 5
+    assert h.min == 0.5 and h.max == 11.0
+    assert h.mean == pytest.approx(27.5 / 5)
+    # le semantics: 1.0 lands in the le=1.0 bucket, 11.0 overflows
+    assert h.counts == [2, 2, 1]
+
+
+def test_histogram_rejects_bad_bounds():
+    with pytest.raises(NetSolveError):
+        Histogram("bad", bounds=())
+    with pytest.raises(NetSolveError):
+        Histogram("bad", bounds=(2.0, 1.0))
+
+
+def test_registry_get_or_create_shares_instruments():
+    reg = MetricsRegistry()
+    a = reg.counter("shared")
+    b = reg.counter("shared")
+    assert a is b
+    with pytest.raises(NetSolveError):
+        reg.gauge("shared")  # name bound to another type
+    assert len(reg) == 1
+    assert reg.get("shared") is a
+    assert reg.get("absent") is None
+
+
+def test_snapshot_json_roundtrip_renders():
+    reg = MetricsRegistry()
+    reg.counter("c").inc(3)
+    reg.gauge("g").set(1.5)
+    reg.histogram("h", BYTES_BUCKETS).observe(100)
+    snap = json.loads(reg.to_json())
+    assert snap["counters"]["c"] == 3
+    assert snap["gauges"]["g"] == 1.5
+    assert snap["histograms"]["h"]["count"] == 1
+    text = render_snapshot(snap)
+    for needle in ("counters", "gauges", "histograms", "c", "g", "h"):
+        assert needle in text
+    assert render_snapshot({}) == "(no metrics recorded)"
+
+
+def test_instrument_types_are_slotted():
+    # hot-path hooks must not create per-instance dicts
+    assert not hasattr(Counter("c"), "__dict__")
+    assert not hasattr(Histogram("h"), "__dict__")
+
+
+# ----------------------------------------------------------------------
+# spans
+# ----------------------------------------------------------------------
+def test_span_phases_auto_close_and_render():
+    log = SpanLog()
+    span = log.begin(1, "p/q", "c0", 0.0)
+    span.begin_phase("describe", 0.0)
+    span.begin_phase("query", 1.0, number=1)  # auto-closes describe
+    assert span.phases[0].t_end == 1.0
+    span.end_phase(2.0, candidates=3)
+    span.begin_phase("attempt", 2.0, server="s0")
+    span.finish(5.0, "done")
+    assert span.done and span.total_seconds == 5.0
+    text = span.timeline()
+    assert "describe" in text and "server='s0'" in text
+    assert log.find(1) is span
+    assert log.find(1, source="other") is None
+    d = span.to_dict()
+    assert [p["name"] for p in d["phases"]] == ["describe", "query", "attempt"]
+
+
+# ----------------------------------------------------------------------
+# a fully observed farm
+# ----------------------------------------------------------------------
+def observed_farm(n_requests=4, **kwargs):
+    obs = Observability()
+    tb = standard_testbed(n_servers=2, seed=61, observability=obs, **kwargs)
+    tb.settle()
+    # first request alone, so the spec lands in the cache before the rest
+    handles = [tb.submit("c0", "linsys/dgesv", list(linsys()))]
+    tb.wait_all(handles, limit=tb.kernel.now + 3600.0)
+    handles += [
+        tb.submit("c0", "linsys/dgesv", list(linsys()))
+        for _ in range(n_requests - 1)
+    ]
+    tb.wait_all(handles, limit=tb.kernel.now + 3600.0)
+    return tb, obs, handles
+
+
+def test_observed_farm_counters_consistent():
+    tb, obs, handles = observed_farm()
+    snap = obs.metrics.snapshot()
+    c = snap["counters"]
+    assert c["client.submits"] == 4
+    assert c["client.requests_done"] == 4
+    assert c["client.requests_failed"] == 0
+    assert c["client.attempt_ok"] == c["client.attempts"] == 4
+    assert c["server.ok"] == 4
+    assert c["agent.queries"] == 4
+    assert c["agent.registrations"] == 2
+    assert c["wire.messages"] >= c["wire.delivered"] > 0
+    assert c["wire.bytes"] > 0
+    assert snap["gauges"]["client.active_requests"] == 0
+    assert snap["gauges"]["agent.servers_alive"] == 2
+    h = snap["histograms"]
+    assert h["client.request_seconds"]["count"] == 4
+    assert h["server.compute_seconds"]["count"] == 4
+    # every request carried an agent prediction, so the signed error
+    # histogram saw every attempt
+    assert h["client.prediction_error_seconds"]["count"] == 4
+
+
+def test_observed_farm_spans_trace_lifecycle():
+    tb, obs, handles = observed_farm()
+    assert len(obs.spans) == 4
+    span = obs.spans.find(handles[0].request_id)
+    names = [p.name for p in span.phases]
+    assert names[0] == "describe"  # first request pays the PDL fetch
+    assert "query" in names and names[-1] == "attempt"
+    assert span.status == "done"
+    assert all(p.t_end is not None for p in span.phases)
+    # later submissions hit the spec cache: no describe phase
+    later = obs.spans.find(handles[-1].request_id)
+    assert [p.name for p in later.phases][0] == "query"
+    report = obs.report(max_spans=2)
+    assert "request spans" in report and "linsys/dgesv" in report
+
+
+def test_observed_crash_populates_failure_counters():
+    obs = Observability()
+    tb = standard_testbed(
+        n_servers=2, seed=62, observability=obs,
+        client_cfg=ClientConfig(timeout_floor=2.0),
+    )
+    tb.settle()
+    tb.transport.crash(server_address("s1"))  # the fastest, ranked first
+    handles = [
+        tb.submit("c0", "linsys/dgesv", list(linsys())) for _ in range(2)
+    ]
+    tb.wait_all(handles, limit=tb.kernel.now + 3600.0)
+    c = obs.metrics.snapshot()["counters"]
+    assert c["client.requests_done"] == 2
+    assert c["client.attempt_timeouts"] >= 1
+    assert c["client.failovers"] >= 1
+    assert c["agent.failure_reports"] >= 1
+    span = obs.spans.find(handles[0].request_id)
+    outcomes = [
+        p.fields.get("outcome") for p in span.phases if p.name == "attempt"
+    ]
+    assert "timeout" in outcomes and outcomes[-1] == "ok"
+
+
+def test_unobserved_testbed_has_no_hooks():
+    tb = standard_testbed(n_servers=1, seed=63)
+    assert tb.observability is None
+    assert tb.client("c0")._metrics is None
+    assert tb.agent._metrics is None
+    assert tb.server("s0")._metrics is None
+    assert tb.transport._metrics is None
+    with pytest.raises(SimulationError):
+        tb.metrics_report()
+    with pytest.raises(SimulationError):
+        tb.metrics_snapshot()
+
+
+def test_testbed_metrics_helpers():
+    tb, obs, _handles = observed_farm()
+    snap = tb.metrics_snapshot(max_spans=1)
+    assert len(snap["spans"]) == 1
+    assert snap["metrics"]["counters"]["client.submits"] == 4
+    assert "counters" in tb.metrics_report()
+
+
+# ----------------------------------------------------------------------
+# the CLI
+# ----------------------------------------------------------------------
+def test_metrics_cli_sim_and_show(tmp_path, capsys):
+    from repro.tools.metrics import main
+
+    out_path = tmp_path / "snap.json"
+    assert main([
+        "sim", "--requests", "2", "--size", "64",
+        "--spans", "1", "--json", str(out_path),
+    ]) == 0
+    text = capsys.readouterr().out
+    assert "client.submits" in text and "request spans" in text
+    snap = json.loads(out_path.read_text())
+    assert snap["metrics"]["counters"]["client.requests_done"] == 2
+
+    assert main(["show", str(out_path), "--spans", "1"]) == 0
+    shown = capsys.readouterr().out
+    assert "client.submits" in shown and "request spans" in shown
+
+
+def test_metrics_cli_show_rejects_garbage(tmp_path, capsys):
+    from repro.tools.metrics import main
+
+    missing = tmp_path / "absent.json"
+    assert main(["show", str(missing)]) == 2
+    bad = tmp_path / "bad.json"
+    bad.write_text("[1, 2]")
+    assert main(["show", str(bad)]) == 2
+    capsys.readouterr()
