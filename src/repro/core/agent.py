@@ -23,7 +23,6 @@ from ..protocol.messages import (
     DescribeProblem,
     FailureReport,
     ListProblems,
-    Message,
     Ping,
     Pong,
     ProblemDescription,
@@ -35,7 +34,7 @@ from ..protocol.messages import (
     TransferReport,
     WorkloadReport,
 )
-from ..protocol.transport import Component
+from ..runtime import DispatchComponent, Periodic, handles
 from ..trace.events import EventLog
 from ..trace.instruments import MetricsRegistry
 from .predictor import (
@@ -95,7 +94,7 @@ class _AgentMetrics:
         )
 
 
-class Agent(Component):
+class Agent(DispatchComponent):
     """The broker component.
 
     Parameters
@@ -148,52 +147,49 @@ class Agent(Component):
         self.reports_received = 0
         self.failures_reported = 0
         self.forwards_sent = 0
+        self._sweep = Periodic(
+            self, cfg.liveness_timeout / 4.0, self._sweep_liveness,
+            name="liveness_sweep",
+        )
+        #: ping suspect servers: a lost reply gets innocent servers
+        #: blamed, and the hysteretic policy will not clear them (an
+        #: unchanged idle load is never re-broadcast), so the agent
+        #: checks on them itself
+        self._probe = Periodic(
+            self, cfg.suspect_probe_interval, self._probe_suspects,
+            name="suspect_probe",
+        )
 
     # ------------------------------------------------------------------
     def on_bind(self) -> None:
-        interval = self.cfg.liveness_timeout / 4.0
-        self._arm_sweep(interval)
+        self._sweep.start()
         if self.cfg.suspect_probe_interval > 0:
-            self._arm_suspect_probe(self.cfg.suspect_probe_interval)
+            self._probe.start()
 
     def on_restart(self) -> None:
+        # Periodic.start() supersedes the previous chain, so delegating
+        # here cannot double-arm even on the live TCP restart path
         self.on_bind()
 
-    def _arm_sweep(self, interval: float) -> None:
-        def sweep() -> None:
-            died = self.table.sweep_liveness(
-                self.node.now(), self.cfg.liveness_timeout
-            )
-            for server_id in died:
-                self._trace("server_presumed_dead", server_id=server_id)
-            if died:
-                self._update_server_gauges()
-            self._arm_sweep(interval)
+    def _sweep_liveness(self) -> None:
+        died = self.table.sweep_liveness(
+            self.node.now(), self.cfg.liveness_timeout
+        )
+        for server_id in died:
+            self._trace("server_presumed_dead", server_id=server_id)
+        if died:
+            self._update_server_gauges()
 
-        self.node.call_after(interval, sweep)
-
-    def _arm_suspect_probe(self, interval: float) -> None:
-        """Ping suspect servers: a lost reply gets innocent servers
-        blamed, and the hysteretic policy will not clear them (an
-        unchanged idle load is never re-broadcast), so the agent checks
-        on them itself."""
-
-        def probe() -> None:
-            for entry in self.table.entries():
-                if not entry.alive:
-                    self.node.send(entry.address, Ping())
-            self._arm_suspect_probe(interval)
-
-        self.node.call_after(interval, probe)
-
-    def _handle_pong(self, src: str) -> None:
-        revived = False
+    def _probe_suspects(self) -> None:
         for entry in self.table.entries():
-            if entry.address == src and not entry.alive:
-                entry.alive = True
-                entry.last_report = self.node.now()
-                revived = True
-                self._trace("server_revived_by_probe", server_id=entry.server_id)
+            if not entry.alive:
+                self.node.send(entry.address, Ping())
+
+    @handles(Pong)
+    def _handle_pong(self, src: str, msg: Pong) -> None:
+        revived = self.table.revive_address(src, self.node.now())
+        for server_id in revived:
+            self._trace("server_revived_by_probe", server_id=server_id)
         if revived:
             self._update_server_gauges()
 
@@ -213,37 +209,24 @@ class Agent(Component):
         m.servers_alive.set(sum(1 for e in entries if e.alive))
 
     # ------------------------------------------------------------------
-    def on_message(self, src: str, msg: Message) -> None:
-        if isinstance(msg, RegisterServer):
-            self._handle_register(src, msg)
-        elif isinstance(msg, WorkloadReport):
-            self._handle_report(msg)
-        elif isinstance(msg, QueryRequest):
-            self._handle_query(src, msg)
-        elif isinstance(msg, DescribeProblem):
-            self._handle_describe(src, msg)
-        elif isinstance(msg, ListProblems):
-            if self._metrics is not None:
-                self._metrics.lists.inc()
-            self.node.send(
-                src,
-                ProblemList(
-                    names=tuple(sorted(
-                        n for n in self.table.known_problems()
-                        if n.startswith(msg.prefix)
-                    )),
-                    prefix=msg.prefix,
-                ),
-            )
-        elif isinstance(msg, FailureReport):
-            self._handle_failure(msg)
-        elif isinstance(msg, TransferReport):
-            self._handle_transfer_report(msg)
-        elif isinstance(msg, Ping):
-            self.node.send(src, Pong(nonce=msg.nonce))
-        elif isinstance(msg, Pong):
-            self._handle_pong(src)
-        # unknown messages are dropped: a broker must survive bad peers
+    @handles(ListProblems)
+    def _handle_list(self, src: str, msg: ListProblems) -> None:
+        if self._metrics is not None:
+            self._metrics.lists.inc()
+        self.node.send(
+            src,
+            ProblemList(
+                names=tuple(sorted(
+                    n for n in self.table.known_problems()
+                    if n.startswith(msg.prefix)
+                )),
+                prefix=msg.prefix,
+            ),
+        )
+
+    @handles(Ping)
+    def _handle_ping(self, src: str, msg: Ping) -> None:
+        self.node.send(src, Pong(nonce=msg.nonce))
 
     # ------------------------------------------------------------------
     def _mirror(self, msg) -> None:
@@ -254,6 +237,7 @@ class Agent(Component):
             if self._metrics is not None:
                 self._metrics.mirror_forwards.inc()
 
+    @handles(RegisterServer)
     def _handle_register(self, src: str, msg: RegisterServer) -> None:
         try:
             specs = parse_pdl(msg.problems_pdl, source=f"<{msg.server_id}>")
@@ -325,7 +309,8 @@ class Agent(Component):
                     server_endpoint=self.node.endpoint_of(src),
                 ))
 
-    def _handle_report(self, msg: WorkloadReport) -> None:
+    @handles(WorkloadReport)
+    def _handle_report(self, src: str, msg: WorkloadReport) -> None:
         if msg.server_id not in self.table:
             return  # report from a server that never registered: ignore
         self.table.report_workload(
@@ -342,7 +327,8 @@ class Agent(Component):
 
             self._mirror(replace(msg, forwarded=True))
 
-    def _handle_failure(self, msg: FailureReport) -> None:
+    @handles(FailureReport)
+    def _handle_failure(self, src: str, msg: FailureReport) -> None:
         self.table.mark_failed(msg.server_id)
         self.failures_reported += 1
         if self._metrics is not None:
@@ -359,7 +345,8 @@ class Agent(Component):
 
             self._mirror(replace(msg, forwarded=True))
 
-    def _handle_transfer_report(self, msg: TransferReport) -> None:
+    @handles(TransferReport)
+    def _handle_transfer_report(self, src: str, msg: TransferReport) -> None:
         if self._metrics is not None:
             self._metrics.transfer_reports.inc()
         observe = getattr(self.network, "observe", None)
@@ -460,6 +447,7 @@ class Agent(Component):
         order = mct_top_k(entries, totals, self.cfg.candidate_list_length)
         return [entries[i] for i in order], [float(totals[i]) for i in order]
 
+    @handles(QueryRequest)
     def _handle_query(self, src: str, msg: QueryRequest) -> None:
         self.queries_served += 1
         if self._metrics is not None:
@@ -552,6 +540,7 @@ class Agent(Component):
         )
         self.node.send(src, QueryReply.from_candidates(candidates, tag=msg.tag))
 
+    @handles(DescribeProblem)
     def _handle_describe(self, src: str, msg: DescribeProblem) -> None:
         if self._metrics is not None:
             self._metrics.describes.inc()

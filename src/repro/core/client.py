@@ -40,7 +40,6 @@ from ..protocol.messages import (
     Candidate,
     DescribeProblem,
     FailureReport,
-    Message,
     ListProblems,
     ProblemDescription,
     ProblemList,
@@ -54,7 +53,8 @@ from ..protocol.messages import (
     StoreObject,
     TransferReport,
 )
-from ..protocol.transport import Component, Promise
+from ..protocol.transport import Promise
+from ..runtime import DeadlineTable, DispatchComponent, RetryChain, handles
 from ..trace.events import EventLog
 from ..trace.instruments import (
     ERROR_SECONDS_BUCKETS,
@@ -158,7 +158,6 @@ class _Active:
         "tried",
         "current",
         "attempt",
-        "timer",
         "pinned",
         "query_silences",
         "span",
@@ -175,7 +174,6 @@ class _Active:
         self.tried: list[str] = []
         self.current: Optional[Candidate] = None
         self.attempt: Optional[AttemptRecord] = None
-        self.timer = None
         #: pinned requests bypass the agent and never fail over
         self.pinned = False
         #: unanswered agent queries so far (control-message retry budget)
@@ -184,7 +182,7 @@ class _Active:
         self.span = None
 
 
-class NetSolveClient(Component):
+class NetSolveClient(DispatchComponent):
     """One client application's NetSolve endpoint."""
 
     def __init__(
@@ -211,6 +209,10 @@ class NetSolveClient(Component):
         self._storing: dict[tuple[str, str], list[Promise]] = {}
         self._queries: dict[int, Promise] = {}
         self._active: dict[int, _Active] = {}
+        #: every timeout this client arms, keyed and generation-safe;
+        #: tuple keys name control-plane batches, bare request-id ints
+        #: name the per-request timer (ints and tuples cannot collide)
+        self._deadlines = DeadlineTable(self)
         #: every record ever created, terminal or not (experiment data)
         self.records: list[RequestRecord] = []
 
@@ -251,7 +253,7 @@ class NetSolveClient(Component):
             waiting = self._describing.get(problem)
             if waiting is None:
                 self._describing[problem] = [req]
-                self._send_describe(problem, attempt=1)
+                self._start_describe(problem)
             else:
                 waiting.append(req)
         return handle
@@ -279,7 +281,7 @@ class NetSolveClient(Component):
             if self._metrics is not None:
                 self._metrics.store_ops.inc()
             self.node.send(server_address, StoreObject(key=key, value=value))
-            self._arm_store_timeout(server_address, key, waiting)
+            self._arm_store_timeout(server_address, key)
         return promise
 
     def delete_stored(self, server_address: str, key: str) -> Promise:
@@ -291,20 +293,16 @@ class NetSolveClient(Component):
             if self._metrics is not None:
                 self._metrics.store_ops.inc()
             self.node.send(server_address, DeleteObject(key=key))
-            self._arm_store_timeout(server_address, key, waiting)
+            self._arm_store_timeout(server_address, key)
         return promise
 
-    def _arm_store_timeout(
-        self, server_address: str, key: str, batch: list[Promise]
-    ) -> None:
+    def _arm_store_timeout(self, server_address: str, key: str) -> None:
+        # an ack cancels the deadline as it pops the batch; a later
+        # operation on the same key arms a fresh generation — the
+        # deadline table makes a stale fire against a successor batch
+        # structurally impossible
         def fire() -> None:
-            # generation guard: an ack resolves and *pops* the batch, so a
-            # later operation on the same key lives in a fresh list — this
-            # timer may only reject the batch that armed it, never a
-            # successor still legitimately in flight
-            if self._storing.get((server_address, key)) is not batch:
-                return
-            del self._storing[(server_address, key)]
+            batch = self._storing.pop((server_address, key), [])
             if self._metrics is not None:
                 self._metrics.store_timeouts.inc()
             for p in batch:
@@ -316,9 +314,13 @@ class NetSolveClient(Component):
                         )
                     )
 
-        self.node.call_after(self.cfg.server_timeout, fire)
+        self._deadlines.arm(
+            ("store", server_address, key), self.cfg.server_timeout, fire
+        )
 
+    @handles(StoreAck)
     def _on_store_ack(self, src: str, msg: StoreAck) -> None:
+        self._deadlines.cancel(("store", src, msg.key))
         for promise in self._storing.pop((src, msg.key), []):
             if promise.done:
                 continue
@@ -414,13 +416,14 @@ class NetSolveClient(Component):
             if pending is not None and not pending.done:
                 pending.reject(RequestFailed(0, "agent did not answer query"))
 
-        self.node.call_after(self.cfg.agent_timeout, timed_out)
+        self._deadlines.arm(("qtag", tag), self.cfg.agent_timeout, timed_out)
         return promise
 
     def _on_candidate_query_reply(self, msg: QueryReply) -> bool:
         promise = self._queries.pop(msg.tag, None)
         if promise is None:
             return False
+        self._deadlines.cancel(("qtag", msg.tag))
         if not promise.done:
             if msg.ok:
                 promise.resolve(msg.candidate_list())
@@ -443,7 +446,7 @@ class NetSolveClient(Component):
         waiting.append(promise)
         if problem not in self._describing:
             self._describing.setdefault(problem, [])
-            self._send_describe(problem, attempt=1)
+            self._start_describe(problem)
         return promise
 
     def list_problems(self, prefix: str = "") -> Promise:
@@ -453,26 +456,27 @@ class NetSolveClient(Component):
         waiting.append(promise)
         if len(waiting) == 1:
             self.node.send(self.agent_address, ListProblems(prefix=prefix))
-            batch = waiting  # only the batch that armed the timer may die
 
             def timed_out() -> None:
-                # generation guard: once the agent's ProblemList resolves
-                # and pops this batch, a later list_problems() on the same
-                # prefix starts a *new* list — this (now stale) timer must
-                # not reject it mid-flight
-                if self._listing.get(prefix) is not batch:
-                    return
-                del self._listing[prefix]
+                # a ProblemList reply cancels this deadline as it pops
+                # the batch, and a later list on the same prefix arms a
+                # fresh generation, so only the batch that armed the
+                # timer can die here
+                batch = self._listing.pop(prefix, [])
                 for p in batch:
                     if not p.done:
                         p.reject(
                             RequestFailed(0, "agent did not answer ListProblems")
                         )
 
-            self.node.call_after(self.cfg.agent_timeout, timed_out)
+            self._deadlines.arm(
+                ("list", prefix), self.cfg.agent_timeout, timed_out
+            )
         return promise
 
-    def _on_problem_list(self, msg: ProblemList) -> None:
+    @handles(ProblemList)
+    def _on_problem_list(self, src: str, msg: ProblemList) -> None:
+        self._deadlines.cancel(("list", msg.prefix))
         for promise in self._listing.pop(msg.prefix, []):
             if not promise.done:
                 promise.resolve(tuple(msg.names))
@@ -484,7 +488,7 @@ class NetSolveClient(Component):
 
     def _finish(self, req: _Active, error: Optional[NetSolveError], value=None):
         rid = req.record.request_id
-        self._cancel_timer(req)
+        self._deadlines.cancel(rid)
         self._active.pop(rid, None)
         now = self.node.now()
         req.record.t_done = now
@@ -511,52 +515,55 @@ class NetSolveClient(Component):
                 )
             req.handle.promise.reject(error)
 
-    def _cancel_timer(self, req: _Active) -> None:
-        if req.timer is not None:
-            req.timer.cancel()
-            req.timer = None
-
     # ------------------------------------------------------------------
     # phase 1: problem description
     # ------------------------------------------------------------------
-    def _send_describe(self, problem: str, attempt: int) -> None:
-        """Fire a DescribeProblem, re-sending on silence: the wire has no
-        retransmission, so control messages carry their own retry."""
+    def _start_describe(self, problem: str) -> None:
+        """Start the one DescribeProblem retry chain for ``problem``: the
+        wire has no retransmission, so control messages carry their own
+        retry.  A ProblemDescription reply cancels the chain's deadline,
+        so a late fire after the answer is structurally impossible."""
+        RetryChain(
+            self._deadlines,
+            ("describe", problem),
+            interval=self.cfg.agent_timeout,
+            attempts=self.cfg.agent_retries,
+            send=lambda attempt: self._send_describe(problem),
+            on_retry=lambda attempt: self._describe_retry(problem, attempt),
+            on_exhausted=lambda: self._describe_exhausted(problem),
+        ).start()
+
+    def _send_describe(self, problem: str) -> None:
         if self._metrics is not None:
             self._metrics.describe_sends.inc()
         self.node.send(self.agent_address, DescribeProblem(problem=problem))
 
-        def fire() -> None:
-            if problem not in self._describing:
-                return  # answered in the meantime
-            if attempt < self.cfg.agent_retries:
-                self._trace(
-                    "describe_retry", problem=problem, attempt=attempt + 1
-                )
-                if self._metrics is not None:
-                    self._metrics.describe_retries.inc()
-                self._send_describe(problem, attempt + 1)
-                return
-            waiting = self._describing.pop(problem, [])
-            for req in waiting:
-                if req.record.status.terminal:
-                    continue
-                self._finish(
-                    req,
-                    RequestFailed(
-                        req.record.request_id,
-                        "agent did not answer DescribeProblem",
-                    ),
-                )
-            for promise in self._spec_waiters.pop(problem, []):
-                if not promise.done:
-                    promise.reject(
-                        RequestFailed(0, "agent did not answer DescribeProblem")
-                    )
+    def _describe_retry(self, problem: str, attempt: int) -> None:
+        self._trace("describe_retry", problem=problem, attempt=attempt)
+        if self._metrics is not None:
+            self._metrics.describe_retries.inc()
 
-        self.node.call_after(self.cfg.agent_timeout, fire)
+    def _describe_exhausted(self, problem: str) -> None:
+        waiting = self._describing.pop(problem, [])
+        for req in waiting:
+            if req.record.status.terminal:
+                continue
+            self._finish(
+                req,
+                RequestFailed(
+                    req.record.request_id,
+                    "agent did not answer DescribeProblem",
+                ),
+            )
+        for promise in self._spec_waiters.pop(problem, []):
+            if not promise.done:
+                promise.reject(
+                    RequestFailed(0, "agent did not answer DescribeProblem")
+                )
 
-    def _on_description(self, msg: ProblemDescription) -> None:
+    @handles(ProblemDescription)
+    def _on_description(self, src: str, msg: ProblemDescription) -> None:
+        self._deadlines.cancel(("describe", msg.problem))
         waiting = self._describing.pop(msg.problem, [])
         watchers = self._spec_waiters.pop(msg.problem, [])
         if not msg.ok:
@@ -634,9 +641,8 @@ class NetSolveClient(Component):
                 tag=rid,
             ),
         )
-        self._cancel_timer(req)
-        req.timer = self.node.call_after(
-            self.cfg.agent_timeout, lambda: self._agent_timed_out(rid)
+        self._deadlines.arm(
+            rid, self.cfg.agent_timeout, lambda: self._agent_timed_out(rid)
         )
 
     def _agent_timed_out(self, rid: int) -> None:
@@ -654,13 +660,14 @@ class NetSolveClient(Component):
             return
         self._finish(req, RequestFailed(rid, "agent did not answer query"))
 
-    def _on_query_reply(self, msg: QueryReply) -> None:
+    @handles(QueryReply)
+    def _on_query_reply(self, src: str, msg: QueryReply) -> None:
         if msg.tag < 0 and self._on_candidate_query_reply(msg):
             return
         req = self._active.get(msg.tag)
         if req is None or req.record.status is not RequestStatus.QUERYING:
             return  # late or duplicate reply
-        self._cancel_timer(req)
+        self._deadlines.cancel(msg.tag)
         now = self.node.now()
         req.record.t_candidates = now
         if self._metrics is not None and req.record.t_query_sent is not None:
@@ -686,8 +693,8 @@ class NetSolveClient(Component):
                     req.span.begin_phase(
                         "backoff", now, attempt=req.query_silences
                     )
-                req.timer = self.node.call_after(
-                    self.cfg.timeout_floor, lambda: self._query(req)
+                self._deadlines.arm(
+                    msg.tag, self.cfg.timeout_floor, lambda: self._query(req)
                 )
                 return
             self._finish(
@@ -713,8 +720,8 @@ class NetSolveClient(Component):
                     req.span.begin_phase(
                         "backoff", now, attempt=req.query_silences
                     )
-                req.timer = self.node.call_after(
-                    self.cfg.timeout_floor, lambda: self._query(req)
+                self._deadlines.arm(
+                    msg.tag, self.cfg.timeout_floor, lambda: self._query(req)
                 )
             else:
                 self._finish(
@@ -807,9 +814,8 @@ class NetSolveClient(Component):
             )
         else:  # pinned submit: no prediction to scale from
             timeout = self.cfg.server_timeout
-        self._cancel_timer(req)
-        req.timer = self.node.call_after(
-            timeout, lambda: self._attempt_timed_out(rid, cand.server_id)
+        self._deadlines.arm(
+            rid, timeout, lambda: self._attempt_timed_out(rid, cand.server_id)
         )
 
     def _attempt_timed_out(self, rid: int, server_id: str) -> None:
@@ -875,6 +881,7 @@ class NetSolveClient(Component):
             ),
         )
 
+    @handles(SolveReply)
     def _on_solve_reply(self, src: str, msg: SolveReply) -> None:
         req = self._active.get(msg.request_id)
         if (
@@ -884,7 +891,7 @@ class NetSolveClient(Component):
             or src != req.current.address
         ):
             return  # reply from an attempt we already gave up on
-        self._cancel_timer(req)
+        self._deadlines.cancel(msg.request_id)
         assert req.attempt is not None
         now = self.node.now()
         req.attempt.t_end = now
@@ -920,17 +927,3 @@ class NetSolveClient(Component):
                 req.span.end_phase(now, outcome="error")
             self._report_failure(req, msg.detail)
             self._try_next(req)
-
-    # ------------------------------------------------------------------
-    def on_message(self, src: str, msg: Message) -> None:
-        if isinstance(msg, SolveReply):
-            self._on_solve_reply(src, msg)
-        elif isinstance(msg, QueryReply):
-            self._on_query_reply(msg)
-        elif isinstance(msg, ProblemDescription):
-            self._on_description(msg)
-        elif isinstance(msg, ProblemList):
-            self._on_problem_list(msg)
-        elif isinstance(msg, StoreAck):
-            self._on_store_ack(src, msg)
-        # anything else: drop

@@ -27,7 +27,11 @@ rather than recomputed:
   they leave the caches intact;
 * pending hints live in a **min-heap** ordered by expiry, so dropping
   expired hints pops only what actually expired instead of rebuilding
-  the list.
+  the list;
+* an **address index** (``address -> {server ids}``) serves the
+  liveness-probe path: a Pong identifies the sender only by transport
+  address, and :meth:`revive_address` resolves it without scanning the
+  fleet.
 """
 
 from __future__ import annotations
@@ -93,6 +97,9 @@ class ServerTable:
         #: while suspect/dead (candidates_for filters on ``alive``) and
         #: leave it only when a re-registration drops the problem
         self._by_problem: dict[str, set[str]] = {}
+        #: transport address -> server ids (several servers may share an
+        #: address behind a forwarding agent); used by probe revival
+        self._by_address: dict[str, set[str]] = {}
         #: cached id-sorted views, dropped when membership changes
         self._sorted_entries: list[ServerEntry] | None = None
         self._problem_views: dict[str, tuple[ServerEntry, ...]] = {}
@@ -142,11 +149,19 @@ class ServerTable:
             self._entries[server_id] = entry
             self._sorted_entries = None
             self._index_add(server_id, entry.problems)
+            self._by_address.setdefault(address, set()).add(server_id)
         else:
             old = entry.problems
             new = set(problems)
             self._index_discard(server_id, old - new)
             self._index_add(server_id, new - old)
+            if address != entry.address:
+                ids = self._by_address.get(entry.address)
+                if ids is not None:
+                    ids.discard(server_id)
+                    if not ids:
+                        del self._by_address[entry.address]
+                self._by_address.setdefault(address, set()).add(server_id)
             entry.address = address
             entry.host = host
             entry.mflops = mflops
@@ -179,13 +194,39 @@ class ServerTable:
         return [e for e in self.entries() if e.alive]
 
     # ------------------------------------------------------------------
+    def mark_alive(self, server_id: str, now: float) -> None:
+        """The one revival path: fresh evidence the server is up.
+
+        Used by both workload reports and probe Pongs, so revival always
+        refreshes liveness bookkeeping *and* drops pending-assignment
+        hints — a server that went silent long enough to need reviving
+        has certainly shed whatever the hints modelled.
+        """
+        entry = self.get(server_id)
+        entry.last_report = now
+        entry.alive = True
+        entry.pending_expiries.clear()
+
     def report_workload(self, server_id: str, workload: float, now: float) -> None:
         """Fresh truth from the server: update, revive, clear the hint."""
         entry = self.get(server_id)
         entry.workload = max(0.0, float(workload))
-        entry.last_report = now
-        entry.alive = True
-        entry.pending_expiries.clear()
+        self.mark_alive(server_id, now)
+
+    def revive_address(self, address: str, now: float) -> list[str]:
+        """Revive every suspect server at ``address``; returns their ids.
+
+        Indexed: cost is the number of servers registered at that
+        address, not the fleet size.
+        """
+        revived = [
+            server_id
+            for server_id in sorted(self._by_address.get(address, ()))
+            if not self._entries[server_id].alive
+        ]
+        for server_id in revived:
+            self.mark_alive(server_id, now)
+        return revived
 
     def note_assignment(
         self, server_id: str, now: float = 0.0, *, hold_for: float = 60.0

@@ -22,7 +22,6 @@ from ..problems.spec import validate_inputs
 from ..protocol.codec import encode_value
 from ..protocol.messages import (
     DeleteObject,
-    Message,
     ObjectRef,
     Ping,
     Pong,
@@ -34,7 +33,7 @@ from ..protocol.messages import (
     StoreObject,
     WorkloadReport,
 )
-from ..protocol.transport import Component
+from ..runtime import DispatchComponent, Periodic, handles
 from ..trace.events import EventLog
 from ..trace.instruments import MetricsRegistry
 from .workload import WorkloadReporter
@@ -78,7 +77,7 @@ class _ServerMetrics:
             "server.queue_wait_seconds", help="time spent queued before start")
 
 
-class ComputationalServer(Component):
+class ComputationalServer(DispatchComponent):
     """One NetSolve computational resource."""
 
     def __init__(
@@ -115,22 +114,34 @@ class ComputationalServer(Component):
         #: request-sequencing object cache: key -> (value, nbytes)
         self._objects: dict[str, tuple[object, int]] = {}
         self._objects_bytes = 0
+        self._ticker = Periodic(
+            self, cfg.workload.time_step, self._workload_tick,
+            name="workload_tick",
+        )
+        self._reregister = Periodic(
+            self, cfg.reregister_interval, self._register,
+            name="reregister",
+        )
 
     # ------------------------------------------------------------------
     def on_bind(self) -> None:
         self._register()
+        # a fresh reporter per (re)bind: restart is a cold start for the
+        # hysteresis state, exactly like the original daemon
         self.reporter = WorkloadReporter(
             self.cfg.workload,
             sample=self.node.sample_workload,
             broadcast=self._broadcast_workload,
         )
-        self._arm_workload_tick()
+        self._ticker.start()
         if self.cfg.reregister_interval > 0:
-            self._arm_reregister()
+            self._reregister.start()
 
     def on_restart(self) -> None:
         """Restart path: a revived daemon forgets in-flight work, then
-        re-registers and re-arms its reporting exactly like a cold start."""
+        re-registers and re-arms its reporting exactly like a cold start.
+        Periodic.start() supersedes the previous chains, so this cannot
+        double-arm even when old TCP timers are still in flight."""
         if self._metrics is not None:
             self._metrics.queue_depth.dec(len(self._queue))
             self._metrics.executing.dec(self._executing)
@@ -150,20 +161,9 @@ class ComputationalServer(Component):
             ),
         )
 
-    def _arm_reregister(self) -> None:
-        def again() -> None:
-            self._register()
-            self._arm_reregister()
-
-        self.node.call_after(self.cfg.reregister_interval, again)
-
-    def _arm_workload_tick(self) -> None:
-        def tick() -> None:
-            assert self.reporter is not None
-            self.reporter.tick(self.node.now())
-            self._arm_workload_tick()
-
-        self.node.call_after(self.cfg.workload.time_step, tick)
+    def _workload_tick(self) -> None:
+        assert self.reporter is not None
+        self.reporter.tick(self.node.now())
 
     def _broadcast_workload(self, value: float) -> None:
         self.node.send(
@@ -176,20 +176,15 @@ class ComputationalServer(Component):
             self.trace.log(self.node.now(), self.node.address, kind, **fields)
 
     # ------------------------------------------------------------------
-    def on_message(self, src: str, msg: Message) -> None:
-        if isinstance(msg, SolveRequest):
-            self._enqueue(src, msg)
-        elif isinstance(msg, StoreObject):
-            self._store_object(src, msg)
-        elif isinstance(msg, DeleteObject):
-            self._delete_object(src, msg)
-        elif isinstance(msg, RegisterAck):
-            self.registered = msg.ok
-            if not msg.ok:
-                self._trace("register_rejected", detail=msg.detail)
-        elif isinstance(msg, Ping):
-            self.node.send(src, Pong(nonce=msg.nonce))
-        # anything else: drop
+    @handles(RegisterAck)
+    def _handle_register_ack(self, src: str, msg: RegisterAck) -> None:
+        self.registered = msg.ok
+        if not msg.ok:
+            self._trace("register_rejected", detail=msg.detail)
+
+    @handles(Ping)
+    def _handle_ping(self, src: str, msg: Ping) -> None:
+        self.node.send(src, Pong(nonce=msg.nonce))
 
     # ------------------------------------------------------------------
     # request-sequencing object cache
@@ -202,6 +197,7 @@ class ComputationalServer(Component):
     def cached_bytes(self) -> int:
         return self._objects_bytes
 
+    @handles(StoreObject)
     def _store_object(self, src: str, msg: StoreObject) -> None:
         buf = bytearray()
         try:
@@ -235,6 +231,7 @@ class ComputationalServer(Component):
         self._trace("object_stored", key=msg.key, nbytes=nbytes)
         self.node.send(src, StoreAck(key=msg.key, ok=True, nbytes=nbytes))
 
+    @handles(DeleteObject)
     def _delete_object(self, src: str, msg: DeleteObject) -> None:
         # idempotent: deleting an absent key still acks ok (nbytes=0)
         if self._metrics is not None:
@@ -267,6 +264,7 @@ class ComputationalServer(Component):
         return resolved
 
     # ------------------------------------------------------------------
+    @handles(SolveRequest)
     def _enqueue(self, src: str, msg: SolveRequest) -> None:
         if self._executing >= self.cfg.max_concurrent:
             self._queue.append((src, msg, self.node.now()))

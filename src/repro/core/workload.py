@@ -9,7 +9,11 @@ and T2 experiments sweep: threshold 0 broadcasts every sample, a large
 threshold approaches pure keep-alive traffic.
 
 The decision logic is a pure function (:meth:`WorkloadReporter.decide`)
-so the policy can be unit-tested and swept without a transport.
+so the policy can be unit-tested and swept without a transport.  The
+reporter owns no timers: the server drives :meth:`WorkloadReporter.tick`
+from a restart-safe :class:`~repro.runtime.periodic.Periodic`, and
+restart recreates the reporter — hysteresis state is deliberately
+cold-started, exactly like the original daemon.
 """
 
 from __future__ import annotations
@@ -82,6 +86,11 @@ class WorkloadReporter:
         return True
 
     # ------------------------------------------------------------------
+    @property
+    def interval(self) -> float:
+        """The sampling period the owning periodic should tick at."""
+        return self.policy.time_step
+
     @property
     def broadcasts(self) -> int:
         return self.state.broadcasts

@@ -298,6 +298,23 @@ class TcpNode(Node):
             return ""
         return f"{ip}:{port}"
 
+    def restart_component(self) -> None:
+        """Drive the component's restart path on a live daemon.
+
+        Runs ``on_restart`` under the node lock, serialized against
+        message delivery and timer fires — the operational "the daemon
+        hiccuped, reset it" path.  Old ``threading.Timer``\\ s armed
+        before the restart may still fire afterwards; restart-safe
+        periodics supersede them by generation, which is exactly what
+        the crash/revive lifecycle tests pin down.
+        """
+        with self.lock:
+            if not self.alive:
+                raise TransportClosed(f"node {self.address!r} is down")
+            if self.component is None:
+                raise TransportError(f"node {self.address!r} has no component")
+            self.component.on_restart()
+
     def learn_endpoint(self, address: str, endpoint: str) -> None:
         try:
             ip, port_text = endpoint.rsplit(":", 1)

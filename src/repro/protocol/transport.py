@@ -30,7 +30,14 @@ from ..trace.instruments import BYTES_BUCKETS, MetricsRegistry
 from .codec import decode_message, encode_message_iov, frame_size
 from .messages import Message
 
-__all__ = ["Component", "Promise", "Node", "SimNode", "SimTransport"]
+__all__ = [
+    "Component",
+    "Promise",
+    "Node",
+    "SimNode",
+    "SimTransport",
+    "set_promise_callback_error_handler",
+]
 
 
 class _WireMetrics:
@@ -74,11 +81,40 @@ class Component:
         raise NotImplementedError
 
 
+#: observer for exceptions escaping ``Promise.on_settled`` callbacks;
+#: installed process-wide (tests, daemons).  The default re-raises,
+#: which in practice surfaces the bug at the resolver's call site.
+_callback_error_handler: Callable[["Promise", BaseException], None] | None = None
+
+
+def set_promise_callback_error_handler(
+    handler: Callable[["Promise", BaseException], None] | None,
+) -> Callable[["Promise", BaseException], None] | None:
+    """Install (or clear, with None) the settle-callback error observer.
+
+    Returns the previous handler so callers can restore it.
+    """
+    global _callback_error_handler
+    previous = _callback_error_handler
+    _callback_error_handler = handler
+    return previous
+
+
 class Promise:
     """One-shot result container resolvable with a value or an error.
 
     The waiting side is transport-specific: the simulated transport runs
     the event loop until resolution; the TCP transport blocks a thread.
+
+    **Callback error policy** — a raising ``on_settled`` callback must
+    not corrupt the settle: by the time callbacks run the promise is
+    already done, every registered callback runs exactly once, and only
+    then is the first callback error re-raised into the resolver's frame
+    (or handed to the process-wide observer installed via
+    :func:`set_promise_callback_error_handler`, which suppresses the
+    re-raise).  A callback registered *after* settlement runs
+    immediately and raises straight to its registrar — there is no
+    resolver frame to protect.
     """
 
     __slots__ = ("_done", "_value", "_error", "_callbacks")
@@ -108,8 +144,17 @@ class Promise:
         self._value = value
         self._error = error
         callbacks, self._callbacks = self._callbacks, []
+        first_failure: Optional[BaseException] = None
         for cb in callbacks:
-            cb(self)
+            try:
+                cb(self)
+            except BaseException as exc:  # noqa: BLE001 - isolate observers
+                if _callback_error_handler is not None:
+                    _callback_error_handler(self, exc)
+                elif first_failure is None:
+                    first_failure = exc
+        if first_failure is not None:
+            raise first_failure
 
     def on_settled(self, cb: Callable[["Promise"], None]) -> None:
         if self._done:

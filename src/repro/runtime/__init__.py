@@ -1,0 +1,35 @@
+"""Shared component runtime.
+
+Everything the three NetSolve components (client, agent, server) used to
+hand-roll around the bare :class:`~repro.protocol.transport.Node`
+primitives lives here, once:
+
+* :mod:`repro.runtime.dispatch` — declarative message dispatch: handler
+  methods are marked with :func:`handles` at class-definition time and
+  :class:`DispatchComponent` routes every delivered message through the
+  resulting registry, with one unknown-message policy and per-type
+  dispatch counts;
+* :mod:`repro.runtime.deadlines` — :class:`DeadlineTable` and
+  :class:`RetryChain`: keyed, generation-safe one-shot timeouts.  A
+  superseded or cancelled deadline structurally cannot fire its
+  callback, which retires the whole class of stale-timer bugs the
+  PR 3 sweep fixed case by case;
+* :mod:`repro.runtime.periodic` — :class:`Periodic`: restart-safe
+  recurring tasks.  ``start()`` supersedes any previous chain, so a
+  component's ``on_restart`` re-arms exactly one chain no matter how
+  the old one died (sim crash, TCP daemon restart, double restart).
+
+See ``docs/architecture.md`` for the layering and a migration guide.
+"""
+
+from .deadlines import DeadlineTable, RetryChain
+from .dispatch import DispatchComponent, handles
+from .periodic import Periodic
+
+__all__ = [
+    "DispatchComponent",
+    "handles",
+    "DeadlineTable",
+    "RetryChain",
+    "Periodic",
+]

@@ -300,6 +300,13 @@ class EventKernel:
         processed = 0
         try:
             while self._heap:
+                if self._heap[0][3].cancelled:
+                    # drop lazily-cancelled timers *before* the time-bound
+                    # check: peeking a cancelled entry at t <= until and
+                    # then stepping would tunnel past ``until`` to the
+                    # next live event
+                    heapq.heappop(self._heap)
+                    continue
                 when = self._heap[0][0]
                 if until is not None and when > until:
                     self._now = until

@@ -144,6 +144,15 @@ class Testbed:
         return self.topology.host(name)
 
     # ------------------------------------------------------------------
+    def injector(self):
+        """A :class:`~repro.core.faults.FailureInjector` over this
+        deployment's transport — the one-liner for crash/revive
+        schedules in lifecycle tests and fault experiments."""
+        from .core.faults import FailureInjector
+
+        return FailureInjector(self.transport)
+
+    # ------------------------------------------------------------------
     def run(self, until: float | None = None) -> float:
         """Advance virtual time."""
         return self.kernel.run(until=until)

@@ -1,0 +1,76 @@
+"""Custom lint: the hand-rolled-timer bug class must not regrow.
+
+PR 3 fixed four stale-timer bugs that all came from the same pattern —
+component code calling ``node.call_after`` directly and guarding
+staleness by hand.  The runtime layer (``src/repro/runtime/``) now owns
+every timer in ``src/repro/core/``, and this AST check keeps it that
+way:
+
+* no ``*.call_after(...)`` call anywhere in ``src/repro/core/`` — arm a
+  :class:`~repro.runtime.deadlines.DeadlineTable` key or a
+  :class:`~repro.runtime.periodic.Periodic` instead;
+* no ``def on_message`` in ``src/repro/core/`` — the declarative
+  ``@handles`` registry is the one dispatch path, so ``isinstance``
+  chains cannot reappear.
+
+The walk is syntactic on purpose: any attribute named ``call_after`` is
+banned regardless of what object it hangs off, because every legitimate
+scheduling need in core has a runtime-level spelling.
+"""
+
+import ast
+from pathlib import Path
+
+CORE = Path(__file__).resolve().parents[1] / "src" / "repro" / "core"
+
+
+def violations_in(source: str, filename: str) -> list[str]:
+    found = []
+    for node in ast.walk(ast.parse(source, filename=filename)):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "call_after"
+        ):
+            found.append(
+                f"{filename}:{node.lineno}: bare .call_after() — use the "
+                "runtime layer (DeadlineTable / RetryChain / Periodic)"
+            )
+        if (
+            isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and node.name == "on_message"
+        ):
+            found.append(
+                f"{filename}:{node.lineno}: hand-written on_message — "
+                "register handlers with @handles instead"
+            )
+    return found
+
+
+def test_core_layer_is_timer_free():
+    assert CORE.is_dir(), f"core package moved? expected {CORE}"
+    failures = []
+    for path in sorted(CORE.glob("*.py")):
+        failures.extend(
+            violations_in(path.read_text(encoding="utf-8"), path.name)
+        )
+    assert not failures, "\n".join(failures)
+
+
+def test_lint_actually_catches_the_banned_patterns():
+    """Guard the guard: the checker must flag both forbidden shapes."""
+    bad = (
+        "class C:\n"
+        "    def on_message(self, src, msg):\n"
+        "        self.node.call_after(1.0, lambda: None)\n"
+    )
+    found = violations_in(bad, "<synthetic>")
+    assert any("call_after" in f for f in found)
+    assert any("on_message" in f for f in found)
+
+    good = (
+        "class C:\n"
+        "    def on_bind(self):\n"
+        "        self._deadlines.arm('k', 1.0, self._fire)\n"
+    )
+    assert violations_in(good, "<synthetic>") == []

@@ -1,0 +1,427 @@
+"""Unit tests for the shared component runtime.
+
+Covers the three runtime modules in isolation (declarative dispatch,
+generation-safe deadlines/retry chains, restart-safe periodics), the
+``Promise.on_settled`` error policy they lean on, and the restart
+double-arm regression across crash -> revive -> crash (the duplicate
+timer-chain leak the runtime exists to make impossible).
+"""
+
+import pytest
+
+from repro.config import AgentConfig, ServerConfig, WorkloadPolicy
+from repro.errors import NetSolveError, ProtocolError, TransportError
+from repro.protocol.messages import Ping, Pong, ProblemList
+from repro.protocol.transport import (
+    Promise,
+    set_promise_callback_error_handler,
+)
+from repro.runtime import DeadlineTable, Periodic, RetryChain
+from repro.runtime.dispatch import DispatchComponent, handles
+from repro.testbed import server_address, standard_testbed
+from repro.trace.events import EventLog
+
+
+# ----------------------------------------------------------------------
+# harness: a manual-clock node
+# ----------------------------------------------------------------------
+class FakeTimer:
+    def __init__(self, when, fn):
+        self.when = when
+        self.fn = fn
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self):
+        self.cancelled = True
+
+
+class FakeNode:
+    """Minimal Node stand-in with an explicitly advanced clock."""
+
+    address = "fake"
+    host_name = "fakehost"
+
+    def __init__(self):
+        self.t = 0.0
+        self.timers: list[FakeTimer] = []
+        self.sent = []
+
+    def now(self):
+        return self.t
+
+    def call_after(self, delay, fn):
+        timer = FakeTimer(self.t + delay, fn)
+        self.timers.append(timer)
+        return timer
+
+    def send(self, dest, msg):
+        self.sent.append((dest, msg))
+
+    def promise(self):
+        return Promise()
+
+    def advance(self, until):
+        while True:
+            due = [
+                t for t in self.timers
+                if not t.cancelled and not t.fired and t.when <= until
+            ]
+            if not due:
+                break
+            timer = min(due, key=lambda t: t.when)
+            timer.fired = True
+            self.t = timer.when
+            timer.fn()
+        self.t = until
+
+    def live_timers(self):
+        return [t for t in self.timers if not t.cancelled and not t.fired]
+
+
+class Holder:
+    """Anything with a .node works as a runtime 'component'."""
+
+    def __init__(self, node):
+        self.node = node
+
+
+# ----------------------------------------------------------------------
+# dispatch
+# ----------------------------------------------------------------------
+class EchoComponent(DispatchComponent):
+    @handles(Ping)
+    def _on_ping(self, src, msg):
+        self.node.send(src, Pong(nonce=msg.nonce))
+
+
+class QuietEcho(EchoComponent):
+    """Subclass override: same type, different handler."""
+
+    @handles(Ping)
+    def _on_ping_quietly(self, src, msg):
+        pass
+
+
+def test_dispatch_routes_counts_and_drops_unknown():
+    comp = EchoComponent()
+    node = FakeNode()
+    comp.bind(node)
+    comp.on_message("peer", Ping(nonce=7))
+    assert node.sent == [("peer", Pong(nonce=7))]
+    comp.on_message("peer", ProblemList(names=(), prefix=""))  # unhandled
+    assert comp.unknown_messages == 1
+    assert comp.dispatch_counts == {"Ping": 1}
+
+
+def test_dispatch_unknown_message_is_traced():
+    comp = EchoComponent()
+    comp.trace = EventLog()
+    comp.bind(FakeNode())
+    comp.on_message("peer", ProblemList(names=(), prefix=""))
+    kinds = [e.kind for e in comp.trace.events]
+    assert kinds == ["unknown_message"]
+
+
+def test_dispatch_subclass_overrides_base_handler():
+    comp = QuietEcho()
+    node = FakeNode()
+    comp.bind(node)
+    comp.on_message("peer", Ping(nonce=1))
+    assert node.sent == []  # the quiet override won
+    assert QuietEcho.__dispatch_table__[Ping] == "_on_ping_quietly"
+    assert EchoComponent.__dispatch_table__[Ping] == "_on_ping"
+
+
+def test_dispatch_duplicate_registration_is_a_definition_error():
+    with pytest.raises(ProtocolError):
+        class Conflicted(DispatchComponent):  # noqa: F811
+            @handles(Ping)
+            def a(self, src, msg):
+                pass
+
+            @handles(Ping)
+            def b(self, src, msg):
+                pass
+
+
+def test_handles_rejects_non_message_types():
+    with pytest.raises(ProtocolError):
+        handles(int)
+    with pytest.raises(ProtocolError):
+        handles()
+
+
+def test_handled_types_sorted_by_type_code():
+    types = EchoComponent.handled_types()
+    assert types == (Ping,)
+
+
+# ----------------------------------------------------------------------
+# deadlines
+# ----------------------------------------------------------------------
+def test_deadline_fires_once_and_pops():
+    node = FakeNode()
+    table = DeadlineTable(Holder(node))
+    fired = []
+    table.arm("k", 5.0, lambda: fired.append(node.now()))
+    assert table.active("k")
+    node.advance(10.0)
+    assert fired == [5.0]
+    assert not table.active("k")
+    assert table.fired == 1
+
+
+def test_deadline_supersede_makes_stale_fire_impossible():
+    node = FakeNode()
+    table = DeadlineTable(Holder(node))
+    fired = []
+    table.arm("k", 5.0, lambda: fired.append("old"))
+    node.advance(2.0)
+    table.arm("k", 5.0, lambda: fired.append("new"))  # supersedes
+    node.advance(20.0)
+    assert fired == ["new"]
+    # the superseded timer was cancelled outright; even if a transport
+    # cannot cancel (None handles), the generation stamp suppresses it
+    assert table.stale_suppressed == 0
+
+
+def test_deadline_generation_guard_without_cancellable_timers():
+    node = FakeNode()
+    node.call_after_orig = node.call_after
+    node.call_after = lambda delay, fn: (node.call_after_orig(delay, fn), None)[1]
+    table = DeadlineTable(Holder(node))
+    fired = []
+    table.arm("k", 5.0, lambda: fired.append("old"))
+    table.arm("k", 7.0, lambda: fired.append("new"))
+    node.advance(20.0)  # both underlying timers fire; only one is current
+    assert fired == ["new"]
+    assert table.stale_suppressed == 1
+
+
+def test_deadline_cancel_and_clear():
+    node = FakeNode()
+    table = DeadlineTable(Holder(node))
+    table.arm("a", 5.0, lambda: pytest.fail("cancelled deadline fired"))
+    table.arm("b", 5.0, lambda: pytest.fail("cleared deadline fired"))
+    assert table.cancel("a") is True
+    assert table.cancel("a") is False  # already gone
+    assert table.clear() == 1
+    assert len(table) == 0
+    node.advance(10.0)
+    assert table.fired == 0
+
+
+def test_retry_chain_resends_then_exhausts():
+    node = FakeNode()
+    table = DeadlineTable(Holder(node))
+    sends, retries, exhausted = [], [], []
+    RetryChain(
+        table, "describe",
+        interval=5.0, attempts=3,
+        send=lambda attempt: sends.append((node.now(), attempt)),
+        on_retry=lambda attempt: retries.append(attempt),
+        on_exhausted=lambda: exhausted.append(node.now()),
+    ).start()
+    node.advance(100.0)
+    assert sends == [(0.0, 1), (5.0, 2), (10.0, 3)]
+    assert retries == [2, 3]
+    assert exhausted == [15.0]
+    assert not table.active("describe")
+
+
+def test_retry_chain_cancel_stops_the_clock():
+    node = FakeNode()
+    table = DeadlineTable(Holder(node))
+    sends = []
+    chain = RetryChain(
+        table, "k", interval=5.0, attempts=3,
+        send=lambda attempt: sends.append(attempt),
+        on_exhausted=lambda: pytest.fail("cancelled chain exhausted"),
+    )
+    chain.start()
+    node.advance(2.0)
+    assert chain.cancel() is True
+    node.advance(100.0)
+    assert sends == [1]
+
+
+def test_retry_chain_needs_positive_budget():
+    table = DeadlineTable(Holder(FakeNode()))
+    with pytest.raises(NetSolveError):
+        RetryChain(
+            table, "k", interval=1.0, attempts=0,
+            send=lambda a: None, on_exhausted=lambda: None,
+        )
+
+
+# ----------------------------------------------------------------------
+# periodic
+# ----------------------------------------------------------------------
+def test_periodic_fires_every_interval():
+    node = FakeNode()
+    ticks = []
+    periodic = Periodic(Holder(node), 10.0, lambda: ticks.append(node.now()))
+    periodic.start()
+    node.advance(35.0)
+    assert ticks == [10.0, 20.0, 30.0]
+    assert periodic.fires == 3
+    assert periodic.last_fired == 30.0
+
+
+def test_periodic_restart_supersedes_instead_of_doubling():
+    node = FakeNode()
+    ticks = []
+    periodic = Periodic(Holder(node), 10.0, lambda: ticks.append(node.now()))
+    periodic.start()
+    node.advance(15.0)
+    periodic.start()  # the restart path: re-arm, do not add a chain
+    periodic.start()  # even twice
+    node.advance(60.0)
+    # one fire at 10, then the restart at 15 rebased the chain: 25, 35, ...
+    assert ticks == [10.0, 25.0, 35.0, 45.0, 55.0]
+    assert len(node.live_timers()) == 1
+
+
+def test_periodic_survives_uncancellable_timers():
+    node = FakeNode()
+    node.call_after_orig = node.call_after
+    node.call_after = lambda delay, fn: (node.call_after_orig(delay, fn), None)[1]
+    ticks = []
+    periodic = Periodic(Holder(node), 10.0, lambda: ticks.append(node.now()))
+    periodic.start()
+    node.advance(5.0)
+    periodic.start()  # cannot cancel the old chain: must outlive it
+    node.advance(26.0)
+    assert ticks == [15.0, 25.0]  # rebased chain only
+    assert periodic.stale_ticks == 1  # the old chain's tick was suppressed
+
+
+def test_periodic_stop():
+    node = FakeNode()
+    periodic = Periodic(
+        Holder(node), 10.0, lambda: pytest.fail("stopped periodic fired")
+    )
+    periodic.start()
+    assert periodic.running
+    periodic.stop()
+    assert not periodic.running
+    node.advance(50.0)
+    assert periodic.fires == 0
+
+
+# ----------------------------------------------------------------------
+# Promise.on_settled error policy
+# ----------------------------------------------------------------------
+def test_promise_callback_error_isolated_then_surfaced():
+    p = Promise()
+    ran = []
+    p.on_settled(lambda _p: (_ for _ in ()).throw(RuntimeError("boom")))
+    p.on_settled(lambda _p: ran.append("second"))
+    with pytest.raises(RuntimeError, match="boom"):
+        p.resolve(41)
+    # the settle completed and every later callback still ran
+    assert p.done and p.result() == 41
+    assert ran == ["second"]
+
+
+def test_promise_callback_error_handler_suppresses_reraise():
+    seen = []
+    previous = set_promise_callback_error_handler(
+        lambda promise, exc: seen.append((promise, str(exc)))
+    )
+    try:
+        p = Promise()
+        p.on_settled(lambda _p: (_ for _ in ()).throw(ValueError("quiet")))
+        p.resolve("ok")  # must NOT raise: the observer took the error
+        assert p.result() == "ok"
+        assert seen == [(p, "quiet")]
+    finally:
+        set_promise_callback_error_handler(previous)
+
+
+def test_promise_post_settle_callback_raises_to_registrar():
+    p = Promise()
+    p.resolve(1)
+    with pytest.raises(RuntimeError):
+        p.on_settled(lambda _p: (_ for _ in ()).throw(RuntimeError("late")))
+
+
+def test_promise_still_rejects_double_settle():
+    p = Promise()
+    p.resolve(1)
+    with pytest.raises(TransportError):
+        p.resolve(2)
+
+
+# ----------------------------------------------------------------------
+# restart double-arm regression (the satellite bug)
+# ----------------------------------------------------------------------
+def _fire_times(periodic):
+    times = []
+    inner = periodic._fn
+    node = periodic._component.node
+
+    def recording():
+        times.append(node.now())
+        inner()
+
+    periodic._fn = recording
+    return times
+
+
+def test_restart_does_not_double_arm_periodics():
+    """crash -> revive -> crash -> revive, plus gratuitous on_restart
+    calls on a live node (the TCP daemon restart shape): every periodic
+    must keep exactly one chain, firing once per interval."""
+    tb = standard_testbed(
+        n_servers=1,
+        seed=11,
+        agent_cfg=AgentConfig(liveness_timeout=40.0, suspect_probe_interval=7.0),
+        server_cfg=ServerConfig(
+            workload=WorkloadPolicy(time_step=5.0, threshold=10.0)
+        ),
+    )
+    tb.settle()
+    agent = tb.agent
+    server = tb.server("s0")
+    addr = server_address("s0")
+
+    sweep_times = _fire_times(agent._sweep)
+    tick_times = _fire_times(server._ticker)
+
+    t = tb.kernel.now
+    tb.transport.crash(addr)
+    tb.run(until=t + 3.0)
+    tb.transport.revive(addr)  # -> on_restart -> on_bind
+    tb.run(until=t + 6.0)
+    tb.transport.crash(addr)
+    tb.run(until=t + 8.0)
+    tb.transport.revive(addr)
+
+    # the live-daemon shape: on_restart invoked repeatedly on a node
+    # that never lost its timers (sim crash cancels them; a TCP daemon
+    # restart does not)
+    server.on_restart()
+    server.on_restart()
+    agent.on_restart()
+    agent.on_restart()
+    # superseded chains are cancelled as they are replaced: re-arming
+    # every periodic again must not grow the live timer population
+    # (re-register sends messages, so measure the bare start() path)
+    pending_after_storm = tb.kernel.pending()
+    agent._sweep.start()
+    agent._probe.start()
+    server._ticker.start()
+    assert tb.kernel.pending() == pending_after_storm
+
+    tb.run(until=t + 60.0)
+
+    for times, interval in ((sweep_times, 10.0), (tick_times, 5.0)):
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert gaps, "periodic never fired"
+        assert min(gaps) >= interval - 1e-9, (
+            f"double-armed chain: gaps {gaps}"
+        )
+    assert agent._sweep.stale_ticks == 0  # sim timers were cancellable
+    assert server._ticker.fires > 0
