@@ -1,0 +1,152 @@
+"""Experiment F7 — overload protection under a saturating farm.
+
+Claim: when a burst of requests saturates the pool, bounded server
+admission (``max_queue``) plus Busy failover turns overload into cheap,
+explicit re-balancing — every refusal costs one round trip and steers
+the client to spare capacity — where the unbounded baseline piles the
+burst onto the predicted-best server and recovers only through attempt
+timeouts: seconds of queue wait lost per failover, the abandoned work
+still grinding on the server, and false death marks on servers that
+were merely busy.
+
+Protocol: 4 equal servers (one execution slot each), pending-assignment
+feedback disabled so the agent's view refreshes only through workload
+reports — the stale-information regime the admission cap defends
+against (reports cannot see a server's FIFO queue at all, so herding is
+invisible to the broker in both modes).  A farm of dgesv instances is
+submitted as one burst; the two modes differ *only* in
+``ServerConfig.max_queue``.  Reports p50/p99 turnaround, shed counts
+and terminal states; writes ``benchmarks/results/BENCH_overload.json``.
+Set ``BENCH_SMOKE=1`` for a quick CI run (smaller farm, same asserts).
+"""
+
+import json
+import os
+
+import numpy as np
+
+from _harness import RESULTS_DIR, emit, linear_system
+from repro.config import AgentConfig, ClientConfig, ServerConfig
+from repro.core.request import RequestStatus
+from repro.farming import submit_farm
+from repro.simnet.rng import RngStreams
+from repro.testbed import standard_testbed
+
+SMOKE = bool(os.environ.get("BENCH_SMOKE"))
+
+N_SERVERS = 4
+SIZE = 500                     # ~8.3e7 flops: 0.83 s on a 100 Mflop/s box
+FARM = 16 if SMOKE else 48     # burst size: well past the pool's slots
+MAX_QUEUE = 6                  # bounded mode's admission cap
+
+
+def run_mode(max_queue: int) -> dict:
+    tb = standard_testbed(
+        n_servers=N_SERVERS,
+        server_mflops=[100.0] * N_SERVERS,
+        seed=171,
+        bandwidth=1e8,  # compute-dominated: the uplink is not the story
+        agent_cfg=AgentConfig(candidate_list_length=3),
+        client_cfg=ClientConfig(
+            max_retries=80,       # busy failovers are attempts too
+            agent_retries=40,     # empty-pool backoff budget
+            timeout_floor=8.0,    # one timeout cycle ≈ 10 service times
+            server_timeout=3600.0,
+        ),
+        server_cfg=ServerConfig(max_concurrent=1, max_queue=max_queue),
+        assignment_feedback=False,
+    )
+    tb.settle()
+    rng = RngStreams(171).get("f7.data")
+    args = [list(linear_system(rng, SIZE)) for _ in range(FARM)]
+    t0 = tb.kernel.now
+    farm = submit_farm(tb.client("c0"), "linsys/dgesv", args)
+    tb.wait_all(farm.handles, limit=t0 + 3600.0)
+
+    records = farm.records
+    # acceptance: every request reached a terminal state
+    assert all(r.status.terminal for r in records), "non-terminal request"
+    done = [r for r in records if r.status is RequestStatus.DONE]
+    turnaround = np.array([r.total_seconds for r in done])
+    outcomes = [a.outcome for r in records for a in r.attempts]
+    return {
+        "max_queue": max_queue,
+        "requests": FARM,
+        "done": len(done),
+        "failed": len(records) - len(done),
+        "p50_s": float(np.percentile(turnaround, 50)),
+        "p99_s": float(np.percentile(turnaround, 99)),
+        "mean_s": float(turnaround.mean()),
+        "sheds": sum(s.requests_shed for s in tb.servers.values()),
+        "peak_queue": max(s.peak_queue for s in tb.servers.values()),
+        "busy_attempts": outcomes.count("busy"),
+        "timeout_attempts": outcomes.count("timeout"),
+        "stale_completions": sum(
+            s.stale_completions for s in tb.servers.values()
+        ),
+        "agent_busy_reports": tb.agent.busy_reports_received,
+        "servers_used": farm.servers_used(),
+    }
+
+
+def test_f7_overload():
+    unbounded = run_mode(0)
+    bounded = run_mode(MAX_QUEUE)
+
+    header = (
+        f"{'mode':>10} {'done':>5} {'fail':>5} {'p50 s':>8} {'p99 s':>8} "
+        f"{'sheds':>6} {'peakQ':>6} {'busy':>5} {'tmout':>6}"
+    )
+    lines = [
+        f"F7: saturating farm of {FARM} dgesv({SIZE}) over "
+        f"{N_SERVERS} equal servers — bounded admission vs unbounded",
+        "",
+        header,
+    ]
+    for label, r in (("unbounded", unbounded), ("bounded", bounded)):
+        lines.append(
+            f"{label:>10} {r['done']:>5} {r['failed']:>5} "
+            f"{r['p50_s']:>8.2f} {r['p99_s']:>8.2f} {r['sheds']:>6} "
+            f"{r['peak_queue']:>6} {r['busy_attempts']:>5} "
+            f"{r['timeout_attempts']:>6}"
+        )
+    lines.append("")
+    lines.append(
+        f"p99 ratio bounded/unbounded: "
+        f"{bounded['p99_s'] / unbounded['p99_s']:.2f} "
+        f"(max_queue={MAX_QUEUE}; unbounded failover is timeout-driven)"
+    )
+    emit("F7_overload", "\n".join(lines))
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_overload.json").write_text(
+        json.dumps(
+            {
+                "benchmark": "overload",
+                "farm": FARM,
+                "size": SIZE,
+                "smoke": SMOKE,
+                "modes": {"unbounded": unbounded, "bounded": bounded},
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    # the unbounded baseline never sheds and its queue is unbounded
+    assert unbounded["sheds"] == 0
+    assert unbounded["peak_queue"] > MAX_QUEUE
+    # bounded admission: sheds happened, and no queue ever passed the cap
+    assert bounded["sheds"] > 0
+    assert bounded["peak_queue"] <= MAX_QUEUE
+    # busy reports reached the agent as penalties, not death marks
+    assert bounded["agent_busy_reports"] > 0
+    # the headline: explicit shedding beats timeout-driven recovery
+    assert bounded["p99_s"] < 0.9 * unbounded["p99_s"], (
+        bounded["p99_s"], unbounded["p99_s"],
+    )
+
+
+if __name__ == "__main__":
+    test_f7_overload()
+    print("bench_f7_overload: all assertions passed")

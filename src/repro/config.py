@@ -69,6 +69,13 @@ class AgentConfig:
     #: ping suspect servers this often so false suspects (e.g. a lost
     #: reply blamed on the server) rejoin quickly; 0 disables probing
     suspect_probe_interval: float = 30.0
+    #: workload units (100 = 1.0 load average) added to a server's view
+    #: when a client reports it Busy — re-balances the MCT ranking away
+    #: from saturated servers without marking them dead
+    busy_penalty_workload: float = 100.0
+    #: seconds a busy penalty stays in force before it decays; 0 turns
+    #: busy reports into pure telemetry (no ranking effect)
+    busy_penalty_seconds: float = 30.0
 
     def __post_init__(self) -> None:
         _require(self.candidate_list_length >= 1, "candidate_list_length must be >= 1")
@@ -77,6 +84,14 @@ class AgentConfig:
         _require(
             self.suspect_probe_interval >= 0,
             "suspect_probe_interval must be >= 0",
+        )
+        _require(
+            self.busy_penalty_workload >= 0,
+            "busy_penalty_workload must be >= 0",
+        )
+        _require(
+            self.busy_penalty_seconds >= 0,
+            "busy_penalty_seconds must be >= 0",
         )
 
 
@@ -88,6 +103,10 @@ class ServerConfig:
     #: maximum requests executing concurrently (1 = the paper's fork model
     #: serialized; >1 models a multi-CPU server)
     max_concurrent: int = 1
+    #: admission cap on the FIFO queue: past this many waiting requests
+    #: the server sheds with a retryable ``Busy`` reply instead of
+    #: queueing unboundedly; 0 = unbounded (the pre-overload behaviour)
+    max_queue: int = 0
     #: re-register with the agent at this interval (seconds); 0 disables
     reregister_interval: float = 0.0
     #: byte budget of the request-sequencing object cache
@@ -95,6 +114,7 @@ class ServerConfig:
 
     def __post_init__(self) -> None:
         _require(self.max_concurrent >= 1, "max_concurrent must be >= 1")
+        _require(self.max_queue >= 0, "max_queue must be >= 0")
         _require(self.reregister_interval >= 0, "reregister_interval must be >= 0")
         _require(self.object_cache_bytes >= 0, "object_cache_bytes must be >= 0")
 

@@ -61,9 +61,9 @@ class _AgentMetrics:
 
     __slots__ = (
         "queries", "query_rejects", "registrations", "register_rejects",
-        "workload_reports", "failure_reports", "transfer_reports",
-        "describes", "lists", "mirror_forwards", "servers_alive",
-        "servers_total", "predicted_head_seconds",
+        "workload_reports", "failure_reports", "busy_reports",
+        "transfer_reports", "describes", "lists", "mirror_forwards",
+        "servers_alive", "servers_total", "predicted_head_seconds",
     )
 
     def __init__(self, m: MetricsRegistry):
@@ -79,6 +79,8 @@ class _AgentMetrics:
                                   "workload reports folded in")
         self.failure_reports = c("agent.failure_reports",
                                  "client failure reports received")
+        self.busy_reports = c("agent.busy_reports",
+                              "busy reports turned into workload penalties")
         self.transfer_reports = c("agent.transfer_reports",
                                   "transfer observations received")
         self.describes = c("agent.describes", "DescribeProblems answered")
@@ -146,6 +148,7 @@ class Agent(DispatchComponent):
         self.registrations = 0
         self.reports_received = 0
         self.failures_reported = 0
+        self.busy_reports_received = 0
         self.forwards_sent = 0
         self._sweep = Periodic(
             self, cfg.liveness_timeout / 4.0, self._sweep_liveness,
@@ -329,17 +332,37 @@ class Agent(DispatchComponent):
 
     @handles(FailureReport)
     def _handle_failure(self, src: str, msg: FailureReport) -> None:
-        self.table.mark_failed(msg.server_id)
         self.failures_reported += 1
-        if self._metrics is not None:
-            self._metrics.failure_reports.inc()
-            self._update_server_gauges()
-        self._trace(
-            "failure_report",
-            server_id=msg.server_id,
-            problem=msg.problem,
-            detail=msg.detail,
-        )
+        if msg.kind == "busy":
+            # the server answered — with an admission refusal — so it is
+            # saturated, not dead: penalise its ranking for a while and
+            # let the pool re-balance without losing capacity
+            self.busy_reports_received += 1
+            self.table.penalize(
+                msg.server_id,
+                self.node.now(),
+                workload=self.cfg.busy_penalty_workload,
+                hold_for=self.cfg.busy_penalty_seconds,
+            )
+            if self._metrics is not None:
+                self._metrics.busy_reports.inc()
+            self._trace(
+                "busy_report",
+                server_id=msg.server_id,
+                problem=msg.problem,
+                detail=msg.detail,
+            )
+        else:
+            self.table.mark_failed(msg.server_id)
+            if self._metrics is not None:
+                self._metrics.failure_reports.inc()
+                self._update_server_gauges()
+            self._trace(
+                "failure_report",
+                server_id=msg.server_id,
+                problem=msg.problem,
+                detail=msg.detail,
+            )
         if not msg.forwarded and self.peers:
             from dataclasses import replace
 
@@ -372,15 +395,16 @@ class Agent(DispatchComponent):
         one service time — because NetSolve servers run requests one at a
         time: a queued request waits, it does not steal CPU share.
         """
+        now = self.node.now()
         base = predict_for(
             spec,
             env,
             link=self.network.link(client_host, entry.host),
             peak_mflops=entry.mflops,
-            workload=entry.workload,
+            workload=entry.current_workload(now),
             use_workload=self.use_workload,
         )
-        return self._inflate_pending(base, entry, self.node.now())
+        return self._inflate_pending(base, entry, now)
 
     def _inflate_pending(
         self, base: Prediction, entry: ServerEntry, now: float
@@ -430,7 +454,7 @@ class Agent(DispatchComponent):
                 links[e.host] = link
             latency[i], bandwidth[i] = link
             peak[i] = e.mflops
-            workload[i] = e.workload
+            workload[i] = e.current_workload(now)
             if feedback and e.pending_expiries:
                 pending[i] = e.live_pending(now)
         totals = predict_batch(
@@ -504,7 +528,7 @@ class Agent(DispatchComponent):
                         output_bytes=output_bytes,
                         link=self.network.link(msg.client_host, entry.host),
                         peak_mflops=entry.mflops,
-                        workload=entry.workload,
+                        workload=entry.current_workload(now),
                         use_workload=self.use_workload,
                     )
                     cached = self._inflate_pending(base, entry, now)

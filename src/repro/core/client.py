@@ -37,6 +37,7 @@ from ..errors import (
 from ..problems.pdl import parse_pdl
 from ..problems.spec import ProblemSpec, validate_inputs
 from ..protocol.messages import (
+    Busy,
     Candidate,
     DescribeProblem,
     FailureReport,
@@ -73,7 +74,8 @@ class _ClientMetrics:
         "submits", "pinned_submits", "describe_sends", "describe_retries",
         "queries", "query_retries", "query_backoffs", "attempts",
         "attempt_ok", "attempt_errors", "attempt_timeouts", "failovers",
-        "requests_done", "requests_failed", "store_ops", "store_timeouts",
+        "busy_failovers", "requests_done", "requests_failed",
+        "store_ops", "store_timeouts",
         "active", "request_seconds", "negotiation_seconds",
         "attempt_seconds", "prediction_error_seconds",
     )
@@ -100,6 +102,8 @@ class _ClientMetrics:
                                   "attempts abandoned on timeout")
         self.failovers = c("client.failovers",
                            "failures reported to the agent before retry")
+        self.busy_failovers = c("client.busy_failovers",
+                                "attempts refused with Busy and retried")
         self.requests_done = c("client.requests_done", "requests resolved")
         self.requests_failed = c("client.requests_failed",
                                  "requests rejected")
@@ -839,7 +843,9 @@ class NetSolveClient(DispatchComponent):
         self._report_failure(req, "timeout")
         self._try_next(req)
 
-    def _report_failure(self, req: _Active, detail: str) -> None:
+    def _report_failure(
+        self, req: _Active, detail: str, *, kind: str = ""
+    ) -> None:
         assert req.current is not None
         req.tried.append(req.current.server_id)
         if not req.pinned:
@@ -855,6 +861,7 @@ class NetSolveClient(DispatchComponent):
                     server_id=req.current.server_id,
                     problem=req.problem,
                     detail=detail,
+                    kind=kind,
                 ),
             )
         req.current = None
@@ -927,3 +934,39 @@ class NetSolveClient(DispatchComponent):
                 req.span.end_phase(now, outcome="error")
             self._report_failure(req, msg.detail)
             self._try_next(req)
+
+    @handles(Busy)
+    def _on_busy(self, src: str, msg: Busy) -> None:
+        """Admission refused: the request was never queued there.
+
+        Shaped like a fast server-side error, but classified "busy" on
+        the way to the agent so the server is penalised in the ranking
+        instead of marked dead, then the normal fault-tolerance loop
+        falls through to the next candidate (re-querying with bounded
+        backoff once the list runs dry)."""
+        req = self._active.get(msg.request_id)
+        if (
+            req is None
+            or req.record.status is not RequestStatus.EXECUTING
+            or req.current is None
+            or src != req.current.address
+        ):
+            return  # refusal from an attempt we already gave up on
+        self._deadlines.cancel(msg.request_id)
+        assert req.attempt is not None
+        now = self.node.now()
+        req.attempt.t_end = now
+        req.attempt.outcome = "busy"
+        req.attempt.detail = msg.detail
+        self._trace(
+            "attempt_busy",
+            request_id=msg.request_id,
+            server_id=req.current.server_id,
+            queue_depth=msg.queue_depth,
+        )
+        if self._metrics is not None:
+            self._metrics.busy_failovers.inc()
+        if req.span is not None:
+            req.span.end_phase(now, outcome="busy")
+        self._report_failure(req, msg.detail or "busy", kind="busy")
+        self._try_next(req)

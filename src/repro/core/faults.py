@@ -32,6 +32,11 @@ class FailureInjector:
         self.transport = transport
         self.plan: list[InjectedFault] = []
         self.executed: list[InjectedFault] = []
+        #: planned faults that were no-ops when they fired (crashing an
+        #: already-dead node, reviving a live one) — without this the
+        #: audit trail silently diverges from the plan and an experiment
+        #: can report fault-tolerance results for faults that never hit
+        self.skipped: list[InjectedFault] = []
 
     # ------------------------------------------------------------------
     def crash_at(self, t: float, address: str) -> None:
@@ -59,12 +64,26 @@ class FailureInjector:
                 if self.transport.is_alive(address):
                     self.transport.crash(address)
                     self.executed.append(fault)
+                else:
+                    self.skipped.append(fault)
             else:
                 if not self.transport.is_alive(address):
                     self.transport.revive(address)
                     self.executed.append(fault)
+                else:
+                    self.skipped.append(fault)
 
         self.transport.kernel.call_at(t, fire)
+
+    def audit(self) -> dict[str, int]:
+        """Plan-vs-reality accounting: every planned fault that has come
+        due is either executed or skipped; ``pending`` counts the rest."""
+        return {
+            "planned": len(self.plan),
+            "executed": len(self.executed),
+            "skipped": len(self.skipped),
+            "pending": len(self.plan) - len(self.executed) - len(self.skipped),
+        }
 
     # ------------------------------------------------------------------
     def random_crashes(

@@ -60,10 +60,29 @@ class ServerEntry:
     #: workload report (push via heapq only)
     pending_expiries: list[float] = field(default_factory=list)
     assignments: int = 0
+    #: short-lived workload penalty from client Busy reports: the server
+    #: is saturated *right now*, so rank it worse without losing it
+    penalty_workload: float = 0.0
+    penalty_until: float = 0.0
+    busy_reports: int = 0
 
     @property
     def pending(self) -> int:
         return len(self.pending_expiries)
+
+    def current_workload(self, now: float) -> float:
+        """Reported workload plus any live busy penalty.
+
+        Returns ``self.workload`` itself (the very same float) when no
+        penalty is in force, so unpenalised ranking stays bit-identical
+        to ranking on the raw report.
+        """
+        if self.penalty_workload and now < self.penalty_until:
+            return self.workload + self.penalty_workload
+        if self.penalty_workload:  # decayed: forget it lazily
+            self.penalty_workload = 0.0
+            self.penalty_until = 0.0
+        return self.workload
 
     def live_pending(self, now: float) -> int:
         """Pending-assignment count after dropping expired hints."""
@@ -169,6 +188,10 @@ class ServerTable:
             entry.last_report = now
             entry.alive = True
             entry.pending_expiries.clear()
+            # a re-registration is a cold restart: whatever saturation
+            # the busy penalty modelled died with the old incarnation
+            entry.penalty_workload = 0.0
+            entry.penalty_until = 0.0
         return entry
 
     def get(self, server_id: str) -> ServerEntry:
@@ -248,6 +271,29 @@ class ServerTable:
         entry = self._entries[server_id]
         entry.failures += 1
         entry.alive = False
+
+    def penalize(
+        self, server_id: str, now: float, *, workload: float, hold_for: float
+    ) -> None:
+        """A client reported this server Busy: worsen its ranking for
+        ``hold_for`` seconds without touching liveness.
+
+        Repeated reports stack (each refused client is more evidence of
+        saturation) and extend the expiry; the penalty decays as a whole
+        once ``hold_for`` passes with no further reports.  The server
+        stays alive and schedulable throughout — overload is a
+        re-balancing signal, not a death sentence.
+        """
+        if server_id not in self._entries:
+            return  # stale report about a server we already dropped
+        if workload <= 0 or hold_for <= 0:
+            return  # penalties disabled: busy reports are telemetry only
+        entry = self._entries[server_id]
+        entry.busy_reports += 1
+        if now >= entry.penalty_until:
+            entry.penalty_workload = 0.0  # previous penalty had decayed
+        entry.penalty_workload += workload
+        entry.penalty_until = now + hold_for
 
     def sweep_liveness(self, now: float, timeout: float) -> list[str]:
         """Mark servers silent for longer than ``timeout`` as down."""

@@ -37,7 +37,7 @@ class AttemptRecord:
     predicted_seconds: float
     t_sent: float
     t_end: Optional[float] = None
-    #: "ok" | "error" | "timeout" (None while in flight)
+    #: "ok" | "error" | "timeout" | "busy" (None while in flight)
     outcome: Optional[str] = None
     detail: str = ""
     #: server-reported compute seconds (only on "ok")
@@ -109,7 +109,10 @@ class RequestRecord:
     @property
     def retries(self) -> int:
         """Failed attempts before (or without) success."""
-        return sum(1 for a in self.attempts if a.outcome in ("error", "timeout"))
+        return sum(
+            1 for a in self.attempts
+            if a.outcome in ("error", "timeout", "busy")
+        )
 
     @property
     def server_id(self) -> Optional[str]:

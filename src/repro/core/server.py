@@ -7,6 +7,14 @@ CPU job of the spec's advertised flop count, reply with outputs or a
 structured error.  ``max_concurrent`` bounds simultaneous executions;
 excess requests queue FIFO, mirroring the original's fork-per-request
 server with a small process cap.
+
+Overload protection: ``max_queue`` bounds the FIFO queue — a request
+arriving past the cap is *shed* with a retryable :class:`Busy` reply
+instead of queueing forever, which is what lets clients spread a
+saturating workload across the pool.  Every in-flight compute is stamped
+with the server's *incarnation generation*; a restart bumps the
+generation, so completion callbacks armed by a previous incarnation are
+dropped instead of corrupting ``_executing`` or emitting stale replies.
 """
 
 from __future__ import annotations
@@ -21,6 +29,7 @@ from ..problems.registry import ProblemRegistry
 from ..problems.spec import validate_inputs
 from ..protocol.codec import encode_value
 from ..protocol.messages import (
+    Busy,
     DeleteObject,
     ObjectRef,
     Ping,
@@ -49,9 +58,9 @@ class _ServerMetrics:
     """
 
     __slots__ = (
-        "requests", "ok", "errors", "queued", "stores", "store_rejects",
-        "deletes", "queue_depth", "executing", "compute_seconds",
-        "queue_wait_seconds",
+        "requests", "ok", "errors", "queued", "sheds", "stale_drops",
+        "stores", "store_rejects", "deletes", "queue_depth", "executing",
+        "compute_seconds", "queue_wait_seconds",
     )
 
     def __init__(self, registry: MetricsRegistry):
@@ -61,6 +70,11 @@ class _ServerMetrics:
         self.errors = registry.counter("server.errors", "failed solve replies")
         self.queued = registry.counter(
             "server.queued", "requests held in the FIFO queue")
+        self.sheds = registry.counter(
+            "server.sheds", "requests refused with Busy (queue at max_queue)")
+        self.stale_drops = registry.counter(
+            "server.stale_drops",
+            "compute completions from a previous incarnation dropped")
         self.stores = registry.counter(
             "server.stores", "objects stored in the sequencing cache")
         self.store_rejects = registry.counter(
@@ -107,10 +121,20 @@ class ComputationalServer(DispatchComponent):
         self.reporter: Optional[WorkloadReporter] = None
         self.registered = False
         self._executing = 0
+        #: incarnation generation: bumped on every restart so completion
+        #: callbacks of forgotten in-flight work identify themselves as
+        #: stale instead of corrupting the new incarnation's state
+        self._generation = 0
         #: queued as (src, msg, t_enqueued) so starts can observe the wait
         self._queue: deque[tuple[str, SolveRequest, float]] = deque()
         self.requests_served = 0
         self.requests_failed = 0
+        #: requests refused with Busy because the queue was at max_queue
+        self.requests_shed = 0
+        #: stale completions (previous incarnation) dropped by the guard
+        self.stale_completions = 0
+        #: deepest the FIFO queue ever got (admission-cap audit)
+        self.peak_queue = 0
         #: request-sequencing object cache: key -> (value, nbytes)
         self._objects: dict[str, tuple[object, int]] = {}
         self._objects_bytes = 0
@@ -141,12 +165,17 @@ class ComputationalServer(DispatchComponent):
         """Restart path: a revived daemon forgets in-flight work, then
         re-registers and re-arms its reporting exactly like a cold start.
         Periodic.start() supersedes the previous chains, so this cannot
-        double-arm even when old TCP timers are still in flight."""
+        double-arm even when old TCP timers are still in flight.  The
+        generation bump makes completions of the forgotten work stale:
+        on the live-restart path their ``done`` closures may still fire,
+        and without the stamp they would drive ``_executing`` negative
+        and emit replies for requests this incarnation never accepted."""
         if self._metrics is not None:
             self._metrics.queue_depth.dec(len(self._queue))
             self._metrics.executing.dec(self._executing)
         self._queue.clear()
         self._executing = 0
+        self._generation += 1
         self.registered = False
         self.on_bind()
 
@@ -267,7 +296,28 @@ class ComputationalServer(DispatchComponent):
     @handles(SolveRequest)
     def _enqueue(self, src: str, msg: SolveRequest) -> None:
         if self._executing >= self.cfg.max_concurrent:
+            depth = len(self._queue)
+            if 0 < self.cfg.max_queue <= depth:
+                # bounded admission: refuse instead of queueing forever;
+                # the client falls through to its next candidate
+                self.requests_shed += 1
+                if self._metrics is not None:
+                    self._metrics.sheds.inc()
+                self._trace(
+                    "request_shed", request_id=msg.request_id, depth=depth
+                )
+                self.node.send(
+                    msg.reply_to or src,
+                    Busy(
+                        request_id=msg.request_id,
+                        queue_depth=depth,
+                        detail=f"queue full ({depth}/{self.cfg.max_queue})",
+                    ),
+                )
+                return
             self._queue.append((src, msg, self.node.now()))
+            if len(self._queue) > self.peak_queue:
+                self.peak_queue = len(self._queue)
             if self._metrics is not None:
                 self._metrics.queued.inc()
                 self._metrics.queue_depth.inc()
@@ -312,6 +362,7 @@ class ComputationalServer(DispatchComponent):
             return
 
         self._executing += 1
+        generation = self._generation
         if self._metrics is not None:
             self._metrics.executing.inc()
         self._trace(
@@ -325,6 +376,16 @@ class ComputationalServer(DispatchComponent):
             return self.registry.execute(msg.problem, inputs)
 
         def done(result, elapsed: float) -> None:
+            if generation != self._generation:
+                # completion of work a restart already forgot: the new
+                # incarnation zeroed _executing and owes no reply
+                self.stale_completions += 1
+                if self._metrics is not None:
+                    self._metrics.stale_drops.inc()
+                self._trace(
+                    "stale_completion_dropped", request_id=msg.request_id
+                )
+                return
             self._executing -= 1
             if self._metrics is not None:
                 self._metrics.executing.dec()

@@ -63,10 +63,19 @@ class WorkloadReporter:
 
     # ------------------------------------------------------------------
     def decide(self, value: float, now: float) -> bool:
-        """Pure hysteresis decision: should ``value`` be broadcast now?"""
+        """Pure hysteresis decision: should ``value`` be broadcast now?
+
+        Threshold 0 disables hysteresis entirely: every sample goes out,
+        even a bit-identical repeat.  The strict ``>`` below would read
+        ``|Δ| > 0`` and suppress unchanged values until the forced
+        interval, silently turning "report everything" into a keep-alive
+        policy — the documented semantics win.
+        """
         st = self.state
         if st.last_sent_value is None or st.last_sent_time is None:
             return True  # first sample always goes out
+        if self.policy.threshold == 0:
+            return True  # hysteresis off: broadcast every sample
         if abs(value - st.last_sent_value) > self.policy.threshold:
             return True
         return now - st.last_sent_time >= self.policy.forced_interval

@@ -16,7 +16,7 @@ from typing import Any, Iterable, Sequence
 
 from .core.client import NetSolveClient, RequestHandle
 from .core.request import RequestRecord, RequestStatus
-from .errors import FarmNotFinished, RequestFailed
+from .errors import BadArgumentsError, FarmNotFinished, RequestFailed
 from .trace.metrics import RequestStats, request_stats
 
 __all__ = ["FarmResult", "submit_farm"]
@@ -101,8 +101,15 @@ def submit_farm(
 
     Drive completion with ``Testbed.wait_all(result.handles)`` in
     simulation, or by waiting each handle's promise on a live transport.
+
+    Raises :class:`~repro.errors.BadArgumentsError` on an empty
+    ``args_list`` — a caller error, detected *before* anything is
+    submitted (no request, no fabricated request id).
     """
-    handles = [client.submit(problem, args) for args in args_list]
-    if not handles:
-        raise RequestFailed(0, "empty farm")
+    batch = list(args_list)
+    if not batch:
+        raise BadArgumentsError(
+            f"farm over {problem!r}: args_list is empty"
+        )
+    handles = [client.submit(problem, args) for args in batch]
     return FarmResult(problem=problem, handles=handles)

@@ -13,7 +13,10 @@ Protocol summary::
     client -> agent : ListProblems -> ProblemList
     client -> agent : QueryRequest(sizes) -> QueryReply(ranked Candidates)
     client -> server: SolveRequest(inputs) -> SolveReply(outputs | error)
-    client -> agent : FailureReport (server misbehaved; agent marks suspect)
+    server -> client: Busy (admission cap hit; retry on another server)
+    client -> agent : FailureReport (server misbehaved; agent marks
+                      suspect — or, for kind="busy", applies a decaying
+                      workload penalty instead)
     any    -> any   : Ping -> Pong (liveness)
 """
 
@@ -39,6 +42,7 @@ __all__ = [
     "ProblemList",
     "SolveRequest",
     "SolveReply",
+    "Busy",
     "FailureReport",
     "TransferReport",
     "ObjectRef",
@@ -283,14 +287,42 @@ class SolveReply(Message):
 # ----------------------------------------------------------------------
 @_register
 @dataclass(frozen=True)
+class Busy(Message):
+    """Server -> client: admission refused, the request was *not* queued.
+
+    Sent instead of queueing when the FIFO queue already holds
+    ``ServerConfig.max_queue`` requests.  Always retryable: the client
+    falls through to its next candidate and tells the agent via
+    ``FailureReport(kind="busy")`` so the ranking re-balances without
+    the server being marked dead.
+    """
+
+    TYPE_CODE: ClassVar[int] = 19
+
+    request_id: int
+    #: waiting requests at refusal time (observability / backoff hints)
+    queue_depth: int = 0
+    detail: str = ""
+
+
+@_register
+@dataclass(frozen=True)
 class FailureReport(Message):
-    """Client tells the agent a server failed it (crash/timeout/error)."""
+    """Client tells the agent a server failed it (crash/timeout/error).
+
+    ``kind`` classifies the failure: "" (default) means the server is
+    unresponsive or erroring and gets marked suspect; "busy" means it
+    answered — with an admission refusal — and only receives a decaying
+    workload penalty in the ranking.
+    """
 
     TYPE_CODE: ClassVar[int] = 12
 
     server_id: str
     problem: str
     detail: str = ""
+    #: "" = suspect the server; "busy" = overloaded, penalise only
+    kind: str = ""
     #: set on agent-to-agent mirror copies (never re-forwarded)
     forwarded: bool = False
 

@@ -49,6 +49,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--workload-step", type=float, default=10.0)
     parser.add_argument("--workload-threshold", type=float, default=10.0)
     parser.add_argument("--max-concurrent", type=int, default=1)
+    parser.add_argument("--max-queue", type=int, default=0,
+                        help="admission cap on the FIFO queue: past this "
+                             "many waiting requests the server replies "
+                             "Busy instead of queueing (0 = unbounded)")
     parser.add_argument("--reregister", type=float, default=300.0,
                         help="re-registration interval (seconds, 0=off)")
     parser.add_argument("--metrics-json", metavar="PATH", default=None,
@@ -96,6 +100,7 @@ def main(argv: list[str] | None = None) -> int:
                     threshold=args.workload_threshold,
                 ),
                 max_concurrent=args.max_concurrent,
+                max_queue=args.max_queue,
                 reregister_interval=args.reregister,
             ),
             metrics=metrics,

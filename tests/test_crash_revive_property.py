@@ -21,6 +21,40 @@ from repro.testbed import server_address, standard_testbed
 RNG_PROBLEM = np.random.default_rng(5)
 
 
+class _Handle:
+    def cancel(self):
+        pass
+
+
+class FakeNode:
+    """Minimal Node: captures sends and compute callbacks so a test can
+    fire a completion *after* a restart — the TCP live-restart path,
+    where compute threads survive ``restart_component()``."""
+
+    address = "server/fake"
+    host_name = "fh"
+
+    def __init__(self):
+        self.sent = []
+        self.computes = []
+        self.clock = 0.0
+
+    def now(self):
+        return self.clock
+
+    def send(self, dest, msg):
+        self.sent.append((dest, msg))
+
+    def call_after(self, delay, fn):
+        return _Handle()
+
+    def compute(self, flops, thunk, done):
+        self.computes.append((flops, thunk, done))
+
+    def sample_workload(self):
+        return 0.0
+
+
 def linsys(n=32):
     a = RNG_PROBLEM.standard_normal((n, n)) + n * np.eye(n)
     return a, RNG_PROBLEM.standard_normal(n)
@@ -185,3 +219,96 @@ def test_restart_storm_over_tcp():
         # the superseded chains' timers fired into the generation guard
         # instead of ticking: that is the restart-safety mechanism
         assert server._ticker.fires > 0
+
+
+def _fake_server(max_concurrent=1):
+    from repro.core.server import ComputationalServer
+    from repro.problems.builtin import builtin_registry
+
+    server = ComputationalServer(
+        server_id="fx",
+        agent_address="agent",
+        registry=builtin_registry().subset(("linsys/dgesv",)),
+        mflops=100.0,
+        host="fh",
+        cfg=ServerConfig(max_concurrent=max_concurrent),
+    )
+    node = FakeNode()
+    server.bind(node)
+    return server, node
+
+
+def _solve_request(rid=1, n=8):
+    from repro.protocol.messages import SolveRequest
+
+    a = RNG_PROBLEM.standard_normal((n, n)) + n * np.eye(n)
+    b = RNG_PROBLEM.standard_normal(n)
+    return SolveRequest(
+        request_id=rid, problem="linsys/dgesv", inputs=(a, b),
+        reply_to="client",
+    )
+
+
+def test_stale_completion_after_restart_is_dropped():
+    """Regression: a compute finishing after a live restart must not
+    decrement the new incarnation's ``_executing`` below zero or emit a
+    reply for a request the new incarnation never accepted.
+
+    The sim transport cannot reproduce this (crash cancels CPU jobs),
+    but ``TcpNode.restart_component()`` leaves compute threads running:
+    their ``done`` closures fire into the restarted component."""
+    from repro.protocol.messages import SolveReply
+
+    server, node = _fake_server()
+    server.on_message("client", _solve_request())
+    assert server.executing == 1
+    assert len(node.computes) == 1
+    _flops, thunk, done = node.computes[0]
+    result = thunk()  # the job was already running when the crash hit
+
+    server.on_restart()  # forgets in-flight work, _executing back to 0
+    sent_before = len(node.sent)
+    done(result, 0.5)  # the old incarnation's completion lands late
+
+    assert server.executing == 0, "stale done drove _executing negative"
+    assert server.stale_completions == 1
+    stale_replies = [
+        m for _d, m in node.sent[sent_before:] if isinstance(m, SolveReply)
+    ]
+    assert not stale_replies, "restarted server replied to forgotten work"
+    assert server.requests_served == 0
+
+
+def test_completion_same_incarnation_still_replies():
+    """The guard must not eat legitimate completions."""
+    from repro.protocol.messages import SolveReply
+
+    server, node = _fake_server()
+    server.on_message("client", _solve_request(rid=7))
+    _flops, thunk, done = node.computes[0]
+    done(thunk(), 0.5)
+    assert server.executing == 0
+    assert server.stale_completions == 0
+    replies = [m for _d, m in node.sent if isinstance(m, SolveReply)]
+    assert len(replies) == 1 and replies[0].ok and replies[0].request_id == 7
+
+
+def test_injector_records_skipped_faults():
+    """Regression: a planned crash of an already-dead node (or revive of
+    a live one) used to silently no-op, letting plan and executed
+    diverge with no audit trail."""
+    tb = standard_testbed(n_servers=2, seed=301)
+    tb.settle()
+    injector = tb.injector()
+    addr = server_address("s0")
+    t0 = tb.kernel.now
+    injector.revive_at(t0 + 1.0, addr)   # already alive: skipped
+    injector.crash_at(t0 + 2.0, addr)    # executes
+    injector.crash_at(t0 + 3.0, addr)    # already dead: skipped
+    injector.revive_at(t0 + 4.0, addr)   # executes
+    tb.run(until=t0 + 5.0)
+
+    assert [f.action for f in injector.executed] == ["crash", "revive"]
+    assert [f.action for f in injector.skipped] == ["revive", "crash"]
+    audit = injector.audit()
+    assert audit == {"planned": 4, "executed": 2, "skipped": 2, "pending": 0}

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import FarmNotFinished, RequestFailed
+from repro.errors import BadArgumentsError, FarmNotFinished, RequestFailed
 from repro.farming import submit_farm
 from repro.testbed import server_address, standard_testbed
 
@@ -103,10 +103,22 @@ def test_farm_survives_one_server_crash():
 
 
 def test_empty_farm_rejected():
+    # regression: used to raise RequestFailed(0, ...) with a fabricated
+    # request id; an empty batch is a caller error caught up front
     tb = standard_testbed(n_servers=1, seed=27)
     tb.settle()
-    with pytest.raises(RequestFailed):
-        submit_farm(tb.client("c0"), "linsys/dgesv", [])
+    client = tb.client("c0")
+    with pytest.raises(BadArgumentsError):
+        submit_farm(client, "linsys/dgesv", [])
+    # nothing was submitted: no record, no request id burned
+    assert client.records == []
+
+
+def test_empty_farm_generator_rejected():
+    tb = standard_testbed(n_servers=1, seed=27)
+    tb.settle()
+    with pytest.raises(BadArgumentsError):
+        submit_farm(tb.client("c0"), "linsys/dgesv", iter([]))
 
 
 def test_farm_faster_with_more_servers():

@@ -87,11 +87,14 @@ def test_zero_threshold_broadcasts_every_change():
     assert sent == [0.0, 1.0, 2.0]
 
 
-def test_zero_threshold_suppresses_identical_values():
+def test_zero_threshold_broadcasts_identical_values():
+    # regression: strict |Δ| > 0 used to suppress unchanged samples
+    # until the forced interval, contradicting the documented
+    # "threshold 0 broadcasts every sample" semantics
     reporter, values, sent = make_reporter(threshold=0.0, forced=1000.0)
     reporter.tick(0.0)
-    reporter.tick(10.0)  # same value, |0-0| > 0 false: hold
-    assert sent == [0.0]
+    reporter.tick(10.0)  # same value — still goes out at threshold 0
+    assert sent == [0.0, 0.0]
 
 
 def test_counters():
