@@ -100,23 +100,41 @@ class ServerConfig:
     """Computational-server behaviour knobs."""
 
     workload: WorkloadPolicy = field(default_factory=WorkloadPolicy)
-    #: maximum requests executing concurrently (1 = the paper's fork model
-    #: serialized; >1 models a multi-CPU server)
+    #: maximum requests executing concurrently — the server's *slot*
+    #: count, advertised to the agent and bounding in-flight admissions
+    #: (1 = the paper's fork model serialized; >1 a multi-CPU server)
     max_concurrent: int = 1
     #: admission cap on the FIFO queue: past this many waiting requests
     #: the server sheds with a retryable ``Busy`` reply instead of
-    #: queueing unboundedly; 0 = unbounded (the pre-overload behaviour)
+    #: queueing unboundedly; 0 = unbounded (the pre-overload behaviour).
+    #: Total admitted work is therefore max_queue + max_concurrent.
     max_queue: int = 0
     #: re-register with the agent at this interval (seconds); 0 disables
     reregister_interval: float = 0.0
     #: byte budget of the request-sequencing object cache
     object_cache_bytes: int = 256 * 1024 * 1024
+    #: compute-pool threads on threaded transports; 0 = match
+    #: max_concurrent (the pool never needs more threads than slots)
+    workers: int = 0
+    #: execution lane: "thread" (kernels release the GIL in BLAS) or
+    #: "process" (opt-in for GIL-bound handlers; threaded transports only)
+    executor: str = "thread"
+    #: micro-batching: while all slots are busy, up to this many queued
+    #: same-problem shape-compatible requests coalesce into one stacked
+    #: kernel call; <= 1 disables batching entirely
+    batch_max: int = 1
 
     def __post_init__(self) -> None:
         _require(self.max_concurrent >= 1, "max_concurrent must be >= 1")
         _require(self.max_queue >= 0, "max_queue must be >= 0")
         _require(self.reregister_interval >= 0, "reregister_interval must be >= 0")
         _require(self.object_cache_bytes >= 0, "object_cache_bytes must be >= 0")
+        _require(self.workers >= 0, "workers must be >= 0")
+        _require(
+            self.executor in ("thread", "process"),
+            "executor must be 'thread' or 'process'",
+        )
+        _require(self.batch_max >= 0, "batch_max must be >= 0")
 
 
 @dataclass(frozen=True)

@@ -288,6 +288,7 @@ class Agent(DispatchComponent):
             mflops=msg.mflops,
             problems={s.name for s in specs},
             now=self.node.now(),
+            slots=max(1, int(msg.slots)),
         )
         self.registrations += 1
         if self._metrics is not None:
@@ -317,7 +318,8 @@ class Agent(DispatchComponent):
         if msg.server_id not in self.table:
             return  # report from a server that never registered: ignore
         self.table.report_workload(
-            msg.server_id, msg.workload, self.node.now()
+            msg.server_id, msg.workload, self.node.now(),
+            inflight=msg.inflight,
         )
         self.reports_received += 1
         if self._metrics is not None:
@@ -389,11 +391,14 @@ class Agent(DispatchComponent):
         """The prediction the agent makes for one candidate server.
 
         The reported workload degrades the server's effective speed
-        (processor sharing against other users).  Requests the agent has
+        (processor sharing against other users), divided across the
+        server's advertised executor slots.  Requests the agent has
         recently steered there but that no report reflects yet are
         modelled as FIFO *queue wait* — each inflates the compute term by
-        one service time — because NetSolve servers run requests one at a
-        time: a queued request waits, it does not steal CPU share.
+        one service time — because a server runs at most ``slots``
+        requests at a time: on a multi-slot server only every
+        ``slots``-th pending request adds a queueing round, so the hint
+        count divides by the slot count.
         """
         now = self.node.now()
         base = predict_for(
@@ -402,6 +407,7 @@ class Agent(DispatchComponent):
             link=self.network.link(client_host, entry.host),
             peak_mflops=entry.mflops,
             workload=entry.current_workload(now),
+            slots=entry.slots,
             use_workload=self.use_workload,
         )
         return self._inflate_pending(base, entry, now)
@@ -414,9 +420,14 @@ class Agent(DispatchComponent):
         pending = entry.live_pending(now)
         if pending == 0:
             return base
+        # every full cohort of `slots` pending requests costs one more
+        # service time; slots=1 keeps the exact pre-slot inflation
+        rounds = pending // entry.slots if entry.slots > 1 else pending
+        if rounds == 0:
+            return base
         return Prediction(
             send_seconds=base.send_seconds,
-            compute_seconds=base.compute_seconds * (1 + pending),
+            compute_seconds=base.compute_seconds * (1 + rounds),
             recv_seconds=base.recv_seconds,
         )
 
@@ -442,6 +453,7 @@ class Agent(DispatchComponent):
         peak = np.empty(n)
         workload = np.empty(n)
         pending = np.zeros(n, dtype=np.int64)
+        slots = np.ones(n, dtype=np.int64)
         feedback = self.assignment_feedback
         link_of = self.network.link
         # many servers share a host; one link lookup per distinct host
@@ -455,6 +467,7 @@ class Agent(DispatchComponent):
             latency[i], bandwidth[i] = link
             peak[i] = e.mflops
             workload[i] = e.current_workload(now)
+            slots[i] = e.slots
             if feedback and e.pending_expiries:
                 pending[i] = e.live_pending(now)
         totals = predict_batch(
@@ -466,6 +479,7 @@ class Agent(DispatchComponent):
             peak_mflops=peak,
             workload=workload,
             pending=pending,
+            slots=slots,
             use_workload=self.use_workload,
         )
         order = mct_top_k(entries, totals, self.cfg.candidate_list_length)
@@ -529,6 +543,7 @@ class Agent(DispatchComponent):
                         link=self.network.link(msg.client_host, entry.host),
                         peak_mflops=entry.mflops,
                         workload=entry.current_workload(now),
+                        slots=entry.slots,
                         use_workload=self.use_workload,
                     )
                     cached = self._inflate_pending(base, entry, now)

@@ -1,0 +1,249 @@
+"""Bounded execution pools backing a computational server.
+
+The seed's TCP transport spawned one daemon thread per ``compute`` call:
+``max_concurrent`` bounded how many requests a *server* admitted, but
+nothing bounded how many OS threads a burst could create, and nothing
+made a thread explosion visible.  This module provides the two bounded
+lanes a server can execute on:
+
+* :class:`WorkerPool` — a fixed set of lazily-spawned worker threads
+  draining an unbounded task queue.  The right lane for the repo's
+  numerics: the hot kernels bottom out in NumPy/BLAS calls that release
+  the GIL, so ``k`` workers give real parallel speedup on a ``k``-CPU
+  box.  ``submit`` never blocks; when every worker is busy the task
+  queues and the pool counts the saturation (the ``on_saturated`` hook
+  feeds the ``server.pool_saturated`` counter).
+
+* :class:`ProcessPool` — an opt-in lane over
+  :class:`concurrent.futures.ProcessPoolExecutor` for GIL-bound
+  handlers (pure-Python kernels that never release the lock).  Closures
+  do not pickle, so this lane ships ``(problem, inputs)`` pairs and the
+  child rebuilds the problem registry once from a module-level factory.
+  Real-socket transports only: results return on executor threads, and
+  the simulated transport's virtual clock cannot account for them.
+
+Both pools are transport-agnostic plumbing: no sockets, no messages, no
+component state — just "run this, tell me when it finished and how long
+it took", which is exactly the contract of ``Node.compute``.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import Any, Callable, Optional, Sequence
+
+from ..errors import NetSolveError
+
+__all__ = ["WorkerPool", "ProcessPool", "default_registry_factory"]
+
+
+class WorkerPool:
+    """A bounded pool of daemon worker threads over an unbounded queue.
+
+    Workers are spawned lazily, one per submission, up to ``workers``;
+    an idle pool costs nothing and a mostly-serial server never pays for
+    threads it does not use.  ``submit(fn)`` enqueues and returns
+    immediately — admission control lives with the caller (the server's
+    ``max_concurrent``/``max_queue``), not here — but a submission that
+    finds every worker busy increments :attr:`saturated` and fires
+    ``on_saturated``, so unbounded-thread behaviour of the old
+    per-request spawn becomes a visible counter instead of silent OS
+    pressure.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        *,
+        name: str = "pool",
+        on_saturated: Optional[Callable[[], None]] = None,
+    ):
+        if workers < 1:
+            raise NetSolveError(f"worker pool needs >= 1 worker, got {workers}")
+        self.workers = int(workers)
+        self.name = name
+        self.on_saturated = on_saturated
+        self._tasks: queue.SimpleQueue = queue.SimpleQueue()
+        self._lock = threading.Lock()
+        self._threads: list[threading.Thread] = []
+        self._busy = 0
+        self._closed = False
+        self.submitted = 0
+        self.completed = 0
+        #: submissions that found every worker busy (the task queued)
+        self.saturated = 0
+        self.peak_pending = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def busy(self) -> int:
+        return self._busy
+
+    @property
+    def pending(self) -> int:
+        """Tasks enqueued but not yet picked up (approximate)."""
+        return self._tasks.qsize()
+
+    def submit(self, fn: Callable[[], None]) -> None:
+        """Enqueue ``fn`` for execution on a pool thread; never blocks."""
+        with self._lock:
+            if self._closed:
+                raise NetSolveError(f"worker pool {self.name!r} is shut down")
+            self.submitted += 1
+            spawn = (
+                len(self._threads) < self.workers
+                and self._busy + self._tasks.qsize() >= len(self._threads)
+            )
+            if spawn:
+                thread = threading.Thread(
+                    target=self._work,
+                    name=f"{self.name}-worker-{len(self._threads)}",
+                    daemon=True,
+                )
+                self._threads.append(thread)
+            else:
+                thread = None
+            if self._busy >= self.workers:
+                self.saturated += 1
+                depth = self._tasks.qsize() + 1
+                if depth > self.peak_pending:
+                    self.peak_pending = depth
+                hook = self.on_saturated
+            else:
+                hook = None
+        self._tasks.put(fn)
+        if thread is not None:
+            thread.start()
+        if hook is not None:
+            hook()
+
+    def _work(self) -> None:
+        while True:
+            fn = self._tasks.get()
+            if fn is None:
+                return  # shutdown sentinel
+            with self._lock:
+                self._busy += 1
+            try:
+                fn()
+            except Exception:  # pragma: no cover - tasks guard themselves
+                pass
+            finally:
+                with self._lock:
+                    self._busy -= 1
+                    self.completed += 1
+
+    def shutdown(self) -> None:
+        """Stop accepting work and release the workers.
+
+        Queued tasks already submitted still run; each worker exits when
+        it drains to its sentinel.  Idempotent.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            threads = list(self._threads)
+        for _ in threads:
+            self._tasks.put(None)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "workers": self.workers,
+                "busy": self._busy,
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "saturated": self.saturated,
+                "peak_pending": self.peak_pending,
+            }
+
+
+# ----------------------------------------------------------------------
+# process lane
+# ----------------------------------------------------------------------
+_CHILD_REGISTRY = None
+
+
+def default_registry_factory():
+    """Child-side default: the full builtin catalogue."""
+    from ..problems.builtin import builtin_registry
+
+    return builtin_registry()
+
+
+def _child_init(factory) -> None:  # pragma: no cover - runs in the child
+    global _CHILD_REGISTRY
+    _CHILD_REGISTRY = factory()
+
+
+def _child_run(problem: str, inputs: Sequence[Any]):  # pragma: no cover
+    t0 = time.perf_counter()
+    try:
+        result: Any = _CHILD_REGISTRY.execute(problem, list(inputs))
+    except Exception as exc:
+        result = exc
+    return result, time.perf_counter() - t0
+
+
+class ProcessPool:
+    """Opt-in process executor for GIL-bound problem handlers.
+
+    ``submit(problem, inputs, done)`` runs the named problem in a child
+    process built around ``registry_factory`` (a picklable module-level
+    callable returning a :class:`~repro.problems.registry.ProblemRegistry`)
+    and invokes ``done(result, elapsed)`` from an executor thread —
+    callers on a threaded transport must re-enter their own lock (the
+    server marshals through ``node.post``).  Exceptions travel as
+    values, matching ``Node.compute``.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        *,
+        registry_factory: Callable = default_registry_factory,
+    ):
+        import concurrent.futures
+        import multiprocessing
+
+        if workers < 1:
+            raise NetSolveError(f"process pool needs >= 1 worker, got {workers}")
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-fork platforms
+            ctx = multiprocessing.get_context("spawn")
+        self.workers = int(workers)
+        self._executor = concurrent.futures.ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=ctx,
+            initializer=_child_init,
+            initargs=(registry_factory,),
+        )
+        self.submitted = 0
+        self.completed = 0
+
+    def submit(
+        self,
+        problem: str,
+        inputs: Sequence[Any],
+        done: Callable[[Any, float], None],
+    ) -> None:
+        self.submitted += 1
+        future = self._executor.submit(_child_run, problem, list(inputs))
+
+        def _settle(fut) -> None:
+            self.completed += 1
+            try:
+                result, elapsed = fut.result()
+            except Exception as exc:  # broken pool / unpicklable result
+                result, elapsed = exc, 0.0
+            done(result, elapsed)
+
+        future.add_done_callback(_settle)
+
+    def shutdown(self) -> None:
+        self._executor.shutdown(wait=False, cancel_futures=True)

@@ -9,10 +9,19 @@ server ``s`` reachable from client host ``c``, NetSolve predicts::
     T_recv    = latency(c, s) + output_bytes(p, env) / bandwidth(c, s)
     T_compute = flops(p, env) / (1e6 * effective_mflops(s))
 
-    effective_mflops(s) = peak_mflops(s) * 100 / (100 + workload(s))
+    effective_mflops(s) = peak_mflops(s) * min(1, 100 * slots(s)
+                                                  / (100 + workload(s)))
 
 where ``workload`` is the server's last-reported UNIX load average times
-100.  The model is deliberately the *same* two-parameter network model
+100 and ``slots`` is its advertised executor-worker count.  At
+``slots=1`` the min() never binds below the classic NetSolve hypothesis
+``P * 100 / (100 + w)`` — the formula *is* that hypothesis, computed
+with the identical expression, so single-slot decisions are
+bit-identical to the pre-slot model.  A multi-slot server divides its
+runnable load across workers: a 4-worker box at load 3 still delivers
+peak to a new job, which is exactly why the scheduler must know slot
+counts to stop preferring idle slow machines over busy fast ones.
+The model is deliberately the *same* two-parameter network model
 the simulator's links implement, so experiment T1 measures exactly the
 error sources the paper's agent lived with: stale workload reports, link
 contention, protocol overhead and competing requests — not model-form
@@ -170,13 +179,31 @@ class Prediction:
         return self.send_seconds + self.recv_seconds
 
 
-def effective_mflops(peak_mflops: float, workload: float) -> float:
-    """NetSolve's workload hypothesis: p = P * 100 / (100 + w)."""
+def effective_mflops(
+    peak_mflops: float, workload: float, slots: int = 1
+) -> float:
+    """NetSolve's workload hypothesis, generalized to ``slots`` workers:
+    ``p = P * min(1, 100 * slots / (100 + w))``.
+
+    ``slots=1`` evaluates the exact classic expression
+    ``P * 100 / (100 + w)`` (same operations, same order), so existing
+    single-slot predictions do not move by so much as an ulp.  With
+    more slots the load divides across workers, capped at peak: a
+    server whose capacity (``100 * slots``) covers its runnable load
+    delivers full speed to one more job.
+    """
     if peak_mflops <= 0:
         raise ConfigError("peak_mflops must be positive")
     if workload < 0:
         raise ConfigError("workload must be >= 0")
-    return peak_mflops * 100.0 / (100.0 + workload)
+    if slots < 1:
+        raise ConfigError("slots must be >= 1")
+    if slots == 1:
+        return peak_mflops * 100.0 / (100.0 + workload)
+    capacity = 100.0 * slots
+    if capacity >= 100.0 + workload:
+        return peak_mflops
+    return peak_mflops * capacity / (100.0 + workload)
 
 
 def predict(
@@ -187,6 +214,7 @@ def predict(
     link: LinkEstimate,
     peak_mflops: float,
     workload: float,
+    slots: int = 1,
     use_workload: bool = True,
 ) -> Prediction:
     """Core prediction formula from raw quantities.
@@ -196,7 +224,9 @@ def predict(
     """
     if flops < 0 or input_bytes < 0 or output_bytes < 0:
         raise ConfigError("flops and byte counts must be >= 0")
-    mflops = effective_mflops(peak_mflops, workload if use_workload else 0.0)
+    mflops = effective_mflops(
+        peak_mflops, workload if use_workload else 0.0, slots
+    )
     return Prediction(
         send_seconds=link.transfer_seconds(input_bytes),
         compute_seconds=flops / (mflops * 1e6),
@@ -211,6 +241,7 @@ def predict_for(
     link: LinkEstimate,
     peak_mflops: float,
     workload: float,
+    slots: int = 1,
     use_workload: bool = True,
 ) -> Prediction:
     """Prediction for a problem spec at concrete sizes."""
@@ -221,6 +252,7 @@ def predict_for(
         link=link,
         peak_mflops=peak_mflops,
         workload=workload,
+        slots=slots,
         use_workload=use_workload,
     )
 
@@ -235,6 +267,7 @@ def predict_batch(
     peak_mflops: np.ndarray,
     workload: np.ndarray,
     pending: np.ndarray,
+    slots: "np.ndarray | None" = None,
     use_workload: bool = True,
 ) -> np.ndarray:
     """Vectorized :func:`predict` over a candidate set.
@@ -247,11 +280,18 @@ def predict_batch(
     compute term by one service time, exactly as
     :meth:`~repro.core.agent.Agent.predict_entry` does.
 
+    ``slots`` (int per candidate; ``None`` means all-ones) divides both
+    the reported workload and the pending hints across a server's
+    executor workers.
+
     Returns total predicted seconds as a float64 array.  Every
-    arithmetic step mirrors the scalar path operation for operation, so
-    each element is bit-identical to ``predict_for(...)`` plus the
-    pending inflation — the property tests pin this, and the scalar path
-    remains the reference implementation.
+    arithmetic step mirrors the scalar path operation for operation —
+    the multi-slot branch replays :func:`effective_mflops`'s exact
+    branch structure via ``np.where`` rather than a ``minimum()``
+    (which could round differently at the capacity boundary) — so each
+    element is bit-identical to ``predict_for(...)`` plus the pending
+    inflation.  The property tests pin this; the scalar path remains
+    the reference implementation.
     """
     if flops < 0 or input_bytes < 0 or output_bytes < 0:
         raise ConfigError("flops and byte counts must be >= 0")
@@ -267,8 +307,23 @@ def predict_batch(
     if not use_workload:
         workload = np.zeros_like(workload)
     mflops = peak_mflops * 100.0 / (100.0 + workload)
+    if slots is None:
+        inflation = 1 + pending
+    else:
+        slots = np.asarray(slots, dtype=np.int64)
+        if slots.size and slots.min() < 1:
+            raise ConfigError("slots must be >= 1")
+        if np.any(slots > 1):
+            capacity = 100.0 * slots
+            multi = np.where(
+                capacity >= 100.0 + workload,
+                peak_mflops,
+                peak_mflops * capacity / (100.0 + workload),
+            )
+            mflops = np.where(slots > 1, multi, mflops)
+        inflation = 1 + pending // slots
     send = latency + input_bytes / bandwidth
-    compute = (flops / (mflops * 1e6)) * (1 + pending)
+    compute = (flops / (mflops * 1e6)) * inflation
     recv = latency + output_bytes / bandwidth
     return send + compute + recv
 

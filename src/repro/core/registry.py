@@ -56,6 +56,10 @@ class ServerEntry:
     workload: float = 0.0
     alive: bool = True
     failures: int = 0
+    #: executor worker count the server advertised at registration
+    slots: int = 1
+    #: in-flight executions from the freshest workload report
+    inflight: int = 0
     #: min-heap of expiry times of assignments not yet reflected in a
     #: workload report (push via heapq only)
     pending_expiries: list[float] = field(default_factory=list)
@@ -148,12 +152,15 @@ class ServerTable:
         mflops: float,
         problems: set[str],
         now: float,
+        slots: int = 1,
     ) -> ServerEntry:
         """Add or refresh a server (re-registration revives and updates)."""
         if mflops <= 0:
             raise NetSolveError(f"server {server_id!r}: bad mflops {mflops}")
         if not problems:
             raise NetSolveError(f"server {server_id!r} advertises no problems")
+        if slots < 1:
+            raise NetSolveError(f"server {server_id!r}: bad slots {slots}")
         entry = self._entries.get(server_id)
         if entry is None:
             entry = ServerEntry(
@@ -164,6 +171,7 @@ class ServerTable:
                 problems=set(problems),
                 registered_at=now,
                 last_report=now,
+                slots=slots,
             )
             self._entries[server_id] = entry
             self._sorted_entries = None
@@ -185,6 +193,8 @@ class ServerTable:
             entry.host = host
             entry.mflops = mflops
             entry.problems = new
+            entry.slots = slots
+            entry.inflight = 0
             entry.last_report = now
             entry.alive = True
             entry.pending_expiries.clear()
@@ -230,10 +240,13 @@ class ServerTable:
         entry.alive = True
         entry.pending_expiries.clear()
 
-    def report_workload(self, server_id: str, workload: float, now: float) -> None:
+    def report_workload(
+        self, server_id: str, workload: float, now: float, inflight: int = 0
+    ) -> None:
         """Fresh truth from the server: update, revive, clear the hint."""
         entry = self.get(server_id)
         entry.workload = max(0.0, float(workload))
+        entry.inflight = max(0, int(inflight))
         self.mark_alive(server_id, now)
 
     def revive_address(self, address: str, now: float) -> list[str]:

@@ -15,6 +15,18 @@ saturating workload across the pool.  Every in-flight compute is stamped
 with the server's *incarnation generation*; a restart bumps the
 generation, so completion callbacks armed by a previous incarnation are
 dropped instead of corrupting ``_executing`` or emitting stale replies.
+
+Executors and batching: ``max_concurrent`` is also the server's *slot*
+count, advertised in ``RegisterServer`` so the agent's MCT predictor can
+charge workload per slot; every ``WorkloadReport`` carries the current
+in-flight count for the same reason.  With ``batch_max > 1``, a drain
+that finds shape-compatible same-problem requests waiting coalesces up
+to ``batch_max`` of them into one stacked kernel call (occupying a
+single slot) and fans the per-item results back as individual replies —
+amortizing dispatch overhead exactly when the queue says the server is
+saturated.  ``executor="process"`` opts GIL-bound single requests into a
+child-process pool on transports whose nodes run real threads; batches
+always ride the thread lane.
 """
 
 from __future__ import annotations
@@ -45,6 +57,7 @@ from ..protocol.messages import (
 from ..runtime import DispatchComponent, Periodic, handles
 from ..trace.events import EventLog
 from ..trace.instruments import MetricsRegistry
+from .executors import ProcessPool
 from .workload import WorkloadReporter
 
 __all__ = ["ComputationalServer"]
@@ -60,7 +73,8 @@ class _ServerMetrics:
     __slots__ = (
         "requests", "ok", "errors", "queued", "sheds", "stale_drops",
         "stores", "store_rejects", "deletes", "queue_depth", "executing",
-        "compute_seconds", "queue_wait_seconds",
+        "compute_seconds", "queue_wait_seconds", "batches",
+        "batched_requests", "peak_queue",
     )
 
     def __init__(self, registry: MetricsRegistry):
@@ -89,6 +103,28 @@ class _ServerMetrics:
             "server.compute_seconds", help="per-request execution time")
         self.queue_wait_seconds = registry.histogram(
             "server.queue_wait_seconds", help="time spent queued before start")
+        self.batches = registry.counter(
+            "server.batches", "stacked same-problem kernel calls")
+        self.batched_requests = registry.counter(
+            "server.batched_requests", "requests served through a batch")
+        self.peak_queue = registry.gauge(
+            "server.peak_queue", "deepest any server's FIFO queue got")
+
+
+def _batch_signature(values) -> tuple:
+    """Stacking-compatibility key for a validated input list.
+
+    Two requests may share a batched kernel call only when every ndarray
+    operand matches in shape *and* dtype (the batch kernels stack them
+    along a new leading axis) and the scalar operands agree.
+    """
+    sig = []
+    for v in values:
+        if hasattr(v, "shape"):
+            sig.append((v.shape, str(v.dtype)))
+        else:
+            sig.append(v)
+    return tuple(sig)
 
 
 class ComputationalServer(DispatchComponent):
@@ -135,6 +171,12 @@ class ComputationalServer(DispatchComponent):
         self.stale_completions = 0
         #: deepest the FIFO queue ever got (admission-cap audit)
         self.peak_queue = 0
+        #: stacked kernel calls and the requests they carried
+        self.batches = 0
+        self.batched_requests = 0
+        #: opt-in process executor, created on first use (thread lanes
+        #: belong to the transport node, not the server)
+        self._process_pool: Optional[ProcessPool] = None
         #: request-sequencing object cache: key -> (value, nbytes)
         self._objects: dict[str, tuple[object, int]] = {}
         self._objects_bytes = 0
@@ -187,6 +229,7 @@ class ComputationalServer(DispatchComponent):
                 host=self.host,
                 mflops=self.mflops,
                 problems_pdl=render_pdl(self.registry.specs()),
+                slots=self.cfg.max_concurrent,
             ),
         )
 
@@ -197,7 +240,11 @@ class ComputationalServer(DispatchComponent):
     def _broadcast_workload(self, value: float) -> None:
         self.node.send(
             self.agent_address,
-            WorkloadReport(server_id=self.server_id, workload=value),
+            WorkloadReport(
+                server_id=self.server_id,
+                workload=value,
+                inflight=self._executing,
+            ),
         )
 
     def _trace(self, kind: str, **fields) -> None:
@@ -318,6 +365,11 @@ class ComputationalServer(DispatchComponent):
             self._queue.append((src, msg, self.node.now()))
             if len(self._queue) > self.peak_queue:
                 self.peak_queue = len(self._queue)
+                if self._metrics is not None and (
+                    self.peak_queue > self._metrics.peak_queue.value
+                ):
+                    # registry-wide max: never lowered by a quieter server
+                    self._metrics.peak_queue.set(self.peak_queue)
             if self._metrics is not None:
                 self._metrics.queued.inc()
                 self._metrics.queue_depth.inc()
@@ -428,7 +480,198 @@ class ComputationalServer(DispatchComponent):
                 )
             self._drain()
 
+        if self._use_process_lane():
+            self._submit_process(msg.problem, inputs, done)
+            return
         self.node.compute(flops, run, done)
+
+    # ------------------------------------------------------------------
+    # executors
+    # ------------------------------------------------------------------
+    def _use_process_lane(self) -> bool:
+        return (
+            self.cfg.executor == "process"
+            and getattr(self.node, "supports_process_pool", False)
+        )
+
+    def _submit_process(self, problem: str, inputs: list, done) -> None:
+        """Run one request on the opt-in child-process pool.
+
+        Its completion fires on an executor-owned thread, so it is
+        marshalled back through ``node.post``: ``done`` then runs under
+        the node's lock like every other component entry point (or is
+        dropped when the node has gone down in the meantime).
+        """
+        pool = self._process_pool
+        if pool is None:
+            pool = ProcessPool(self.cfg.workers or self.cfg.max_concurrent)
+            self._process_pool = pool
+
+        def marshal(result, elapsed: float) -> None:
+            self.node.post(lambda: done(result, elapsed))
+
+        pool.submit(problem, inputs, marshal)
+
+    def shutdown_executors(self) -> None:
+        """Release the process pool, if one was ever created.
+
+        Idempotent.  The thread compute pool belongs to the transport
+        node and shuts down with it; only the opt-in process executor is
+        the server's own to tear down.
+        """
+        if self._process_pool is not None:
+            self._process_pool.shutdown()
+            self._process_pool = None
+
+    # ------------------------------------------------------------------
+    # same-problem micro-batching
+    # ------------------------------------------------------------------
+    def _gather_batch(self, src: str, msg: SolveRequest):
+        """Collect queued requests that can share a stacked kernel call.
+
+        Returns ``None`` — meaning *run the plain single-request path* —
+        unless batching is enabled, the problem has a batch handler, and
+        at least one shape-compatible same-problem request is waiting.
+        Otherwise removes the compatible mates from the queue (others
+        keep their FIFO positions) and returns ``(src, msg, flops)``
+        triples for the head plus its mates.
+        """
+        if self.cfg.batch_max <= 1 or not self._queue:
+            return None
+        problem = msg.problem
+        if problem not in self.registry or not self.registry.has_batch(problem):
+            return None
+        if any(isinstance(v, ObjectRef) for v in msg.inputs):
+            return None  # sequenced requests keep one-at-a-time semantics
+        spec = self.registry.spec(problem)
+        try:
+            coerced, env = validate_inputs(spec, list(msg.inputs))
+            flops = spec.flops(env)
+        except NetSolveError:
+            return None  # invalid head: the single path owns the error reply
+        signature = (env, _batch_signature(coerced))
+        members = [(src, msg, flops)]
+        kept: deque = deque()
+        now = self.node.now()
+        for entry in self._queue:
+            q_src, q_msg, t_queued = entry
+            if (
+                len(members) >= self.cfg.batch_max
+                or q_msg.problem != problem
+                or any(isinstance(v, ObjectRef) for v in q_msg.inputs)
+            ):
+                kept.append(entry)
+                continue
+            try:
+                q_coerced, q_env = validate_inputs(spec, list(q_msg.inputs))
+                q_flops = spec.flops(q_env)
+            except NetSolveError:
+                kept.append(entry)
+                continue
+            if (q_env, _batch_signature(q_coerced)) != signature:
+                kept.append(entry)
+                continue
+            members.append((q_src, q_msg, q_flops))
+            if self._metrics is not None:
+                self._metrics.queue_depth.dec()
+                self._metrics.queue_wait_seconds.observe(now - t_queued)
+        if len(members) == 1:
+            return None
+        self._queue = kept
+        return members
+
+    def _start_batch(self, members: list) -> None:
+        """Execute a gathered batch in one compute, fan replies back out.
+
+        The batch occupies a *single* slot and a single generation stamp:
+        a restart mid-batch makes the whole completion stale, dropping
+        every member (each of which the client retries independently).
+        """
+        problem = members[0][1].problem
+        total_flops = sum(flops for _src, _msg, flops in members)
+        self.batches += 1
+        self.batched_requests += len(members)
+        if self._metrics is not None:
+            self._metrics.requests.inc(len(members))
+            self._metrics.batches.inc()
+            self._metrics.batched_requests.inc(len(members))
+            self._metrics.executing.inc()
+        self._executing += 1
+        generation = self._generation
+        self._trace(
+            "batch_started",
+            problem=problem,
+            size=len(members),
+            flops=total_flops,
+        )
+        inputs_list = [list(m.inputs) for _src, m, _flops in members]
+
+        def run():
+            return self.registry.execute_batch(problem, inputs_list)
+
+        def done(result, elapsed: float) -> None:
+            if generation != self._generation:
+                # a restart forgot the whole batch: every member is stale
+                self.stale_completions += len(members)
+                if self._metrics is not None:
+                    self._metrics.stale_drops.inc(len(members))
+                self._trace(
+                    "stale_completion_dropped",
+                    problem=problem,
+                    batch=len(members),
+                )
+                return
+            self._executing -= 1
+            if self._metrics is not None:
+                self._metrics.executing.dec()
+                self._metrics.compute_seconds.observe(elapsed)
+            if isinstance(result, BaseException):
+                # execute_batch itself blew up before its per-item
+                # fallback could run: every member shares the error
+                items = [result] * len(members)
+            else:
+                items = list(result)
+            for (m_src, m_msg, _flops), item in zip(members, items):
+                reply_to = m_msg.reply_to or m_src
+                if isinstance(item, BaseException):
+                    self.requests_failed += 1
+                    if self._metrics is not None:
+                        self._metrics.errors.inc()
+                    self._trace(
+                        "request_error",
+                        request_id=m_msg.request_id,
+                        detail=str(item),
+                    )
+                    self.node.send(
+                        reply_to,
+                        SolveReply(
+                            request_id=m_msg.request_id,
+                            ok=False,
+                            detail=f"{type(item).__name__}: {item}",
+                            compute_seconds=elapsed,
+                        ),
+                    )
+                else:
+                    self.requests_served += 1
+                    if self._metrics is not None:
+                        self._metrics.ok.inc()
+                    self._trace(
+                        "request_done",
+                        request_id=m_msg.request_id,
+                        compute_seconds=elapsed,
+                    )
+                    self.node.send(
+                        reply_to,
+                        SolveReply(
+                            request_id=m_msg.request_id,
+                            ok=True,
+                            outputs=tuple(item),
+                            compute_seconds=elapsed,
+                        ),
+                    )
+            self._drain()
+
+        self.node.compute(total_flops, run, done)
 
     def _drain(self) -> None:
         while self._queue and self._executing < self.cfg.max_concurrent:
@@ -438,7 +681,11 @@ class ComputationalServer(DispatchComponent):
                 self._metrics.queue_wait_seconds.observe(
                     self.node.now() - t_queued
                 )
-            self._start(src, msg)
+            batch = self._gather_batch(src, msg)
+            if batch is None:
+                self._start(src, msg)
+            else:
+                self._start_batch(batch)
 
     # ------------------------------------------------------------------
     @property

@@ -1,0 +1,197 @@
+"""Batched kernels: one stacked call over k same-shaped operands.
+
+The server's micro-batching lane coalesces queued same-problem requests
+whose operands share a shape, then runs one kernel over the stack.  The
+payoff is amortization: the panel LU spends its time in a Python column
+loop whose cost is per-*column*, not per-*system*, and the radix-2 FFT's
+stage loop is ``log2(n)`` deep regardless of how many sequences ride
+through it.  Batching k small problems turns k passes through those
+Python loops into one.
+
+The contract that makes batching safe to enable by default is
+**bit-identity**: every result produced here must equal the unbatched
+kernel's result bit for bit, so a client cannot observe whether its
+request was coalesced.  That constraint shapes the implementations:
+
+* stages that are purely elementwise (pivot selection, row swaps,
+  multiplier scaling, rank-1 updates, FFT butterflies) vectorize across
+  the batch axis freely — identical scalar operations in identical
+  order per item;
+* stages built on ``@`` (panel substitution, trailing updates, the
+  triangular solves) run per-item with the *exact* expressions of the
+  unbatched code, because BLAS may reassociate sums differently for
+  different operand ranks.
+
+So for small systems (n at or under one panel) the whole factorization
+vectorizes, which is where batching matters most; large systems fall
+back to mostly per-item work, where per-call overhead was negligible
+anyway.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import NumericsError, SingularMatrixError
+from .blas import gemm
+from .fft import _bit_reverse
+from .lu import _PANEL, lu_solve
+
+__all__ = [
+    "lu_factor_batched",
+    "solve_batched",
+    "fft_batched",
+    "matmul_batched",
+]
+
+
+def _stack_square(mats) -> np.ndarray:
+    """Validate and stack k same-shaped square matrices into (k, n, n)."""
+    if not mats:
+        raise NumericsError("empty batch")
+    arrs = [np.asarray(m, dtype=np.float64) for m in mats]
+    shape = arrs[0].shape
+    if len(shape) != 2 or shape[0] != shape[1]:
+        raise NumericsError(f"expected square matrices, got shape {shape}")
+    if shape[0] == 0:
+        raise NumericsError("empty matrix")
+    for arr in arrs:
+        if arr.shape != shape:
+            raise NumericsError(
+                f"batch shape mismatch: {arr.shape} vs {shape}"
+            )
+    stacked = np.ascontiguousarray(np.stack(arrs))
+    if not np.all(np.isfinite(stacked)):
+        raise NumericsError("matrix contains non-finite entries")
+    return stacked
+
+
+def _factor_panel_batched(
+    a: np.ndarray, col0: int, col1: int, piv: np.ndarray
+) -> None:
+    """Vectorized-across-the-batch twin of ``lu._factor_panel``.
+
+    ``a`` is (k, n, n); every arithmetic step is elementwise per item,
+    so each item's panel comes out bit-identical to the unbatched
+    factorization of that item alone.
+    """
+    k, n, _ = a.shape
+    items = np.arange(k)
+    for j in range(col0, min(col1, n)):
+        p = j + np.argmax(np.abs(a[:, j:, j]), axis=1)
+        pivots = a[items, p, j]
+        if np.any(pivots == 0.0):
+            raise SingularMatrixError(
+                f"zero pivot at column {j}; a batch member is singular"
+            )
+        piv[:, j] = p
+        # unconditional swap: items with p == j rewrite their own row
+        row_j = a[items, j, :].copy()
+        a[items, j, :] = a[items, p, :]
+        a[items, p, :] = row_j
+        if j + 1 < n:
+            a[:, j + 1 :, j] /= a[:, j, j][:, None]
+            upto = min(col1, n)
+            if j + 1 < upto:
+                # rank-1 update; np.outer is this same broadcast product
+                a[:, j + 1 :, j + 1 : upto] -= (
+                    a[:, j + 1 :, j, None] * a[:, j, None, j + 1 : upto]
+                )
+
+
+def lu_factor_batched(
+    mats, *, panel: int = _PANEL
+) -> tuple[np.ndarray, np.ndarray]:
+    """Factor k same-shaped systems; returns ``(lus, pivs)`` stacks.
+
+    ``lus[i], pivs[i]`` is bit-identical to ``lu_factor(mats[i])``.
+    """
+    if panel <= 0:
+        raise NumericsError("panel must be positive")
+    a = _stack_square(mats)
+    k, n, _ = a.shape
+    piv = np.tile(np.arange(n), (k, 1))
+    for k0 in range(0, n, panel):
+        k1 = min(k0 + panel, n)
+        _factor_panel_batched(a, k0, k1, piv)
+        if k1 < n:
+            # substitution and trailing update use @: run the unbatched
+            # expressions per item so BLAS sums in the identical order
+            for i in range(k):
+                ai = a[i]
+                l11 = ai[k0:k1, k0:k1]
+                u12 = ai[k0:k1, k1:]
+                for r in range(1, k1 - k0):
+                    u12[r] -= l11[r, :r] @ u12[:r]
+                ai[k1:, k1:] -= ai[k1:, k0:k1] @ u12
+    return a, piv
+
+
+def solve_batched(mats, rhss) -> list[np.ndarray]:
+    """Solve k same-shaped dense systems ``A_i @ x_i = b_i`` at once.
+
+    The factorizations share one vectorized pass; each substitution runs
+    per item, so ``solve_batched(As, bs)[i]`` is bit-identical to
+    ``solve(As[i], bs[i])``.
+    """
+    if len(mats) != len(rhss):
+        raise NumericsError(
+            f"batch mismatch: {len(mats)} matrices, {len(rhss)} rhs"
+        )
+    lus, pivs = lu_factor_batched(mats)
+    return [lu_solve(lus[i], pivs[i], rhss[i]) for i in range(len(rhss))]
+
+
+def fft_batched(xs) -> list[np.ndarray]:
+    """Forward FFT of k same-length power-of-two sequences.
+
+    One stage loop services the whole stack; every butterfly is
+    elementwise, so ``fft_batched(xs)[i]`` is bit-identical to
+    ``fft(xs[i])``.
+    """
+    if not len(xs):
+        raise NumericsError("empty batch")
+    arrs = [np.asarray(x, dtype=np.complex128) for x in xs]
+    n = arrs[0].shape[0] if arrs[0].ndim == 1 else -1
+    for arr in arrs:
+        if arr.ndim != 1:
+            raise NumericsError(
+                f"fft expects a vector, got shape {arr.shape}"
+            )
+        if arr.shape[0] != n:
+            raise NumericsError(
+                f"batch length mismatch: {arr.shape[0]} vs {n}"
+            )
+    if n == 0 or (n & (n - 1)) != 0:
+        raise NumericsError(f"fft length must be a power of two, got {n}")
+    stack = np.stack(arrs)
+    if n == 1:
+        return list(stack)
+    stack = stack[:, _bit_reverse(n)]
+    half = 1
+    while half < n:
+        step = half * 2
+        tw = np.exp(-2j * np.pi * np.arange(half) / step)
+        blocks = stack.reshape(len(arrs), n // step, step)
+        even = blocks[:, :, :half].copy()
+        odd = blocks[:, :, half:] * tw
+        blocks[:, :, :half] = even + odd
+        blocks[:, :, half:] = even - odd
+        half = step
+    return list(stack)
+
+
+def matmul_batched(lhss, rhss) -> list[np.ndarray]:
+    """Blocked matmul over k operand pairs.
+
+    The product itself is per-item ``gemm`` (bit-identity is free); the
+    batch lane's win for dgemm is coalescing server-side dispatch, not
+    the arithmetic.
+    """
+    if len(lhss) != len(rhss):
+        raise NumericsError(
+            f"batch mismatch: {len(lhss)} lhs, {len(rhss)} rhs"
+        )
+    if not len(lhss):
+        raise NumericsError("empty batch")
+    return [gemm(a, b) for a, b in zip(lhss, rhss)]

@@ -405,6 +405,26 @@ def _h_select(x, k):
     return np.float64(num.quickselect(x, int(k)))
 
 
+def _hb_dgesv(items):
+    return num.solve_batched([a for a, _b in items], [b for _a, b in items])
+
+
+def _hb_dgemm(items):
+    return num.matmul_batched([a for a, _b in items], [b for _a, b in items])
+
+
+def _hb_fft(items):
+    return num.fft_batched([x for (x,) in items])
+
+
+#: problems with a stacked batch lane (bit-identical to per-item runs)
+_BATCH_HANDLERS = {
+    "linsys/dgesv": _hb_dgesv,
+    "blas/dgemm": _hb_dgemm,
+    "signal/fft": _hb_fft,
+}
+
+
 _HANDLERS = {
     "linsys/dgesv": _h_dgesv,
     "linsys/inverse": _h_inverse,
@@ -448,5 +468,7 @@ def builtin_registry() -> ProblemRegistry:
             f"no handler for {sorted(missing_handler)}"
         )
     for name, spec in by_name.items():
-        registry.register(spec, _HANDLERS[name])
+        registry.register(
+            spec, _HANDLERS[name], batch=_BATCH_HANDLERS.get(name)
+        )
     return registry

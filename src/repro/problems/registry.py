@@ -3,6 +3,14 @@
 A handler is a plain Python callable ``handler(*coerced_inputs) ->
 tuple_of_outputs`` (a single non-tuple return is wrapped).  Servers
 install a registry at startup; the agent only ever sees the specs.
+
+A problem may additionally carry a *batch handler* — ``batch(items) ->
+list_of_results`` over a list of coerced input tuples — which the
+server's micro-batching lane uses to run several queued same-problem
+requests as one stacked numerics call.  Batch handlers must be
+bit-identical to running the scalar handler per item; any batch-lane
+failure falls back to per-item execution so one bad operand (say, a
+singular matrix) only fails its own request.
 """
 
 from __future__ import annotations
@@ -16,12 +24,15 @@ from .spec import ObjectKind, ProblemSpec, validate_inputs
 __all__ = ["RegisteredProblem", "ProblemRegistry"]
 
 Handler = Callable[..., Any]
+#: batch lane: list of coerced input tuples -> list of per-item results
+BatchHandler = Callable[[Sequence[Sequence[Any]]], Sequence[Any]]
 
 
 @dataclass(frozen=True)
 class RegisteredProblem:
     spec: ProblemSpec
     handler: Handler
+    batch_handler: "BatchHandler | None" = None
 
     @property
     def name(self) -> str:
@@ -40,12 +51,22 @@ class ProblemRegistry:
         self._problems: dict[str, RegisteredProblem] = {}
 
     # ------------------------------------------------------------------
-    def register(self, spec: ProblemSpec, handler: Handler) -> RegisteredProblem:
+    def register(
+        self,
+        spec: ProblemSpec,
+        handler: Handler,
+        *,
+        batch: "BatchHandler | None" = None,
+    ) -> RegisteredProblem:
         if spec.name in self._problems:
             raise BadArgumentsError(f"problem {spec.name!r} already registered")
         if not callable(handler):
             raise BadArgumentsError(f"handler for {spec.name!r} is not callable")
-        reg = RegisteredProblem(spec, handler)
+        if batch is not None and not callable(batch):
+            raise BadArgumentsError(
+                f"batch handler for {spec.name!r} is not callable"
+            )
+        reg = RegisteredProblem(spec, handler, batch)
         self._problems[spec.name] = reg
         return reg
 
@@ -94,8 +115,13 @@ class ProblemRegistry:
         out = ProblemRegistry()
         for name in names:
             reg = self.get(name)
-            out.register(reg.spec, reg.handler)
+            out.register(reg.spec, reg.handler, batch=reg.batch_handler)
         return out
+
+    def has_batch(self, name: str) -> bool:
+        """True when ``name`` is registered with a batch handler."""
+        reg = self._problems.get(name)
+        return reg is not None and reg.batch_handler is not None
 
     # ------------------------------------------------------------------
     def execute(self, name: str, args: Sequence[Any]) -> tuple:
@@ -108,32 +134,71 @@ class ProblemRegistry:
         reg = self.get(name)
         coerced, _env = validate_inputs(reg.spec, args)
         result = reg.handler(*coerced)
-        if not isinstance(result, tuple):
-            result = (result,)
-        out_specs = reg.spec.outputs
-        if len(result) != len(out_specs):
-            raise BadArgumentsError(
-                f"problem {name!r}: handler returned {len(result)} output(s), "
-                f"spec declares {len(out_specs)}"
-            )
-        checked = []
-        for obj, value in zip(out_specs, result):
-            if obj.kind is ObjectKind.STRING:
-                if not isinstance(value, str):
-                    raise BadArgumentsError(
-                        f"problem {name!r}: output {obj.name!r} should be str"
-                    )
-                checked.append(value)
-                continue
-            import numpy as np
+        return _check_outputs(name, reg.spec, result)
 
-            arr = np.asarray(value, dtype=obj.dtype)
-            rank = obj.kind.rank
-            expected_rank = 0 if rank is None else rank
-            if arr.ndim != expected_rank:
+    def execute_batch(self, name: str, args_list: Sequence[Sequence[Any]]) -> list:
+        """Run several same-problem requests through the batch lane.
+
+        Returns one entry per item: the checked output tuple on success,
+        or the exception that item raised.  The stacked call is tried
+        first; any batch-lane failure (a singular member, a shape the
+        kernel rejects) degrades to per-item :meth:`execute` so healthy
+        members still complete.
+        """
+        reg = self.get(name)
+        if reg.batch_handler is None:
+            raise BadArgumentsError(f"problem {name!r} has no batch handler")
+        if not args_list:
+            return []
+        try:
+            coerced_items = [
+                validate_inputs(reg.spec, args)[0] for args in args_list
+            ]
+            results = reg.batch_handler(coerced_items)
+            if len(results) != len(args_list):
                 raise BadArgumentsError(
-                    f"problem {name!r}: output {obj.name!r} has rank "
-                    f"{arr.ndim}, expected {expected_rank}"
+                    f"problem {name!r}: batch handler returned "
+                    f"{len(results)} result(s) for {len(args_list)} item(s)"
                 )
-            checked.append(arr[()] if expected_rank == 0 else arr)
-        return tuple(checked)
+            return [_check_outputs(name, reg.spec, r) for r in results]
+        except Exception:
+            out: list = []
+            for args in args_list:
+                try:
+                    out.append(self.execute(name, args))
+                except Exception as exc:
+                    out.append(exc)
+            return out
+
+
+def _check_outputs(name: str, spec: ProblemSpec, result: Any) -> tuple:
+    """Check one handler result against the spec (count, kind, dtype)."""
+    if not isinstance(result, tuple):
+        result = (result,)
+    out_specs = spec.outputs
+    if len(result) != len(out_specs):
+        raise BadArgumentsError(
+            f"problem {name!r}: handler returned {len(result)} output(s), "
+            f"spec declares {len(out_specs)}"
+        )
+    checked = []
+    for obj, value in zip(out_specs, result):
+        if obj.kind is ObjectKind.STRING:
+            if not isinstance(value, str):
+                raise BadArgumentsError(
+                    f"problem {name!r}: output {obj.name!r} should be str"
+                )
+            checked.append(value)
+            continue
+        import numpy as np
+
+        arr = np.asarray(value, dtype=obj.dtype)
+        rank = obj.kind.rank
+        expected_rank = 0 if rank is None else rank
+        if arr.ndim != expected_rank:
+            raise BadArgumentsError(
+                f"problem {name!r}: output {obj.name!r} has rank "
+                f"{arr.ndim}, expected {expected_rank}"
+            )
+        checked.append(arr[()] if expected_rank == 0 else arr)
+    return tuple(checked)

@@ -121,6 +121,8 @@ class RegisterServer(Message):
     server_address: str = ""
     #: dialable endpoint of the server for cross-process federations
     server_endpoint: str = ""
+    #: executor worker count (concurrent compute slots) on this server
+    slots: int = 1
 
 
 @_register
@@ -143,6 +145,8 @@ class WorkloadReport(Message):
     workload: float
     #: set on agent-to-agent mirror copies (never re-forwarded)
     forwarded: bool = False
+    #: requests currently executing on the server's worker slots
+    inflight: int = 0
 
 
 # ----------------------------------------------------------------------

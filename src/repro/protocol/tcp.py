@@ -21,6 +21,7 @@ get bit-identical results to the simulated runs.
 
 from __future__ import annotations
 
+import os
 import select
 import socket
 import struct
@@ -28,6 +29,7 @@ import threading
 import time
 from typing import Any, Callable, Optional
 
+from ..core.executors import WorkerPool
 from ..errors import TransportClosed, TransportError
 from ..trace.instruments import MetricsRegistry
 from .codec import HEADER, MAX_BODY, decode_message, encode_message_iov
@@ -37,6 +39,9 @@ from .transport import Component, Node, Promise, _WireMetrics
 __all__ = ["TcpNode", "TcpTransport", "ThreadPromise", "TcpSession"]
 
 _ENVELOPE = struct.Struct("<I")
+#: addresses and return endpoints are short strings; an envelope length
+#: beyond this is a hostile or corrupt peer, dropped before allocating
+_MAX_ENVELOPE = 4096
 _ACCEPT_BACKLOG = 64
 _CONNECT_TIMEOUT = 5.0
 #: outbound sockets unused this long are closed instead of reused
@@ -45,6 +50,12 @@ _POOL_IDLE_TIMEOUT = 30.0
 _POOL_MAX = 32
 #: keep sendmsg iov counts well under the kernel's IOV_MAX
 _SENDMSG_MAX_BUFFERS = 256
+#: compute-pool threads per node unless the deployment says otherwise
+_DEFAULT_COMPUTE_WORKERS = 4
+#: resolved once: ``os.getloadavg`` does not exist on non-UNIX builds,
+#: and the periodic workload sampler should not re-discover that (or
+#: re-run the import machinery) every tick
+_HAS_LOADAVG = hasattr(os, "getloadavg")
 
 
 class ThreadPromise(Promise):
@@ -164,13 +175,29 @@ def _close_quietly(conn: socket.socket) -> None:
 class TcpNode(Node):
     """A component endpoint on a real socket."""
 
-    def __init__(self, transport: "TcpTransport", address: str, port: int):
+    #: a real-socket node runs completions on OS threads, so a server
+    #: may opt into the process-executor lane (the sim node cannot: its
+    #: virtual clock would not account for child-process work)
+    supports_process_pool = True
+
+    def __init__(
+        self,
+        transport: "TcpTransport",
+        address: str,
+        port: int,
+        *,
+        compute_workers: int = _DEFAULT_COMPUTE_WORKERS,
+    ):
         self.transport = transport
         self.address = address
         self.host_name = transport.host_name
         self.component: Component | None = None
         self.alive = True
         self.lock = threading.RLock()
+        self.compute_workers = max(1, int(compute_workers))
+        #: bounded compute pool, created on first compute() — most nodes
+        #: (clients, agents) never run one
+        self._compute_pool: WorkerPool | None = None
         self._timers: list[threading.Timer] = []
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -263,6 +290,13 @@ class TcpNode(Node):
         thunk: Callable[[], Any],
         done: Callable[[Any, float], None],
     ) -> None:
+        """Run ``thunk`` on the node's bounded compute pool.
+
+        Replaces the old thread-per-request spawn: a burst now queues on
+        ``compute_workers`` pool threads instead of forking an unbounded
+        number of OS threads, and a submission that finds every worker
+        busy ticks ``server.pool_saturated`` so the pressure is visible.
+        """
         if not self.alive:
             raise TransportClosed(f"node {self.address!r} is down")
 
@@ -277,19 +311,30 @@ class TcpNode(Node):
                 if self.alive:
                     done(result, elapsed)
 
-        worker = threading.Thread(
-            target=run, name=f"compute-{self.address}", daemon=True
-        )
-        worker.start()
+        pool = self._compute_pool
+        if pool is None:
+            pool = WorkerPool(
+                self.compute_workers,
+                name=f"compute-{self.address}",
+                on_saturated=self.transport._on_pool_saturated,
+            )
+            self._compute_pool = pool
+        pool.submit(run)
+
+    def post(self, fn: Callable[[], None]) -> None:
+        """Run ``fn`` under the node lock (foreign-thread completions)."""
+        with self.lock:
+            if self.alive:
+                fn()
 
     def sample_workload(self) -> float:
         """100 x the 1-minute UNIX load average of this machine."""
-        try:
-            import os
-
-            return 100.0 * os.getloadavg()[0]
-        except (OSError, AttributeError):  # pragma: no cover - non-UNIX
-            return 0.0
+        if _HAS_LOADAVG:
+            try:
+                return 100.0 * os.getloadavg()[0]
+            except OSError:  # pragma: no cover - sampling hiccup
+                return 0.0
+        return 0.0  # pragma: no cover - non-UNIX
 
     def endpoint_of(self, address: str) -> str:
         try:
@@ -369,10 +414,14 @@ class TcpNode(Node):
                             )
                         conn.settimeout(_CONNECT_TIMEOUT)
                         (src_len,) = _ENVELOPE.unpack(head)
+                        if src_len > _MAX_ENVELOPE:
+                            return  # hostile length: never allocate it
                         src = bytes(_read_exact(conn, src_len)).decode("utf-8")
                         (ret_len,) = _ENVELOPE.unpack(
                             _read_exact(conn, _ENVELOPE.size)
                         )
+                        if ret_len > _MAX_ENVELOPE:
+                            return
                         ret = bytes(_read_exact(conn, ret_len)).decode("ascii")
                         frame = bytearray(HEADER.size)
                         _read_exact_into(conn, memoryview(frame))
@@ -416,6 +465,8 @@ class TcpNode(Node):
         for t in self._timers:
             t.cancel()
         self._timers.clear()
+        if self._compute_pool is not None:
+            self._compute_pool.shutdown()
         self._pool.close()
         try:
             # wake the blocked accept() so the close isn't deferred by
@@ -474,6 +525,14 @@ class TcpTransport:
     ):
         self.bind_ip = bind_ip
         self._metrics = _WireMetrics(metrics) if metrics is not None else None
+        self._pool_saturated = (
+            metrics.counter(
+                "server.pool_saturated",
+                "compute submissions that found every pool worker busy",
+            )
+            if metrics is not None
+            else None
+        )
         #: the IP peers should dial back; defaults to the bind address
         self.advertise_ip = advertise_ip or bind_ip
         self.host_name = host_name or socket.gethostname()
@@ -488,14 +547,23 @@ class TcpTransport:
         self._directory: dict[str, tuple[str, int]] = {}
         self._lock = threading.Lock()
 
+    def _on_pool_saturated(self) -> None:
+        if self._pool_saturated is not None:
+            self._pool_saturated.inc()
+
     # ------------------------------------------------------------------
     def add_node(
-        self, address: str, component: Component, *, port: int = 0
+        self,
+        address: str,
+        component: Component,
+        *,
+        port: int = 0,
+        compute_workers: int = _DEFAULT_COMPUTE_WORKERS,
     ) -> TcpNode:
         with self._lock:
             if address in self.nodes:
                 raise TransportError(f"duplicate node address {address!r}")
-            node = TcpNode(self, address, port)
+            node = TcpNode(self, address, port, compute_workers=compute_workers)
             self.nodes[address] = node
             self._directory[address] = (self.bind_ip, node.port)
         node.component = component

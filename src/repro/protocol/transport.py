@@ -214,6 +214,17 @@ class Node:
         """Current workload of this node's host (100 x load average)."""
         raise NotImplementedError
 
+    def post(self, fn: Callable[[], None]) -> None:
+        """Run ``fn`` on the node's serialized lane.
+
+        The escape hatch for completions that arrive on *foreign*
+        threads (e.g. a process-pool executor): ``fn`` runs under the
+        same serialization discipline as message dispatch and compute
+        completions, and is dropped if the node is down.  Single-threaded
+        transports run it inline.
+        """
+        fn()
+
     def endpoint_of(self, address: str) -> str:
         """Dialable endpoint for ``address`` ("" when logical addresses
         route directly, as in simulation)."""

@@ -10,6 +10,15 @@ to the workload model NetSolve's agent assumes:
 
     effective = peak * 100 / (100 + w)        with  w = 100 * l.
 
+A host may have several virtual CPUs (``cpus=k``): the runnable set
+then spreads across ``k`` processors, so each job runs at
+``peak / max(1, (n + l) / k)`` — full speed until the load exceeds the
+CPU count, processor sharing beyond it.  The load *average* remains the
+runnable-process count regardless of ``cpus``, exactly as UNIX reports
+it, which is why the scheduler needs the slot count as a separate
+signal.  ``cpus=1`` evaluates the original single-CPU expression
+unchanged, keeping every existing golden timing bit-identical.
+
 The host keeps a step-function history of its load average so experiments
 can compare the *true* load signal against the agent's belief (figure F2).
 """
@@ -65,14 +74,18 @@ class SimHost:
         mflops: float,
         *,
         background_load: float = 0.0,
+        cpus: int = 1,
     ):
         if mflops <= 0:
             raise SimulationError(f"host {name!r}: mflops must be positive")
         if background_load < 0:
             raise SimulationError(f"host {name!r}: background load must be >= 0")
+        if cpus < 1:
+            raise SimulationError(f"host {name!r}: cpus must be >= 1")
         self.name = name
         self.kernel = kernel
         self.mflops = float(mflops)
+        self.cpus = int(cpus)
         self._background = float(background_load)
         self._active: dict[int, _Job] = {}
         self._last_update = kernel.now
@@ -114,6 +127,11 @@ class SimHost:
         """flop/s one job would get if ``extra_jobs`` more were running."""
         competitors = self._background + len(self._active) + extra_jobs
         share = max(competitors, 1.0)
+        if self.cpus == 1:
+            return self.peak_flops / share
+        share = share / self.cpus
+        if share <= 1.0:
+            return self.peak_flops
         return self.peak_flops / share
 
     def estimate_seconds(self, flops: float) -> float:
@@ -129,7 +147,12 @@ class SimHost:
         n = len(self._active)
         if n == 0:
             return 0.0
-        return self.peak_flops / (self._background + n)
+        if self.cpus == 1:
+            return self.peak_flops / (self._background + n)
+        share = (self._background + n) / self.cpus
+        if share <= 1.0:
+            return self.peak_flops
+        return self.peak_flops / share
 
     def _advance(self) -> None:
         """Burn CPU between the last update and now for all active jobs."""

@@ -100,13 +100,15 @@ class Topology:
     # construction
     # ------------------------------------------------------------------
     def add_host(
-        self, name: str, mflops: float, *, background_load: float = 0.0
+        self, name: str, mflops: float, *, background_load: float = 0.0,
+        cpus: int = 1,
     ) -> SimHost:
         """Create and register a host."""
         if name in self.hosts:
             raise SimulationError(f"duplicate host {name!r}")
         host = SimHost(
-            name, self.kernel, mflops, background_load=background_load
+            name, self.kernel, mflops, background_load=background_load,
+            cpus=cpus,
         )
         self.hosts[name] = host
         return host

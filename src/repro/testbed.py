@@ -60,6 +60,8 @@ class HostDef:
     name: str
     mflops: float
     background_load: float = 0.0
+    #: virtual CPU count (executor slots the host can truly parallelize)
+    cpus: int = 1
 
 
 @dataclass(frozen=True)
@@ -258,7 +260,9 @@ def build_testbed(
     trace = EventLog()
     topology = Topology(kernel, per_message_overhead=sim.per_message_overhead)
     for h in hosts:
-        topology.add_host(h.name, h.mflops, background_load=h.background_load)
+        topology.add_host(
+            h.name, h.mflops, background_load=h.background_load, cpus=h.cpus
+        )
     for link in links:
         topology.add_link(
             link.a, link.b, latency=link.latency, bandwidth=link.bandwidth

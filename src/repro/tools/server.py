@@ -49,6 +49,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--workload-step", type=float, default=10.0)
     parser.add_argument("--workload-threshold", type=float, default=10.0)
     parser.add_argument("--max-concurrent", type=int, default=1)
+    parser.add_argument("--max-inflight", type=int, default=None,
+                        help="alias for --max-concurrent (the server's "
+                             "slot count); takes precedence when given")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="compute-pool threads (0 = match the slot "
+                             "count)")
+    parser.add_argument("--executor", choices=("thread", "process"),
+                        default="thread",
+                        help="run kernels on pool threads (default) or "
+                             "opt GIL-bound handlers into child processes")
+    parser.add_argument("--batch-max", type=int, default=1,
+                        help="coalesce up to this many queued same-problem "
+                             "shape-compatible requests into one stacked "
+                             "kernel call while saturated (1 = off)")
     parser.add_argument("--max-queue", type=int, default=0,
                         help="admission cap on the FIFO queue: past this "
                              "many waiting requests the server replies "
@@ -84,6 +98,10 @@ def main(argv: list[str] | None = None) -> int:
         print("no problems selected; refusing to register an empty server")
         return 2
 
+    slots = (
+        args.max_inflight if args.max_inflight is not None
+        else args.max_concurrent
+    )
     metrics = MetricsRegistry() if args.metrics_json else None
     with TcpTransport(bind_ip=args.bind, metrics=metrics) as transport:
         transport.register_remote("agent", agent_host, agent_port)
@@ -99,18 +117,27 @@ def main(argv: list[str] | None = None) -> int:
                     time_step=args.workload_step,
                     threshold=args.workload_threshold,
                 ),
-                max_concurrent=args.max_concurrent,
+                max_concurrent=slots,
                 max_queue=args.max_queue,
                 reregister_interval=args.reregister,
+                workers=args.workers,
+                executor=args.executor,
+                batch_max=args.batch_max,
             ),
             metrics=metrics,
         )
-        node = transport.add_node(f"server/{server_id}", server, port=args.port)
-        run_forever(
-            f"netsolve server {server_id!r} on {args.bind}:{node.port} "
-            f"({len(registry)} problems, {args.mflops:g} Mflop/s, "
-            f"agent {agent_host}:{agent_port})"
+        node = transport.add_node(
+            f"server/{server_id}", server, port=args.port,
+            compute_workers=args.workers or slots,
         )
+        try:
+            run_forever(
+                f"netsolve server {server_id!r} on {args.bind}:{node.port} "
+                f"({len(registry)} problems, {args.mflops:g} Mflop/s, "
+                f"{slots} slot(s), agent {agent_host}:{agent_port})"
+            )
+        finally:
+            server.shutdown_executors()
     if metrics is not None:
         with open(args.metrics_json, "w", encoding="utf-8") as fh:
             fh.write(metrics.to_json())

@@ -193,6 +193,33 @@ def test_malformed_bytes_do_not_kill_listener():
             b.close()
 
 
+def test_forged_envelope_length_dropped_without_allocation():
+    # a hostile 4 GiB envelope-length claim must be rejected *before*
+    # any buffer is sized from it: the listener hangs up immediately
+    # (no multi-second read-timeout stall on a giant allocation) and
+    # keeps serving well-formed peers
+    import socket
+    import struct
+    import time
+
+    with TcpTransport() as transport:
+        recorder = _Sink()
+        node = transport.add_node("a", recorder)
+        with socket.create_connection(("127.0.0.1", node.port)) as conn:
+            conn.sendall(struct.pack("<I", 0xFFFFFFF0))
+            conn.settimeout(2.0)
+            t0 = time.monotonic()
+            assert conn.recv(1) == b""  # dropped, not absorbed
+            assert time.monotonic() - t0 < 2.0
+        b = TcpTransport()
+        try:
+            sender = b.add_node("z", _Sink())
+            b.register_remote("a", "127.0.0.1", node.port)
+            sender.send("a", Ping())
+        finally:
+            b.close()
+
+
 def test_object_store_and_sequencing_over_tcp(deployment):
     """The request-sequencing path (store + ObjectRef) over real sockets."""
     from repro.protocol.messages import ObjectRef
