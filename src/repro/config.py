@@ -76,6 +76,14 @@ class AgentConfig:
     #: seconds a busy penalty stays in force before it decays; 0 turns
     #: busy reports into pure telemetry (no ranking effect)
     busy_penalty_seconds: float = 30.0
+    #: hot result-cache entries (answers repeat solves at one RTT from
+    #: servers' CacheInsert publications); 0 disables the cache
+    cache_entries: int = 0
+    #: seconds before a hot cache entry expires; 0 = LRU bound only
+    cache_ttl: float = 0.0
+    #: per-entry size cap (encoded output bytes) for accepted inserts —
+    #: the agent must stay cheap per query, so only small results qualify
+    cache_entry_bytes: int = 64 * 1024
 
     def __post_init__(self) -> None:
         _require(self.candidate_list_length >= 1, "candidate_list_length must be >= 1")
@@ -93,6 +101,9 @@ class AgentConfig:
             self.busy_penalty_seconds >= 0,
             "busy_penalty_seconds must be >= 0",
         )
+        _require(self.cache_entries >= 0, "cache_entries must be >= 0")
+        _require(self.cache_ttl >= 0, "cache_ttl must be >= 0")
+        _require(self.cache_entry_bytes >= 0, "cache_entry_bytes must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -123,6 +134,18 @@ class ServerConfig:
     #: same-problem shape-compatible requests coalesce into one stacked
     #: kernel call; <= 1 disables batching entirely
     batch_max: int = 1
+    #: content-addressed result-cache entries; a repeat request whose
+    #: digest hits skips admission, the queue and the kernel entirely.
+    #: 0 disables caching (no digests are even computed)
+    cache_entries: int = 0
+    #: seconds before a cached result expires; 0 = LRU bound only
+    cache_ttl: float = 0.0
+    #: publish fresh results whose encoded outputs are at most this many
+    #: bytes to the agent's hot cache (CacheInsert); 0 = never publish
+    cache_publish_bytes: int = 0
+    #: SQLite file backing the persistent job store (results survive
+    #: restarts; FetchResult recovers them by request id); "" disables
+    store_path: str = ""
 
     def __post_init__(self) -> None:
         _require(self.max_concurrent >= 1, "max_concurrent must be >= 1")
@@ -135,6 +158,11 @@ class ServerConfig:
             "executor must be 'thread' or 'process'",
         )
         _require(self.batch_max >= 0, "batch_max must be >= 0")
+        _require(self.cache_entries >= 0, "cache_entries must be >= 0")
+        _require(self.cache_ttl >= 0, "cache_ttl must be >= 0")
+        _require(
+            self.cache_publish_bytes >= 0, "cache_publish_bytes must be >= 0"
+        )
 
 
 @dataclass(frozen=True)
@@ -161,6 +189,11 @@ class ClientConfig:
     #: send a TransferReport after each success (feeds the agent's
     #: learned network table; harmless when the agent does not learn)
     report_transfers: bool = True
+    #: compute a content digest per request and carry it in the agent
+    #: query, enabling one-RTT answers from the agent's hot cache.
+    #: Off by default: an undigested query is byte-identical whether or
+    #: not any cache exists downstream
+    cache_digest: bool = False
 
     def __post_init__(self) -> None:
         _require(self.max_retries >= 1, "max_retries must be >= 1")

@@ -6,6 +6,13 @@ network-characteristics table; for every client query it evaluates the
 completion-time predictor over the live candidates and returns a ranked
 list.  Failure reports from clients mark servers suspect; a liveness
 sweep retires servers whose workload reports stop arriving.
+
+One deliberate exception to the "never touches problem data" rule: with
+``cache_entries > 0`` the agent keeps a *hot* result cache of small
+outputs that servers publish after fresh computes (``CacheInsert``).  A
+query whose content digest hits answers the solve in one round trip —
+``QueryReply(cached=True, outputs=...)`` — without touching any server;
+the per-entry byte cap keeps the broker cheap.
 """
 
 from __future__ import annotations
@@ -19,6 +26,7 @@ from ..errors import PdlSyntaxError
 from ..problems.pdl import parse_pdl, render_pdl
 from ..problems.spec import ProblemSpec
 from ..protocol.messages import (
+    CacheInsert,
     Candidate,
     DescribeProblem,
     FailureReport,
@@ -35,6 +43,7 @@ from ..protocol.messages import (
     WorkloadReport,
 )
 from ..runtime import DispatchComponent, Periodic, handles
+from ..store import ResultCache
 from ..trace.events import EventLog
 from ..trace.instruments import MetricsRegistry
 from .predictor import (
@@ -64,6 +73,8 @@ class _AgentMetrics:
         "workload_reports", "failure_reports", "busy_reports",
         "transfer_reports", "describes", "lists", "mirror_forwards",
         "servers_alive", "servers_total", "predicted_head_seconds",
+        "cache_hits", "cache_misses", "cache_inserts", "cache_insert_rejects",
+        "cache_evictions",
     )
 
     def __init__(self, m: MetricsRegistry):
@@ -94,6 +105,16 @@ class _AgentMetrics:
             "agent.predicted_head_seconds",
             help="MCT prediction shipped for each query's head candidate",
         )
+        self.cache_hits = c("agent.cache_hits",
+                            "queries answered from the hot result cache")
+        self.cache_misses = c("agent.cache_misses",
+                              "digested queries not found in the hot cache")
+        self.cache_inserts = c("agent.cache_inserts",
+                               "server result publications accepted")
+        self.cache_insert_rejects = c("agent.cache_insert_rejects",
+                                      "publications refused (size/disabled)")
+        self.cache_evictions = c("agent.cache_evictions",
+                                 "hot-cache LRU evictions")
 
 
 class Agent(DispatchComponent):
@@ -150,6 +171,13 @@ class Agent(DispatchComponent):
         self.failures_reported = 0
         self.busy_reports_received = 0
         self.forwards_sent = 0
+        #: hot result cache fed by server CacheInsert publications; the
+        #: clock lambda is only called once the component is bound
+        self.result_cache = ResultCache(
+            cfg.cache_entries,
+            ttl=cfg.cache_ttl,
+            clock=lambda: self.node.now(),
+        )
         self._sweep = Periodic(
             self, cfg.liveness_timeout / 4.0, self._sweep_liveness,
             name="liveness_sweep",
@@ -485,11 +513,59 @@ class Agent(DispatchComponent):
         order = mct_top_k(entries, totals, self.cfg.candidate_list_length)
         return [entries[i] for i in order], [float(totals[i]) for i in order]
 
+    @handles(CacheInsert)
+    def _handle_cache_insert(self, src: str, msg: CacheInsert) -> None:
+        """Accept a server's hot-result publication (size-capped)."""
+        if (
+            not self.result_cache.enabled
+            or msg.nbytes <= 0
+            or msg.nbytes > self.cfg.cache_entry_bytes
+        ):
+            if self._metrics is not None:
+                self._metrics.cache_insert_rejects.inc()
+            return
+        evictions_before = self.result_cache.evictions
+        self.result_cache.put(msg.digest, (tuple(msg.outputs), msg.nbytes))
+        if self._metrics is not None:
+            self._metrics.cache_inserts.inc()
+            delta = self.result_cache.evictions - evictions_before
+            if delta:
+                self._metrics.cache_evictions.inc(delta)
+        self._trace(
+            "cache_insert",
+            digest=msg.digest,
+            problem=msg.problem,
+            nbytes=msg.nbytes,
+        )
+
     @handles(QueryRequest)
     def _handle_query(self, src: str, msg: QueryRequest) -> None:
         self.queries_served += 1
         if self._metrics is not None:
             self._metrics.queries.inc()
+        if msg.digest and self.result_cache.enabled:
+            entry = self.result_cache.get(msg.digest)
+            if entry is not None:
+                # answer the solve itself, in this one round trip: no
+                # candidate ranking, no assignment hint, no server
+                outputs, nbytes = entry
+                if self._metrics is not None:
+                    self._metrics.cache_hits.inc()
+                self._trace(
+                    "cache_answer",
+                    problem=msg.problem,
+                    client=src,
+                    nbytes=nbytes,
+                )
+                self.node.send(
+                    src,
+                    QueryReply(
+                        ok=True, tag=msg.tag, cached=True, outputs=outputs
+                    ),
+                )
+                return
+            if self._metrics is not None:
+                self._metrics.cache_misses.inc()
         spec = self.specs.get(msg.problem)
         if spec is None:
             if self._metrics is not None:

@@ -41,6 +41,7 @@ from ..protocol.messages import (
     Candidate,
     DescribeProblem,
     FailureReport,
+    FetchResult,
     ListProblems,
     ProblemDescription,
     ProblemList,
@@ -48,6 +49,7 @@ from ..protocol.messages import (
     QueryRequest,
     DeleteObject,
     ObjectRef,
+    ResultStatus,
     SolveReply,
     SolveRequest,
     StoreAck,
@@ -56,6 +58,7 @@ from ..protocol.messages import (
 )
 from ..protocol.transport import Promise
 from ..runtime import DeadlineTable, DispatchComponent, RetryChain, handles
+from ..store import solve_digest
 from ..trace.events import EventLog
 from ..trace.instruments import (
     ERROR_SECONDS_BUCKETS,
@@ -75,7 +78,7 @@ class _ClientMetrics:
         "queries", "query_retries", "query_backoffs", "attempts",
         "attempt_ok", "attempt_errors", "attempt_timeouts", "failovers",
         "busy_failovers", "requests_done", "requests_failed",
-        "store_ops", "store_timeouts",
+        "cached_replies", "store_ops", "store_timeouts", "fetches",
         "active", "request_seconds", "negotiation_seconds",
         "attempt_seconds", "prediction_error_seconds",
     )
@@ -107,10 +110,13 @@ class _ClientMetrics:
         self.requests_done = c("client.requests_done", "requests resolved")
         self.requests_failed = c("client.requests_failed",
                                  "requests rejected")
+        self.cached_replies = c("client.cached_replies",
+                                "requests answered from a result cache")
         self.store_ops = c("client.store_ops",
                            "store/delete operations started")
         self.store_timeouts = c("client.store_timeouts",
                                 "store/delete batches timed out")
+        self.fetches = c("client.fetches", "FetchResult lookups started")
         self.active = g("client.active_requests", "requests in flight")
         self.request_seconds = h("client.request_seconds",
                                  help="submit -> settle wall-clock")
@@ -158,6 +164,7 @@ class _Active:
         "raw_args",
         "inputs",
         "env",
+        "digest",
         "candidates",
         "tried",
         "current",
@@ -174,6 +181,8 @@ class _Active:
         self.raw_args = raw_args
         self.inputs: Optional[tuple] = None
         self.env: dict[str, int] = {}
+        #: content digest carried in agent queries (cfg.cache_digest)
+        self.digest = ""
         self.candidates: deque[Candidate] = deque()
         self.tried: list[str] = []
         self.current: Optional[Candidate] = None
@@ -211,6 +220,7 @@ class NetSolveClient(DispatchComponent):
         self._spec_waiters: dict[str, list[Promise]] = {}
         self._listing: dict[str, list[Promise]] = {}
         self._storing: dict[tuple[str, str], list[Promise]] = {}
+        self._fetching: dict[tuple[str, int], list[Promise]] = {}
         self._queries: dict[int, Promise] = {}
         self._active: dict[int, _Active] = {}
         #: every timeout this client arms, keyed and generation-safe;
@@ -321,6 +331,63 @@ class NetSolveClient(DispatchComponent):
         self._deadlines.arm(
             ("store", server_address, key), self.cfg.server_timeout, fire
         )
+
+    def fetch_result(
+        self, server_address: str, request_id: int, *, client: str = ""
+    ) -> Promise:
+        """Recover a finished result from a server's persistent job store.
+
+        The crash-recovery half of the non-blocking API: a client that
+        submitted work, died, and reconnected asks the server for the
+        outcome it never received.  ``client`` names the original
+        requester's address when this endpoint is a different node (the
+        store is keyed by who the reply was owed to); empty means "me".
+
+        The promise resolves with the :class:`ResultStatus` message —
+        ``status`` is ``"done"`` (outputs present), ``"failed"`` (the
+        compute errored; ``detail`` says why), ``"unknown"`` (no such
+        row), or ``"unsupported"`` (server runs without a store) — and
+        rejects only when the server never answers.
+        """
+        promise = self.node.promise()
+        waiting = self._fetching.setdefault((server_address, request_id), [])
+        waiting.append(promise)
+        if len(waiting) == 1:
+            if self._metrics is not None:
+                self._metrics.fetches.inc()
+            self._trace(
+                "fetch_sent", request_id=request_id, server=server_address
+            )
+            self.node.send(
+                server_address,
+                FetchResult(request_id=request_id, client=client),
+            )
+
+            def timed_out() -> None:
+                batch = self._fetching.pop((server_address, request_id), [])
+                for p in batch:
+                    if not p.done:
+                        p.reject(
+                            RequestFailed(
+                                request_id,
+                                f"server {server_address!r} did not answer "
+                                f"FetchResult",
+                            )
+                        )
+
+            self._deadlines.arm(
+                ("fetch", server_address, request_id),
+                self.cfg.server_timeout,
+                timed_out,
+            )
+        return promise
+
+    @handles(ResultStatus)
+    def _on_result_status(self, src: str, msg: ResultStatus) -> None:
+        self._deadlines.cancel(("fetch", src, msg.request_id))
+        for promise in self._fetching.pop((src, msg.request_id), []):
+            if not promise.done:
+                promise.resolve(msg)
 
     @handles(StoreAck)
     def _on_store_ack(self, src: str, msg: StoreAck) -> None:
@@ -617,6 +684,11 @@ class NetSolveClient(DispatchComponent):
         req.inputs = tuple(coerced)
         req.env = env
         req.record.sizes = dict(env)
+        if self.cfg.cache_digest:
+            # digested over the coerced inputs + env — exactly what the
+            # server digests after its own validation, so client, agent
+            # and server all key the same request identically
+            req.digest = solve_digest(req.problem, coerced, env) or ""
         self._query(req)
 
     def _query(self, req: _Active) -> None:
@@ -643,6 +715,7 @@ class NetSolveClient(DispatchComponent):
                 client_host=self.node.host_name,
                 exclude=tuple(req.tried),
                 tag=rid,
+                digest=req.digest,
             ),
         )
         self._deadlines.arm(
@@ -678,6 +751,18 @@ class NetSolveClient(DispatchComponent):
             self._metrics.negotiation_seconds.observe(
                 now - req.record.t_query_sent
             )
+        if msg.ok and msg.cached:
+            # the agent answered the solve itself from its hot cache:
+            # one RTT, no server ever touched — the request is done
+            self._trace(
+                "cached_answer", request_id=req.record.request_id
+            )
+            if self._metrics is not None:
+                self._metrics.cached_replies.inc()
+            if req.span is not None:
+                req.span.end_phase(now, outcome="cached")
+            self._finish(req, None, tuple(msg.outputs))
+            return
         if not msg.ok:
             if msg.retryable and req.query_silences < self.cfg.agent_retries:
                 # the pool may recover (suspected servers report back in,
@@ -912,8 +997,11 @@ class NetSolveClient(DispatchComponent):
                 )
         if msg.ok:
             req.attempt.outcome = "ok"
+            req.attempt.cached = msg.cached
             if self._metrics is not None:
                 self._metrics.attempt_ok.inc()
+                if msg.cached:
+                    self._metrics.cached_replies.inc()
             if req.span is not None:
                 req.span.end_phase(now, outcome="ok")
             if self.cfg.report_transfers:

@@ -42,6 +42,8 @@ class AttemptRecord:
     detail: str = ""
     #: server-reported compute seconds (only on "ok")
     compute_seconds: float = 0.0
+    #: the server answered from its result cache (no kernel ran)
+    cached: bool = False
 
     @property
     def elapsed(self) -> Optional[float]:

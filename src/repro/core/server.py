@@ -27,6 +27,17 @@ amortizing dispatch overhead exactly when the queue says the server is
 saturated.  ``executor="process"`` opts GIL-bound single requests into a
 child-process pool on transports whose nodes run real threads; batches
 always ride the thread lane.
+
+Result caching and persistence: with ``cache_entries > 0`` every
+request is content-digested before admission — a hit answers straight
+from the :class:`~repro.store.ResultCache` (``SolveReply.cached=True``),
+skipping the queue, the worker pool and the kernel; a request whose
+digest matches an *in-flight* compute joins it as a waiter instead of
+burning a slot (stampede coalescing).  With ``store_path`` set,
+completed outcomes are persisted to a SQLite :class:`~repro.store.JobStore`
+keyed ``(reply_to, request_id)`` so they survive restarts and can be
+recovered with ``FetchResult``; a memory-cache miss falls through to
+the store by digest, warming the cache after a reboot.
 """
 
 from __future__ import annotations
@@ -39,15 +50,18 @@ from ..errors import NetSolveError
 from ..problems.pdl import render_pdl
 from ..problems.registry import ProblemRegistry
 from ..problems.spec import validate_inputs
-from ..protocol.codec import encode_value
+from ..protocol.codec import decode_value, encode_value, encoded_size
 from ..protocol.messages import (
     Busy,
+    CacheInsert,
     DeleteObject,
+    FetchResult,
     ObjectRef,
     Ping,
     Pong,
     RegisterAck,
     RegisterServer,
+    ResultStatus,
     SolveReply,
     SolveRequest,
     StoreAck,
@@ -55,6 +69,7 @@ from ..protocol.messages import (
     WorkloadReport,
 )
 from ..runtime import DispatchComponent, Periodic, handles
+from ..store import JobStore, ResultCache, solve_digest
 from ..trace.events import EventLog
 from ..trace.instruments import MetricsRegistry
 from .executors import ProcessPool
@@ -74,7 +89,9 @@ class _ServerMetrics:
         "requests", "ok", "errors", "queued", "sheds", "stale_drops",
         "stores", "store_rejects", "deletes", "queue_depth", "executing",
         "compute_seconds", "queue_wait_seconds", "batches",
-        "batched_requests", "peak_queue",
+        "batched_requests", "peak_queue", "cache_hits", "cache_misses",
+        "cache_evictions", "cache_bytes_saved", "coalesced",
+        "store_records", "store_hits", "fetches",
     )
 
     def __init__(self, registry: MetricsRegistry):
@@ -109,6 +126,25 @@ class _ServerMetrics:
             "server.batched_requests", "requests served through a batch")
         self.peak_queue = registry.gauge(
             "server.peak_queue", "deepest any server's FIFO queue got")
+        self.cache_hits = registry.counter(
+            "server.cache_hits", "solves answered from the result cache")
+        self.cache_misses = registry.counter(
+            "server.cache_misses", "digested requests not found in cache")
+        self.cache_evictions = registry.counter(
+            "server.cache_evictions", "result-cache LRU evictions")
+        self.cache_bytes_saved = registry.counter(
+            "server.cache_bytes_saved",
+            "encoded output bytes answered without recomputation")
+        self.coalesced = registry.counter(
+            "server.coalesced",
+            "requests joined to an identical in-flight compute")
+        self.store_records = registry.counter(
+            "server.store_records", "job outcomes persisted to the store")
+        self.store_hits = registry.counter(
+            "server.store_hits",
+            "cache misses answered from the persistent store")
+        self.fetches = registry.counter(
+            "server.fetches", "FetchResult lookups served")
 
 
 def _batch_signature(values) -> tuple:
@@ -180,6 +216,23 @@ class ComputationalServer(DispatchComponent):
         #: request-sequencing object cache: key -> (value, nbytes)
         self._objects: dict[str, tuple[object, int]] = {}
         self._objects_bytes = 0
+        #: content-addressed result cache: digest -> (outputs, nbytes).
+        #: Clocked by the node so TTLs work under virtual time; the
+        #: lambda is only called once the component is bound.
+        self.result_cache = ResultCache(
+            cfg.cache_entries,
+            ttl=cfg.cache_ttl,
+            clock=lambda: self.node.now(),
+        )
+        #: digest -> [(reply_to, request_id), ...] of requests joined to
+        #: an identical in-flight compute (stampede coalescing); cleared
+        #: on restart — dropped waiters retry like any lost reply
+        self._inflight: dict[str, list[tuple[str, int]]] = {}
+        #: persistent job store, opened lazily so a shut-down incarnation
+        #: can reopen it on revival
+        self._store: Optional[JobStore] = None
+        #: requests answered by joining an in-flight identical compute
+        self.coalesced_requests = 0
         self._ticker = Periodic(
             self, cfg.workload.time_step, self._workload_tick,
             name="workload_tick",
@@ -218,8 +271,29 @@ class ComputationalServer(DispatchComponent):
         self._queue.clear()
         self._executing = 0
         self._generation += 1
+        # coalesced waiters were joined to computes this incarnation no
+        # longer owns; their clients time out and retry, same as any
+        # reply lost to the crash
+        self._inflight.clear()
+        # the old generation's in-flight process jobs are stale by the
+        # bump above; releasing the pool stops a restart storm from
+        # accumulating orphaned children (it reopens lazily on use)
+        self.shutdown_executors()
         self.registered = False
         self.on_bind()
+
+    def on_shutdown(self) -> None:
+        """Teardown path (crash or transport close): release the process
+        executor and the job store's file handle.  Both reopen lazily,
+        so a revived incarnation keeps working.  The memory result cache
+        dies here too — this hook models process death (unlike
+        ``on_restart``'s in-process hiccup), and a revived server must
+        re-warm from the persistent store, not from ghost memory."""
+        self.shutdown_executors()
+        self.result_cache.clear()
+        if self._store is not None:
+            self._store.close()
+            self._store = None
 
     def _register(self) -> None:
         self.node.send(
@@ -340,8 +414,246 @@ class ComputationalServer(DispatchComponent):
         return resolved
 
     # ------------------------------------------------------------------
+    # content-addressed result cache + persistent job store
+    # ------------------------------------------------------------------
+    def _job_store(self) -> Optional[JobStore]:
+        if not self.cfg.store_path:
+            return None
+        if self._store is None:
+            self._store = JobStore(self.cfg.store_path)
+        return self._store
+
+    def _request_digest(self, msg: SolveRequest) -> Optional[str]:
+        """Content digest of one request, or ``None`` (not addressable).
+
+        Digests cover the *canonicalized* inputs — refs resolved, arrays
+        coerced — so a strided client-side view and the contiguous copy
+        another client sent hash identically.
+        """
+        if msg.problem not in self.registry:
+            return None
+        spec = self.registry.spec(msg.problem)
+        try:
+            inputs = self._resolve_refs(msg.inputs)
+            coerced, env = validate_inputs(spec, inputs)
+        except NetSolveError:
+            return None  # the normal path owns the error reply
+        return solve_digest(msg.problem, coerced, env)
+
+    def _reply_cached(
+        self, reply_to: str, request_id: int, outputs: tuple, nbytes: int
+    ) -> None:
+        """Send one cache-served reply, with the bookkeeping a fresh
+        compute would have done (minus the compute)."""
+        self.requests_served += 1
+        if self._metrics is not None:
+            self._metrics.ok.inc()
+            self._metrics.cache_hits.inc()
+            self._metrics.cache_bytes_saved.inc(nbytes)
+        self._trace("cache_hit", request_id=request_id, nbytes=nbytes)
+        self.node.send(
+            reply_to,
+            SolveReply(
+                request_id=request_id,
+                ok=True,
+                outputs=outputs,
+                compute_seconds=0.0,
+                cached=True,
+            ),
+        )
+
+    def _cache_probe(self, src: str, msg: SolveRequest) -> bool:
+        """Try to answer a request before admission.
+
+        A hit skips the queue, the worker pool and the kernel entirely:
+        the only cost left is the reply transfer.  A memory miss falls
+        through to the persistent store (the restart-warming path) and
+        promotes any hit back into the memory cache.  Returns True when
+        a reply was sent.
+        """
+        digest = self._request_digest(msg)
+        if digest is None:
+            return False
+        entry = self.result_cache.get(digest)
+        if entry is None:
+            store = self._job_store()
+            if store is not None:
+                blob = store.lookup_digest(digest)
+                if blob is not None:
+                    try:
+                        outputs = tuple(decode_value(blob))
+                    except NetSolveError:  # pragma: no cover - corrupt row
+                        outputs = None
+                    if outputs is not None:
+                        entry = (outputs, len(blob))
+                        self.result_cache.put(digest, entry)
+                        if self._metrics is not None:
+                            self._metrics.store_hits.inc()
+        if entry is None:
+            if self._metrics is not None:
+                self._metrics.cache_misses.inc()
+            return False
+        outputs, nbytes = entry
+        if self._metrics is not None:
+            self._metrics.requests.inc()
+        self._reply_cached(msg.reply_to or src, msg.request_id, outputs, nbytes)
+        return True
+
+    def _record_result(
+        self,
+        reply_to: str,
+        request_id: int,
+        problem: str,
+        digest: Optional[str],
+        outputs: tuple,
+        elapsed: float,
+        *,
+        publish: bool = True,
+    ) -> None:
+        """Post-compute bookkeeping for one fresh successful result:
+        memory-cache insert, hot publication to the agent, job-store row.
+        ``publish=False`` (coalesced waiters) records the job row only —
+        the leader already owns the cache entry and the publication.
+        Unencodable outputs are skipped wholesale — they could not have
+        crossed the wire either."""
+        store = self._job_store()
+        if digest is None and store is None:
+            return
+        if store is not None:
+            buf = bytearray()
+            try:
+                encode_value(outputs, buf)
+            except NetSolveError:  # pragma: no cover - registry outputs
+                return
+            blob = bytes(buf)
+            nbytes = len(blob)
+        else:
+            blob = b""
+            try:
+                nbytes = encoded_size(outputs)
+            except NetSolveError:  # pragma: no cover - registry outputs
+                return
+        if digest is not None and publish:
+            if self.result_cache.enabled:
+                evictions_before = self.result_cache.evictions
+                self.result_cache.put(digest, (outputs, nbytes))
+                if self._metrics is not None:
+                    delta = self.result_cache.evictions - evictions_before
+                    if delta:
+                        self._metrics.cache_evictions.inc(delta)
+            if 0 < nbytes <= self.cfg.cache_publish_bytes:
+                self.node.send(
+                    self.agent_address,
+                    CacheInsert(
+                        digest=digest,
+                        problem=problem,
+                        outputs=outputs,
+                        nbytes=nbytes,
+                    ),
+                )
+        if store is not None:
+            store.record(
+                reply_to,
+                request_id,
+                digest=digest or "",
+                problem=problem,
+                ok=True,
+                payload=blob,
+                compute_seconds=elapsed,
+                created=self.node.now(),
+            )
+            if self._metrics is not None:
+                self._metrics.store_records.inc()
+
+    def _record_failure(
+        self,
+        reply_to: str,
+        request_id: int,
+        problem: str,
+        digest: Optional[str],
+        detail: str,
+        elapsed: float,
+    ) -> None:
+        store = self._job_store()
+        if store is None:
+            return
+        store.record(
+            reply_to,
+            request_id,
+            digest=digest or "",
+            problem=problem,
+            ok=False,
+            detail=detail,
+            compute_seconds=elapsed,
+            created=self.node.now(),
+        )
+        if self._metrics is not None:
+            self._metrics.store_records.inc()
+
+    @handles(FetchResult)
+    def _fetch_result(self, src: str, msg: FetchResult) -> None:
+        """Recover a finished result from the job store by request id."""
+        if self._metrics is not None:
+            self._metrics.fetches.inc()
+        store = self._job_store()
+        if store is None:
+            self.node.send(
+                src,
+                ResultStatus(
+                    request_id=msg.request_id,
+                    status="unsupported",
+                    detail="server runs without a persistent store",
+                ),
+            )
+            return
+        row = store.fetch(msg.client or src, msg.request_id)
+        if row is None:
+            self.node.send(
+                src,
+                ResultStatus(request_id=msg.request_id, status="unknown"),
+            )
+            return
+        if not row.ok:
+            self.node.send(
+                src,
+                ResultStatus(
+                    request_id=msg.request_id,
+                    status="failed",
+                    detail=row.detail,
+                    compute_seconds=row.compute_seconds,
+                ),
+            )
+            return
+        try:
+            outputs = tuple(decode_value(row.payload))
+        except NetSolveError:  # pragma: no cover - corrupt row
+            self.node.send(
+                src,
+                ResultStatus(
+                    request_id=msg.request_id,
+                    status="failed",
+                    detail="stored payload is unreadable",
+                ),
+            )
+            return
+        self._trace("result_fetched", request_id=msg.request_id)
+        self.node.send(
+            src,
+            ResultStatus(
+                request_id=msg.request_id,
+                status="done",
+                outputs=outputs,
+                compute_seconds=row.compute_seconds,
+            ),
+        )
+
+    # ------------------------------------------------------------------
     @handles(SolveRequest)
     def _enqueue(self, src: str, msg: SolveRequest) -> None:
+        if (
+            self.result_cache.enabled or self.cfg.store_path
+        ) and self._cache_probe(src, msg):
+            return
         if self._executing >= self.cfg.max_concurrent:
             depth = len(self._queue)
             if 0 < self.cfg.max_queue <= depth:
@@ -400,7 +712,7 @@ class ComputationalServer(DispatchComponent):
         spec = self.registry.spec(msg.problem)
         try:
             inputs = self._resolve_refs(msg.inputs)
-            _coerced, env = validate_inputs(spec, inputs)
+            coerced, env = validate_inputs(spec, inputs)
             flops = spec.flops(env)
         except NetSolveError as exc:
             self.requests_failed += 1
@@ -412,6 +724,36 @@ class ComputationalServer(DispatchComponent):
             )
             self._drain()
             return
+
+        digest = None
+        if self.result_cache.enabled or self.cfg.store_path:
+            digest = solve_digest(msg.problem, coerced, env)
+        if digest is not None:
+            # re-check: an identical result may have landed while this
+            # request waited in the queue (peek: the admission-time miss
+            # was already counted; stats stay one-to-one with requests)
+            entry = self.result_cache.peek(digest)
+            if entry is not None:
+                outputs, nbytes = entry
+                self._reply_cached(reply_to, msg.request_id, outputs, nbytes)
+                self._drain()
+                return
+            waiters = self._inflight.get(digest)
+            if waiters is not None:
+                # an identical compute is already running: join it
+                # instead of burning a slot on the same answer
+                waiters.append((reply_to, msg.request_id))
+                self.coalesced_requests += 1
+                if self._metrics is not None:
+                    self._metrics.coalesced.inc()
+                self._trace(
+                    "request_coalesced",
+                    request_id=msg.request_id,
+                    digest=digest,
+                )
+                return
+            if self.result_cache.enabled:
+                self._inflight[digest] = []
 
         self._executing += 1
         generation = self._generation
@@ -442,7 +784,11 @@ class ComputationalServer(DispatchComponent):
             if self._metrics is not None:
                 self._metrics.executing.dec()
                 self._metrics.compute_seconds.observe(elapsed)
+            waiters = (
+                self._inflight.pop(digest, []) if digest is not None else []
+            )
             if isinstance(result, BaseException):
+                detail = f"{type(result).__name__}: {result}"
                 self.requests_failed += 1
                 if self._metrics is not None:
                     self._metrics.errors.inc()
@@ -456,11 +802,34 @@ class ComputationalServer(DispatchComponent):
                     SolveReply(
                         request_id=msg.request_id,
                         ok=False,
-                        detail=f"{type(result).__name__}: {result}",
+                        detail=detail,
                         compute_seconds=elapsed,
                     ),
                 )
+                self._record_failure(
+                    reply_to, msg.request_id, msg.problem, digest,
+                    detail, elapsed,
+                )
+                for w_reply, w_rid in waiters:
+                    # joined requests share the leader's fate; each
+                    # client retries independently
+                    self.requests_failed += 1
+                    if self._metrics is not None:
+                        self._metrics.errors.inc()
+                    self.node.send(
+                        w_reply,
+                        SolveReply(
+                            request_id=w_rid,
+                            ok=False,
+                            detail=detail,
+                            compute_seconds=elapsed,
+                        ),
+                    )
+                    self._record_failure(
+                        w_reply, w_rid, msg.problem, digest, detail, elapsed
+                    )
             else:
+                outputs = tuple(result)
                 self.requests_served += 1
                 if self._metrics is not None:
                     self._metrics.ok.inc()
@@ -474,10 +843,36 @@ class ComputationalServer(DispatchComponent):
                     SolveReply(
                         request_id=msg.request_id,
                         ok=True,
-                        outputs=tuple(result),
+                        outputs=outputs,
                         compute_seconds=elapsed,
                     ),
                 )
+                self._record_result(
+                    reply_to, msg.request_id, msg.problem, digest,
+                    outputs, elapsed,
+                )
+                for w_reply, w_rid in waiters:
+                    # compute_seconds=0: the waiter paid no compute, and
+                    # charging it the leader's would poison the client's
+                    # transfer accounting (elapsed - compute < 0)
+                    self.requests_served += 1
+                    if self._metrics is not None:
+                        self._metrics.ok.inc()
+                    self._trace("request_done", request_id=w_rid)
+                    self.node.send(
+                        w_reply,
+                        SolveReply(
+                            request_id=w_rid,
+                            ok=True,
+                            outputs=outputs,
+                            compute_seconds=0.0,
+                            cached=True,
+                        ),
+                    )
+                    self._record_result(
+                        w_reply, w_rid, msg.problem, digest, outputs, 0.0,
+                        publish=False,
+                    )
             self._drain()
 
         if self._use_process_lane():
@@ -533,8 +928,9 @@ class ComputationalServer(DispatchComponent):
         unless batching is enabled, the problem has a batch handler, and
         at least one shape-compatible same-problem request is waiting.
         Otherwise removes the compatible mates from the queue (others
-        keep their FIFO positions) and returns ``(src, msg, flops)``
-        triples for the head plus its mates.
+        keep their FIFO positions) and returns ``(src, msg, flops,
+        digest)`` tuples for the head plus its mates (digest ``None``
+        when result caching and the job store are both off).
         """
         if self.cfg.batch_max <= 1 or not self._queue:
             return None
@@ -549,8 +945,15 @@ class ComputationalServer(DispatchComponent):
             flops = spec.flops(env)
         except NetSolveError:
             return None  # invalid head: the single path owns the error reply
+        digesting = self.result_cache.enabled or bool(self.cfg.store_path)
+
+        def member_digest(coerced_inputs, member_env):
+            if not digesting:
+                return None
+            return solve_digest(problem, coerced_inputs, member_env)
+
         signature = (env, _batch_signature(coerced))
-        members = [(src, msg, flops)]
+        members = [(src, msg, flops, member_digest(coerced, env))]
         kept: deque = deque()
         now = self.node.now()
         for entry in self._queue:
@@ -571,7 +974,9 @@ class ComputationalServer(DispatchComponent):
             if (q_env, _batch_signature(q_coerced)) != signature:
                 kept.append(entry)
                 continue
-            members.append((q_src, q_msg, q_flops))
+            members.append(
+                (q_src, q_msg, q_flops, member_digest(q_coerced, q_env))
+            )
             if self._metrics is not None:
                 self._metrics.queue_depth.dec()
                 self._metrics.queue_wait_seconds.observe(now - t_queued)
@@ -588,7 +993,7 @@ class ComputationalServer(DispatchComponent):
         every member (each of which the client retries independently).
         """
         problem = members[0][1].problem
-        total_flops = sum(flops for _src, _msg, flops in members)
+        total_flops = sum(flops for _src, _msg, flops, _digest in members)
         self.batches += 1
         self.batched_requests += len(members)
         if self._metrics is not None:
@@ -604,7 +1009,7 @@ class ComputationalServer(DispatchComponent):
             size=len(members),
             flops=total_flops,
         )
-        inputs_list = [list(m.inputs) for _src, m, _flops in members]
+        inputs_list = [list(m.inputs) for _src, m, _flops, _digest in members]
 
         def run():
             return self.registry.execute_batch(problem, inputs_list)
@@ -631,9 +1036,10 @@ class ComputationalServer(DispatchComponent):
                 items = [result] * len(members)
             else:
                 items = list(result)
-            for (m_src, m_msg, _flops), item in zip(members, items):
+            for (m_src, m_msg, _flops, m_digest), item in zip(members, items):
                 reply_to = m_msg.reply_to or m_src
                 if isinstance(item, BaseException):
+                    detail = f"{type(item).__name__}: {item}"
                     self.requests_failed += 1
                     if self._metrics is not None:
                         self._metrics.errors.inc()
@@ -647,11 +1053,16 @@ class ComputationalServer(DispatchComponent):
                         SolveReply(
                             request_id=m_msg.request_id,
                             ok=False,
-                            detail=f"{type(item).__name__}: {item}",
+                            detail=detail,
                             compute_seconds=elapsed,
                         ),
                     )
+                    self._record_failure(
+                        reply_to, m_msg.request_id, problem, m_digest,
+                        detail, elapsed,
+                    )
                 else:
+                    outputs = tuple(item)
                     self.requests_served += 1
                     if self._metrics is not None:
                         self._metrics.ok.inc()
@@ -665,9 +1076,13 @@ class ComputationalServer(DispatchComponent):
                         SolveReply(
                             request_id=m_msg.request_id,
                             ok=True,
-                            outputs=tuple(item),
+                            outputs=outputs,
                             compute_seconds=elapsed,
                         ),
+                    )
+                    self._record_result(
+                        reply_to, m_msg.request_id, problem, m_digest,
+                        outputs, elapsed,
                     )
             self._drain()
 

@@ -49,6 +49,7 @@ __all__ = [
     "encode_message",
     "encode_message_iov",
     "decode_message",
+    "encoded_parts",
     "encoded_size",
     "frame_size",
     "MAGIC",
@@ -222,6 +223,20 @@ def encode_value(value: Any, out: bytearray) -> None:
     _encode_iov(value, b)
     for part in b.finish():
         out += part
+
+
+def encoded_parts(value: Any) -> list:
+    """The tagged encoding of ``value`` as scatter/gather parts.
+
+    Small fields share one scratch bytearray; each large ndarray payload
+    is a ``memoryview`` of the (C-contiguous) array's own memory, so
+    consumers that only *read* the encoding — content digests, checksums
+    — never pay a serialization copy.  ``b"".join(parts)`` equals
+    :func:`encode_value` byte for byte.
+    """
+    b = _IovBuilder()
+    _encode_iov(value, b)
+    return b.finish()
 
 
 def encoded_size(value: Any) -> int:

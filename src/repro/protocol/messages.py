@@ -11,9 +11,16 @@ Protocol summary::
     server -> agent : WorkloadReport (hysteretic policy)
     client -> agent : DescribeProblem -> ProblemDescription (PDL text)
     client -> agent : ListProblems -> ProblemList
-    client -> agent : QueryRequest(sizes) -> QueryReply(ranked Candidates)
-    client -> server: SolveRequest(inputs) -> SolveReply(outputs | error)
+    client -> agent : QueryRequest(sizes) -> QueryReply(ranked Candidates;
+                      or, on an agent-cache digest hit, the cached
+                      outputs directly — no server touched)
+    client -> server: SolveRequest(inputs) -> SolveReply(outputs | error;
+                      cached=True when answered from the result cache)
     server -> client: Busy (admission cap hit; retry on another server)
+    server -> agent : CacheInsert (small hot result published for the
+                      agent's one-RTT cache)
+    client -> server: FetchResult -> ResultStatus (recover a finished
+                      result by request id from the persistent store)
     client -> agent : FailureReport (server misbehaved; agent marks
                       suspect — or, for kind="busy", applies a decaying
                       workload penalty instead)
@@ -42,6 +49,9 @@ __all__ = [
     "ProblemList",
     "SolveRequest",
     "SolveReply",
+    "FetchResult",
+    "ResultStatus",
+    "CacheInsert",
     "Busy",
     "FailureReport",
     "TransferReport",
@@ -167,6 +177,9 @@ class QueryRequest(Message):
     exclude: tuple = ()
     #: client-chosen tag echoed in the reply (correlates concurrent queries)
     tag: int = 0
+    #: content digest of (problem, inputs, env) — "" when the client is
+    #: not digesting; lets the agent answer repeats from its hot cache
+    digest: str = ""
 
 
 @dataclass(frozen=True)
@@ -208,6 +221,11 @@ class QueryReply(Message):
     tag: int = 0
     #: failure may clear up (empty pool) vs never will (unknown problem)
     retryable: bool = False
+    #: True when the agent answered from its result cache: ``outputs``
+    #: holds the solution and ``candidates`` is empty
+    cached: bool = False
+    #: cached outputs (only when ``cached``)
+    outputs: tuple = ()
 
     def candidate_list(self) -> list[Candidate]:
         return [Candidate.from_fields(c) for c in self.candidates]
@@ -284,6 +302,64 @@ class SolveReply(Message):
     detail: str = ""
     #: virtual/wall seconds the computation took on the server
     compute_seconds: float = 0.0
+    #: provenance: True when answered from the result cache (or joined
+    #: to an identical in-flight compute) instead of a fresh kernel run
+    cached: bool = False
+
+
+@_register
+@dataclass(frozen=True)
+class FetchResult(Message):
+    """Client -> server: recover a finished result from the job store.
+
+    ``client`` names the reply address the original solve carried
+    (``SolveRequest.reply_to``); "" means "me" — the server keys the
+    lookup on the transport-level source.  A reconnecting client whose
+    address changed passes its old address explicitly.
+    """
+
+    TYPE_CODE: ClassVar[int] = 20
+
+    request_id: int
+    client: str = ""
+
+
+@_register
+@dataclass(frozen=True)
+class ResultStatus(Message):
+    """Server -> client: job-store lookup outcome for one request id.
+
+    ``status`` is one of "done" (outputs carried), "failed" (the solve
+    completed with an error; detail carried), "unknown" (no record) or
+    "unsupported" (server runs without a persistent store).
+    """
+
+    TYPE_CODE: ClassVar[int] = 21
+
+    request_id: int
+    status: str = "unknown"
+    outputs: tuple = ()
+    detail: str = ""
+    compute_seconds: float = 0.0
+
+
+@_register
+@dataclass(frozen=True)
+class CacheInsert(Message):
+    """Server -> agent: publish a small hot result for the agent cache.
+
+    Sent after a fresh compute when the encoded outputs fit the server's
+    ``cache_publish_bytes`` budget, so repeat solves can be answered by
+    the agent in one round trip without touching any server.
+    """
+
+    TYPE_CODE: ClassVar[int] = 22
+
+    digest: str
+    problem: str = ""
+    outputs: tuple = ()
+    #: encoded size of ``outputs`` (the agent bounds per-entry cost)
+    nbytes: int = 0
 
 
 # ----------------------------------------------------------------------

@@ -465,6 +465,10 @@ class TcpNode(Node):
         for t in self._timers:
             t.cancel()
         self._timers.clear()
+        if self.component is not None:
+            # release component-owned resources (executor pools, stores)
+            # before the transport's own; on_shutdown is idempotent
+            self.component.on_shutdown()
         if self._compute_pool is not None:
             self._compute_pool.shutdown()
         self._pool.close()

@@ -77,6 +77,12 @@ class Component:
         """Hook run when a crashed node is revived (the daemon's restart
         path): re-arm timers, re-register, drop in-flight state."""
 
+    def on_shutdown(self) -> None:
+        """Hook run when the node is torn down (crash or transport
+        close): release executors, close stores, drop OS resources.
+        Must be idempotent and restart-safe — a revived component may be
+        shut down again later."""
+
     def on_message(self, src: str, msg: Message) -> None:
         raise NotImplementedError
 
@@ -315,6 +321,8 @@ class SimNode(Node):
         for job in self._jobs:
             job.cancel()
         self._jobs.clear()
+        if self.component is not None:
+            self.component.on_shutdown()
 
 
 class SimTransport:

@@ -1,0 +1,132 @@
+"""Bounded LRU + TTL result cache.
+
+Deliberately transport-agnostic: the clock is injected so the same cache
+runs under the simulator's virtual time and a live node's wall clock.
+``entries == 0`` disables the cache entirely — every ``get`` misses
+without counting, every ``put`` is a no-op — which is what makes the
+default-off configuration provably inert.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Optional
+
+from ..errors import ConfigError
+
+__all__ = ["ResultCache"]
+
+
+def _zero_clock() -> float:
+    return 0.0
+
+
+class ResultCache:
+    """Content-digest -> value map with LRU eviction and optional TTL.
+
+    ``ttl == 0`` means entries never expire (LRU bound only);
+    ``ttl > 0`` expires an entry ``ttl`` clock-seconds after insertion
+    (lazily, on lookup — an expired entry still occupies a slot until
+    it is read or evicted).
+    """
+
+    __slots__ = (
+        "entries",
+        "ttl",
+        "_clock",
+        "_data",
+        "hits",
+        "misses",
+        "evictions",
+        "expirations",
+    )
+
+    def __init__(
+        self,
+        entries: int = 0,
+        *,
+        ttl: float = 0.0,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if entries < 0:
+            raise ConfigError(f"cache entries must be >= 0, got {entries}")
+        if ttl < 0:
+            raise ConfigError(f"cache ttl must be >= 0, got {ttl}")
+        self.entries = entries
+        self.ttl = ttl
+        self._clock = clock if clock is not None else _zero_clock
+        self._data: OrderedDict[str, tuple[Any, float]] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.expirations = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        return self.entries > 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key: str) -> Any:
+        """The cached value, or ``None`` on miss/expiry (counted)."""
+        if not self.entries:
+            return None
+        entry = self._data.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        value, inserted = entry
+        if self.ttl > 0 and self._clock() - inserted > self.ttl:
+            del self._data[key]
+            self.expirations += 1
+            self.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def peek(self, key: str) -> Any:
+        """Like :meth:`get` but statistics- and LRU-neutral.
+
+        For re-checks of a lookup already counted (e.g. the server's
+        queue-time check after an admission-time miss): the entry's
+        recency is not refreshed and no hit/miss is recorded, so stats
+        stay one-to-one with logical requests.  Expiry still applies
+        (an expired entry answers ``None``) but is left in place for
+        the counting paths to collect.
+        """
+        if not self.entries:
+            return None
+        entry = self._data.get(key)
+        if entry is None:
+            return None
+        value, inserted = entry
+        if self.ttl > 0 and self._clock() - inserted > self.ttl:
+            return None
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        """Insert (or refresh) ``key``; evicts LRU entries past the cap."""
+        if not self.entries:
+            return
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = (value, self._clock())
+        while len(self._data) > self.entries:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self._data),
+            "capacity": self.entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "expirations": self.expirations,
+        }

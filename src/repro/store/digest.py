@@ -1,0 +1,69 @@
+"""Content-addressed request digests.
+
+A solve is memoizable when two requests that would compute the same
+answer hash to the same key.  The key covers everything the kernel sees:
+the problem name, the *canonicalized* input values, and the bound size
+environment.  Canonicalization rides on the wire codec — ``_encode_iov``
+already flattens every ndarray with ``ascontiguousarray``, so aliased,
+strided and contiguous views of the same values produce byte-identical
+encodings, while a different dtype, shape, problem or env changes the
+bytes (and hence the digest).  The hash is folded incrementally over the
+scatter/gather parts, so a megabyte matrix is hashed straight out of its
+own buffer — no serialization pass, no copy.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Mapping, Optional, Sequence
+
+from ..errors import CodecError
+from ..protocol.codec import encoded_parts
+from ..protocol.messages import ObjectRef
+
+__all__ = ["solve_digest"]
+
+#: blake2b output size; 20 bytes / 40 hex chars, constant-length so the
+#: QueryRequest frame size never depends on input *values*
+_DIGEST_BYTES = 20
+
+
+def _contains_ref(value: Any) -> bool:
+    if isinstance(value, ObjectRef):
+        return True
+    if isinstance(value, (list, tuple)):
+        return any(_contains_ref(item) for item in value)
+    if isinstance(value, dict):
+        return any(_contains_ref(item) for item in value.values())
+    return False
+
+
+def solve_digest(
+    problem: str,
+    inputs: Sequence[Any],
+    env: Optional[Mapping[str, Any]] = None,
+) -> Optional[str]:
+    """Hex digest keying ``(problem, inputs, env)``, or ``None``.
+
+    Returns ``None`` when the request is not content-addressable: inputs
+    containing an :class:`ObjectRef` (the referenced object's content is
+    not in hand) or values the codec cannot encode.  Callers must treat
+    ``None`` as "do not cache".
+
+    Dict iteration order is part of the encoding, so the env is re-keyed
+    in sorted order before hashing — two envs with the same bindings
+    always digest equal.
+    """
+    if _contains_ref(inputs):
+        return None
+    canonical_env = (
+        {key: env[key] for key in sorted(env)} if env else {}
+    )
+    try:
+        parts = encoded_parts((problem, tuple(inputs), canonical_env))
+    except CodecError:
+        return None
+    h = hashlib.blake2b(digest_size=_DIGEST_BYTES)
+    for part in parts:
+        h.update(part)
+    return h.hexdigest()

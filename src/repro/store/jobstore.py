@@ -1,0 +1,148 @@
+"""SQLite-backed persistent job store.
+
+NEOS-style: every completed solve is recorded under
+``(client, request_id)`` with its content digest and the encoded
+solution blob, so results survive a server restart and a crashed
+non-blocking client can reconnect and fetch everything it is owed by
+request id (``FetchResult``/``ResultStatus`` on the wire).
+
+The store is deliberately codec-free — callers hand in the payload as
+an opaque ``bytes`` blob (the server encodes the outputs tuple with the
+wire codec) and get the same bytes back.  Plain stdlib ``sqlite3``, one
+connection guarded by a lock (``check_same_thread=False`` so TCP worker
+threads can record completions), synchronous writes left at the SQLite
+default — a job database that lies about durability is worse than none.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["JobRow", "JobStore"]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    client          TEXT    NOT NULL,
+    request_id      INTEGER NOT NULL,
+    digest          TEXT    NOT NULL DEFAULT '',
+    problem         TEXT    NOT NULL DEFAULT '',
+    ok              INTEGER NOT NULL,
+    payload         BLOB    NOT NULL,
+    detail          TEXT    NOT NULL DEFAULT '',
+    compute_seconds REAL    NOT NULL DEFAULT 0.0,
+    created         REAL    NOT NULL DEFAULT 0.0,
+    PRIMARY KEY (client, request_id)
+);
+CREATE INDEX IF NOT EXISTS jobs_digest ON jobs (digest) WHERE ok = 1;
+"""
+
+
+@dataclass(frozen=True)
+class JobRow:
+    """One recorded job outcome."""
+
+    client: str
+    request_id: int
+    digest: str
+    problem: str
+    ok: bool
+    payload: bytes
+    detail: str
+    compute_seconds: float
+    created: float
+
+
+class JobStore:
+    """Persistent ``(client, request_id) -> outcome`` map on SQLite."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._lock = threading.Lock()
+        self._conn = sqlite3.connect(path, check_same_thread=False)
+        with self._lock:
+            self._conn.executescript(_SCHEMA)
+            self._conn.commit()
+
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        client: str,
+        request_id: int,
+        *,
+        digest: str = "",
+        problem: str = "",
+        ok: bool,
+        payload: bytes = b"",
+        detail: str = "",
+        compute_seconds: float = 0.0,
+        created: float = 0.0,
+    ) -> None:
+        """Upsert one job outcome (a retry overwrites its prior row)."""
+        with self._lock:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO jobs (client, request_id, digest,"
+                " problem, ok, payload, detail, compute_seconds, created)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    client,
+                    request_id,
+                    digest,
+                    problem,
+                    1 if ok else 0,
+                    sqlite3.Binary(payload),
+                    detail,
+                    compute_seconds,
+                    created,
+                ),
+            )
+            self._conn.commit()
+
+    def fetch(self, client: str, request_id: int) -> Optional[JobRow]:
+        """The recorded outcome for one request, or ``None``."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT client, request_id, digest, problem, ok, payload,"
+                " detail, compute_seconds, created FROM jobs"
+                " WHERE client = ? AND request_id = ?",
+                (client, request_id),
+            ).fetchone()
+        if row is None:
+            return None
+        return JobRow(
+            client=row[0],
+            request_id=row[1],
+            digest=row[2],
+            problem=row[3],
+            ok=bool(row[4]),
+            payload=bytes(row[5]),
+            detail=row[6],
+            compute_seconds=row[7],
+            created=row[8],
+        )
+
+    def lookup_digest(self, digest: str) -> Optional[bytes]:
+        """Latest successful payload recorded under ``digest``, if any.
+
+        This is the restart-warming path: a rebooted server with a cold
+        memory cache can still answer a repeat request from disk.
+        """
+        if not digest:
+            return None
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT payload FROM jobs WHERE digest = ? AND ok = 1"
+                " ORDER BY created DESC, rowid DESC LIMIT 1",
+                (digest,),
+            ).fetchone()
+        return None if row is None else bytes(row[0])
+
+    def count(self) -> int:
+        with self._lock:
+            return self._conn.execute("SELECT COUNT(*) FROM jobs").fetchone()[0]
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()

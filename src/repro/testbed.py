@@ -12,7 +12,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Optional, Sequence
 
-from .config import AgentConfig, ClientConfig, ServerConfig, SimConfig
+from .config import (
+    AgentConfig,
+    ClientConfig,
+    ServerConfig,
+    SimConfig,
+    replace_validated,
+)
 from .core.agent import Agent
 from .core.client import NetSolveClient, RequestHandle
 from .core.predictor import LinkEstimate, StaticNetworkInfo
@@ -185,6 +191,23 @@ class Testbed:
         """Blocking solve (the ``netsl`` path): submit, run, return outputs."""
         handle = self.submit(client_id, problem, args)
         return self.transport.run_until(handle.promise, limit=limit)
+
+    def fetch_result(
+        self,
+        client_id: str,
+        server_id: str,
+        request_id: int,
+        *,
+        client: str = "",
+        limit: float | None = None,
+    ):
+        """Blocking :meth:`NetSolveClient.fetch_result`: recover a
+        finished result from a server's persistent job store.  Returns
+        the :class:`~repro.protocol.messages.ResultStatus` message."""
+        promise = self.client(client_id).fetch_result(
+            server_address(server_id), request_id, client=client
+        )
+        return self.transport.run_until(promise, limit=limit)
 
     def wait_all(
         self, handles: Sequence[RequestHandle], *, limit: float | None = None
@@ -385,15 +408,35 @@ def standard_testbed(
     use_workload: bool = True,
     assignment_feedback: bool = True,
     observability: Observability | None = None,
+    cache_entries: int = 0,
+    cache_ttl: float = 0.0,
 ) -> Testbed:
     """The canonical experiment world: one client host, one agent host,
     ``n_servers`` heterogeneous server hosts on a shared LAN.
 
     Server speeds default to 50, 100, 150, ... Mflop/s — a spread wide
     enough that scheduling decisions matter.
+
+    ``cache_entries > 0`` turns on the result-cache stack end to end:
+    every server and the agent get a cache of that size (and TTL), and
+    the client computes request digests so the agent's hot cache can
+    answer repeats in one RTT.  Zero (the default) leaves every layer
+    exactly as uncached deployments have always been.
     """
     if n_servers < 1:
         raise ConfigError("need at least one server")
+    if cache_entries > 0:
+        agent_cfg = replace_validated(
+            agent_cfg, cache_entries=cache_entries, cache_ttl=cache_ttl
+        )
+        server_cfg = replace_validated(
+            server_cfg,
+            cache_entries=cache_entries,
+            cache_ttl=cache_ttl,
+            # publish anything the agent would accept into its hot cache
+            cache_publish_bytes=agent_cfg.cache_entry_bytes,
+        )
+        client_cfg = replace_validated(client_cfg, cache_digest=True)
     if server_mflops is None:
         server_mflops = [50.0 * (i + 1) for i in range(n_servers)]
     if len(server_mflops) != n_servers:

@@ -48,6 +48,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="assumed path bandwidth (bytes/second)")
     parser.add_argument("--learn-network", action="store_true",
                         help="learn per-path bandwidth from transfer reports")
+    parser.add_argument("--cache-entries", type=int, default=0,
+                        help="hot result-cache entries answering repeat "
+                             "solves in one RTT (0 = off)")
+    parser.add_argument("--cache-ttl", type=float, default=0.0,
+                        help="seconds before a hot cache entry expires "
+                             "(0 = LRU bound only)")
     parser.add_argument("--metrics-json", metavar="PATH", default=None,
                         help="attach a metrics registry and dump its "
                              "snapshot to PATH at shutdown")
@@ -72,6 +78,8 @@ def main(argv: list[str] | None = None) -> int:
             policy=args.policy,
             candidate_list_length=args.candidates,
             liveness_timeout=args.liveness_timeout,
+            cache_entries=args.cache_entries,
+            cache_ttl=args.cache_ttl,
         ),
         rng=np.random.default_rng(),
         metrics=metrics,

@@ -27,7 +27,40 @@ from ..errors import NetSolveError
 from ..trace.instruments import Observability, render_snapshot
 from ..trace.spans import RequestSpan
 
-__all__ = ["main", "build_parser", "run_sim_farm"]
+__all__ = ["main", "build_parser", "run_sim_farm", "cache_stats"]
+
+
+#: (layer, hits counter, misses counter) pairs the derived stats cover
+_CACHE_LAYERS = (
+    ("server", "server.cache_hits", "server.cache_misses"),
+    ("agent", "agent.cache_hits", "agent.cache_misses"),
+)
+
+
+def cache_stats(metrics: dict) -> list[list]:
+    """Derived result-cache rows from a metrics snapshot dict.
+
+    Returns ``[layer, hits, misses, hit_rate, extra]`` rows for every
+    cache layer whose counters appear in the snapshot (empty list when
+    the run never had a cache — ``show`` then prints nothing extra).
+    """
+    counters = metrics.get("counters") or {}
+    rows: list[list] = []
+    for layer, hits_key, misses_key in _CACHE_LAYERS:
+        if hits_key not in counters and misses_key not in counters:
+            continue
+        hits = int(counters.get(hits_key, 0))
+        misses = int(counters.get(misses_key, 0))
+        lookups = hits + misses
+        rate = f"{hits / lookups:.1%}" if lookups else "-"
+        if layer == "server":
+            saved = int(counters.get("server.cache_bytes_saved", 0))
+            extra = f"{saved} B saved"
+        else:
+            inserts = int(counters.get("agent.cache_inserts", 0))
+            extra = f"{inserts} inserts"
+        rows.append([layer, hits, misses, rate, extra])
+    return rows
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -147,6 +180,16 @@ def main(argv: list[str] | None = None) -> int:
     except (KeyError, TypeError, NetSolveError) as exc:
         print(f"snapshot {args.path!r} is malformed: {exc}")
         return 2
+    rows = cache_stats(metrics)
+    if rows:
+        from ..trace.metrics import format_table
+
+        print()
+        print(format_table(
+            ["layer", "hits", "misses", "hit rate", ""],
+            rows,
+            title="result caches (derived)",
+        ))
     if args.spans:
         timelines = _render_spans(snapshot.get("spans") or [], args.spans)
         if timelines:

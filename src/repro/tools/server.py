@@ -69,6 +69,20 @@ def build_parser() -> argparse.ArgumentParser:
                              "Busy instead of queueing (0 = unbounded)")
     parser.add_argument("--reregister", type=float, default=300.0,
                         help="re-registration interval (seconds, 0=off)")
+    parser.add_argument("--cache-entries", type=int, default=0,
+                        help="content-addressed result-cache entries; a "
+                             "repeat request answers from the cache without "
+                             "touching the kernel (0 = off)")
+    parser.add_argument("--cache-ttl", type=float, default=0.0,
+                        help="seconds before a cached result expires "
+                             "(0 = LRU bound only)")
+    parser.add_argument("--cache-publish-bytes", type=int, default=0,
+                        help="publish fresh results up to this many encoded "
+                             "bytes to the agent's hot cache (0 = never)")
+    parser.add_argument("--store", metavar="PATH", default="",
+                        help="SQLite file for the persistent job store; "
+                             "finished results survive restarts and are "
+                             "recoverable by request id")
     parser.add_argument("--metrics-json", metavar="PATH", default=None,
                         help="attach a metrics registry and dump its "
                              "snapshot to PATH at shutdown")
@@ -123,6 +137,10 @@ def main(argv: list[str] | None = None) -> int:
                 workers=args.workers,
                 executor=args.executor,
                 batch_max=args.batch_max,
+                cache_entries=args.cache_entries,
+                cache_ttl=args.cache_ttl,
+                cache_publish_bytes=args.cache_publish_bytes,
+                store_path=args.store,
             ),
             metrics=metrics,
         )

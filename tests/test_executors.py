@@ -493,6 +493,76 @@ def test_process_executor_solves_over_tcp():
         transport.close()
 
 
+def _compute_threads(address="server/tsv"):
+    return [
+        t for t in threading.enumerate()
+        if t.is_alive() and t.name.startswith(f"compute-{address}-worker")
+    ]
+
+
+def test_node_teardown_releases_worker_pool_threads():
+    """Closing a TCP node must shut its compute WorkerPool down: the
+    worker threads drain to their sentinels and exit instead of idling
+    forever on the task queue (the leak this regression pins)."""
+    transport, server, probe = make_tcp_server(
+        ServerConfig(max_concurrent=2), compute_workers=2,
+    )
+    try:
+        for rid in (1, 2):
+            a, b = linsys(64, seed=rid)
+            transport.nodes["probe"].send("server/tsv", SolveRequest(
+                request_id=rid, problem="linsys/dgesv", inputs=(a, b),
+                reply_to="probe",
+            ))
+        assert wait_for(lambda: len(probe.replies) >= 2)
+        assert _compute_threads(), "expected live pool workers mid-run"
+    finally:
+        transport.close()
+    assert wait_for(lambda: not _compute_threads()), (
+        f"compute workers leaked past node shutdown: {_compute_threads()}"
+    )
+
+
+def test_restart_storm_does_not_accumulate_process_children():
+    """A crash->revive storm on a process-lane server: every restart
+    releases the old generation's ProcessPool (its in-flight work is
+    stale anyway), so child processes cannot pile up incarnation after
+    incarnation; the final teardown reaps everything."""
+    import multiprocessing
+
+    def children():
+        return [p for p in multiprocessing.active_children()
+                if p.is_alive()]
+
+    baseline = len(children())
+    transport, server, probe = make_tcp_server(
+        ServerConfig(max_concurrent=2, workers=2, executor="process"),
+    )
+    node = transport.nodes["server/tsv"]
+    try:
+        for round_no in range(4):
+            a, b = linsys(48, seed=round_no)
+            done = len(probe.replies)
+            transport.nodes["probe"].send("server/tsv", SolveRequest(
+                request_id=round_no + 1, problem="linsys/dgesv",
+                inputs=(a, b), reply_to="probe",
+            ))
+            assert wait_for(lambda: len(probe.replies) > done)
+            assert server._process_pool is not None
+            node.restart_component()
+            assert server._process_pool is None  # released, reopens lazily
+            # never more children than one generation's worth
+            assert len(children()) - baseline <= 2, (
+                f"round {round_no}: {len(children()) - baseline} children "
+                "accumulated across restarts"
+            )
+    finally:
+        transport.close()
+    assert wait_for(lambda: len(children()) <= baseline, timeout=60.0), (
+        "process-pool children leaked past transport close"
+    )
+
+
 def test_tcp_compute_pool_is_bounded_and_counts_saturation():
     from repro.trace.instruments import MetricsRegistry
 

@@ -1,0 +1,351 @@
+"""Result-cache behaviour: server hits, coalescing, the agent hot path.
+
+Three layers under test:
+
+* :class:`~repro.store.ResultCache` — LRU+TTL mechanics in isolation
+  (manual clock, no transport);
+* **server** — a digest hit answers before admission (no queue slot, no
+  kernel, ``SolveReply.cached=True``), an identical in-flight request
+  coalesces onto the running compute, and TTL expiry re-executes;
+* **agent + client** — with digests enabled end to end, a repeat solve
+  never reaches any server: the agent answers the query itself in one
+  round trip.
+
+Plus the inertness contract: with every knob at its default, repeated
+requests recompute exactly as they always did.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import AgentConfig, ClientConfig, ServerConfig
+from repro.errors import NetSolveError
+from repro.problems.builtin import builtin_registry
+from repro.protocol.messages import SolveReply, SolveRequest
+from repro.store import ResultCache
+from repro.testbed import standard_testbed
+from repro.trace.instruments import Observability
+
+RNG = np.random.default_rng(7)
+
+
+def linsys(n=64, seed=None):
+    rng = RNG if seed is None else np.random.default_rng(seed)
+    a = rng.standard_normal((n, n)) + n * np.eye(n)
+    return a, rng.standard_normal(n)
+
+
+# ----------------------------------------------------------------------
+# ResultCache unit
+# ----------------------------------------------------------------------
+def test_cache_disabled_is_inert():
+    cache = ResultCache(0)
+    assert not cache.enabled
+    cache.put("k", 1)
+    assert cache.get("k") is None
+    assert len(cache) == 0
+    assert cache.misses == 0  # a disabled cache does not even count
+
+
+def test_cache_lru_eviction_order():
+    cache = ResultCache(2, clock=lambda: 0.0)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.get("a") == 1       # refreshes a
+    cache.put("c", 3)                # evicts b, the least recent
+    assert cache.get("b") is None
+    assert cache.get("a") == 1
+    assert cache.get("c") == 3
+    assert cache.evictions == 1
+    assert cache.hits == 3 and cache.misses == 1
+
+
+def test_cache_put_refreshes_existing_key():
+    cache = ResultCache(2, clock=lambda: 0.0)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.put("a", 10)               # refresh, not insert
+    cache.put("c", 3)                # evicts b
+    assert cache.get("a") == 10
+    assert cache.get("b") is None
+
+
+def test_cache_ttl_expiry_is_lazy():
+    now = [0.0]
+    cache = ResultCache(4, ttl=5.0, clock=lambda: now[0])
+    cache.put("k", 1)
+    now[0] = 4.9
+    assert cache.get("k") == 1
+    now[0] = 5.1
+    assert cache.get("k") is None
+    assert cache.expirations == 1
+    assert len(cache) == 0           # the expired entry was dropped
+
+
+def test_cache_stats_and_clear():
+    cache = ResultCache(2, clock=lambda: 0.0)
+    cache.put("a", 1)
+    cache.get("a")
+    cache.get("x")
+    stats = cache.stats()
+    assert stats["hits"] == 1 and stats["misses"] == 1
+    assert stats["entries"] == 1
+    cache.clear()
+    assert len(cache) == 0
+
+
+def test_cache_validation():
+    with pytest.raises(NetSolveError):
+        ResultCache(-1)
+    with pytest.raises(NetSolveError):
+        ResultCache(4, ttl=-0.1)
+
+
+# ----------------------------------------------------------------------
+# server: a probe world with one cached server
+# ----------------------------------------------------------------------
+def make_server_world(cfg, *, observability=None):
+    from repro.core.server import ComputationalServer
+    from repro.protocol.transport import Component, SimTransport
+    from repro.simnet.kernel import EventKernel
+    from repro.simnet.network import Topology
+
+    class Probe(Component):
+        def __init__(self):
+            self.inbox = []
+
+        def on_message(self, src, msg):
+            self.inbox.append((msg, self.node.now()))
+
+        def of_type(self, cls):
+            return [m for m, _t in self.inbox if isinstance(m, cls)]
+
+    kernel = EventKernel()
+    topo = Topology(kernel)
+    topo.add_host("sh", 100.0)
+    topo.add_host("ph", 100.0)
+    topo.connect_all(latency=1e-4, bandwidth=1e9)
+    transport = SimTransport(topo)
+    server = ComputationalServer(
+        server_id="sv",
+        agent_address="agent-probe",
+        registry=builtin_registry().subset(("linsys/dgesv",)),
+        mflops=100.0,
+        host="sh",
+        cfg=cfg,
+        metrics=observability.metrics if observability else None,
+    )
+    probe = Probe()
+    transport.add_node("agent-probe", "ph", Probe())
+    transport.add_node("client-probe", "ph", probe)
+    transport.add_node("server/sv", "sh", server)
+    return kernel, transport, server, probe
+
+
+def send_solve(transport, rid, args):
+    transport.node("client-probe").send(
+        "server/sv",
+        SolveRequest(
+            request_id=rid, problem="linsys/dgesv", inputs=tuple(args),
+            reply_to="client-probe",
+        ),
+    )
+
+
+def test_server_cache_hit_skips_queue_and_kernel():
+    obs = Observability()
+    kernel, transport, server, probe = make_server_world(
+        ServerConfig(cache_entries=8), observability=obs,
+    )
+    args = linsys(128, seed=1)
+    send_solve(transport, 1, args)
+    kernel.run(until=60.0)
+    (first,) = probe.of_type(SolveReply)
+    assert first.ok and not first.cached
+    t_sent = kernel.now
+    send_solve(transport, 2, (args[0].copy(), args[1].copy()))
+    kernel.run(until=t_sent + 60.0)
+    first, second = probe.of_type(SolveReply)
+    assert second.ok and second.cached
+    assert second.compute_seconds == 0.0
+    assert np.array_equal(second.outputs[0], first.outputs[0])
+    # the hit never entered the pipeline: no queueing, no compute — the
+    # turnaround is pure wire time, far under the kernel's
+    t_reply = probe.inbox[-1][1]
+    assert t_reply - t_sent < 0.01 < first.compute_seconds
+    snap = obs.metrics.snapshot()["counters"]
+    assert snap["server.cache_hits"] == 1
+    assert snap["server.cache_misses"] == 1
+    assert snap["server.cache_bytes_saved"] > 0
+    assert server.requests_served == 2
+
+
+def test_server_cache_miss_on_different_values():
+    kernel, transport, server, probe = make_server_world(
+        ServerConfig(cache_entries=8),
+    )
+    send_solve(transport, 1, linsys(64, seed=1))
+    kernel.run(until=60.0)
+    send_solve(transport, 2, linsys(64, seed=2))
+    kernel.run(until=120.0)
+    replies = probe.of_type(SolveReply)
+    assert [r.cached for r in replies] == [False, False]
+    assert server.result_cache.misses == 2
+
+
+def test_identical_inflight_requests_coalesce():
+    # coalescing saves *slots*: with two, the duplicates would otherwise
+    # start computing alongside the leader — instead they join it
+    obs = Observability()
+    kernel, transport, server, probe = make_server_world(
+        ServerConfig(max_concurrent=2, cache_entries=8), observability=obs,
+    )
+    args = linsys(512, seed=3)  # ~0.9 s at 100 Mflop/s: long enough to join
+    send_solve(transport, 1, args)
+    kernel.run(until=0.01)      # leader is executing, cache still empty
+    assert server.executing == 1
+    send_solve(transport, 2, (args[0].copy(), args[1].copy()))
+    send_solve(transport, 3, (args[0].copy(), args[1].copy()))
+    kernel.run(until=0.02)
+    assert server.executing == 1  # the duplicates did not take the slot
+    kernel.run(until=120.0)
+    replies = {r.request_id: r for r in probe.of_type(SolveReply)}
+    assert sorted(replies) == [1, 2, 3]
+    assert not replies[1].cached
+    assert replies[2].cached and replies[3].cached
+    assert np.array_equal(replies[2].outputs[0], replies[1].outputs[0])
+    # one kernel call served all three
+    assert server.coalesced_requests == 2
+    assert obs.metrics.snapshot()["counters"]["server.coalesced"] == 2
+    assert server.requests_served == 3
+
+
+def test_server_cache_ttl_reexecutes_after_expiry():
+    kernel, transport, server, probe = make_server_world(
+        ServerConfig(cache_entries=8, cache_ttl=10.0),
+    )
+    args = linsys(64, seed=4)
+    send_solve(transport, 1, args)
+    kernel.run(until=5.0)
+    send_solve(transport, 2, args)   # within TTL: hit
+    kernel.run(until=30.0)           # ...then let the entry age out
+    send_solve(transport, 3, args)   # past TTL: recompute
+    kernel.run(until=90.0)
+    replies = probe.of_type(SolveReply)
+    assert [r.cached for r in replies] == [False, True, False]
+    assert server.result_cache.expirations == 1
+
+
+def test_failed_requests_are_not_cached():
+    kernel, transport, server, probe = make_server_world(
+        ServerConfig(cache_entries=8),
+    )
+    singular = np.zeros((8, 8))
+    rhs = np.ones(8)
+    for rid in (1, 2):
+        send_solve(transport, rid, (singular, rhs))
+        kernel.run(until=60.0 * rid)
+    replies = probe.of_type(SolveReply)
+    assert [r.ok for r in replies] == [False, False]
+    assert all(not r.cached for r in replies)
+    assert len(server.result_cache) == 0
+
+
+def test_restart_clears_inflight_but_keeps_cache():
+    kernel, transport, server, probe = make_server_world(
+        ServerConfig(max_concurrent=1, cache_entries=8),
+    )
+    args = linsys(64, seed=5)
+    send_solve(transport, 1, args)
+    kernel.run(until=60.0)
+    assert len(server.result_cache) == 1
+    server.on_restart()
+    assert server._inflight == {}
+    send_solve(transport, 2, args)   # the memory cache survived the hiccup
+    kernel.run(until=120.0)
+    assert probe.of_type(SolveReply)[-1].cached
+
+
+# ----------------------------------------------------------------------
+# agent hot cache + client digests: repeats in one RTT, end to end
+# ----------------------------------------------------------------------
+def test_agent_answers_repeat_solves_without_any_server():
+    obs = Observability()
+    tb = standard_testbed(
+        n_servers=3, seed=11, cache_entries=16, observability=obs,
+    )
+    tb.settle()
+    args = linsys(96, seed=6)
+    first = tb.solve("c0", "linsys/dgesv", [args[0], args[1]])
+    t0 = tb.kernel.now
+    second = tb.solve("c0", "linsys/dgesv", [args[0].copy(), args[1].copy()])
+    t1 = tb.kernel.now
+    assert np.array_equal(first[0], second[0])
+    repeat = tb.client("c0").records[-1]
+    assert repeat.attempts == []     # no server was ever contacted
+    assert repeat.status.value == "done"
+    # one query RTT on a 2 ms-latency LAN: well under the compute time
+    assert t1 - t0 < 0.05
+    counters = obs.metrics.snapshot()["counters"]
+    assert counters["agent.cache_hits"] == 1
+    assert counters["agent.cache_inserts"] >= 1
+    assert counters["client.cached_replies"] == 1
+
+
+def test_agent_cache_rejects_oversized_results():
+    obs = Observability()
+    tb = standard_testbed(
+        n_servers=1, seed=12, cache_entries=16,
+        agent_cfg=AgentConfig(cache_entries=16, cache_entry_bytes=64),
+        observability=obs,
+    )
+    tb.settle()
+    args = linsys(96, seed=7)        # outputs ~768 B: over the 64 B cap
+    tb.solve("c0", "linsys/dgesv", [args[0], args[1]])
+    tb.solve("c0", "linsys/dgesv", [args[0], args[1]])
+    counters = obs.metrics.snapshot()["counters"]
+    assert counters["agent.cache_hits"] == 0
+    # the repeat still hit *some* cache — the server's
+    assert counters["server.cache_hits"] == 1
+    repeat = tb.client("c0").records[-1]
+    assert repeat.attempts and repeat.attempts[-1].cached
+
+
+def test_caching_off_is_provably_inert():
+    """Defaults everywhere: repeats recompute, nothing reports cached."""
+    obs = Observability()
+    tb = standard_testbed(n_servers=3, seed=13, observability=obs)
+    tb.settle()
+    args = linsys(96, seed=8)
+    for _ in range(2):
+        tb.solve("c0", "linsys/dgesv", [args[0], args[1]])
+    records = tb.client("c0").records
+    assert all(r.attempts for r in records)
+    assert all(not a.cached for r in records for a in r.attempts)
+    assert all(r.compute_seconds > 0 for r in records)
+    counters = obs.metrics.snapshot()["counters"]
+    for name in ("server.cache_hits", "agent.cache_hits",
+                 "client.cached_replies", "server.coalesced"):
+        assert counters[name] == 0
+    for server in tb.servers.values():
+        assert not server.result_cache.enabled
+
+
+def test_store_only_server_answers_repeats_from_disk(tmp_path):
+    """cache_entries=0 but a store: repeats come back cached from SQLite."""
+    obs = Observability()
+    tb = standard_testbed(
+        n_servers=1, seed=14,
+        server_cfg=ServerConfig(store_path=str(tmp_path / "jobs.sqlite")),
+        client_cfg=ClientConfig(cache_digest=True),
+        observability=obs,
+    )
+    tb.settle()
+    args = linsys(96, seed=9)
+    first = tb.solve("c0", "linsys/dgesv", [args[0], args[1]])
+    second = tb.solve("c0", "linsys/dgesv", [args[0].copy(), args[1].copy()])
+    assert np.array_equal(first[0], second[0])
+    counters = obs.metrics.snapshot()["counters"]
+    assert counters["server.store_hits"] == 1
+    repeat = tb.client("c0").records[-1]
+    assert repeat.attempts[-1].cached

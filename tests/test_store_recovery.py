@@ -1,0 +1,268 @@
+"""Persistent job store: results survive crashes, restarts, reconnects.
+
+The NEOS-style contract under test: every completed outcome is written
+to SQLite keyed ``(client, request_id)`` before the reply goes out, so
+
+* a crashed **server** comes back knowing every result it ever computed
+  (``FetchResult`` recovers them by request id; repeats warm the memory
+  cache straight from disk);
+* a crashed **client** reconnects — even as a different endpoint — and
+  fetches the results it never received.
+
+Covered on the simulated transport (virtual-time crash/revive) and on
+real sockets (the transport torn down entirely, then a brand-new server
+process-equivalent opened over the same SQLite file — the CI smoke).
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import ClientConfig, ServerConfig
+from repro.errors import NetSolveError
+from repro.problems.builtin import builtin_registry
+from repro.protocol.messages import (
+    FetchResult,
+    ResultStatus,
+    SolveReply,
+    SolveRequest,
+)
+from repro.store import JobStore
+from repro.testbed import server_address, standard_testbed
+from repro.trace.instruments import Observability
+
+RNG = np.random.default_rng(17)
+
+
+def linsys(n=64, seed=None):
+    rng = RNG if seed is None else np.random.default_rng(seed)
+    a = rng.standard_normal((n, n)) + n * np.eye(n)
+    return a, rng.standard_normal(n)
+
+
+# ----------------------------------------------------------------------
+# JobStore unit
+# ----------------------------------------------------------------------
+def test_jobstore_roundtrip(tmp_path):
+    path = str(tmp_path / "jobs.sqlite")
+    store = JobStore(path)
+    store.record("c", 1, digest="d1", problem="p", ok=True,
+                 payload=b"blob", compute_seconds=0.5, created=10.0)
+    store.record("c", 2, digest="d2", problem="p", ok=False,
+                 detail="singular", created=11.0)
+    row = store.fetch("c", 1)
+    assert row.ok and row.payload == b"blob"
+    assert row.compute_seconds == 0.5
+    failed = store.fetch("c", 2)
+    assert not failed.ok and failed.detail == "singular"
+    assert store.fetch("c", 3) is None
+    assert store.fetch("other", 1) is None   # keyed per client
+    assert store.count() == 2
+    store.close()
+    # rows survive the handle: a fresh open sees everything
+    reopened = JobStore(path)
+    assert reopened.count() == 2
+    assert reopened.fetch("c", 1).payload == b"blob"
+    reopened.close()
+
+
+def test_jobstore_rerecord_replaces(tmp_path):
+    store = JobStore(str(tmp_path / "jobs.sqlite"))
+    store.record("c", 1, ok=False, detail="first try", created=1.0)
+    store.record("c", 1, digest="d", ok=True, payload=b"x", created=2.0)
+    row = store.fetch("c", 1)
+    assert row.ok and row.payload == b"x"
+    assert store.count() == 1
+    store.close()
+
+
+def test_jobstore_lookup_digest_latest_ok_only(tmp_path):
+    store = JobStore(str(tmp_path / "jobs.sqlite"))
+    store.record("a", 1, digest="d", ok=True, payload=b"old", created=1.0)
+    store.record("b", 7, digest="d", ok=True, payload=b"new", created=2.0)
+    store.record("c", 9, digest="e", ok=False, detail="boom", created=3.0)
+    assert store.lookup_digest("d") == b"new"
+    assert store.lookup_digest("e") is None  # failures never answer
+    assert store.lookup_digest("missing") is None
+    store.close()
+
+
+# ----------------------------------------------------------------------
+# simulated transport: crash/revive recovery
+# ----------------------------------------------------------------------
+def store_world(tmp_path, **kwargs):
+    tb = standard_testbed(
+        n_servers=1, seed=21,
+        server_cfg=ServerConfig(
+            cache_entries=8, store_path=str(tmp_path / "jobs.sqlite"),
+        ),
+        client_cfg=ClientConfig(cache_digest=True),
+        **kwargs,
+    )
+    tb.settle()
+    return tb
+
+
+def test_crashed_server_serves_every_result_after_revival(tmp_path):
+    tb = store_world(tmp_path)
+    solved = {}
+    for rid_seed in range(3):
+        args = linsys(64, seed=rid_seed)
+        outputs = tb.solve("c0", "linsys/dgesv", [args[0], args[1]])
+        solved[tb.client("c0").records[-1].request_id] = outputs
+    tb.transport.crash(server_address("s0"))
+    tb.run(until=tb.kernel.now + 1.0)
+    tb.transport.revive(server_address("s0"))
+    tb.run(until=tb.kernel.now + 15.0)  # re-register + first report
+    # every finished result is recoverable by request id
+    for rid, outputs in solved.items():
+        status = tb.fetch_result("c0", "s0", rid)
+        assert isinstance(status, ResultStatus)
+        assert status.status == "done"
+        assert np.array_equal(status.outputs[0], outputs[0])
+        assert status.compute_seconds > 0
+    # and an id the server never saw stays unknown
+    assert tb.fetch_result("c0", "s0", 999).status == "unknown"
+
+
+def test_revived_server_warms_cache_from_store(tmp_path):
+    obs = Observability()
+    tb = store_world(tmp_path, observability=obs)
+    args = linsys(64, seed=5)
+    first = tb.solve("c0", "linsys/dgesv", [args[0], args[1]])
+    tb.transport.crash(server_address("s0"))
+    tb.run(until=tb.kernel.now + 1.0)
+    tb.transport.revive(server_address("s0"))
+    tb.run(until=tb.kernel.now + 15.0)
+    # the memory cache died with the process; the repeat answers from
+    # disk (and is promoted, so a third repeat is a memory hit)
+    second = tb.solve("c0", "linsys/dgesv", [args[0].copy(), args[1].copy()])
+    assert np.array_equal(first[0], second[0])
+    counters = obs.metrics.snapshot()["counters"]
+    assert counters["server.store_hits"] == 1
+    assert tb.client("c0").records[-1].attempts[-1].cached
+
+
+def test_failed_requests_recover_as_failed(tmp_path):
+    tb = store_world(tmp_path)
+    with pytest.raises(NetSolveError):
+        tb.solve("c0", "linsys/dgesv", [np.zeros((8, 8)), np.ones(8)])
+    rid = tb.client("c0").records[-1].request_id
+    status = tb.fetch_result("c0", "s0", rid)
+    assert status.status == "failed"
+    assert status.detail  # the kernel's reason travelled to disk and back
+
+
+def test_fetch_from_a_different_client_endpoint(tmp_path):
+    """The reconnect story: a new endpoint names the original requester."""
+    from repro.testbed import ClientDef, HostDef, LinkDef, ServerDef, \
+        build_testbed
+    from repro.config import SimConfig
+
+    tb = build_testbed(
+        hosts=[HostDef("apollo", 20.0), HostDef("hermes", 50.0),
+               HostDef("zeus0", 100.0)],
+        servers=[ServerDef(
+            server_id="s0", host="zeus0",
+            cfg=ServerConfig(store_path=str(tmp_path / "jobs.sqlite")),
+        )],
+        clients=[ClientDef("c0", "apollo",
+                           cfg=ClientConfig(cache_digest=True)),
+                 ClientDef("c1", "apollo")],
+        agent_host="hermes",
+        default_link=LinkDef("*", "*"),
+        sim=SimConfig(seed=3),
+    )
+    tb.settle()
+    outputs = tb.solve("c0", "linsys/dgesv", list(linsys(48, seed=9)))
+    rid = tb.client("c0").records[-1].request_id
+    # c0 "crashed"; c1 recovers its result by naming it explicitly
+    status = tb.fetch_result("c1", "s0", rid, client="client/c0")
+    assert status.status == "done"
+    assert np.array_equal(status.outputs[0], outputs[0])
+    # without the attribution, c1 has no results of its own
+    assert tb.fetch_result("c1", "s0", rid).status == "unknown"
+
+
+def test_fetch_without_store_reports_unsupported(tmp_path):
+    tb = standard_testbed(n_servers=1, seed=4)
+    tb.settle()
+    status = tb.fetch_result("c0", "s0", 1)
+    assert status.status == "unsupported"
+
+
+# ----------------------------------------------------------------------
+# real sockets: solve, tear the server down, restart over the same file
+# ----------------------------------------------------------------------
+def test_tcp_server_restart_recovers_results_by_request_id(tmp_path):
+    """The CI persistent-store smoke: solve over TCP, kill the server
+    transport entirely, open a fresh one on the same SQLite file, and
+    fetch every finished result by request id."""
+    import time
+
+    from repro.core.server import ComputationalServer
+    from repro.protocol.tcp import TcpTransport
+    from repro.protocol.transport import Component
+
+    class Probe(Component):
+        def __init__(self):
+            self.replies = []
+
+        def on_message(self, src, msg):
+            self.replies.append(msg)
+
+    def wait_for(predicate, timeout=30.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if predicate():
+                return True
+            time.sleep(0.01)
+        return False
+
+    store_path = str(tmp_path / "jobs.sqlite")
+
+    def make_server(transport):
+        server = ComputationalServer(
+            server_id="tsv",
+            agent_address="agent",  # unresolvable: registrations drop
+            registry=builtin_registry().subset(("linsys/dgesv",)),
+            mflops=100.0,
+            host=transport.host_name,
+            cfg=ServerConfig(store_path=store_path),
+        )
+        transport.add_node("server/tsv", server, port=0)
+        return server
+
+    systems = {rid: linsys(48, seed=rid) for rid in (1, 2, 3)}
+    answers = {}
+    with TcpTransport() as t1:
+        make_server(t1)
+        probe = Probe()
+        t1.add_node("probe", probe, port=0)
+        for rid, (a, b) in systems.items():
+            t1.nodes["probe"].send("server/tsv", SolveRequest(
+                request_id=rid, problem="linsys/dgesv", inputs=(a, b),
+                reply_to="probe",
+            ))
+        assert wait_for(lambda: len(probe.replies) == 3)
+        for reply in probe.replies:
+            assert isinstance(reply, SolveReply) and reply.ok
+            answers[reply.request_id] = reply.outputs
+    # t1 is gone: sockets closed, pools shut down, store handle released
+
+    with TcpTransport() as t2:
+        make_server(t2)
+        probe2 = Probe()
+        t2.add_node("probe2", probe2, port=0)
+        for rid in systems:
+            # the store keyed rows by the original reply_to ("probe")
+            t2.nodes["probe2"].send("server/tsv", FetchResult(
+                request_id=rid, client="probe",
+            ))
+        assert wait_for(lambda: len(probe2.replies) == 3)
+        by_rid = {r.request_id: r for r in probe2.replies}
+        for rid, (a, b) in systems.items():
+            status = by_rid[rid]
+            assert isinstance(status, ResultStatus)
+            assert status.status == "done"
+            assert np.array_equal(status.outputs[0], answers[rid][0])
+            assert np.allclose(a @ status.outputs[0], b, atol=1e-8)

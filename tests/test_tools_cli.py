@@ -65,6 +65,68 @@ def test_demo_parser():
     assert args.size == 64
 
 
+def test_cache_flags_parse():
+    args = server_parser().parse_args([
+        "--agent", "h:1", "--mflops", "100",
+        "--cache-entries", "64", "--cache-ttl", "30",
+        "--cache-publish-bytes", "4096", "--store", "/tmp/jobs.sqlite",
+    ])
+    assert args.cache_entries == 64 and args.cache_ttl == 30.0
+    assert args.cache_publish_bytes == 4096
+    assert args.store == "/tmp/jobs.sqlite"
+    args = agent_parser().parse_args(["--cache-entries", "32"])
+    assert args.cache_entries == 32 and args.cache_ttl == 0.0
+
+
+# ----------------------------------------------------------------------
+# derived cache stats in `metrics show`
+# ----------------------------------------------------------------------
+def test_cache_stats_derivation():
+    from repro.tools.metrics import cache_stats
+
+    snapshot = {
+        "counters": {
+            "server.cache_hits": 30,
+            "server.cache_misses": 10,
+            "server.cache_bytes_saved": 8192,
+            "agent.cache_hits": 5,
+            "agent.cache_misses": 15,
+            "agent.cache_inserts": 7,
+        },
+    }
+    rows = {row[0]: row for row in cache_stats(snapshot)}
+    assert rows["server"][1:4] == [30, 10, "75.0%"]
+    assert "8192" in rows["server"][4]
+    assert rows["agent"][1:4] == [5, 15, "25.0%"]
+    assert "7 inserts" in rows["agent"][4]
+
+
+def test_cache_stats_absent_without_cache_counters():
+    from repro.tools.metrics import cache_stats
+
+    # an uncached run's snapshot: no cache rows, `show` prints nothing
+    assert cache_stats({"counters": {"client.submits": 4}}) == []
+    assert cache_stats({}) == []
+    # zero lookups never divide by zero
+    rows = cache_stats({"counters": {"server.cache_hits": 0,
+                                     "server.cache_misses": 0}})
+    assert rows == [["server", 0, 0, "-", "0 B saved"]]
+
+
+def test_metrics_show_renders_cache_section(tmp_path, capsys):
+    from repro.tools.metrics import main as metrics_main
+
+    snap = tmp_path / "snap.json"
+    snap.write_text(
+        '{"counters": {"server.cache_hits": 3, "server.cache_misses": 1, '
+        '"server.cache_bytes_saved": 64}, "gauges": {}, "histograms": {}}'
+    )
+    assert metrics_main(["show", str(snap)]) == 0
+    out = capsys.readouterr().out
+    assert "result caches (derived)" in out
+    assert "75.0%" in out
+
+
 # ----------------------------------------------------------------------
 # a real three-process deployment
 # ----------------------------------------------------------------------
