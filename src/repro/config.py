@@ -84,6 +84,20 @@ class AgentConfig:
     #: per-entry size cap (encoded output bytes) for accepted inserts —
     #: the agent must stay cheap per query, so only small results qualify
     cache_entry_bytes: int = 64 * 1024
+    #: consistent-hash query sharding across a peered agent fleet: a
+    #: query landing on a non-owner hops once to the problem's shard
+    #: owner (False keeps every agent answering every query locally)
+    shard: bool = False
+    #: anti-entropy interval (seconds) between peered agents: each agent
+    #: periodically sends fingerprints of its directly-registered
+    #: servers so peers that missed a mirror pull the entries and heal;
+    #: 0 disables replication repair entirely
+    sync_interval: float = 60.0
+    #: seconds to wait for a peer to answer a SyncPull before resending
+    sync_pull_timeout: float = 15.0
+    #: SyncPull attempts per digest round before giving up (harmless:
+    #: the next digest round starts a fresh pull)
+    sync_pull_retries: int = 2
 
     def __post_init__(self) -> None:
         _require(self.candidate_list_length >= 1, "candidate_list_length must be >= 1")
@@ -104,6 +118,11 @@ class AgentConfig:
         _require(self.cache_entries >= 0, "cache_entries must be >= 0")
         _require(self.cache_ttl >= 0, "cache_ttl must be >= 0")
         _require(self.cache_entry_bytes >= 0, "cache_entry_bytes must be >= 0")
+        _require(self.sync_interval >= 0, "sync_interval must be >= 0")
+        _require(
+            self.sync_pull_timeout > 0, "sync_pull_timeout must be positive"
+        )
+        _require(self.sync_pull_retries >= 1, "sync_pull_retries must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -146,6 +165,9 @@ class ServerConfig:
     #: SQLite file backing the persistent job store (results survive
     #: restarts; FetchResult recovers them by request id); "" disables
     store_path: str = ""
+    #: seconds to wait for a RegisterAck before rotating to the next
+    #: agent address (only armed when the server was given more than one)
+    register_timeout: float = 30.0
 
     def __post_init__(self) -> None:
         _require(self.max_concurrent >= 1, "max_concurrent must be >= 1")
@@ -162,6 +184,9 @@ class ServerConfig:
         _require(self.cache_ttl >= 0, "cache_ttl must be >= 0")
         _require(
             self.cache_publish_bytes >= 0, "cache_publish_bytes must be >= 0"
+        )
+        _require(
+            self.register_timeout > 0, "register_timeout must be positive"
         )
 
 

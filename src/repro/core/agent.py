@@ -17,6 +17,7 @@ the per-entry byte cap keeps the broker cheap.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Optional
 
 import numpy as np
@@ -39,13 +40,23 @@ from ..protocol.messages import (
     QueryRequest,
     RegisterAck,
     RegisterServer,
+    SyncDigest,
+    SyncPull,
+    SyncState,
     TransferReport,
     WorkloadReport,
 )
-from ..runtime import DispatchComponent, Periodic, handles
+from ..runtime import (
+    DeadlineTable,
+    DispatchComponent,
+    Periodic,
+    RetryChain,
+    handles,
+)
 from ..store import ResultCache
 from ..trace.events import EventLog
 from ..trace.instruments import MetricsRegistry
+from .fleet import HashRing, entry_fingerprint
 from .predictor import (
     NetworkInfo,
     Prediction,
@@ -72,6 +83,8 @@ class _AgentMetrics:
         "queries", "query_rejects", "registrations", "register_rejects",
         "workload_reports", "failure_reports", "busy_reports",
         "transfer_reports", "describes", "lists", "mirror_forwards",
+        "mirror_drops", "mirror_register_rejects", "query_forwards",
+        "sync_digests", "sync_repairs",
         "servers_alive", "servers_total", "predicted_head_seconds",
         "cache_hits", "cache_misses", "cache_inserts", "cache_insert_rejects",
         "cache_evictions",
@@ -98,6 +111,18 @@ class _AgentMetrics:
         self.lists = c("agent.lists", "ListProblems answered")
         self.mirror_forwards = c("agent.mirror_forwards",
                                  "ground-truth messages mirrored to peers")
+        self.mirror_drops = c("agent.mirror_drops",
+                              "reports dropped for servers this agent "
+                              "does not know (federation divergence)")
+        self.mirror_register_rejects = c(
+            "agent.mirror_register_rejects",
+            "forwarded registrations rejected (registry divergence)")
+        self.query_forwards = c("agent.query_forwards",
+                                "queries hopped to their shard owner")
+        self.sync_digests = c("agent.sync_digests",
+                              "anti-entropy digests sent to peers")
+        self.sync_repairs = c("agent.sync_repairs",
+                              "registry entries healed by anti-entropy")
         self.servers_alive = g("agent.servers_alive",
                                "registered servers not under suspicion")
         self.servers_total = g("agent.servers_total", "registered servers")
@@ -171,6 +196,35 @@ class Agent(DispatchComponent):
         self.failures_reported = 0
         self.busy_reports_received = 0
         self.forwards_sent = 0
+        #: mirrored/stray reports dropped for servers this agent does not
+        #: know — the observable face of federation divergence
+        self.mirror_drops = 0
+        #: forwarded registrations this agent refused (PDL conflict etc.)
+        #: — the *silent* divergence case: no NACK can reach the server
+        self.forwarded_register_rejects = 0
+        #: queries hopped to their shard owner (sharded fleets only)
+        self.queries_forwarded = 0
+        self.sync_digests_sent = 0
+        #: registry entries healed by an anti-entropy pull (kept separate
+        #: from ``registrations``: a repair is not a registration event)
+        self.sync_repairs = 0
+        #: registration-shaped record per known server, fingerprinted for
+        #: anti-entropy comparison (direct + mirrored + sync-applied)
+        self._records: dict[str, dict] = {}
+        #: ids of servers registered *directly* with this agent — its
+        #: ground truth, the only entries it vouches for in sync digests
+        self._home: set[str] = set()
+        #: problem -> owner ring; built at bind (needs the node address),
+        #: None unless ``cfg.shard`` and peers exist
+        self._ring: Optional[HashRing] = None
+        #: last time each peer was heard from (any message); a shard
+        #: owner that has gone silent is answered around, not forwarded to
+        self._peer_seen: dict[str, float] = {}
+        self._deadlines = DeadlineTable(self)
+        self._sync = Periodic(
+            self, cfg.sync_interval or 1.0, self._sync_tick,
+            name="anti_entropy",
+        )
         #: hot result cache fed by server CacheInsert publications; the
         #: clock lambda is only called once the component is bound
         self.result_cache = ResultCache(
@@ -196,11 +250,30 @@ class Agent(DispatchComponent):
         self._sweep.start()
         if self.cfg.suspect_probe_interval > 0:
             self._probe.start()
+        if self.peers and self.cfg.sync_interval > 0:
+            self._sync.start()
+        self._ring = (
+            HashRing((self.node.address, *self.peers))
+            if self.cfg.shard and self.peers
+            else None
+        )
+        now = self.node.now()
+        for peer in self.peers:
+            self._peer_seen[peer] = now
 
     def on_restart(self) -> None:
         # Periodic.start() supersedes the previous chain, so delegating
-        # here cannot double-arm even on the live TCP restart path
+        # here cannot double-arm even on the live TCP restart path; the
+        # deadline table drops any in-flight sync pulls with it
+        self._deadlines.clear()
         self.on_bind()
+
+    def _note_peer(self, src: str) -> None:
+        """Any traffic from a peer (digest, mirror, forwarded query) is
+        proof of life — the shard forwarder consults this before hopping
+        a query to an owner that may be down."""
+        if src in self._peer_seen:
+            self._peer_seen[src] = self.node.now()
 
     def _sweep_liveness(self) -> None:
         died = self.table.sweep_liveness(
@@ -268,39 +341,51 @@ class Agent(DispatchComponent):
             if self._metrics is not None:
                 self._metrics.mirror_forwards.inc()
 
+    def _register_rejected(
+        self, src: str, msg: RegisterServer, detail: str
+    ) -> None:
+        """One reject path for direct and mirrored registrations.
+
+        A direct source gets the NACK it can act on.  A mirror copy has
+        nobody to NACK — the server only ever hears from its own agent —
+        so the refusal is counted and traced distinctly: this is exactly
+        the registry-divergence event anti-entropy exists to repair.
+        """
+        if self._metrics is not None:
+            self._metrics.register_rejects.inc()
+        if msg.forwarded:
+            self.forwarded_register_rejects += 1
+            if self._metrics is not None:
+                self._metrics.mirror_register_rejects.inc()
+            self._trace(
+                "mirror_register_rejected",
+                server_id=msg.server_id,
+                detail=detail,
+            )
+        else:
+            self.node.send(src, RegisterAck(ok=False, detail=detail))
+
     @handles(RegisterServer)
     def _handle_register(self, src: str, msg: RegisterServer) -> None:
+        if msg.forwarded:
+            self._note_peer(src)
         try:
             specs = parse_pdl(msg.problems_pdl, source=f"<{msg.server_id}>")
         except PdlSyntaxError as exc:
-            if self._metrics is not None:
-                self._metrics.register_rejects.inc()
-            if not msg.forwarded:
-                self.node.send(src, RegisterAck(ok=False, detail=str(exc)))
+            self._register_rejected(src, msg, str(exc))
             return
         if not specs:
-            if self._metrics is not None:
-                self._metrics.register_rejects.inc()
-            if not msg.forwarded:
-                self.node.send(
-                    src,
-                    RegisterAck(ok=False, detail="no problems in registration"),
-                )
+            self._register_rejected(src, msg, "no problems in registration")
             return
         for spec in specs:
             known = self.specs.get(spec.name)
             if known is not None and known != spec:
-                if self._metrics is not None:
-                    self._metrics.register_rejects.inc()
-                if not msg.forwarded:
-                    self.node.send(
-                        src,
-                        RegisterAck(
-                            ok=False,
-                            detail=f"problem {spec.name!r} conflicts with an "
-                            "existing description",
-                        ),
-                    )
+                self._register_rejected(
+                    src,
+                    msg,
+                    f"problem {spec.name!r} conflicts with an "
+                    "existing description",
+                )
                 return
         for spec in specs:
             self.specs[spec.name] = spec
@@ -318,6 +403,29 @@ class Agent(DispatchComponent):
             now=self.node.now(),
             slots=max(1, int(msg.slots)),
         )
+        # the sync record mirrors what a peer would need to rebuild this
+        # registration; the fields are normalised identically on the
+        # direct, mirrored and sync-applied paths so fingerprints agree
+        record = {
+            "server_id": msg.server_id,
+            "address": server_address,
+            "endpoint": (
+                msg.server_endpoint if msg.forwarded
+                else self.node.endpoint_of(src)
+            ) or "",
+            "host": msg.host,
+            "mflops": float(msg.mflops),
+            "slots": max(1, int(msg.slots)),
+            "problems_pdl": msg.problems_pdl,
+        }
+        record["fp"] = entry_fingerprint(record)
+        self._records[msg.server_id] = record
+        if msg.forwarded:
+            # the latest *direct* registration wins home-ness: if this
+            # server re-registered with a peer, it is no longer ours
+            self._home.discard(msg.server_id)
+        else:
+            self._home.add(msg.server_id)
         self.registrations += 1
         if self._metrics is not None:
             self._metrics.registrations.inc()
@@ -332,8 +440,6 @@ class Agent(DispatchComponent):
         if not msg.forwarded:
             self.node.send(src, RegisterAck(ok=True))
             if self.peers:
-                from dataclasses import replace
-
                 self._mirror(replace(
                     msg,
                     forwarded=True,
@@ -343,8 +449,22 @@ class Agent(DispatchComponent):
 
     @handles(WorkloadReport)
     def _handle_report(self, src: str, msg: WorkloadReport) -> None:
+        if msg.forwarded:
+            self._note_peer(src)
         if msg.server_id not in self.table:
-            return  # report from a server that never registered: ignore
+            # a report for a server this agent never saw: for a mirror
+            # copy this means the fleet diverged (the registration was
+            # lost or rejected), so count and trace it instead of
+            # vanishing — anti-entropy pulls the registration itself
+            self.mirror_drops += 1
+            if self._metrics is not None:
+                self._metrics.mirror_drops.inc()
+            self._trace(
+                "mirror_drop",
+                server_id=msg.server_id,
+                forwarded=msg.forwarded,
+            )
+            return
         self.table.report_workload(
             msg.server_id, msg.workload, self.node.now(),
             inflight=msg.inflight,
@@ -356,12 +476,12 @@ class Agent(DispatchComponent):
             "workload_report", server_id=msg.server_id, workload=msg.workload
         )
         if not msg.forwarded and self.peers:
-            from dataclasses import replace
-
             self._mirror(replace(msg, forwarded=True))
 
     @handles(FailureReport)
     def _handle_failure(self, src: str, msg: FailureReport) -> None:
+        if msg.forwarded:
+            self._note_peer(src)
         self.failures_reported += 1
         if msg.kind == "busy":
             # the server answered — with an admission refusal — so it is
@@ -394,23 +514,196 @@ class Agent(DispatchComponent):
                 detail=msg.detail,
             )
         if not msg.forwarded and self.peers:
-            from dataclasses import replace
-
             self._mirror(replace(msg, forwarded=True))
 
     @handles(TransferReport)
     def _handle_transfer_report(self, src: str, msg: TransferReport) -> None:
+        if msg.forwarded:
+            self._note_peer(src)
         if self._metrics is not None:
             self._metrics.transfer_reports.inc()
         observe = getattr(self.network, "observe", None)
         if observe is None:
             return  # static table: measurements are not folded in
+        # measurements are ground truth like registrations and reports —
+        # but unlike those, they arrive per completed request, so only a
+        # learning fleet pays the mirror cost: with a static table every
+        # agent would discard the copy and federation traffic would
+        # scale with query volume instead of ground-truth events
+        if not msg.forwarded and self.peers:
+            self._mirror(replace(msg, forwarded=True))
         observe(msg.client_host, msg.server_host, msg.nbytes, msg.seconds)
         self._trace(
             "transfer_observed",
             pair=(msg.client_host, msg.server_host),
             bandwidth=msg.nbytes / msg.seconds if msg.seconds > 0 else 0.0,
         )
+
+    # ------------------------------------------------------------------
+    # anti-entropy: digest -> pull -> state.  Each agent vouches only
+    # for its *home* servers (the ones registered directly with it);
+    # every sync_interval it sends their fingerprints to all peers, and
+    # a peer whose copy is missing or different pulls the entries.  A
+    # mirror lost on the wire or rejected on arrival therefore heals
+    # within one round instead of diverging forever.
+    def _peer_reachable(self, peer: str) -> bool:
+        """Heard from ``peer`` within two digest rounds?
+
+        With anti-entropy on, every peer emits a digest each
+        ``sync_interval`` even when its registry is empty, so the digest
+        stream doubles as a heartbeat: two missed rounds of silence mark
+        the peer down and the shard forwarder answers its queries
+        locally.  With sync off there is no stream to judge silence
+        against, so every peer counts as reachable.
+        """
+        if self.cfg.sync_interval <= 0:
+            return True
+        seen = self._peer_seen.get(peer)
+        if seen is None:
+            return False
+        return self.node.now() - seen <= 2.0 * self.cfg.sync_interval
+
+    def _sync_tick(self) -> None:
+        digest = {
+            sid: self._records[sid]["fp"]
+            for sid in sorted(self._home)
+            if sid in self._records
+        }
+        msg = SyncDigest(entries=digest)
+        for peer in self.peers:
+            # an empty digest still goes out: it is the liveness
+            # heartbeat _peer_reachable judges silence against.  Sync
+            # traffic never counts as a mirror forward — forwards_sent
+            # stays a pure ground-truth-fan-out counter
+            self.node.send(peer, msg)
+            self.sync_digests_sent += 1
+            if self._metrics is not None:
+                self._metrics.sync_digests.inc()
+
+    @handles(SyncDigest)
+    def _handle_sync_digest(self, src: str, msg: SyncDigest) -> None:
+        self._note_peer(src)
+        stale = tuple(sorted(
+            sid for sid, fp in msg.entries.items()
+            if sid not in self._records or self._records[sid]["fp"] != fp
+        ))
+        if not stale:
+            return
+        self._trace("sync_pull", peer=src, servers=list(stale))
+        RetryChain(
+            self._deadlines,
+            ("sync", src),
+            interval=self.cfg.sync_pull_timeout,
+            attempts=self.cfg.sync_pull_retries,
+            send=lambda attempt: self.node.send(
+                src, SyncPull(server_ids=stale)
+            ),
+            # exhaustion is harmless: the peer's next digest round
+            # starts a fresh pull if the gap is still there
+            on_exhausted=lambda: None,
+        ).start()
+
+    @handles(SyncPull)
+    def _handle_sync_pull(self, src: str, msg: SyncPull) -> None:
+        self._note_peer(src)
+        now = self.node.now()
+        entries = []
+        for sid in msg.server_ids:
+            record = self._records.get(sid)
+            if record is None or sid not in self._home or sid not in self.table:
+                continue  # only vouch for home servers still registered
+            entry = self.table.get(sid)
+            entries.append((
+                record["server_id"],
+                record["address"],
+                record["endpoint"],
+                record["host"],
+                record["mflops"],
+                record["slots"],
+                record["problems_pdl"],
+                entry.current_workload(now),
+                entry.inflight,
+                entry.alive,
+            ))
+        if entries:
+            self.node.send(src, SyncState(entries=tuple(entries)))
+
+    @handles(SyncState)
+    def _handle_sync_state(self, src: str, msg: SyncState) -> None:
+        self._note_peer(src)
+        self._deadlines.cancel(("sync", src))
+        for entry in msg.entries:
+            self._apply_sync_entry(entry)
+
+    def _apply_sync_entry(self, entry) -> None:
+        (sid, address, endpoint, host, mflops, slots,
+         problems_pdl, workload, inflight, alive) = entry
+        record = {
+            "server_id": sid,
+            "address": address,
+            "endpoint": endpoint or "",
+            "host": host,
+            "mflops": float(mflops),
+            "slots": max(1, int(slots)),
+            "problems_pdl": problems_pdl,
+        }
+        record["fp"] = entry_fingerprint(record)
+        if sid in self._records and self._records[sid]["fp"] == record["fp"]:
+            return  # healed already (a racing mirror or an earlier pull)
+        try:
+            specs = parse_pdl(problems_pdl, source=f"<sync:{sid}>")
+        except PdlSyntaxError as exc:
+            self._trace("sync_rejected", server_id=sid, detail=str(exc))
+            return
+        if not specs:
+            return
+        for spec in specs:
+            known = self.specs.get(spec.name)
+            if known is not None and known != spec:
+                # the home agent holds a conflicting description: the
+                # same divergence class as a rejected forwarded
+                # registration, counted under the same metric
+                self.forwarded_register_rejects += 1
+                if self._metrics is not None:
+                    self._metrics.mirror_register_rejects.inc()
+                self._trace(
+                    "mirror_register_rejected",
+                    server_id=sid,
+                    detail=f"sync conflict on problem {spec.name!r}",
+                )
+                return
+        for spec in specs:
+            self.specs[spec.name] = spec
+        if endpoint:
+            self.node.learn_endpoint(address, endpoint)
+        known_before = sid in self.table
+        self.table.register(
+            server_id=sid,
+            address=address,
+            host=host,
+            mflops=float(mflops),
+            problems={s.name for s in specs},
+            now=self.node.now(),
+            slots=max(1, int(slots)),
+        )
+        if not known_before:
+            # seed the home agent's workload view; a server already in
+            # the table keeps its own (possibly fresher) report stream
+            self.table.report_workload(
+                sid, float(workload), self.node.now(),
+                inflight=max(0, int(inflight)),
+            )
+        if not alive:
+            self.table.mark_failed(sid)
+        self._records[sid] = record
+        self._home.discard(sid)
+        # a repair is not a registration event: ``registrations`` stays
+        # a direct+mirror arrival counter, repairs get their own ledger
+        self.sync_repairs += 1
+        if self._metrics is not None:
+            self._metrics.sync_repairs.inc()
+            self._update_server_gauges()
+        self._trace("sync_repair", server_id=sid, alive=bool(alive))
 
     # ------------------------------------------------------------------
     def predict_entry(
@@ -516,6 +809,19 @@ class Agent(DispatchComponent):
     @handles(CacheInsert)
     def _handle_cache_insert(self, src: str, msg: CacheInsert) -> None:
         """Accept a server's hot-result publication (size-capped)."""
+        if msg.forwarded:
+            self._note_peer(src)
+        # a publication reaches only the server's own agent: without the
+        # mirror a repeat query through any *other* agent misses the
+        # one-RTT hot-cache answer.  The same per-entry byte cap gates
+        # the fan-out, so peers are never sent what this agent would
+        # refuse on size — but a cache-disabled agent still relays
+        if (
+            not msg.forwarded
+            and self.peers
+            and 0 < msg.nbytes <= self.cfg.cache_entry_bytes
+        ):
+            self._mirror(replace(msg, forwarded=True))
         if (
             not self.result_cache.enabled
             or msg.nbytes <= 0
@@ -540,6 +846,37 @@ class Agent(DispatchComponent):
 
     @handles(QueryRequest)
     def _handle_query(self, src: str, msg: QueryRequest) -> None:
+        # a forwarded query answers the *original* client directly — the
+        # forwarding agent is out of the loop after one hop
+        reply_to = msg.reply_to or src
+        if msg.forwarded:
+            self._note_peer(src)
+            if msg.reply_to and msg.reply_endpoint:
+                self.node.learn_endpoint(msg.reply_to, msg.reply_endpoint)
+        if self._ring is not None and not msg.forwarded:
+            owner = self._ring.owner(msg.problem)
+            if owner != self.node.address and self._peer_reachable(owner):
+                # hop once to the shard owner; ``forwarded`` guards the
+                # second hop exactly like the mirror messages.  An
+                # unreachable owner is answered around, not forwarded
+                # to: the registry is fully replicated, so this agent
+                # can broker the query itself
+                self.queries_forwarded += 1
+                if self._metrics is not None:
+                    self._metrics.query_forwards.inc()
+                self._trace(
+                    "query_forwarded",
+                    problem=msg.problem,
+                    owner=owner,
+                    client=src,
+                )
+                self.node.send(owner, replace(
+                    msg,
+                    forwarded=True,
+                    reply_to=src,
+                    reply_endpoint=self.node.endpoint_of(src) or "",
+                ))
+                return
         self.queries_served += 1
         if self._metrics is not None:
             self._metrics.queries.inc()
@@ -554,11 +891,11 @@ class Agent(DispatchComponent):
                 self._trace(
                     "cache_answer",
                     problem=msg.problem,
-                    client=src,
+                    client=reply_to,
                     nbytes=nbytes,
                 )
                 self.node.send(
-                    src,
+                    reply_to,
                     QueryReply(
                         ok=True, tag=msg.tag, cached=True, outputs=outputs
                     ),
@@ -571,7 +908,7 @@ class Agent(DispatchComponent):
             if self._metrics is not None:
                 self._metrics.query_rejects.inc()
             self.node.send(
-                src,
+                reply_to,
                 QueryReply(ok=False, detail=f"unknown problem {msg.problem!r}", tag=msg.tag),
             )
             return
@@ -580,7 +917,7 @@ class Agent(DispatchComponent):
             if self._metrics is not None:
                 self._metrics.query_rejects.inc()
             self.node.send(
-                src,
+                reply_to,
                 QueryReply(
                     ok=False,
                     detail=f"no server available for {msg.problem!r}",
@@ -649,11 +986,13 @@ class Agent(DispatchComponent):
         self._trace(
             "query",
             problem=msg.problem,
-            client=src,
+            client=reply_to,
             candidates=[c.server_id for c in candidates],
             predicted=[c.predicted_seconds for c in candidates],
         )
-        self.node.send(src, QueryReply.from_candidates(candidates, tag=msg.tag))
+        self.node.send(
+            reply_to, QueryReply.from_candidates(candidates, tag=msg.tag)
+        )
 
     @handles(DescribeProblem)
     def _handle_describe(self, src: str, msg: DescribeProblem) -> None:

@@ -77,7 +77,7 @@ class _ClientMetrics:
         "submits", "pinned_submits", "describe_sends", "describe_retries",
         "queries", "query_retries", "query_backoffs", "attempts",
         "attempt_ok", "attempt_errors", "attempt_timeouts", "failovers",
-        "busy_failovers", "requests_done", "requests_failed",
+        "agent_failovers", "busy_failovers", "requests_done", "requests_failed",
         "cached_replies", "store_ops", "store_timeouts", "fetches",
         "active", "request_seconds", "negotiation_seconds",
         "attempt_seconds", "prediction_error_seconds",
@@ -105,6 +105,9 @@ class _ClientMetrics:
                                   "attempts abandoned on timeout")
         self.failovers = c("client.failovers",
                            "failures reported to the agent before retry")
+        self.agent_failovers = c("client.agent_failovers",
+                                 "agent silences answered by rotating to "
+                                 "the next agent in the list")
         self.busy_failovers = c("client.busy_failovers",
                                 "attempts refused with Busy and retried")
         self.requests_done = c("client.requests_done", "requests resolved")
@@ -202,14 +205,18 @@ class NetSolveClient(DispatchComponent):
         self,
         *,
         client_id: str,
-        agent_address: str,
+        agent_address: str | Sequence[str],
         cfg: ClientConfig = ClientConfig(),
         trace: Optional[EventLog] = None,
         metrics: Optional[MetricsRegistry] = None,
         spans: Optional[SpanLog] = None,
     ):
         self.client_id = client_id
+        #: ordered agent rotation (head = current); a single string is
+        #: accepted everywhere for the common one-agent deployment
         self.agent_address = agent_address
+        #: times an agent silence was answered by rotating the list
+        self.agent_failovers = 0
         self.cfg = cfg
         self.trace = trace
         self._metrics = _ClientMetrics(metrics) if metrics is not None else None
@@ -229,6 +236,57 @@ class NetSolveClient(DispatchComponent):
         self._deadlines = DeadlineTable(self)
         #: every record ever created, terminal or not (experiment data)
         self.records: list[RequestRecord] = []
+
+    # ------------------------------------------------------------------
+    # agent rotation
+    # ------------------------------------------------------------------
+    @property
+    def agent_address(self) -> str:
+        """The agent all control traffic currently goes to (rotation head)."""
+        return self._agents[0]
+
+    @agent_address.setter
+    def agent_address(self, value: str | Sequence[str]) -> None:
+        agents = [value] if isinstance(value, str) else list(value)
+        if not agents:
+            raise NetSolveError("client needs at least one agent address")
+        self._agents = agents
+
+    @property
+    def agent_addresses(self) -> tuple[str, ...]:
+        """The full rotation, current agent first."""
+        return tuple(self._agents)
+
+    def _rotate_agent(self, context: str) -> None:
+        """A silence timed out: move the head agent to the back.
+
+        With one agent this is a no-op and the timeout paths behave
+        exactly as before the fleet existed; with several, every retry
+        lands on a different agent, so one dead broker costs at most one
+        timeout per in-flight conversation.
+        """
+        if len(self._agents) <= 1:
+            return
+        failed = self._agents.pop(0)
+        self._agents.append(failed)
+        self.agent_failovers += 1
+        if self._metrics is not None:
+            self._metrics.agent_failovers.inc()
+        self._trace(
+            "agent_failover",
+            context=context,
+            from_agent=failed,
+            to_agent=self._agents[0],
+        )
+
+    def _agent_attempts(self) -> int:
+        """Retry budget for one-shot catalogue messages (list/candidates).
+
+        A single-agent deployment keeps the original one-timeout
+        semantics; a fleet spends up to ``agent_retries`` attempts so
+        the rotation actually gets to try the other agents.
+        """
+        return max(1, min(self.cfg.agent_retries, len(self._agents)))
 
     # ------------------------------------------------------------------
     # public API
@@ -355,15 +413,17 @@ class NetSolveClient(DispatchComponent):
         if len(waiting) == 1:
             if self._metrics is not None:
                 self._metrics.fetches.inc()
-            self._trace(
-                "fetch_sent", request_id=request_id, server=server_address
-            )
-            self.node.send(
-                server_address,
-                FetchResult(request_id=request_id, client=client),
-            )
 
-            def timed_out() -> None:
+            def send_fetch(attempt: int) -> None:
+                self._trace(
+                    "fetch_sent", request_id=request_id, server=server_address
+                )
+                self.node.send(
+                    server_address,
+                    FetchResult(request_id=request_id, client=client),
+                )
+
+            def exhausted() -> None:
                 batch = self._fetching.pop((server_address, request_id), [])
                 for p in batch:
                     if not p.done:
@@ -375,11 +435,17 @@ class NetSolveClient(DispatchComponent):
                             )
                         )
 
-            self._deadlines.arm(
+            # server-directed: there is no agent list to rotate through,
+            # but the wire has no retransmission either, so a dropped
+            # FetchResult is re-sent instead of failing on one silence
+            RetryChain(
+                self._deadlines,
                 ("fetch", server_address, request_id),
-                self.cfg.server_timeout,
-                timed_out,
-            )
+                interval=self.cfg.server_timeout,
+                attempts=self.cfg.agent_retries,
+                send=send_fetch,
+                on_exhausted=exhausted,
+            ).start()
         return promise
 
     @handles(ResultStatus)
@@ -471,23 +537,30 @@ class NetSolveClient(DispatchComponent):
         # negative tags cannot collide with request ids (always >= 1)
         tag = -next(self._rids)
         self._queries[tag] = promise
-        self.node.send(
-            self.agent_address,
-            QueryRequest(
-                problem=problem,
-                sizes={k: int(v) for k, v in sizes.items()},
-                client_host=self.node.host_name,
-                exclude=tuple(exclude),
-                tag=tag,
-            ),
-        )
 
-        def timed_out() -> None:
+        def exhausted() -> None:
             pending = self._queries.pop(tag, None)
             if pending is not None and not pending.done:
                 pending.reject(RequestFailed(0, "agent did not answer query"))
 
-        self._deadlines.arm(("qtag", tag), self.cfg.agent_timeout, timed_out)
+        RetryChain(
+            self._deadlines,
+            ("qtag", tag),
+            interval=self.cfg.agent_timeout,
+            attempts=self._agent_attempts(),
+            send=lambda attempt: self.node.send(
+                self.agent_address,
+                QueryRequest(
+                    problem=problem,
+                    sizes={k: int(v) for k, v in sizes.items()},
+                    client_host=self.node.host_name,
+                    exclude=tuple(exclude),
+                    tag=tag,
+                ),
+            ),
+            on_retry=lambda attempt: self._rotate_agent("query_candidates"),
+            on_exhausted=exhausted,
+        ).start()
         return promise
 
     def _on_candidate_query_reply(self, msg: QueryReply) -> bool:
@@ -526,13 +599,11 @@ class NetSolveClient(DispatchComponent):
         waiting = self._listing.setdefault(prefix, [])
         waiting.append(promise)
         if len(waiting) == 1:
-            self.node.send(self.agent_address, ListProblems(prefix=prefix))
-
-            def timed_out() -> None:
-                # a ProblemList reply cancels this deadline as it pops
-                # the batch, and a later list on the same prefix arms a
-                # fresh generation, so only the batch that armed the
-                # timer can die here
+            def exhausted() -> None:
+                # a ProblemList reply cancels the chain's deadline as it
+                # pops the batch, and a later list on the same prefix
+                # arms a fresh generation, so only the batch that armed
+                # the timer can die here
                 batch = self._listing.pop(prefix, [])
                 for p in batch:
                     if not p.done:
@@ -540,9 +611,17 @@ class NetSolveClient(DispatchComponent):
                             RequestFailed(0, "agent did not answer ListProblems")
                         )
 
-            self._deadlines.arm(
-                ("list", prefix), self.cfg.agent_timeout, timed_out
-            )
+            RetryChain(
+                self._deadlines,
+                ("list", prefix),
+                interval=self.cfg.agent_timeout,
+                attempts=self._agent_attempts(),
+                send=lambda attempt: self.node.send(
+                    self.agent_address, ListProblems(prefix=prefix)
+                ),
+                on_retry=lambda attempt: self._rotate_agent("list"),
+                on_exhausted=exhausted,
+            ).start()
         return promise
 
     @handles(ProblemList)
@@ -610,6 +689,7 @@ class NetSolveClient(DispatchComponent):
         self.node.send(self.agent_address, DescribeProblem(problem=problem))
 
     def _describe_retry(self, problem: str, attempt: int) -> None:
+        self._rotate_agent("describe")
         self._trace("describe_retry", problem=problem, attempt=attempt)
         if self._metrics is not None:
             self._metrics.describe_retries.inc()
@@ -728,6 +808,7 @@ class NetSolveClient(DispatchComponent):
             return
         if req.query_silences < self.cfg.agent_retries:
             req.query_silences += 1
+            self._rotate_agent("query")
             self._trace(
                 "query_retry", request_id=rid, attempt=req.query_silences
             )

@@ -1,0 +1,110 @@
+"""Agent-fleet primitives: consistent-hash sharding + sync fingerprints.
+
+A peered agent fleet shards *query ownership* by problem name: every
+agent hashes the same member list onto the same ring, so all of them
+agree — without any coordination — on which agent owns which problem.
+A query landing on a non-owner hops exactly once to the owner (guarded
+by ``QueryRequest.forwarded``, like the mirror messages); the registry
+itself stays fully replicated via mirroring + anti-entropy, so any
+agent *can* answer any query when the owner is unreachable.
+
+The ring uses virtual nodes (many hash points per member) so ownership
+spreads evenly and a member joining or leaving only moves the keys of
+its own points.  blake2b keeps placement deterministic across processes
+— ``hash()`` is salted per interpreter and would shard differently on
+every daemon.
+
+:func:`entry_fingerprint` is the anti-entropy companion: a stable
+fingerprint of one server's registration shape.  Two agents whose
+fingerprints for a server agree need not exchange its state; a mismatch
+(or a missing entry) triggers a ``SyncPull``.
+"""
+
+from __future__ import annotations
+
+import bisect
+from hashlib import blake2b
+from typing import Iterable
+
+from ..errors import NetSolveError
+
+__all__ = ["HashRing", "entry_fingerprint", "RECORD_FIELDS"]
+
+#: virtual nodes per member: enough to spread a handful of agents
+#: evenly over the keyspace while keeping ring construction trivial
+#: (at 64 points a 3-member ring still showed ~47% ownership skew over
+#: a 30-problem catalogue; 128 brings the worst member under ~37%)
+POINTS_PER_MEMBER = 128
+
+#: the registration-shape fields a sync record carries (and the
+#: fingerprint covers) — everything :meth:`ServerTable.register` needs,
+#: plus the PDL so specs replicate with the entry
+RECORD_FIELDS = (
+    "server_id",
+    "address",
+    "endpoint",
+    "host",
+    "mflops",
+    "slots",
+    "problems_pdl",
+)
+
+
+def _point(data: str) -> int:
+    return int.from_bytes(
+        blake2b(data.encode("utf-8"), digest_size=8).digest(), "big"
+    )
+
+
+class HashRing:
+    """Deterministic consistent-hash ring over a set of member names."""
+
+    __slots__ = ("members", "_points", "_owners")
+
+    def __init__(
+        self,
+        members: Iterable[str],
+        *,
+        points_per_member: int = POINTS_PER_MEMBER,
+    ) -> None:
+        self.members = tuple(sorted(set(members)))
+        if not self.members:
+            raise NetSolveError("hash ring needs at least one member")
+        if points_per_member < 1:
+            raise NetSolveError("points_per_member must be >= 1")
+        placed = sorted(
+            (_point(f"{member}#{v}"), member)
+            for member in self.members
+            for v in range(points_per_member)
+        )
+        self._points = [p for p, _ in placed]
+        self._owners = [m for _, m in placed]
+
+    def owner(self, key: str) -> str:
+        """The member owning ``key`` (first point clockwise of its hash)."""
+        i = bisect.bisect_right(self._points, _point(key))
+        if i == len(self._points):
+            i = 0
+        return self._owners[i]
+
+    def spread(self, keys: Iterable[str]) -> dict[str, int]:
+        """Keys-per-member histogram (diagnostics / tests)."""
+        counts = dict.fromkeys(self.members, 0)
+        for key in keys:
+            counts[self.owner(key)] += 1
+        return counts
+
+
+def entry_fingerprint(record: dict) -> str:
+    """Stable fingerprint of one server's registration shape.
+
+    Covers exactly :data:`RECORD_FIELDS` — liveness and workload are
+    deliberately excluded (they churn constantly and heal through the
+    mirrored report stream; fingerprinting them would make every digest
+    round pull every server).
+    """
+    h = blake2b(digest_size=8)
+    for key in RECORD_FIELDS:
+        h.update(repr(record.get(key)).encode("utf-8"))
+        h.update(b"\x1f")
+    return h.hexdigest()

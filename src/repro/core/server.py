@@ -43,7 +43,7 @@ the store by digest, warming the cache after a reboot.
 from __future__ import annotations
 
 from collections import deque
-from typing import Optional
+from typing import Optional, Sequence
 
 from ..config import ServerConfig
 from ..errors import NetSolveError
@@ -68,7 +68,7 @@ from ..protocol.messages import (
     StoreObject,
     WorkloadReport,
 )
-from ..runtime import DispatchComponent, Periodic, handles
+from ..runtime import DeadlineTable, DispatchComponent, Periodic, handles
 from ..store import JobStore, ResultCache, solve_digest
 from ..trace.events import EventLog
 from ..trace.instruments import MetricsRegistry
@@ -91,7 +91,7 @@ class _ServerMetrics:
         "compute_seconds", "queue_wait_seconds", "batches",
         "batched_requests", "peak_queue", "cache_hits", "cache_misses",
         "cache_evictions", "cache_bytes_saved", "coalesced",
-        "store_records", "store_hits", "fetches",
+        "store_records", "store_hits", "fetches", "agent_failovers",
     )
 
     def __init__(self, registry: MetricsRegistry):
@@ -145,6 +145,9 @@ class _ServerMetrics:
             "cache misses answered from the persistent store")
         self.fetches = registry.counter(
             "server.fetches", "FetchResult lookups served")
+        self.agent_failovers = registry.counter(
+            "server.agent_failovers",
+            "registrations rotated to the next agent on ack silence")
 
 
 def _batch_signature(values) -> tuple:
@@ -170,7 +173,7 @@ class ComputationalServer(DispatchComponent):
         self,
         *,
         server_id: str,
-        agent_address: str,
+        agent_address: str | Sequence[str],
         registry: ProblemRegistry,
         mflops: float,
         host: str,
@@ -183,7 +186,11 @@ class ComputationalServer(DispatchComponent):
         if len(registry) == 0:
             raise NetSolveError(f"server {server_id!r}: empty problem registry")
         self.server_id = server_id
+        #: ordered agent rotation (head = current); a plain string keeps
+        #: the common single-agent deployment unchanged
         self.agent_address = agent_address
+        #: registrations rotated to the next agent on ack silence
+        self.agent_failovers = 0
         self.registry = registry
         self.mflops = float(mflops)
         self.host = host
@@ -241,6 +248,28 @@ class ComputationalServer(DispatchComponent):
             self, cfg.reregister_interval, self._register,
             name="reregister",
         )
+        #: one-shot timers (currently just the RegisterAck deadline)
+        self._deadlines = DeadlineTable(self)
+
+    # ------------------------------------------------------------------
+    @property
+    def agent_address(self) -> str:
+        """The agent currently registered with (head of the rotation)."""
+        return self._agents[0]
+
+    @agent_address.setter
+    def agent_address(self, value: str | Sequence[str]) -> None:
+        agents = [value] if isinstance(value, str) else list(value)
+        if not agents:
+            raise NetSolveError(
+                f"server {self.server_id!r} needs at least one agent address"
+            )
+        self._agents = agents
+
+    @property
+    def agent_addresses(self) -> tuple[str, ...]:
+        """The full rotation, current agent first."""
+        return tuple(self._agents)
 
     # ------------------------------------------------------------------
     def on_bind(self) -> None:
@@ -280,6 +309,7 @@ class ComputationalServer(DispatchComponent):
         # accumulating orphaned children (it reopens lazily on use)
         self.shutdown_executors()
         self.registered = False
+        self._deadlines.clear()
         self.on_bind()
 
     def on_shutdown(self) -> None:
@@ -296,6 +326,15 @@ class ComputationalServer(DispatchComponent):
             self._store = None
 
     def _register(self) -> None:
+        # with a fleet, an unacked registration rotates to the next agent
+        # instead of leaving the server invisible forever; one agent
+        # keeps the original fire-and-forget behaviour (the periodic
+        # re-register is the recovery path there)
+        if len(self._agents) > 1:
+            self._deadlines.arm(
+                "register", self.cfg.register_timeout,
+                self._register_timed_out,
+            )
         self.node.send(
             self.agent_address,
             RegisterServer(
@@ -326,8 +365,22 @@ class ComputationalServer(DispatchComponent):
             self.trace.log(self.node.now(), self.node.address, kind, **fields)
 
     # ------------------------------------------------------------------
+    def _register_timed_out(self) -> None:
+        if self.registered:
+            return  # a late re-register raced an earlier ack; all is well
+        failed = self._agents.pop(0)
+        self._agents.append(failed)
+        self.agent_failovers += 1
+        if self._metrics is not None:
+            self._metrics.agent_failovers.inc()
+        self._trace(
+            "agent_failover", from_agent=failed, to_agent=self._agents[0]
+        )
+        self._register()
+
     @handles(RegisterAck)
     def _handle_register_ack(self, src: str, msg: RegisterAck) -> None:
+        self._deadlines.cancel("register")
         self.registered = msg.ok
         if not msg.ok:
             self._trace("register_rejected", detail=msg.detail)

@@ -24,6 +24,16 @@ Protocol summary::
     client -> agent : FailureReport (server misbehaved; agent marks
                       suspect — or, for kind="busy", applies a decaying
                       workload penalty instead)
+    agent  -> agent : RegisterServer/WorkloadReport/FailureReport/
+                      TransferReport/CacheInsert with forwarded=True
+                      (ground-truth mirror; never re-forwarded)
+    agent  -> agent : QueryRequest with forwarded=True (shard non-owner
+                      hops a query once to the owner, who replies
+                      directly to the client via reply_to)
+    agent  -> agent : SyncDigest -> SyncPull -> SyncState (anti-entropy:
+                      periodic fingerprint exchange of each agent's
+                      directly-registered servers; a peer that missed a
+                      mirror pulls the full entries and heals)
     any    -> any   : Ping -> Pong (liveness)
 """
 
@@ -55,6 +65,9 @@ __all__ = [
     "Busy",
     "FailureReport",
     "TransferReport",
+    "SyncDigest",
+    "SyncPull",
+    "SyncState",
     "ObjectRef",
     "StoreObject",
     "StoreAck",
@@ -180,6 +193,15 @@ class QueryRequest(Message):
     #: content digest of (problem, inputs, env) — "" when the client is
     #: not digesting; lets the agent answer repeats from its hot cache
     digest: str = ""
+    #: set on agent-to-agent forwarded copies: a shard non-owner hops a
+    #: query once to the problem's owner (never re-forwarded)
+    forwarded: bool = False
+    #: the querying client's address (forwarded copies carry it because
+    #: the transport-level src is the forwarding agent); the owner
+    #: replies directly to the client
+    reply_to: str = ""
+    #: dialable endpoint of the client for cross-process federations
+    reply_endpoint: str = ""
 
 
 @dataclass(frozen=True)
@@ -360,6 +382,56 @@ class CacheInsert(Message):
     outputs: tuple = ()
     #: encoded size of ``outputs`` (the agent bounds per-entry cost)
     nbytes: int = 0
+    #: set on agent-to-agent mirror copies (never re-forwarded); only
+    #: size-capped inserts mirror, so every agent's hot cache can answer
+    #: the repeat query in one RTT
+    forwarded: bool = False
+
+
+# ----------------------------------------------------------------------
+# agent <-> agent anti-entropy replication
+# ----------------------------------------------------------------------
+@_register
+@dataclass(frozen=True)
+class SyncDigest(Message):
+    """Agent -> peer: fingerprints of the sender's own ground truth.
+
+    ``entries`` maps server id -> registration fingerprint for every
+    server that registered *directly* with the sender (its shard of the
+    ground truth).  A receiver whose view disagrees — entry missing, or
+    fingerprint mismatch after a rejected/lost mirror — answers with a
+    :class:`SyncPull` for the divergent ids.  Sent every
+    ``AgentConfig.sync_interval`` seconds; an empty digest still flows,
+    doubling as the fleet's peer-liveness heartbeat.
+    """
+
+    TYPE_CODE: ClassVar[int] = 23
+
+    entries: dict = field(default_factory=dict)
+
+
+@_register
+@dataclass(frozen=True)
+class SyncPull(Message):
+    """Agent -> peer: request full registration state for these ids."""
+
+    TYPE_CODE: ClassVar[int] = 24
+
+    server_ids: tuple = ()
+
+
+@_register
+@dataclass(frozen=True)
+class SyncState(Message):
+    """Agent -> peer: authoritative registration state, one dict per
+    server (id, address, endpoint, host, mflops, slots, problems_pdl,
+    plus current workload/inflight/alive).  The home agent — the one the
+    server registered with directly — is authoritative for its own
+    servers, so applying this needs no conflict resolution."""
+
+    TYPE_CODE: ClassVar[int] = 25
+
+    entries: tuple = ()
 
 
 # ----------------------------------------------------------------------
@@ -471,6 +543,9 @@ class TransferReport(Message):
     nbytes: int
     #: seconds spent moving them (attempt round trip minus server compute)
     seconds: float
+    #: set on agent-to-agent mirror copies (never re-forwarded); keeps
+    #: every agent's learned network table — and MCT ranking — agreeing
+    forwarded: bool = False
 
 
 @_register

@@ -41,6 +41,7 @@ __all__ = [
     "Testbed",
     "build_testbed",
     "standard_testbed",
+    "fleet_testbed",
     "AGENT_ADDRESS",
     "server_address",
     "client_address",
@@ -91,6 +92,10 @@ class ServerDef:
     registry: Optional[ProblemRegistry] = None
     #: which agent this server registers with (federated deployments)
     agent: str = AGENT_ADDRESS
+    #: ordered agent failover rotation; empty = just ``agent``.  When
+    #: set, the first entry is the home agent and the rest are tried in
+    #: order on RegisterAck silence
+    agents: tuple[str, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -100,6 +105,8 @@ class ClientDef:
     cfg: ClientConfig = field(default_factory=ClientConfig)
     #: which agent this client queries (federated deployments)
     agent: str = AGENT_ADDRESS
+    #: ordered agent failover rotation; empty = just ``agent``
+    agents: tuple[str, ...] = ()
 
 
 class Testbed:
@@ -295,19 +302,29 @@ def build_testbed(
             latency=default_link.latency, bandwidth=default_link.bandwidth
         )
 
-    # the agent's "measured" network characteristics
+    # the agent's "measured" network characteristics.  A callable
+    # network_override is a per-agent *factory* (called once per agent
+    # address) so federated agents get independent tables — the only way
+    # TransferReport mirroring is observable; a plain object is shared,
+    # and the default read-only StaticNetworkInfo is shared too (no
+    # observe(), so one table serves every agent identically)
     if network_override is not None:
-        network = network_override
+        network_for = (
+            network_override
+            if callable(network_override)
+            else lambda addr: network_override
+        )
     else:
-        network = StaticNetworkInfo()
+        static = StaticNetworkInfo()
         for link_obj in topology.links():
-            network.set(
+            static.set(
                 link_obj.src,
                 link_obj.dst,
                 LinkEstimate(
                     latency=link_obj.latency, bandwidth=link_obj.bandwidth
                 ),
             )
+        network_for = lambda addr: static
 
     metrics = observability.metrics if observability is not None else None
     spans = observability.spans if observability is not None else None
@@ -322,7 +339,7 @@ def build_testbed(
     for addr, host_name in agent_defs:
         peer_list = tuple(a for a in agent_addresses if a != addr)
         sibling = Agent(
-            network=network,
+            network=network_for(addr),
             cfg=agent_cfg,
             rng=rng.get(f"{addr}.policy"),
             trace=trace,
@@ -345,11 +362,15 @@ def build_testbed(
             if sd.problems is not None:
                 registry = registry.subset(sd.problems)
         host = topology.host(sd.host)
-        if sd.agent not in agents:
-            raise ConfigError(f"server {sd.server_id!r}: unknown agent {sd.agent!r}")
+        rotation = sd.agents if sd.agents else (sd.agent,)
+        for a in rotation:
+            if a not in agents:
+                raise ConfigError(
+                    f"server {sd.server_id!r}: unknown agent {a!r}"
+                )
         server = ComputationalServer(
             server_id=sd.server_id,
-            agent_address=sd.agent,
+            agent_address=list(rotation),
             registry=registry,
             mflops=sd.mflops if sd.mflops is not None else host.mflops,
             host=sd.host,
@@ -364,11 +385,15 @@ def build_testbed(
     for cd in clients:
         if cd.client_id in client_map:
             raise ConfigError(f"duplicate client id {cd.client_id!r}")
-        if cd.agent not in agents:
-            raise ConfigError(f"client {cd.client_id!r}: unknown agent {cd.agent!r}")
+        rotation = cd.agents if cd.agents else (cd.agent,)
+        for a in rotation:
+            if a not in agents:
+                raise ConfigError(
+                    f"client {cd.client_id!r}: unknown agent {a!r}"
+                )
         client = NetSolveClient(
             client_id=cd.client_id,
-            agent_address=cd.agent,
+            agent_address=list(rotation),
             cfg=cd.cfg,
             trace=trace,
             metrics=metrics,
@@ -464,5 +489,99 @@ def standard_testbed(
         agent_cfg=agent_cfg,
         use_workload=use_workload,
         assignment_feedback=assignment_feedback,
+        observability=observability,
+    )
+
+
+def fleet_testbed(
+    *,
+    n_agents: int = 3,
+    n_servers: int = 4,
+    n_clients: int = 2,
+    server_mflops: Sequence[float] | None = None,
+    client_mflops: float = 20.0,
+    latency: float = DEFAULT_LATENCY,
+    bandwidth: float = DEFAULT_BANDWIDTH,
+    seed: int = 0,
+    problems: Optional[tuple[str, ...]] = None,
+    shard: bool = False,
+    sync_interval: float = 10.0,
+    agent_cfg: AgentConfig = AgentConfig(),
+    client_cfg: ClientConfig = ClientConfig(),
+    server_cfg: ServerConfig = ServerConfig(),
+    observability: Observability | None = None,
+) -> Testbed:
+    """The canonical agent-fleet world: ``n_agents`` peered agents, each
+    on its own host, with servers and clients spread round-robin across
+    them.
+
+    Every server and client carries the *full* agent rotation (its home
+    agent first), so agent death exercises the failover paths instead of
+    stranding anyone.  ``shard`` turns on consistent-hash query
+    ownership; ``sync_interval`` paces anti-entropy (and the peer
+    heartbeat the shard forwarder relies on).
+    """
+    if n_agents < 1:
+        raise ConfigError("need at least one agent")
+    if n_servers < 1:
+        raise ConfigError("need at least one server")
+    if n_clients < 1:
+        raise ConfigError("need at least one client")
+    agent_cfg = replace_validated(
+        agent_cfg, shard=shard, sync_interval=sync_interval
+    )
+    agent_addresses = [AGENT_ADDRESS] + [
+        f"{AGENT_ADDRESS}-{i}" for i in range(1, n_agents)
+    ]
+    if server_mflops is None:
+        server_mflops = [50.0 * (i + 1) for i in range(n_servers)]
+    if len(server_mflops) != n_servers:
+        raise ConfigError("server_mflops length must match n_servers")
+
+    hosts = [HostDef(f"hera{i}", 50.0) for i in range(n_agents)]
+
+    def rotation(start: int) -> tuple[str, ...]:
+        return tuple(
+            agent_addresses[(start + k) % n_agents] for k in range(n_agents)
+        )
+
+    servers = []
+    for i, mflops in enumerate(server_mflops):
+        name = f"zeus{i}"
+        hosts.append(HostDef(name, mflops))
+        servers.append(
+            ServerDef(
+                server_id=f"s{i}",
+                host=name,
+                problems=problems,
+                cfg=server_cfg,
+                agents=rotation(i),
+            )
+        )
+    clients = []
+    for j in range(n_clients):
+        name = f"apollo{j}"
+        hosts.append(HostDef(name, client_mflops))
+        clients.append(
+            ClientDef(
+                client_id=f"c{j}",
+                host=name,
+                cfg=client_cfg,
+                agents=rotation(j),
+            )
+        )
+    return build_testbed(
+        hosts=hosts,
+        servers=servers,
+        clients=clients,
+        agent_host="hera0",
+        extra_agents=[
+            (addr, f"hera{i}")
+            for i, addr in enumerate(agent_addresses)
+            if i > 0
+        ],
+        default_link=LinkDef("*", "*", latency=latency, bandwidth=bandwidth),
+        sim=SimConfig(seed=seed),
+        agent_cfg=agent_cfg,
         observability=observability,
     )

@@ -22,7 +22,7 @@ from ..core.predictor import (
 )
 from ..protocol.tcp import TcpTransport
 from ..trace.instruments import MetricsRegistry
-from .common import run_forever
+from .common import parse_named_endpoint, run_forever
 
 __all__ = ["main", "build_parser"]
 
@@ -35,6 +35,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--bind", default="127.0.0.1", help="IP to listen on")
     parser.add_argument("--port", type=int, default=7700)
+    parser.add_argument("--name", default=AGENT_NODE,
+                        help="this agent's fleet name; peers and servers "
+                             "address it by this name, so it must match "
+                             "what their --peer/--agent flags say")
+    parser.add_argument("--peer", action="append", default=[],
+                        metavar="NAME=HOST:PORT",
+                        help="sibling agent to mirror and sync with "
+                             "(repeatable); NAME must be the peer's --name, "
+                             "bare HOST:PORT means the default name 'agent'")
+    parser.add_argument("--shard", action="store_true",
+                        help="consistent-hash the problem space across the "
+                             "fleet: non-owner agents forward a query one "
+                             "hop to the shard owner")
+    parser.add_argument("--sync-interval", type=float, default=60.0,
+                        help="anti-entropy period (seconds); each tick "
+                             "exchanges registry digests with every peer "
+                             "and pulls missing entries (0 = off)")
     parser.add_argument(
         "--policy", default="mct",
         choices=["mct", "random", "roundrobin", "fastestpeak"],
@@ -72,6 +89,13 @@ def main(argv: list[str] | None = None) -> int:
     if args.learn_network:
         network = LearnedNetworkInfo(network)
     metrics = MetricsRegistry() if args.metrics_json else None
+    peers = [parse_named_endpoint(p, default_name=AGENT_NODE)
+             for p in args.peer]
+    peer_names = tuple(name for name, _, _ in peers)
+    if args.name in peer_names:
+        print(f"--peer {args.name!r} names this agent itself; "
+              "peers must be *other* fleet members")
+        return 2
     agent = Agent(
         network=network,
         cfg=AgentConfig(
@@ -80,15 +104,23 @@ def main(argv: list[str] | None = None) -> int:
             liveness_timeout=args.liveness_timeout,
             cache_entries=args.cache_entries,
             cache_ttl=args.cache_ttl,
+            shard=args.shard,
+            sync_interval=args.sync_interval,
         ),
         rng=np.random.default_rng(),
         metrics=metrics,
+        peers=peer_names,
     )
     with TcpTransport(bind_ip=args.bind, metrics=metrics) as transport:
-        node = transport.add_node(AGENT_NODE, agent, port=args.port)
+        for name, host, port in peers:
+            transport.register_remote(name, host, port)
+        node = transport.add_node(args.name, agent, port=args.port)
+        fleet = (f", fleet={args.name}+{len(peers)} peer(s)"
+                 f"{', sharded' if args.shard else ''}" if peers else "")
         run_forever(
             f"netsolve agent listening on {args.bind}:{node.port} "
-            f"(policy={args.policy}, learn_network={args.learn_network})"
+            f"(policy={args.policy}, learn_network={args.learn_network}"
+            f"{fleet})"
         )
     if metrics is not None:
         with open(args.metrics_json, "w", encoding="utf-8") as fh:

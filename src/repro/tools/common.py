@@ -7,7 +7,7 @@ import threading
 
 from ..errors import ConfigError
 
-__all__ = ["parse_endpoint", "run_forever"]
+__all__ = ["parse_endpoint", "parse_named_endpoint", "run_forever"]
 
 
 def parse_endpoint(text: str, *, default_port: int | None = None) -> tuple[str, int]:
@@ -26,6 +26,25 @@ def parse_endpoint(text: str, *, default_port: int | None = None) -> tuple[str, 
     if not 0 < port < 65536:
         raise ConfigError(f"port out of range in {text!r}")
     return host, port
+
+
+def parse_named_endpoint(
+    text: str, *, default_name: str = "agent"
+) -> tuple[str, str, int]:
+    """Parse ``name=host:port`` into ``(name, host, port)``.
+
+    Bare ``host:port`` gets ``default_name`` — the single-agent spelling
+    every pre-fleet deployment used.  The name must match the ``--name``
+    the daemon at that endpoint was started with: TCP delivery resolves
+    the destination *address* against the remote process's local nodes.
+    """
+    name, sep, endpoint = text.partition("=")
+    if not sep:
+        name, endpoint = default_name, text
+    if not name:
+        raise ConfigError(f"bad endpoint {text!r}: empty name")
+    host, port = parse_endpoint(endpoint)
+    return name, host, port
 
 
 def run_forever(banner: str) -> None:

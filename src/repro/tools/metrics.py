@@ -27,7 +27,8 @@ from ..errors import NetSolveError
 from ..trace.instruments import Observability, render_snapshot
 from ..trace.spans import RequestSpan
 
-__all__ = ["main", "build_parser", "run_sim_farm", "cache_stats"]
+__all__ = ["main", "build_parser", "run_sim_farm", "cache_stats",
+           "fleet_stats"]
 
 
 #: (layer, hits counter, misses counter) pairs the derived stats cover
@@ -61,6 +62,42 @@ def cache_stats(metrics: dict) -> list[list]:
             extra = f"{inserts} inserts"
         rows.append([layer, hits, misses, rate, extra])
     return rows
+
+
+#: (label, counter, health note) rows the fleet table covers.  The notes
+#: matter operationally: drops and rejects are *divergence signals* — a
+#: registry entry one agent has that a peer refused or could not place.
+_FLEET_ROWS = (
+    ("queries forwarded", "agent.query_forwards",
+     "shard-owner hops (sharding on)"),
+    ("mirror drops", "agent.mirror_drops",
+     "mirrored reports for unknown servers"),
+    ("mirror register rejects", "agent.mirror_register_rejects",
+     "peer refused a mirrored registration"),
+    ("sync digests", "agent.sync_digests",
+     "anti-entropy rounds initiated"),
+    ("sync repairs", "agent.sync_repairs",
+     "registry entries healed from peers"),
+    ("client failovers", "client.agent_failovers",
+     "clients rotated to a backup agent"),
+    ("server failovers", "server.agent_failovers",
+     "servers re-registered with a backup agent"),
+)
+
+
+def fleet_stats(metrics: dict) -> list[list]:
+    """Derived agent-fleet rows from a metrics snapshot dict.
+
+    Returns ``[what, count, note]`` rows for every fleet counter in the
+    snapshot (empty list for single-agent runs, which never touch these
+    counters — ``show`` then prints nothing extra).
+    """
+    counters = metrics.get("counters") or {}
+    return [
+        [label, int(counters[key]), note]
+        for label, key, note in _FLEET_ROWS
+        if key in counters
+    ]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -189,6 +226,16 @@ def main(argv: list[str] | None = None) -> int:
             ["layer", "hits", "misses", "hit rate", ""],
             rows,
             title="result caches (derived)",
+        ))
+    fleet_rows = fleet_stats(metrics)
+    if fleet_rows:
+        from ..trace.metrics import format_table
+
+        print()
+        print(format_table(
+            ["what", "count", ""],
+            fleet_rows,
+            title="agent fleet (derived)",
         ))
     if args.spans:
         timelines = _render_spans(snapshot.get("spans") or [], args.spans)

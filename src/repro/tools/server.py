@@ -22,7 +22,7 @@ from ..problems.builtin import builtin_registry
 from ..problems.pdl import parse_pdl_file
 from ..protocol.tcp import TcpTransport
 from ..trace.instruments import MetricsRegistry
-from .common import parse_endpoint, run_forever
+from .common import parse_named_endpoint, run_forever
 
 __all__ = ["main", "build_parser"]
 
@@ -31,8 +31,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-server", description="NetSolve computational server daemon"
     )
-    parser.add_argument("--agent", required=True,
-                        help="agent endpoint host:port")
+    parser.add_argument("--agent", required=True, action="append",
+                        metavar="[NAME=]HOST:PORT",
+                        help="agent endpoint (repeatable; extra agents are "
+                             "registration failovers, tried in order). NAME "
+                             "must match the agent daemon's --name; bare "
+                             "HOST:PORT means the default name 'agent'")
+    parser.add_argument("--register-timeout", type=float, default=30.0,
+                        help="seconds to wait for RegisterAck before "
+                             "rotating to the next --agent (only armed "
+                             "when more than one is given)")
     parser.add_argument("--bind", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=0,
                         help="listen port (0 = ephemeral)")
@@ -102,7 +110,12 @@ def select_problems(prefixes: list[str] | None):
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    agent_host, agent_port = parse_endpoint(args.agent)
+    agents = [parse_named_endpoint(a) for a in args.agent]
+    agent_names = [name for name, _, _ in agents]
+    if len(set(agent_names)) != len(agent_names):
+        print(f"duplicate agent names in --agent: {agent_names}; "
+              "name fleet members with NAME=HOST:PORT")
+        return 2
     registry = select_problems(args.problems)
     for path in args.pdl:
         specs = parse_pdl_file(path)
@@ -118,11 +131,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     metrics = MetricsRegistry() if args.metrics_json else None
     with TcpTransport(bind_ip=args.bind, metrics=metrics) as transport:
-        transport.register_remote("agent", agent_host, agent_port)
+        for name, host, port in agents:
+            transport.register_remote(name, host, port)
         server_id = args.server_id or f"{transport.host_name}"
         server = ComputationalServer(
             server_id=server_id,
-            agent_address="agent",
+            agent_address=agent_names,
             registry=registry,
             mflops=args.mflops,
             host=transport.host_name,
@@ -141,6 +155,7 @@ def main(argv: list[str] | None = None) -> int:
                 cache_ttl=args.cache_ttl,
                 cache_publish_bytes=args.cache_publish_bytes,
                 store_path=args.store,
+                register_timeout=args.register_timeout,
             ),
             metrics=metrics,
         )
@@ -149,10 +164,13 @@ def main(argv: list[str] | None = None) -> int:
             compute_workers=args.workers or slots,
         )
         try:
+            agent_list = ", ".join(
+                f"{name}@{host}:{port}" for name, host, port in agents
+            )
             run_forever(
                 f"netsolve server {server_id!r} on {args.bind}:{node.port} "
                 f"({len(registry)} problems, {args.mflops:g} Mflop/s, "
-                f"{slots} slot(s), agent {agent_host}:{agent_port})"
+                f"{slots} slot(s), agent(s) {agent_list})"
             )
         finally:
             server.shutdown_executors()

@@ -45,11 +45,14 @@ def test_single_solve_timeline_golden():
     # landed (QueryRequest.digest="", QueryReply.cached/outputs,
     # SolveReply.cached — all default-valued, so the frames grow by a
     # constant few dozen bytes regardless of whether any cache is on);
+    # 0.49840261… -> 0.49844901… when the fleet fields landed
+    # (QueryRequest.forwarded/reply_to/reply_endpoint,
+    # TransferReport.forwarded — again all default-valued constants);
     # compute is untouched, the delta is pure transfer time
     assert record.server_id == "s2"
-    assert record.total_seconds == pytest.approx(0.4984026133333366,
+    assert record.total_seconds == pytest.approx(0.4984490133333388,
                                                  rel=GOLDEN_REL)
-    assert record.negotiation_seconds == pytest.approx(0.006516800000001766,
+    assert record.negotiation_seconds == pytest.approx(0.006563200000002212,
                                                        rel=GOLDEN_REL)
     assert record.compute_seconds == pytest.approx(0.05657941333333305,
                                                    rel=GOLDEN_REL)
@@ -62,8 +65,9 @@ def test_farm_makespan_golden():
     farm = submit_farm(tb.client("c0"), "linsys/dgesv", args)
     tb.wait_all(farm.handles)
     # 0.34635594… -> 0.34640314… with the constant-size result-cache
-    # protocol fields (see the single-solve golden above)
-    assert farm.makespan == pytest.approx(0.3464031466666704, rel=GOLDEN_REL)
+    # protocol fields, -> 0.34644954… with the constant-size fleet
+    # fields (see the single-solve golden above)
+    assert farm.makespan == pytest.approx(0.3464495466666708, rel=GOLDEN_REL)
     assert farm.servers_used() == {"s0": 1, "s1": 2, "s2": 3}
 
 
