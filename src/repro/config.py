@@ -168,6 +168,14 @@ class ServerConfig:
     #: seconds to wait for a RegisterAck before rotating to the next
     #: agent address (only armed when the server was given more than one)
     register_timeout: float = 30.0
+    #: seconds an *unpinned* resident object (``keep_result`` outputs,
+    #: DAG intermediates) lives after its last reference is released;
+    #: 0 = no expiry (byte budget only).  Pinned ``store``d operands
+    #: never expire.
+    handle_ttl: float = 600.0
+    #: admission cap on SubmitDag graphs (nodes per DAG); a larger graph
+    #: is rejected outright with a non-retryable DagReply
+    dag_max_nodes: int = 64
 
     def __post_init__(self) -> None:
         _require(self.max_concurrent >= 1, "max_concurrent must be >= 1")
@@ -188,6 +196,8 @@ class ServerConfig:
         _require(
             self.register_timeout > 0, "register_timeout must be positive"
         )
+        _require(self.handle_ttl >= 0, "handle_ttl must be >= 0")
+        _require(self.dag_max_nodes >= 1, "dag_max_nodes must be >= 1")
 
 
 @dataclass(frozen=True)

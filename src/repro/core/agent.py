@@ -707,7 +707,13 @@ class Agent(DispatchComponent):
 
     # ------------------------------------------------------------------
     def predict_entry(
-        self, entry: ServerEntry, spec: ProblemSpec, env: dict, client_host: str
+        self,
+        entry: ServerEntry,
+        spec: ProblemSpec,
+        env: dict,
+        client_host: str,
+        *,
+        resident_bytes: float = 0.0,
     ) -> Prediction:
         """The prediction the agent makes for one candidate server.
 
@@ -720,17 +726,35 @@ class Agent(DispatchComponent):
         requests at a time: on a multi-slot server only every
         ``slots``-th pending request adds a queueing round, so the hint
         count divides by the slot count.
+
+        ``resident_bytes`` is how many of the request's input bytes are
+        already resident on this candidate (handle-referenced operands
+        homed there): those never cross the wire, so the send term
+        charges only the difference.  The default 0.0 takes the exact
+        pre-locality code path — handle-free queries rank bit-identically.
         """
         now = self.node.now()
-        base = predict_for(
-            spec,
-            env,
-            link=self.network.link(client_host, entry.host),
-            peak_mflops=entry.mflops,
-            workload=entry.current_workload(now),
-            slots=entry.slots,
-            use_workload=self.use_workload,
-        )
+        if resident_bytes > 0.0:
+            base = predict(
+                flops=spec.flops(env),
+                input_bytes=max(0.0, spec.input_bytes(env) - resident_bytes),
+                output_bytes=spec.output_bytes(env),
+                link=self.network.link(client_host, entry.host),
+                peak_mflops=entry.mflops,
+                workload=entry.current_workload(now),
+                slots=entry.slots,
+                use_workload=self.use_workload,
+            )
+        else:
+            base = predict_for(
+                spec,
+                env,
+                link=self.network.link(client_host, entry.host),
+                peak_mflops=entry.mflops,
+                workload=entry.current_workload(now),
+                slots=entry.slots,
+                use_workload=self.use_workload,
+            )
         return self._inflate_pending(base, entry, now)
 
     def _inflate_pending(
@@ -761,12 +785,17 @@ class Agent(DispatchComponent):
         output_bytes: float,
         client_host: str,
         now: float,
+        resident: Optional[dict] = None,
     ) -> tuple[list[ServerEntry], list[float]]:
         """MCT fast path: batch-predict all candidates, select top-k.
 
         One numpy evaluation replaces len(entries) scalar predictions,
         and partial selection replaces the full sort; the result is
         bit-identical to ranking with :meth:`predict_entry` and slicing.
+        ``resident`` (server_id -> bytes already homed there) switches
+        the send term to per-candidate effective input bytes; ``None``
+        or empty keeps the scalar broadcast — and the exact pre-locality
+        arithmetic.
         """
         n = len(entries)
         latency = np.empty(n)
@@ -791,9 +820,18 @@ class Agent(DispatchComponent):
             slots[i] = e.slots
             if feedback and e.pending_expiries:
                 pending[i] = e.live_pending(now)
+        in_bytes: "float | np.ndarray" = input_bytes
+        if resident:
+            in_bytes = np.array(
+                [
+                    max(0.0, input_bytes - resident.get(e.server_id, 0))
+                    for e in entries
+                ],
+                dtype=np.float64,
+            )
         totals = predict_batch(
             flops=flops,
-            input_bytes=input_bytes,
+            input_bytes=in_bytes,
             output_bytes=output_bytes,
             latency=latency,
             bandwidth=bandwidth,
@@ -933,6 +971,13 @@ class Agent(DispatchComponent):
         input_bytes = spec.input_bytes(env)
         output_bytes = spec.output_bytes(env)
         now = self.node.now()
+        # locality: input bytes already resident on a candidate (handle
+        # operands homed there) never cross the wire; an empty map takes
+        # every pre-locality code path untouched
+        resident = (
+            {str(k): int(v) for k, v in msg.resident.items()}
+            if msg.resident else {}
+        )
 
         if isinstance(self.policy, MinimumCompletionTime):
             top, predicted = self._rank_mct_vectorized(
@@ -942,6 +987,7 @@ class Agent(DispatchComponent):
                 output_bytes=output_bytes,
                 client_host=msg.client_host,
                 now=now,
+                resident=resident,
             )
         else:
             predictions: dict[str, Prediction] = {}
@@ -949,9 +995,15 @@ class Agent(DispatchComponent):
             def predict_cached(entry: ServerEntry) -> Prediction:
                 cached = predictions.get(entry.server_id)
                 if cached is None:
+                    in_bytes = input_bytes
+                    if resident:
+                        in_bytes = max(
+                            0.0,
+                            input_bytes - resident.get(entry.server_id, 0),
+                        )
                     base = predict(
                         flops=flops,
-                        input_bytes=input_bytes,
+                        input_bytes=in_bytes,
                         output_bytes=output_bytes,
                         link=self.network.link(msg.client_host, entry.host),
                         peak_mflops=entry.mflops,

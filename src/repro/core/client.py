@@ -30,6 +30,7 @@ from typing import Any, Optional, Sequence
 from ..config import ClientConfig
 from ..errors import (
     BadArgumentsError,
+    MissingObjectError,
     NetSolveError,
     ProblemNotFoundError,
     RequestFailed,
@@ -39,10 +40,15 @@ from ..problems.spec import ProblemSpec, validate_inputs
 from ..protocol.messages import (
     Busy,
     Candidate,
+    DagNodeDone,
+    DagReply,
+    DataHandle,
     DescribeProblem,
     FailureReport,
+    FetchObject,
     FetchResult,
     ListProblems,
+    ObjectPayload,
     ProblemDescription,
     ProblemList,
     QueryReply,
@@ -54,6 +60,7 @@ from ..protocol.messages import (
     SolveRequest,
     StoreAck,
     StoreObject,
+    SubmitDag,
     TransferReport,
 )
 from ..protocol.transport import Promise
@@ -79,6 +86,7 @@ class _ClientMetrics:
         "attempt_ok", "attempt_errors", "attempt_timeouts", "failovers",
         "agent_failovers", "busy_failovers", "requests_done", "requests_failed",
         "cached_replies", "store_ops", "store_timeouts", "fetches",
+        "object_fetches", "dag_submits", "payload_resubmits",
         "active", "request_seconds", "negotiation_seconds",
         "attempt_seconds", "prediction_error_seconds",
     )
@@ -120,6 +128,13 @@ class _ClientMetrics:
         self.store_timeouts = c("client.store_timeouts",
                                 "store/delete batches timed out")
         self.fetches = c("client.fetches", "FetchResult lookups started")
+        self.object_fetches = c("client.object_fetches",
+                                "FetchObject pulls started")
+        self.dag_submits = c("client.dag_submits", "SubmitDag graphs sent")
+        self.payload_resubmits = c(
+            "client.payload_resubmits",
+            "missing-object errors answered by re-sending with payloads",
+        )
         self.active = g("client.active_requests", "requests in flight")
         self.request_seconds = h("client.request_seconds",
                                  help="submit -> settle wall-clock")
@@ -173,6 +188,9 @@ class _Active:
         "current",
         "attempt",
         "pinned",
+        "keep_result",
+        "payloads",
+        "resubmitted",
         "query_silences",
         "span",
     )
@@ -192,10 +210,31 @@ class _Active:
         self.attempt: Optional[AttemptRecord] = None
         #: pinned requests bypass the agent and never fail over
         self.pinned = False
+        #: ask the server to leave outputs resident (reply carries handles)
+        self.keep_result = False
+        #: key -> value fallback for handle inputs: a missing-object
+        #: error re-submits once with these inlined instead of failing
+        self.payloads: dict[str, Any] = {}
+        #: the one payload re-submission has been spent
+        self.resubmitted = False
         #: unanswered agent queries so far (control-message retry budget)
         self.query_silences = 0
         #: per-request span (None when no SpanLog is attached)
         self.span = None
+
+
+class _DagState:
+    """Client-side state of one in-flight request DAG."""
+
+    __slots__ = ("promise", "on_node", "interval", "address")
+
+    def __init__(self, promise: Promise, on_node, interval: float, address: str):
+        self.promise = promise
+        #: optional per-node progress callback (receives each DagNodeDone)
+        self.on_node = on_node
+        #: liveness window, re-armed on every node completion
+        self.interval = interval
+        self.address = address
 
 
 class NetSolveClient(DispatchComponent):
@@ -226,8 +265,13 @@ class NetSolveClient(DispatchComponent):
         self._describing: dict[str, list[_Active]] = {}
         self._spec_waiters: dict[str, list[Promise]] = {}
         self._listing: dict[str, list[Promise]] = {}
-        self._storing: dict[tuple[str, str], list[Promise]] = {}
+        self._storing: dict[tuple[str, str], list[tuple[Promise, bool]]] = {}
         self._fetching: dict[tuple[str, int], list[Promise]] = {}
+        #: (server address, key) -> promises awaiting an ObjectPayload
+        self._object_fetches: dict[tuple[str, str], list[Promise]] = {}
+        #: dag_id -> in-flight DAG state
+        self._dags: dict[str, _DagState] = {}
+        self._dag_ids = itertools.count(1)
         self._queries: dict[int, Promise] = {}
         self._active: dict[int, _Active] = {}
         #: every timeout this client arms, keyed and generation-safe;
@@ -291,8 +335,26 @@ class NetSolveClient(DispatchComponent):
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
-    def submit(self, problem: str, args: Sequence[Any]) -> RequestHandle:
-        """Non-blocking submit; returns a handle with a promise."""
+    def submit(
+        self,
+        problem: str,
+        args: Sequence[Any],
+        *,
+        keep_result: bool = False,
+        payloads: Optional[dict] = None,
+    ) -> RequestHandle:
+        """Non-blocking submit; returns a handle with a promise.
+
+        ``args`` may contain :class:`DataHandle` references to
+        server-resident operands — those ship as constant-size stubs and
+        the agent's ranking charges transfer only for what a candidate
+        does not already hold.  ``keep_result=True`` asks the winning
+        server to leave the outputs resident and answer with handles
+        (pull bytes later with :meth:`fetch`).  ``payloads`` maps handle
+        keys to their values: if the server answers that a referenced
+        key is no longer resident, the request re-submits once with
+        those operands inlined instead of failing.
+        """
         rid = next(self._rids)
         record = RequestRecord(
             request_id=rid,
@@ -303,6 +365,8 @@ class NetSolveClient(DispatchComponent):
         handle = RequestHandle(record, self.node.promise())
         self.records.append(record)
         req = _Active(handle, problem, list(args))
+        req.keep_result = keep_result
+        req.payloads = dict(payloads or {})
         self._active[rid] = req
         self._trace("submit", request_id=rid, problem=problem)
         if self._metrics is not None:
@@ -346,25 +410,39 @@ class NetSolveClient(DispatchComponent):
         The promise resolves with the stored byte count, or rejects if
         the server refuses (cache full) or never answers.
         """
-        promise = self.node.promise()
-        waiting = self._storing.setdefault((server_address, key), [])
-        waiting.append(promise)
-        if len(waiting) == 1:
-            if self._metrics is not None:
-                self._metrics.store_ops.inc()
-            self.node.send(server_address, StoreObject(key=key, value=value))
-            self._arm_store_timeout(server_address, key)
-        return promise
+        return self._store_op(
+            server_address, key, StoreObject(key=key, value=value),
+            want_handle=False,
+        )
+
+    def store_handle(
+        self, server_address: str, key: str, value: Any,
+    ) -> Promise:
+        """Like :meth:`store`, but resolve with the :class:`DataHandle`
+        the ack carries — digest, size and shape metadata included — so
+        the stored operand can be referenced or fetched with no further
+        round trip."""
+        return self._store_op(
+            server_address, key, StoreObject(key=key, value=value),
+            want_handle=True,
+        )
 
     def delete_stored(self, server_address: str, key: str) -> Promise:
         """Drop a cached object; resolves True if it existed."""
+        return self._store_op(
+            server_address, key, DeleteObject(key=key), want_handle=False,
+        )
+
+    def _store_op(
+        self, server_address: str, key: str, msg: Any, *, want_handle: bool,
+    ) -> Promise:
         promise = self.node.promise()
         waiting = self._storing.setdefault((server_address, key), [])
-        waiting.append(promise)
+        waiting.append((promise, want_handle))
         if len(waiting) == 1:
             if self._metrics is not None:
                 self._metrics.store_ops.inc()
-            self.node.send(server_address, DeleteObject(key=key))
+            self.node.send(server_address, msg)
             self._arm_store_timeout(server_address, key)
         return promise
 
@@ -377,7 +455,7 @@ class NetSolveClient(DispatchComponent):
             batch = self._storing.pop((server_address, key), [])
             if self._metrics is not None:
                 self._metrics.store_timeouts.inc()
-            for p in batch:
+            for p, _ in batch:
                 if not p.done:
                     p.reject(
                         RequestFailed(
@@ -389,6 +467,217 @@ class NetSolveClient(DispatchComponent):
         self._deadlines.arm(
             ("store", server_address, key), self.cfg.server_timeout, fire
         )
+
+    def fetch(
+        self, handle: "DataHandle | ObjectRef | str", *, address: str = ""
+    ) -> Promise:
+        """Pull a server-resident object's bytes on demand.
+
+        The read half of the reference path: a ``keep_result`` solve (or
+        a DAG with keep nodes) answers with :class:`DataHandle` stubs;
+        this turns one back into the value.  ``address`` overrides the
+        handle's home (required when ``handle`` is a bare key or an
+        :class:`ObjectRef`, which carry none).  The promise resolves
+        with the object's value; it rejects with
+        :class:`MissingObjectError` when the key is no longer resident
+        (TTL lapse, eviction, server restarted the hard way) and
+        :class:`RequestFailed` when the server never answers.
+        """
+        if isinstance(handle, (DataHandle, ObjectRef)):
+            key = handle.key
+        else:
+            key = str(handle)
+        target = address or (
+            handle.address if isinstance(handle, DataHandle) else ""
+        )
+        promise = self.node.promise()
+        if not target:
+            promise.reject(
+                NetSolveError(
+                    f"fetch of {key!r} needs a server address "
+                    f"(the reference carries none)"
+                )
+            )
+            return promise
+        waiting = self._object_fetches.setdefault((target, key), [])
+        waiting.append(promise)
+        if len(waiting) == 1:
+            if self._metrics is not None:
+                self._metrics.object_fetches.inc()
+
+            def send_fetch(attempt: int) -> None:
+                self._trace("object_fetch_sent", key=key, server=target)
+                self.node.send(
+                    target,
+                    FetchObject(key=key, reply_to=self.node.address),
+                )
+
+            def exhausted() -> None:
+                batch = self._object_fetches.pop((target, key), [])
+                for p in batch:
+                    if not p.done:
+                        p.reject(
+                            RequestFailed(
+                                0,
+                                f"server {target!r} did not answer "
+                                f"FetchObject for {key!r}",
+                            )
+                        )
+
+            RetryChain(
+                self._deadlines,
+                ("objfetch", target, key),
+                interval=self.cfg.server_timeout,
+                attempts=self.cfg.agent_retries,
+                send=send_fetch,
+                on_exhausted=exhausted,
+            ).start()
+        return promise
+
+    @handles(ObjectPayload)
+    def _on_object_payload(self, src: str, msg: ObjectPayload) -> None:
+        self._deadlines.cancel(("objfetch", src, msg.key))
+        for promise in self._object_fetches.pop((src, msg.key), []):
+            if promise.done:
+                continue
+            if msg.ok:
+                promise.resolve(msg.value)
+            elif msg.error_kind == "missing_object":
+                promise.reject(MissingObjectError(msg.key))
+            else:
+                promise.reject(
+                    RequestFailed(0, msg.detail or "object fetch refused")
+                )
+
+    # ------------------------------------------------------------------
+    # request DAGs
+    # ------------------------------------------------------------------
+    def submit_dag(
+        self,
+        nodes: Sequence[dict],
+        *,
+        address: str = "",
+        dag_id: str = "",
+        timeout: Optional[float] = None,
+        on_node=None,
+    ) -> Promise:
+        """Submit a dependency graph of solves in one message.
+
+        ``nodes`` is a sequence of dicts — ``{"id", "problem",
+        "inputs", "keep", "emit"}`` — where inputs may be values,
+        :class:`DataHandle` stubs, or :class:`NodeOutput` references to
+        a predecessor's output (see :mod:`repro.dag` for a builder that
+        validates the graph before anything hits the wire).  The server
+        resolves node inputs from its resident results and executes in
+        dependency order through its normal admission machinery.
+
+        Routing: ``address`` wins; otherwise the graph is sent to the
+        home of the first :class:`DataHandle` found in a node's inputs
+        (an iterative workload's DAG belongs where its data lives).
+        The promise resolves with the outputs tuple of the graph's
+        ``emit`` nodes (terminal nodes when none is marked); it rejects
+        with :class:`RequestFailed` naming the failed node, after
+        streaming each :class:`DagNodeDone` to ``on_node``.  ``timeout``
+        bounds the silence *between* node completions, not the whole
+        graph (default: ``cfg.server_timeout``).
+        """
+        promise = self.node.promise()
+        target = address
+        if not target:
+            for node in nodes:
+                for value in node.get("inputs", ()):
+                    if isinstance(value, DataHandle) and value.address:
+                        target = value.address
+                        break
+                if target:
+                    break
+        if not target:
+            promise.reject(
+                NetSolveError(
+                    "submit_dag needs a server address (none given, and "
+                    "no input handle carries one)"
+                )
+            )
+            return promise
+        dag_id = dag_id or f"{self.client_id}/dag{next(self._dag_ids)}"
+        if dag_id in self._dags:
+            promise.reject(NetSolveError(f"dag id {dag_id!r} already in flight"))
+            return promise
+        interval = timeout if timeout is not None else self.cfg.server_timeout
+        self._dags[dag_id] = _DagState(promise, on_node, interval, target)
+        self._trace("dag_submitted", dag_id=dag_id, server=target,
+                    nodes=len(nodes))
+        if self._metrics is not None:
+            self._metrics.dag_submits.inc()
+        self.node.send(
+            target,
+            SubmitDag(
+                dag_id=dag_id,
+                nodes=tuple(dict(node) for node in nodes),
+                reply_to=self.node.address,
+            ),
+        )
+        self._arm_dag_timeout(dag_id)
+        return promise
+
+    def _arm_dag_timeout(self, dag_id: str) -> None:
+        def fire() -> None:
+            state = self._dags.pop(dag_id, None)
+            if state is None or state.promise.done:
+                return
+            self._trace("dag_timeout", dag_id=dag_id, server=state.address)
+            state.promise.reject(
+                RequestFailed(
+                    0, f"server {state.address!r} went silent on dag "
+                    f"{dag_id!r}"
+                )
+            )
+
+        state = self._dags[dag_id]
+        self._deadlines.arm(("dag", dag_id), state.interval, fire)
+
+    @handles(DagNodeDone)
+    def _on_dag_node_done(self, src: str, msg: DagNodeDone) -> None:
+        state = self._dags.get(msg.dag_id)
+        if state is None:
+            return  # late progress for a dag we already gave up on
+        # progress resets the liveness window: a deep graph is allowed
+        # interval seconds per node, not per graph
+        self._arm_dag_timeout(msg.dag_id)
+        self._trace(
+            "dag_node_done", dag_id=msg.dag_id, node=msg.node, ok=msg.ok,
+            remaining=msg.remaining,
+        )
+        if state.on_node is not None:
+            state.on_node(msg)
+
+    @handles(DagReply)
+    def _on_dag_reply(self, src: str, msg: DagReply) -> None:
+        state = self._dags.pop(msg.dag_id, None)
+        if state is None:
+            return
+        self._deadlines.cancel(("dag", msg.dag_id))
+        if state.promise.done:
+            return
+        if msg.ok:
+            self._trace("dag_done", dag_id=msg.dag_id)
+            state.promise.resolve(tuple(msg.outputs))
+        else:
+            self._trace(
+                "dag_failed", dag_id=msg.dag_id,
+                failed_node=msg.failed_node, detail=msg.detail,
+            )
+            error = RequestFailed(
+                0,
+                f"dag {msg.dag_id!r} failed"
+                + (f" at node {msg.failed_node!r}" if msg.failed_node else "")
+                + f": {msg.detail}",
+            )
+            # typed context for callers that recover (re-store + retry)
+            error.error_kind = msg.error_kind
+            error.missing = tuple(msg.missing)
+            error.failed_node = msg.failed_node
+            state.promise.reject(error)
 
     def fetch_result(
         self, server_address: str, request_id: int, *, client: str = ""
@@ -458,24 +747,29 @@ class NetSolveClient(DispatchComponent):
     @handles(StoreAck)
     def _on_store_ack(self, src: str, msg: StoreAck) -> None:
         self._deadlines.cancel(("store", src, msg.key))
-        for promise in self._storing.pop((src, msg.key), []):
+        for promise, want_handle in self._storing.pop((src, msg.key), []):
             if promise.done:
                 continue
             if msg.ok:
-                promise.resolve(msg.nbytes)
+                promise.resolve(msg.handle if want_handle else msg.nbytes)
             else:
                 promise.reject(RequestFailed(0, msg.detail or "store refused"))
 
     def submit_pinned(
         self, problem: str, args: Sequence[Any], server_address: str,
-        *, server_id: str = "",
+        *, server_id: str = "", keep_result: bool = False,
+        payloads: Optional[dict] = None,
     ) -> RequestHandle:
         """Submit directly to one server, bypassing the agent.
 
         This is the execution half of request sequencing: arguments may
-        contain :class:`ObjectRef` placeholders for operands previously
-        :meth:`store`\\ d there.  No fail-over — a pinned request lives
-        and dies with its server (the sequence's data is there).
+        contain :class:`ObjectRef` placeholders (or :class:`DataHandle`
+        stubs) for operands previously :meth:`store`\\ d there.  No
+        fail-over — a pinned request lives and dies with its server (the
+        sequence's data is there).  ``keep_result`` and ``payloads``
+        behave as in :meth:`submit`: the one recovery a pinned request
+        does get is re-sending *to the same server* with ``payloads``
+        inlined when it answers that a referenced key is gone.
         """
         rid = next(self._rids)
         record = RequestRecord(
@@ -486,6 +780,8 @@ class NetSolveClient(DispatchComponent):
         self.records.append(record)
         req = _Active(handle, problem, list(args))
         req.pinned = True
+        req.keep_result = keep_result
+        req.payloads = dict(payloads or {})
         self._active[rid] = req
         self._trace(
             "submit_pinned", request_id=rid, problem=problem,
@@ -499,7 +795,7 @@ class NetSolveClient(DispatchComponent):
                 rid, problem, self.client_id, record.t_submit
             )
         spec = self._specs.get(problem)
-        refs = any(isinstance(a, ObjectRef) for a in args)
+        refs = any(isinstance(a, (ObjectRef, DataHandle)) for a in args)
         if spec is not None and not refs:
             try:
                 coerced, env = validate_inputs(spec, list(args))
@@ -787,6 +1083,20 @@ class NetSolveClient(DispatchComponent):
                 "query", now, number=req.record.queries,
                 excluded=len(req.tried),
             )
+        # locality hint: per-server bytes the request references that are
+        # already resident there (handle stubs carry home + size).  A
+        # handle-free request sends the empty map — the frame and the
+        # agent's ranking arithmetic are exactly the pre-handle ones
+        resident: dict[str, int] = {}
+        for value in req.inputs or ():
+            if (
+                isinstance(value, DataHandle)
+                and value.server_id
+                and value.nbytes > 0
+            ):
+                resident[value.server_id] = (
+                    resident.get(value.server_id, 0) + int(value.nbytes)
+                )
         self.node.send(
             self.agent_address,
             QueryRequest(
@@ -796,6 +1106,7 @@ class NetSolveClient(DispatchComponent):
                 exclude=tuple(req.tried),
                 tag=rid,
                 digest=req.digest,
+                resident=resident,
             ),
         )
         self._deadlines.arm(
@@ -972,6 +1283,7 @@ class NetSolveClient(DispatchComponent):
                 problem=req.problem,
                 inputs=req.inputs,
                 reply_to=self.node.address,
+                keep_result=req.keep_result,
             ),
         )
         if cand.predicted_seconds > 0:
@@ -1010,11 +1322,11 @@ class NetSolveClient(DispatchComponent):
         self._try_next(req)
 
     def _report_failure(
-        self, req: _Active, detail: str, *, kind: str = ""
+        self, req: _Active, detail: str, *, kind: str = "", suspect: bool = True
     ) -> None:
         assert req.current is not None
         req.tried.append(req.current.server_id)
-        if not req.pinned:
+        if not req.pinned and suspect:
             # pinned requests bypassed the agent on the way in, so their
             # failures must bypass it on the way out: reporting one would
             # penalise the server's suspicion state for a request the
@@ -1042,6 +1354,14 @@ class NetSolveClient(DispatchComponent):
             return  # pinned submits carry no host; nothing to learn on
         transfer_seconds = attempt.elapsed - attempt.compute_seconds
         nbytes = spec.input_bytes(req.env) + spec.output_bytes(req.env)
+        for value in req.inputs or ():
+            # handle operands homed on the server never crossed the wire;
+            # counting them would inflate the learned bandwidth belief
+            if (
+                isinstance(value, DataHandle)
+                and value.server_id == req.current.server_id
+            ):
+                nbytes -= value.nbytes
         if transfer_seconds <= 0 or nbytes <= 0:
             return
         self.node.send(
@@ -1088,6 +1408,56 @@ class NetSolveClient(DispatchComponent):
             if self.cfg.report_transfers:
                 self._report_transfer(req)
             self._finish(req, None, tuple(msg.outputs))
+        elif msg.error_kind == "missing_object":
+            # a referenced operand is no longer resident (TTL lapse,
+            # eviction, server death between store and solve).  This is
+            # retryable data-placement drift, not a server fault
+            req.attempt.outcome = "missing"
+            req.attempt.detail = msg.detail
+            if req.span is not None:
+                req.span.end_phase(now, outcome="missing")
+            if (
+                not req.resubmitted
+                and req.payloads
+                and all(key in req.payloads for key in msg.missing)
+            ):
+                # re-submit once to the same server with the lost
+                # operands inlined — no FailureReport, no fail-over
+                req.resubmitted = True
+                gone = set(msg.missing)
+                assert req.inputs is not None
+                req.inputs = tuple(
+                    req.payloads[value.key]
+                    if isinstance(value, (ObjectRef, DataHandle))
+                    and value.key in gone
+                    else value
+                    for value in req.inputs
+                )
+                self._trace(
+                    "resubmit_with_payload",
+                    request_id=msg.request_id,
+                    server_id=req.current.server_id,
+                    missing=list(msg.missing),
+                )
+                if self._metrics is not None:
+                    self._metrics.payload_resubmits.inc()
+                req.candidates.appendleft(req.current)
+                req.current = None
+                req.attempt = None
+                self._try_next(req)
+                return
+            self._trace(
+                "attempt_missing_object",
+                request_id=msg.request_id,
+                server_id=req.current.server_id,
+                missing=list(msg.missing),
+            )
+            if self._metrics is not None:
+                self._metrics.attempt_errors.inc()
+            # without payloads in hand the best move is the next
+            # candidate; the server is healthy, so it is not suspected
+            self._report_failure(req, msg.detail, suspect=False)
+            self._try_next(req)
         else:
             req.attempt.outcome = "error"
             req.attempt.detail = msg.detail

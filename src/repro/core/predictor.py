@@ -260,7 +260,7 @@ def predict_for(
 def predict_batch(
     *,
     flops: float,
-    input_bytes: float,
+    input_bytes: "float | np.ndarray",
     output_bytes: float,
     latency: np.ndarray,
     bandwidth: np.ndarray,
@@ -275,7 +275,12 @@ def predict_batch(
     ``flops``/``input_bytes``/``output_bytes`` are the per-query
     invariants (they depend only on the problem spec and the size
     bindings, so the caller evaluates them once); the array arguments
-    carry one element per candidate.  ``pending`` is the agent's
+    carry one element per candidate.  ``input_bytes`` may also be an
+    array (one element per candidate) when the bytes each server must
+    actually receive differ — the locality-aware path charges only for
+    inputs not already resident on a candidate; passing the plain scalar
+    keeps the arithmetic (and hence the ranking) bit-identical to the
+    pre-locality model.  ``pending`` is the agent's
     pending-assignment count per candidate — each live hint inflates the
     compute term by one service time, exactly as
     :meth:`~repro.core.agent.Agent.predict_entry` does.
@@ -293,7 +298,9 @@ def predict_batch(
     inflation.  The property tests pin this; the scalar path remains
     the reference implementation.
     """
-    if flops < 0 or input_bytes < 0 or output_bytes < 0:
+    input_bytes = np.asarray(input_bytes, dtype=np.float64)
+    if flops < 0 or (input_bytes.size and input_bytes.min() < 0) \
+            or output_bytes < 0:
         raise ConfigError("flops and byte counts must be >= 0")
     peak_mflops = np.asarray(peak_mflops, dtype=np.float64)
     workload = np.asarray(workload, dtype=np.float64)

@@ -42,11 +42,12 @@ the store by digest, warming the cache after a reboot.
 
 from __future__ import annotations
 
+import itertools
 from collections import deque
 from typing import Optional, Sequence
 
 from ..config import ServerConfig
-from ..errors import NetSolveError
+from ..errors import ConfigError, MissingObjectError, NetSolveError
 from ..problems.pdl import render_pdl
 from ..problems.registry import ProblemRegistry
 from ..problems.spec import validate_inputs
@@ -54,8 +55,14 @@ from ..protocol.codec import decode_value, encode_value, encoded_size
 from ..protocol.messages import (
     Busy,
     CacheInsert,
+    DagNodeDone,
+    DagReply,
+    DataHandle,
     DeleteObject,
+    FetchObject,
     FetchResult,
+    NodeOutput,
+    ObjectPayload,
     ObjectRef,
     Ping,
     Pong,
@@ -66,10 +73,11 @@ from ..protocol.messages import (
     SolveRequest,
     StoreAck,
     StoreObject,
+    SubmitDag,
     WorkloadReport,
 )
 from ..runtime import DeadlineTable, DispatchComponent, Periodic, handles
-from ..store import JobStore, ResultCache, solve_digest
+from ..store import HandleStore, JobStore, ResultCache, solve_digest
 from ..trace.events import EventLog
 from ..trace.instruments import MetricsRegistry
 from .executors import ProcessPool
@@ -92,6 +100,8 @@ class _ServerMetrics:
         "batched_requests", "peak_queue", "cache_hits", "cache_misses",
         "cache_evictions", "cache_bytes_saved", "coalesced",
         "store_records", "store_hits", "fetches", "agent_failovers",
+        "kept_results", "object_fetches", "missing_objects",
+        "dags", "dag_nodes",
     )
 
     def __init__(self, registry: MetricsRegistry):
@@ -148,6 +158,18 @@ class _ServerMetrics:
         self.agent_failovers = registry.counter(
             "server.agent_failovers",
             "registrations rotated to the next agent on ack silence")
+        self.kept_results = registry.counter(
+            "server.kept_results",
+            "outputs left resident and answered with DataHandles")
+        self.object_fetches = registry.counter(
+            "server.object_fetches", "FetchObject payload pulls served")
+        self.missing_objects = registry.counter(
+            "server.missing_objects",
+            "referenced keys that were not resident (typed retryable error)")
+        self.dags = registry.counter(
+            "server.dags", "SubmitDag graphs accepted")
+        self.dag_nodes = registry.counter(
+            "server.dag_nodes", "DAG nodes executed to completion")
 
 
 def _batch_signature(values) -> tuple:
@@ -164,6 +186,76 @@ def _batch_signature(values) -> tuple:
         else:
             sig.append(v)
     return tuple(sig)
+
+
+#: transport-level source of DAG-internal solve requests; replies whose
+#: ``reply_to`` starts with the prefix route back into the DAG executor
+#: instead of the wire
+_DAG_SRC = "@dag"
+_DAG_PREFIX = "@dag/"
+
+
+def _node_refs(value):
+    """Every :class:`NodeOutput` reachable inside ``value`` (nested too)."""
+    refs = []
+
+    def walk(item):
+        if isinstance(item, NodeOutput):
+            refs.append(item)
+        elif isinstance(item, (list, tuple)):
+            for sub in item:
+                walk(sub)
+        elif isinstance(item, dict):
+            for sub in item.values():
+                walk(sub)
+
+    walk(value)
+    return refs
+
+
+def _substitute(value, results):
+    """``value`` with each :class:`NodeOutput` replaced by the produced
+    output (a raw value, or the :class:`DataHandle` of a keep node)."""
+    if isinstance(value, NodeOutput):
+        outputs = results[value.node]
+        if value.index >= len(outputs):
+            raise NetSolveError(
+                f"node {value.node!r} produced {len(outputs)} output(s); "
+                f"index {value.index} requested"
+            )
+        return outputs[value.index]
+    if isinstance(value, (list, tuple)):
+        return tuple(_substitute(item, results) for item in value)
+    if isinstance(value, dict):
+        return {key: _substitute(item, results) for key, item in value.items()}
+    return value
+
+
+class _DagRun:
+    """Execution state of one accepted request DAG."""
+
+    __slots__ = (
+        "token", "dag_id", "reply_to", "nodes", "order", "deps", "succs",
+        "results", "unfinished", "retained", "started",
+    )
+
+    def __init__(self, token, dag_id, reply_to, nodes, order, deps, succs):
+        self.token = token
+        self.dag_id = dag_id
+        self.reply_to = reply_to
+        #: node id -> normalized node dict
+        self.nodes = nodes
+        #: submission (and topological tie-break) order of node ids
+        self.order = order
+        self.deps = deps
+        self.succs = succs
+        #: node id -> outputs tuple (values, or handles for keep nodes)
+        self.results: dict[str, tuple] = {}
+        self.unfinished = set(order)
+        #: handle keys refcounted on behalf of this run (released at end)
+        self.retained: list[str] = []
+        #: nodes whose internal SolveRequest has been issued
+        self.started: set[str] = set()
 
 
 class ComputationalServer(DispatchComponent):
@@ -220,9 +312,23 @@ class ComputationalServer(DispatchComponent):
         #: opt-in process executor, created on first use (thread lanes
         #: belong to the transport node, not the server)
         self._process_pool: Optional[ProcessPool] = None
-        #: request-sequencing object cache: key -> (value, nbytes)
-        self._objects: dict[str, tuple[object, int]] = {}
-        self._objects_bytes = 0
+        #: resident-object store behind ObjectRef/DataHandle references:
+        #: pinned client stores plus refcounted, TTL-bounded keep_result
+        #: outputs.  Survives on_restart (in-process hiccup), cleared by
+        #: on_shutdown (process death).
+        self.objects = HandleStore(
+            cfg.object_cache_bytes,
+            ttl=cfg.handle_ttl,
+            clock=lambda: self.node.now(),
+        )
+        #: accepted request DAGs by run token (cleared on restart: the
+        #: client times out and re-submits, like any lost in-flight work)
+        self._dag_runs: dict[int, _DagRun] = {}
+        self._dag_tokens = itertools.count(1)
+        #: request ids for DAG-internal solves (never seen by clients)
+        self._dag_rids = itertools.count(1)
+        self.dags_accepted = 0
+        self.dag_nodes_done = 0
         #: content-addressed result cache: digest -> (outputs, nbytes).
         #: Clocked by the node so TTLs work under virtual time; the
         #: lambda is only called once the component is bound.
@@ -304,6 +410,11 @@ class ComputationalServer(DispatchComponent):
         # longer owns; their clients time out and retry, same as any
         # reply lost to the crash
         self._inflight.clear()
+        # in-flight DAGs die with their internal requests; releasing
+        # their retained handle keys keeps refcounts generation-safe
+        # (the *objects* survive — a restart is an in-process hiccup,
+        # not a memory loss)
+        self._abandon_dags()
         # the old generation's in-flight process jobs are stale by the
         # bump above; releasing the pool stops a restart storm from
         # accumulating orphaned children (it reopens lazily on use)
@@ -321,9 +432,21 @@ class ComputationalServer(DispatchComponent):
         re-warm from the persistent store, not from ghost memory."""
         self.shutdown_executors()
         self.result_cache.clear()
+        # resident objects are process memory: pins, refcounts and all
+        # die here.  Clients re-submit with payloads when they next hit
+        # the typed missing_object error.
+        self._abandon_dags()
+        self.objects.clear()
         if self._store is not None:
             self._store.close()
             self._store = None
+
+    def _abandon_dags(self) -> None:
+        """Drop every in-flight DAG run, releasing its handle refs."""
+        for run in self._dag_runs.values():
+            for key in run.retained:
+                self.objects.release(key)
+        self._dag_runs.clear()
 
     def _register(self) -> None:
         # with a fleet, an unacked registration rotates to the next agent
@@ -390,80 +513,109 @@ class ComputationalServer(DispatchComponent):
         self.node.send(src, Pong(nonce=msg.nonce))
 
     # ------------------------------------------------------------------
-    # request-sequencing object cache
+    # resident-object store (ObjectRef / DataHandle)
     # ------------------------------------------------------------------
     @property
     def cached_objects(self) -> int:
-        return len(self._objects)
+        return len(self.objects)
 
     @property
     def cached_bytes(self) -> int:
-        return self._objects_bytes
+        return self.objects.nbytes
+
+    def _handle_for(self, obj) -> DataHandle:
+        return obj.handle(server_id=self.server_id, address=self.node.address)
 
     @handles(StoreObject)
     def _store_object(self, src: str, msg: StoreObject) -> None:
-        buf = bytearray()
         try:
-            encode_value(msg.value, buf)
-        except NetSolveError as exc:  # pragma: no cover - codec rejected it
+            # client-stored operands are *pinned*: immune to TTL and
+            # eviction until an explicit delete (the sequencing contract)
+            obj = self.objects.put(msg.key, msg.value, pin=True)
+        except NetSolveError as exc:
             if self._metrics is not None:
                 self._metrics.store_rejects.inc()
+            self._trace("store_rejected", key=msg.key, detail=str(exc))
             self.node.send(src, StoreAck(key=msg.key, ok=False, detail=str(exc)))
             return
-        nbytes = len(buf)
-        old = self._objects.get(msg.key)
-        projected = self._objects_bytes - (old[1] if old else 0) + nbytes
-        if projected > self.cfg.object_cache_bytes:
-            if self._metrics is not None:
-                self._metrics.store_rejects.inc()
-            self._trace("store_rejected", key=msg.key, nbytes=nbytes)
-            self.node.send(
-                src,
-                StoreAck(
-                    key=msg.key,
-                    ok=False,
-                    detail=f"object cache full ({projected} > "
-                    f"{self.cfg.object_cache_bytes} bytes)",
-                ),
-            )
-            return
-        self._objects[msg.key] = (msg.value, nbytes)
-        self._objects_bytes = projected
         if self._metrics is not None:
             self._metrics.stores.inc()
-        self._trace("object_stored", key=msg.key, nbytes=nbytes)
-        self.node.send(src, StoreAck(key=msg.key, ok=True, nbytes=nbytes))
+        self._trace("object_stored", key=msg.key, nbytes=obj.nbytes)
+        self.node.send(
+            src,
+            StoreAck(
+                key=msg.key, ok=True, nbytes=obj.nbytes,
+                handle=self._handle_for(obj),
+            ),
+        )
 
     @handles(DeleteObject)
     def _delete_object(self, src: str, msg: DeleteObject) -> None:
         # idempotent: deleting an absent key still acks ok (nbytes=0)
         if self._metrics is not None:
             self._metrics.deletes.inc()
-        entry = self._objects.pop(msg.key, None)
-        freed = entry[1] if entry is not None else 0
-        self._objects_bytes -= freed
+        freed = self.objects.delete(msg.key)
         self.node.send(
             src,
             StoreAck(
                 key=msg.key,
                 ok=True,
                 nbytes=freed,
-                detail="" if entry is not None else "absent",
+                detail="" if freed else "absent",
             ),
         )
 
+    @handles(FetchObject)
+    def _fetch_object(self, src: str, msg: FetchObject) -> None:
+        """Pull a resident object's bytes on demand (the deferred half
+        of ``keep_result``)."""
+        reply_to = msg.reply_to or src
+        obj = self.objects.entry(msg.key)
+        if obj is None:
+            self.objects.misses += 1
+            if self._metrics is not None:
+                self._metrics.missing_objects.inc()
+            self._trace("object_fetch_missed", key=msg.key)
+            self.node.send(
+                reply_to,
+                ObjectPayload(
+                    key=msg.key,
+                    ok=False,
+                    detail=f"object {msg.key!r} not resident",
+                    error_kind="missing_object",
+                ),
+            )
+            return
+        if self._metrics is not None:
+            self._metrics.object_fetches.inc()
+        self._trace("object_fetched", key=msg.key, nbytes=obj.nbytes)
+        self.node.send(
+            reply_to, ObjectPayload(key=msg.key, ok=True, value=obj.value)
+        )
+
     def _resolve_refs(self, inputs: tuple) -> list:
+        """Swap every reference for its resident value.
+
+        Raises the *typed* :class:`MissingObjectError` naming every
+        unresolvable key at once — callers turn it into a retryable
+        ``error_kind="missing_object"`` reply, never a kernel error.
+        """
         resolved = []
+        missing = []
         for value in inputs:
-            if isinstance(value, ObjectRef):
-                entry = self._objects.get(value.key)
-                if entry is None:
-                    raise NetSolveError(
-                        f"unknown stored object {value.key!r}"
-                    )
-                resolved.append(entry[0])
+            if isinstance(value, (ObjectRef, DataHandle)):
+                obj = self.objects.entry(value.key)
+                if obj is None:
+                    missing.append(value.key)
+                else:
+                    resolved.append(obj.value)
             else:
                 resolved.append(value)
+        if missing:
+            self.objects.misses += len(missing)
+            if self._metrics is not None:
+                self._metrics.missing_objects.inc(len(missing))
+            raise MissingObjectError(*missing)
         return resolved
 
     # ------------------------------------------------------------------
@@ -476,12 +628,42 @@ class ComputationalServer(DispatchComponent):
             self._store = JobStore(self.cfg.store_path)
         return self._store
 
+    def _solve_digest_folded(
+        self, problem: str, raw_inputs: tuple, coerced, env
+    ) -> Optional[str]:
+        """Request digest with references *folded*, not materialized.
+
+        Reference positions contribute the referenced object's stored
+        content digest (O(1) per request, however large the resident
+        value); payload positions contribute their canonicalized bytes.
+        A handle-bearing request therefore digests to the same key the
+        submitting client computed from its ``DataHandle.digest``
+        metadata, so repeats hit the result cache and the agent's hot
+        cache without re-hashing resident megabytes.  Ref-free requests
+        take the historical value-digest path, bit-identical to before.
+        """
+        if not any(
+            isinstance(v, (ObjectRef, DataHandle)) for v in raw_inputs
+        ):
+            return solve_digest(problem, coerced, env)
+        # normalize both ref flavours to ObjectRef so the folded digest
+        # depends on the resident *content*, not on which reference type
+        # (or possibly-stale carried digest) named it
+        folded = [
+            ObjectRef(orig.key)
+            if isinstance(orig, (ObjectRef, DataHandle)) else value
+            for orig, value in zip(raw_inputs, coerced)
+        ]
+        return solve_digest(
+            problem, folded, env, resolve_ref=self.objects.digest_of
+        )
+
     def _request_digest(self, msg: SolveRequest) -> Optional[str]:
         """Content digest of one request, or ``None`` (not addressable).
 
-        Digests cover the *canonicalized* inputs — refs resolved, arrays
-        coerced — so a strided client-side view and the contiguous copy
-        another client sent hash identically.
+        Digests cover the *canonicalized* inputs — arrays coerced, refs
+        folded to their stored digests — so a strided client-side view
+        and the contiguous copy another client sent hash identically.
         """
         if msg.problem not in self.registry:
             return None
@@ -491,10 +673,53 @@ class ComputationalServer(DispatchComponent):
             coerced, env = validate_inputs(spec, inputs)
         except NetSolveError:
             return None  # the normal path owns the error reply
-        return solve_digest(msg.problem, coerced, env)
+        return self._solve_digest_folded(msg.problem, msg.inputs, coerced, env)
+
+    def _dispatch_reply(self, reply_to: str, reply) -> None:
+        """Deliver a reply: over the wire, or — for DAG-internal
+        requests, whose ``reply_to`` carries the ``@dag/`` prefix —
+        straight back into the DAG executor, no transport involved."""
+        if reply_to.startswith(_DAG_PREFIX):
+            self._on_dag_internal_reply(reply_to, reply)
+        else:
+            self.node.send(reply_to, reply)
+
+    def _keep_outputs(
+        self, reply_to: str, request_id: int, outputs: tuple
+    ) -> tuple:
+        """Leave ``outputs`` resident, returning one DataHandle each.
+
+        An output the store cannot admit (budget exhausted even after
+        evicting idle entries, or unencodable) degrades gracefully to
+        the value itself — the client sees a mixed outputs tuple and
+        still makes progress.
+        """
+        kept = []
+        for index, value in enumerate(outputs):
+            key = f"res/{reply_to}/{request_id}/{index}"
+            if len(key) > 128:  # pragma: no cover - absurd address
+                key = key[:96] + format(abs(hash(key)), "x")
+            try:
+                obj = self.objects.put(key, value)
+            except NetSolveError:
+                kept.append(value)
+                continue
+            kept.append(self._handle_for(obj))
+            if self._metrics is not None:
+                self._metrics.kept_results.inc()
+        self._trace(
+            "result_kept", request_id=request_id, outputs=len(outputs)
+        )
+        return tuple(kept)
 
     def _reply_cached(
-        self, reply_to: str, request_id: int, outputs: tuple, nbytes: int
+        self,
+        reply_to: str,
+        request_id: int,
+        outputs: tuple,
+        nbytes: int,
+        *,
+        keep: bool = False,
     ) -> None:
         """Send one cache-served reply, with the bookkeeping a fresh
         compute would have done (minus the compute)."""
@@ -504,7 +729,9 @@ class ComputationalServer(DispatchComponent):
             self._metrics.cache_hits.inc()
             self._metrics.cache_bytes_saved.inc(nbytes)
         self._trace("cache_hit", request_id=request_id, nbytes=nbytes)
-        self.node.send(
+        if keep:
+            outputs = self._keep_outputs(reply_to, request_id, outputs)
+        self._dispatch_reply(
             reply_to,
             SolveReply(
                 request_id=request_id,
@@ -549,7 +776,10 @@ class ComputationalServer(DispatchComponent):
         outputs, nbytes = entry
         if self._metrics is not None:
             self._metrics.requests.inc()
-        self._reply_cached(msg.reply_to or src, msg.request_id, outputs, nbytes)
+        self._reply_cached(
+            msg.reply_to or src, msg.request_id, outputs, nbytes,
+            keep=msg.keep_result,
+        )
         return True
 
     def _record_result(
@@ -709,7 +939,9 @@ class ComputationalServer(DispatchComponent):
             return
         if self._executing >= self.cfg.max_concurrent:
             depth = len(self._queue)
-            if 0 < self.cfg.max_queue <= depth:
+            # DAG-internal requests bypass the shed: their graph was
+            # admitted as a whole, and a Busy would have nowhere to go
+            if src != _DAG_SRC and 0 < self.cfg.max_queue <= depth:
                 # bounded admission: refuse instead of queueing forever;
                 # the client falls through to its next candidate
                 self.requests_shed += 1
@@ -752,7 +984,7 @@ class ComputationalServer(DispatchComponent):
             self.requests_failed += 1
             if self._metrics is not None:
                 self._metrics.errors.inc()
-            self.node.send(
+            self._dispatch_reply(
                 reply_to,
                 SolveReply(
                     request_id=msg.request_id,
@@ -767,11 +999,35 @@ class ComputationalServer(DispatchComponent):
             inputs = self._resolve_refs(msg.inputs)
             coerced, env = validate_inputs(spec, inputs)
             flops = spec.flops(env)
+        except MissingObjectError as exc:
+            # fail fast, *typed*: a referenced key is gone (crash wiped
+            # the store, TTL lapsed, ...).  The client re-submits with
+            # the payload instead of treating this as a server fault.
+            self.requests_failed += 1
+            if self._metrics is not None:
+                self._metrics.errors.inc()
+            self._trace(
+                "missing_object",
+                request_id=msg.request_id,
+                keys=",".join(exc.keys),
+            )
+            self._dispatch_reply(
+                reply_to,
+                SolveReply(
+                    request_id=msg.request_id,
+                    ok=False,
+                    detail=str(exc),
+                    error_kind="missing_object",
+                    missing=exc.keys,
+                ),
+            )
+            self._drain()
+            return
         except NetSolveError as exc:
             self.requests_failed += 1
             if self._metrics is not None:
                 self._metrics.errors.inc()
-            self.node.send(
+            self._dispatch_reply(
                 reply_to,
                 SolveReply(request_id=msg.request_id, ok=False, detail=str(exc)),
             )
@@ -780,7 +1036,9 @@ class ComputationalServer(DispatchComponent):
 
         digest = None
         if self.result_cache.enabled or self.cfg.store_path:
-            digest = solve_digest(msg.problem, coerced, env)
+            digest = self._solve_digest_folded(
+                msg.problem, msg.inputs, coerced, env
+            )
         if digest is not None:
             # re-check: an identical result may have landed while this
             # request waited in the queue (peek: the admission-time miss
@@ -788,14 +1046,17 @@ class ComputationalServer(DispatchComponent):
             entry = self.result_cache.peek(digest)
             if entry is not None:
                 outputs, nbytes = entry
-                self._reply_cached(reply_to, msg.request_id, outputs, nbytes)
+                self._reply_cached(
+                    reply_to, msg.request_id, outputs, nbytes,
+                    keep=msg.keep_result,
+                )
                 self._drain()
                 return
             waiters = self._inflight.get(digest)
             if waiters is not None:
                 # an identical compute is already running: join it
                 # instead of burning a slot on the same answer
-                waiters.append((reply_to, msg.request_id))
+                waiters.append((reply_to, msg.request_id, msg.keep_result))
                 self.coalesced_requests += 1
                 if self._metrics is not None:
                     self._metrics.coalesced.inc()
@@ -850,7 +1111,7 @@ class ComputationalServer(DispatchComponent):
                     request_id=msg.request_id,
                     detail=str(result),
                 )
-                self.node.send(
+                self._dispatch_reply(
                     reply_to,
                     SolveReply(
                         request_id=msg.request_id,
@@ -863,13 +1124,13 @@ class ComputationalServer(DispatchComponent):
                     reply_to, msg.request_id, msg.problem, digest,
                     detail, elapsed,
                 )
-                for w_reply, w_rid in waiters:
+                for w_reply, w_rid, _w_keep in waiters:
                     # joined requests share the leader's fate; each
                     # client retries independently
                     self.requests_failed += 1
                     if self._metrics is not None:
                         self._metrics.errors.inc()
-                    self.node.send(
+                    self._dispatch_reply(
                         w_reply,
                         SolveReply(
                             request_id=w_rid,
@@ -891,12 +1152,17 @@ class ComputationalServer(DispatchComponent):
                     request_id=msg.request_id,
                     compute_seconds=elapsed,
                 )
-                self.node.send(
+                sent = outputs
+                if msg.keep_result:
+                    sent = self._keep_outputs(
+                        reply_to, msg.request_id, outputs
+                    )
+                self._dispatch_reply(
                     reply_to,
                     SolveReply(
                         request_id=msg.request_id,
                         ok=True,
-                        outputs=outputs,
+                        outputs=sent,
                         compute_seconds=elapsed,
                     ),
                 )
@@ -904,7 +1170,7 @@ class ComputationalServer(DispatchComponent):
                     reply_to, msg.request_id, msg.problem, digest,
                     outputs, elapsed,
                 )
-                for w_reply, w_rid in waiters:
+                for w_reply, w_rid, w_keep in waiters:
                     # compute_seconds=0: the waiter paid no compute, and
                     # charging it the leader's would poison the client's
                     # transfer accounting (elapsed - compute < 0)
@@ -912,12 +1178,16 @@ class ComputationalServer(DispatchComponent):
                     if self._metrics is not None:
                         self._metrics.ok.inc()
                     self._trace("request_done", request_id=w_rid)
-                    self.node.send(
+                    w_sent = (
+                        self._keep_outputs(w_reply, w_rid, outputs)
+                        if w_keep else outputs
+                    )
+                    self._dispatch_reply(
                         w_reply,
                         SolveReply(
                             request_id=w_rid,
                             ok=True,
-                            outputs=outputs,
+                            outputs=w_sent,
                             compute_seconds=0.0,
                             cached=True,
                         ),
@@ -990,8 +1260,10 @@ class ComputationalServer(DispatchComponent):
         problem = msg.problem
         if problem not in self.registry or not self.registry.has_batch(problem):
             return None
-        if any(isinstance(v, ObjectRef) for v in msg.inputs):
-            return None  # sequenced requests keep one-at-a-time semantics
+        if msg.keep_result or any(
+            isinstance(v, (ObjectRef, DataHandle)) for v in msg.inputs
+        ):
+            return None  # referenced/kept requests keep 1-at-a-time semantics
         spec = self.registry.spec(problem)
         try:
             coerced, env = validate_inputs(spec, list(msg.inputs))
@@ -1014,7 +1286,11 @@ class ComputationalServer(DispatchComponent):
             if (
                 len(members) >= self.cfg.batch_max
                 or q_msg.problem != problem
-                or any(isinstance(v, ObjectRef) for v in q_msg.inputs)
+                or q_msg.keep_result
+                or any(
+                    isinstance(v, (ObjectRef, DataHandle))
+                    for v in q_msg.inputs
+                )
             ):
                 kept.append(entry)
                 continue
@@ -1101,7 +1377,7 @@ class ComputationalServer(DispatchComponent):
                         request_id=m_msg.request_id,
                         detail=str(item),
                     )
-                    self.node.send(
+                    self._dispatch_reply(
                         reply_to,
                         SolveReply(
                             request_id=m_msg.request_id,
@@ -1124,7 +1400,7 @@ class ComputationalServer(DispatchComponent):
                         request_id=m_msg.request_id,
                         compute_seconds=elapsed,
                     )
-                    self.node.send(
+                    self._dispatch_reply(
                         reply_to,
                         SolveReply(
                             request_id=m_msg.request_id,
@@ -1154,6 +1430,250 @@ class ComputationalServer(DispatchComponent):
                 self._start(src, msg)
             else:
                 self._start_batch(batch)
+
+    # ------------------------------------------------------------------
+    # request DAGs
+    # ------------------------------------------------------------------
+    @handles(SubmitDag)
+    def _handle_submit_dag(self, src: str, msg: SubmitDag) -> None:
+        """Admit a dependency graph of solves.
+
+        Validation is all-or-nothing (bad shape, unknown/self/cyclic
+        references, size cap) — a rejected DAG never executes a node.
+        Accepted nodes run through the ordinary ``_enqueue`` machinery
+        (cache probe, admission, batching, generation stamps) with an
+        internal reply route, so every single-request behaviour — result
+        caching, coalescing, typed missing-object errors — applies per
+        node unchanged.
+        """
+        reply_to = msg.reply_to or src
+
+        def reject(detail: str) -> None:
+            self._trace("dag_rejected", dag_id=msg.dag_id, detail=detail)
+            self.node.send(
+                reply_to,
+                DagReply(dag_id=msg.dag_id, ok=False, detail=detail),
+            )
+
+        if not msg.nodes:
+            reject("empty dag")
+            return
+        if len(msg.nodes) > self.cfg.dag_max_nodes:
+            reject(
+                f"dag too large ({len(msg.nodes)} > "
+                f"{self.cfg.dag_max_nodes} nodes)"
+            )
+            return
+        nodes: dict[str, dict] = {}
+        order: list[str] = []
+        for raw in msg.nodes:
+            if not isinstance(raw, dict):
+                reject("node is not a mapping")
+                return
+            node_id = raw.get("id")
+            problem = raw.get("problem")
+            if not isinstance(node_id, str) or not node_id:
+                reject("node without an id")
+                return
+            if node_id in nodes:
+                reject(f"duplicate node id {node_id!r}")
+                return
+            if not isinstance(problem, str) or not problem:
+                reject(f"node {node_id!r} without a problem")
+                return
+            nodes[node_id] = {
+                "id": node_id,
+                "problem": problem,
+                "inputs": tuple(raw.get("inputs") or ()),
+                "keep": bool(raw.get("keep", False)),
+                "emit": bool(raw.get("emit", False)),
+            }
+            order.append(node_id)
+        deps = {nid: set() for nid in order}
+        for nid in order:
+            for ref in _node_refs(nodes[nid]["inputs"]):
+                if ref.node not in nodes:
+                    reject(
+                        f"node {nid!r} references unknown node {ref.node!r}"
+                    )
+                    return
+                if ref.node == nid:
+                    reject(f"node {nid!r} references itself")
+                    return
+                deps[nid].add(ref.node)
+        succs = {nid: set() for nid in order}
+        for nid, ds in deps.items():
+            for dep in ds:
+                succs[dep].add(nid)
+        # Kahn's algorithm, for the cycle check only (execution order
+        # falls out of dependency-readiness at completion time)
+        indegree = {nid: len(deps[nid]) for nid in order}
+        frontier = [nid for nid in order if indegree[nid] == 0]
+        visited = 0
+        while frontier:
+            nid = frontier.pop()
+            visited += 1
+            for succ in succs[nid]:
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    frontier.append(succ)
+        if visited != len(order):
+            reject("dependency cycle")
+            return
+
+        token = next(self._dag_tokens)
+        run = _DagRun(token, msg.dag_id, reply_to, nodes, order, deps, succs)
+        self._dag_runs[token] = run
+        self.dags_accepted += 1
+        if self._metrics is not None:
+            self._metrics.dags.inc()
+        self._trace("dag_accepted", dag_id=msg.dag_id, nodes=len(order))
+        self._dag_schedule(run)
+
+    def _dag_schedule(self, run: _DagRun) -> None:
+        """Issue an internal SolveRequest for every newly ready node."""
+        for nid in run.order:
+            if (
+                nid in run.started
+                or nid not in run.unfinished
+                or any(dep in run.unfinished for dep in run.deps[nid])
+            ):
+                continue
+            run.started.add(nid)
+            node = run.nodes[nid]
+            try:
+                inputs = tuple(
+                    _substitute(value, run.results)
+                    for value in node["inputs"]
+                )
+            except NetSolveError as exc:
+                self._dag_fail(run, nid, detail=str(exc))
+                return
+            self._trace("dag_node_started", dag_id=run.dag_id, node=nid)
+            self._enqueue(
+                _DAG_SRC,
+                SolveRequest(
+                    request_id=next(self._dag_rids),
+                    problem=node["problem"],
+                    inputs=inputs,
+                    reply_to=f"{_DAG_PREFIX}{run.token}/{nid}",
+                    keep_result=node["keep"],
+                ),
+            )
+            if run.token not in self._dag_runs:
+                return  # a synchronous completion already ended the run
+
+    def _on_dag_internal_reply(self, reply_to: str, reply) -> None:
+        try:
+            _tag, token_text, node_id = reply_to.split("/", 2)
+            token = int(token_text)
+        except ValueError:  # pragma: no cover - addresses are our own
+            return
+        run = self._dag_runs.get(token)
+        if run is None or node_id not in run.unfinished:
+            # the run failed or was abandoned (restart/shutdown); this
+            # is a sibling's late completion — nothing owes a reply
+            return
+        if isinstance(reply, SolveReply) and reply.ok:
+            self._dag_node_done(run, node_id, reply)
+        elif isinstance(reply, SolveReply):
+            self._dag_fail(
+                run, node_id,
+                detail=reply.detail,
+                error_kind=reply.error_kind,
+                missing=reply.missing,
+            )
+        else:  # pragma: no cover - internal requests bypass the shed
+            self._dag_fail(run, node_id, detail="internal request refused")
+
+    def _dag_node_done(self, run: _DagRun, node_id: str, reply) -> None:
+        run.unfinished.discard(node_id)
+        run.results[node_id] = reply.outputs
+        for value in reply.outputs:
+            if isinstance(value, DataHandle):
+                # hold kept outputs for the rest of the run: a TTL lapse
+                # mid-graph must not strand a successor's inputs
+                try:
+                    self.objects.retain(value.key)
+                except MissingObjectError:  # pragma: no cover - same tick
+                    pass
+                else:
+                    run.retained.append(value.key)
+        self.dag_nodes_done += 1
+        if self._metrics is not None:
+            self._metrics.dag_nodes.inc()
+        self._trace("dag_node_done", dag_id=run.dag_id, node=node_id)
+        self.node.send(
+            run.reply_to,
+            DagNodeDone(
+                dag_id=run.dag_id,
+                node=node_id,
+                ok=True,
+                compute_seconds=reply.compute_seconds,
+                cached=reply.cached,
+                remaining=len(run.unfinished),
+            ),
+        )
+        if not run.unfinished:
+            self._dag_finish(run)
+        else:
+            self._dag_schedule(run)
+
+    def _dag_finish(self, run: _DagRun) -> None:
+        emits = [nid for nid in run.order if run.nodes[nid]["emit"]]
+        if not emits:
+            # default: the graph's terminal nodes carry the answer
+            emits = [nid for nid in run.order if not run.succs[nid]]
+        outputs: list = []
+        for nid in emits:
+            outputs.extend(run.results.get(nid, ()))
+        self._drop_run(run)
+        self._trace("dag_done", dag_id=run.dag_id)
+        self.node.send(
+            run.reply_to,
+            DagReply(dag_id=run.dag_id, ok=True, outputs=tuple(outputs)),
+        )
+
+    def _dag_fail(
+        self,
+        run: _DagRun,
+        node_id: str,
+        *,
+        detail: str,
+        error_kind: str = "",
+        missing: tuple = (),
+    ) -> None:
+        run.unfinished.discard(node_id)
+        self._trace(
+            "dag_failed", dag_id=run.dag_id, node=node_id, detail=detail
+        )
+        self.node.send(
+            run.reply_to,
+            DagNodeDone(
+                dag_id=run.dag_id,
+                node=node_id,
+                ok=False,
+                detail=detail,
+                remaining=len(run.unfinished),
+            ),
+        )
+        self._drop_run(run)
+        self.node.send(
+            run.reply_to,
+            DagReply(
+                dag_id=run.dag_id,
+                ok=False,
+                detail=detail,
+                failed_node=node_id,
+                error_kind=error_kind,
+                missing=tuple(missing),
+            ),
+        )
+
+    def _drop_run(self, run: _DagRun) -> None:
+        for key in run.retained:
+            self.objects.release(key)
+        self._dag_runs.pop(run.token, None)
 
     # ------------------------------------------------------------------
     @property

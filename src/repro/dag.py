@@ -1,0 +1,119 @@
+"""Client-side builder for request DAGs.
+
+A :class:`DagBuilder` assembles the node list that
+:meth:`~repro.core.client.NetSolveClient.submit_dag` ships in one
+``SubmitDag`` message, catching graph mistakes *before* anything hits
+the wire.  Construction order enforces acyclicity for free: a node can
+only reference outputs of nodes already defined, so the builder cannot
+express a cycle (the server still runs its own Kahn check — it accepts
+raw node lists from any client, not just this builder).
+
+    dag = DagBuilder()
+    solve = dag.node("solve", "linsys/dgesv", [a_handle, b], keep=True)
+    norm = dag.node("norm", "blas/ddot", [solve.output(0), solve.output(0)],
+                    emit=True)
+    outputs = wait(client.submit_dag(dag.build(), address=server))
+
+``keep=True`` leaves a node's outputs resident on the server (handles,
+fetchable later); ``emit=True`` marks whose outputs the final
+``DagReply`` carries (default: the graph's terminal nodes).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from .errors import NetSolveError
+from .protocol.messages import NodeOutput
+
+__all__ = ["DagBuilder", "DagNode"]
+
+
+class DagNode:
+    """One defined node; hand its :meth:`output` to later nodes."""
+
+    __slots__ = ("id", "problem", "n_declared")
+
+    def __init__(self, node_id: str, problem: str):
+        self.id = node_id
+        self.problem = problem
+        #: outputs referenced so far (informational; the server checks
+        #: real arity at execution time)
+        self.n_declared = 0
+
+    def output(self, index: int = 0) -> NodeOutput:
+        """Reference this node's ``index``-th output."""
+        if index < 0:
+            raise NetSolveError(f"node {self.id!r}: output index must be >= 0")
+        self.n_declared = max(self.n_declared, index + 1)
+        return NodeOutput(node=self.id, index=index)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DagNode({self.id!r}, {self.problem!r})"
+
+
+class DagBuilder:
+    """Accumulates nodes in dependency order and renders the wire form."""
+
+    def __init__(self):
+        self._nodes: list[dict] = []
+        self._ids: set[str] = set()
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def node(
+        self,
+        node_id: str,
+        problem: str,
+        inputs: Sequence[Any] = (),
+        *,
+        keep: bool = False,
+        emit: bool = False,
+    ) -> DagNode:
+        """Define a node; returns a :class:`DagNode` whose outputs later
+        nodes can reference.  Inputs may be values, handles, or
+        ``NodeOutput`` references to *already defined* nodes — forward
+        references raise immediately, which is what makes a builder
+        graph acyclic by construction.
+        """
+        if not node_id or not isinstance(node_id, str):
+            raise NetSolveError("dag node needs a non-empty string id")
+        if node_id in self._ids:
+            raise NetSolveError(f"duplicate dag node id {node_id!r}")
+        if not problem or not isinstance(problem, str):
+            raise NetSolveError(f"dag node {node_id!r} needs a problem name")
+        for ref in _refs_in(tuple(inputs)):
+            if ref.node not in self._ids:
+                raise NetSolveError(
+                    f"dag node {node_id!r} references {ref.node!r}, which "
+                    f"is not defined yet (define dependencies first)"
+                )
+        self._ids.add(node_id)
+        self._nodes.append({
+            "id": node_id,
+            "problem": problem,
+            "inputs": tuple(inputs),
+            "keep": bool(keep),
+            "emit": bool(emit),
+        })
+        return DagNode(node_id, problem)
+
+    def build(self) -> tuple[dict, ...]:
+        """The validated node list, ready for ``submit_dag``."""
+        if not self._nodes:
+            raise NetSolveError("dag has no nodes")
+        return tuple(dict(node) for node in self._nodes)
+
+
+def _refs_in(value: Any) -> list[NodeOutput]:
+    refs: list[NodeOutput] = []
+    if isinstance(value, NodeOutput):
+        refs.append(value)
+    elif isinstance(value, (list, tuple)):
+        for item in value:
+            refs.extend(_refs_in(item))
+    elif isinstance(value, dict):
+        for item in value.values():
+            refs.extend(_refs_in(item))
+    return refs

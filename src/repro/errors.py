@@ -20,6 +20,7 @@ __all__ = [
     "NoServerError",
     "ServerFailure",
     "RequestFailed",
+    "MissingObjectError",
     "FarmNotFinished",
     "RequestNotFound",
     "PdlSyntaxError",
@@ -88,6 +89,23 @@ class RequestFailed(NetSolveError):
         msg = f"request {request_id} failed" + (f": {detail}" if detail else "")
         super().__init__(msg)
         self.request_id = request_id
+
+
+class MissingObjectError(NetSolveError):
+    """A referenced key is not resident on the target server.
+
+    The retryable half of the handle contract: the object was never
+    stored there, expired, was evicted, or died with the process
+    (``on_shutdown``).  Carried on the wire as
+    ``SolveReply.error_kind == "missing_object"`` with the offending
+    keys in ``SolveReply.missing``; a client holding the payload
+    re-submits with the value inline instead of failing the request.
+    """
+
+    def __init__(self, *keys: str):
+        names = ", ".join(repr(k) for k in keys) or "<unknown>"
+        super().__init__(f"object(s) {names} not resident on this server")
+        self.keys = tuple(keys)
 
 
 class FarmNotFinished(NetSolveError):

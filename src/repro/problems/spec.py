@@ -263,7 +263,15 @@ def validate_inputs(
     environment.  Raises :class:`BadArgumentsError` on any mismatch,
     including inconsistent shared dimensions (an ``n x n`` matrix next to
     a length-``m`` vector claiming the same ``n``).
+
+    An argument may be a :class:`~repro.protocol.messages.DataHandle` to
+    a server-resident object: the value itself is not in hand, so the
+    handle passes through uncoerced, its carried ``shape`` binding the
+    dimension symbols a concrete array would have bound (handles without
+    shape metadata bind nothing — any symbols they alone would pin stay
+    unbound and the server re-validates after resolving residents).
     """
+    from ..protocol.messages import DataHandle, ObjectRef
     if len(args) != len(spec.inputs):
         raise BadArgumentsError(
             f"problem {spec.name!r} takes {len(spec.inputs)} argument(s), "
@@ -283,6 +291,23 @@ def validate_inputs(
             )
 
     for obj, raw in zip(spec.inputs, args):
+        if isinstance(raw, (DataHandle, ObjectRef)):
+            coerced.append(raw)
+            shape = tuple(getattr(raw, "shape", ()) or ())
+            if (
+                obj.kind in (ObjectKind.MATRIX, ObjectKind.VECTOR)
+                and len(shape) == obj.kind.rank
+            ):
+                for dim, actual in zip(obj.dims, shape):
+                    if isinstance(dim, int):
+                        if actual != dim:
+                            raise BadArgumentsError(
+                                f"argument {obj.name!r}: dimension fixed at "
+                                f"{dim}, got {actual}"
+                            )
+                    else:
+                        bind(dim, int(actual), f"argument {obj.name!r}")
+            continue
         value = _coerce(obj, raw)
         coerced.append(value)
         if obj.kind in (ObjectKind.MATRIX, ObjectKind.VECTOR):

@@ -40,7 +40,7 @@ from typing import Any
 import numpy as np
 
 from ..errors import CodecError
-from .messages import MESSAGE_TYPES, Message, ObjectRef
+from .messages import MESSAGE_TYPES, DataHandle, Message, NodeOutput, ObjectRef
 
 __all__ = [
     "PROTOCOL_VERSION",
@@ -72,6 +72,8 @@ _T_DICT = 7
 _T_NDARRAY = 8
 _T_COMPLEX = 9
 _T_OBJREF = 10
+_T_HANDLE = 11
+_T_NODEOUT = 12
 
 _ALLOWED_DTYPES = {"float64", "int64", "complex128", "float32", "int32", "bool"}
 
@@ -196,6 +198,25 @@ def _encode_iov(value: Any, b: _IovBuilder) -> None:
         out.append(_T_OBJREF)
         out += _pack_u32(len(raw))
         out += raw
+    elif isinstance(value, DataHandle):
+        if len(value.shape) > _MAX_NDIM:
+            raise CodecError(f"handle rank {len(value.shape)} exceeds {_MAX_NDIM}")
+        out.append(_T_HANDLE)
+        for text in (value.key, value.digest, value.server_id,
+                     value.address, value.dtype):
+            raw = text.encode("utf-8")
+            out += _pack_u32(len(raw))
+            out += raw
+        out += _pack_u64(value.nbytes)
+        out.append(len(value.shape))
+        for dim in value.shape:
+            out += _pack_i64(int(dim))
+    elif isinstance(value, NodeOutput):
+        raw = value.node.encode("utf-8")
+        out.append(_T_NODEOUT)
+        out += _pack_u32(len(raw))
+        out += raw
+        out += _pack_i64(value.index)
     elif isinstance(value, (list, tuple)):
         if len(value) > _MAX_CONTAINER:
             raise CodecError("container too large")
@@ -272,6 +293,17 @@ def encoded_size(value: Any) -> int:
         return 1 + 1 + len(name) + 1 + 8 * ndim + 8 + value.nbytes
     if isinstance(value, ObjectRef):
         return 5 + len(value.key.encode("utf-8"))
+    if isinstance(value, DataHandle):
+        if len(value.shape) > _MAX_NDIM:
+            raise CodecError(f"handle rank {len(value.shape)} exceeds {_MAX_NDIM}")
+        texts = sum(
+            len(t.encode("utf-8"))
+            for t in (value.key, value.digest, value.server_id,
+                      value.address, value.dtype)
+        )
+        return 1 + 5 * 4 + texts + 8 + 1 + 8 * len(value.shape)
+    if isinstance(value, NodeOutput):
+        return 1 + 4 + len(value.node.encode("utf-8")) + 8
     if isinstance(value, (list, tuple)):
         if len(value) > _MAX_CONTAINER:
             raise CodecError("container too large")
@@ -389,6 +421,33 @@ def _decode(reader: _Reader, depth: int = 0) -> Any:
             return ObjectRef(bytes(raw).decode("utf-8"))
         except UnicodeDecodeError as exc:
             raise CodecError(f"bad utf-8 in object key: {exc}") from None
+    if tag == _T_HANDLE:
+        texts = []
+        for _ in range(5):
+            raw = reader.take(reader.u32())
+            try:
+                texts.append(bytes(raw).decode("utf-8"))
+            except UnicodeDecodeError as exc:
+                raise CodecError(f"bad utf-8 in handle: {exc}") from None
+        key, digest, server_id, address, dtype = texts
+        nbytes = reader.u64()
+        ndim = reader.u8()
+        if ndim > _MAX_NDIM:
+            raise CodecError(f"handle rank {ndim} exceeds {_MAX_NDIM}")
+        shape = tuple(reader.i64() for _ in range(ndim))
+        if any(d < 0 for d in shape):
+            raise CodecError(f"negative dimension in {shape}")
+        return DataHandle(
+            key=key, digest=digest, nbytes=nbytes, server_id=server_id,
+            address=address, shape=shape, dtype=dtype,
+        )
+    if tag == _T_NODEOUT:
+        raw = reader.take(reader.u32())
+        try:
+            node = bytes(raw).decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise CodecError(f"bad utf-8 in node reference: {exc}") from None
+        return NodeOutput(node=node, index=reader.i64())
     if tag == _T_LIST:
         count = reader.u32()
         if count > _MAX_CONTAINER:

@@ -21,6 +21,12 @@ Protocol summary::
                       agent's one-RTT cache)
     client -> server: FetchResult -> ResultStatus (recover a finished
                       result by request id from the persistent store)
+    client -> server: FetchObject -> ObjectPayload (pull the bytes of a
+                      server-resident object named by a DataHandle)
+    client -> server: SubmitDag(nodes) -> DagNodeDone per node ->
+                      DagReply (dependency graph executed server-side;
+                      each node's inputs resolve from its predecessors'
+                      resident results)
     client -> agent : FailureReport (server misbehaved; agent marks
                       suspect — or, for kind="busy", applies a decaying
                       workload penalty instead)
@@ -69,9 +75,16 @@ __all__ = [
     "SyncPull",
     "SyncState",
     "ObjectRef",
+    "DataHandle",
+    "NodeOutput",
     "StoreObject",
     "StoreAck",
     "DeleteObject",
+    "FetchObject",
+    "ObjectPayload",
+    "SubmitDag",
+    "DagNodeDone",
+    "DagReply",
     "Ping",
     "Pong",
 ]
@@ -202,6 +215,10 @@ class QueryRequest(Message):
     reply_to: str = ""
     #: dialable endpoint of the client for cross-process federations
     reply_endpoint: str = ""
+    #: server_id -> input bytes already resident there (from DataHandle
+    #: inputs); the MCT ranking charges transfer cost only for bytes a
+    #: candidate does *not* hold, homing chains onto the data's host
+    resident: dict = field(default_factory=dict)
 
 
 @dataclass(frozen=True)
@@ -308,9 +325,15 @@ class SolveRequest(Message):
 
     request_id: int
     problem: str
-    #: coerced input objects, in spec order
+    #: coerced input objects, in spec order; entries may be
+    #: :class:`ObjectRef`/:class:`DataHandle` references to objects
+    #: already resident on the target server instead of payloads
     inputs: tuple
     reply_to: str = ""
+    #: True: leave the outputs resident on the server and reply with
+    #: :class:`DataHandle` references instead of payloads — the
+    #: reference half of the locality path (``fetch`` pulls bytes later)
+    keep_result: bool = False
 
 
 @_register
@@ -327,6 +350,12 @@ class SolveReply(Message):
     #: provenance: True when answered from the result cache (or joined
     #: to an identical in-flight compute) instead of a fresh kernel run
     cached: bool = False
+    #: machine-readable failure class ("" = unclassified); currently
+    #: "missing_object": a referenced key is not resident (e.g. a crash
+    #: wiped the store) — retryable by re-submitting with the payload
+    error_kind: str = ""
+    #: the keys that failed to resolve (only with error_kind set)
+    missing: tuple = ()
 
 
 @_register
@@ -496,6 +525,58 @@ class ObjectRef:
             raise ProtocolError(f"bad object key {self.key!r}")
 
 
+@dataclass(frozen=True)
+class DataHandle:
+    """First-class reference to a server-resident object.
+
+    Where :class:`ObjectRef` is a bare pinned-store key, a handle also
+    names *where* the object lives (``server_id``/``address``), *what*
+    it is (``digest`` of the stored value's canonical encoding,
+    ``nbytes`` of its wire form, array ``shape``/``dtype`` metadata) —
+    enough for a client to validate and size a request, and for the
+    agent to charge transfer cost only for non-resident operands,
+    without anyone shipping the payload.  Appears inside
+    ``SolveRequest.inputs`` and, with ``keep_result=True``, inside
+    ``SolveReply.outputs``.
+    """
+
+    key: str
+    #: blake2b hex of the stored value's canonical encoding; folded into
+    #: request digests so handle-bearing repeats hit the result cache
+    digest: str = ""
+    #: encoded (wire) size of the resident value
+    nbytes: int = 0
+    #: home server (registry id) and its logical address
+    server_id: str = ""
+    address: str = ""
+    #: array metadata ("" / () for non-array values): lets the client
+    #: bind size symbols without the data in hand
+    shape: tuple = ()
+    dtype: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.key or len(self.key) > 128:
+            raise ProtocolError(f"bad handle key {self.key!r}")
+        if len(self.digest) > 64:
+            raise ProtocolError(f"bad handle digest {self.digest!r}")
+
+
+@dataclass(frozen=True)
+class NodeOutput:
+    """Inside ``SubmitDag`` node inputs: output ``index`` of DAG node
+    ``node`` — the server substitutes the predecessor's resident result
+    when the edge's downstream node starts."""
+
+    node: str
+    index: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.node or len(self.node) > 128:
+            raise ProtocolError(f"bad node reference {self.node!r}")
+        if self.index < 0:
+            raise ProtocolError(f"bad node output index {self.index!r}")
+
+
 @_register
 @dataclass(frozen=True)
 class StoreObject(Message):
@@ -516,6 +597,10 @@ class StoreAck(Message):
     ok: bool
     nbytes: int = 0
     detail: str = ""
+    #: on a successful store, the :class:`DataHandle` naming the now-
+    #: resident object (digest/size/shape metadata included), so the
+    #: client can reference or fetch it without another round trip
+    handle: object = None
 
 
 @_register
@@ -526,6 +611,100 @@ class DeleteObject(Message):
     TYPE_CODE: ClassVar[int] = 18
 
     key: str
+
+
+@_register
+@dataclass(frozen=True)
+class FetchObject(Message):
+    """Client -> server: pull the bytes of a resident object on demand
+    (the deferred-payload half of ``keep_result``/``DataHandle``)."""
+
+    TYPE_CODE: ClassVar[int] = 26
+
+    key: str
+    reply_to: str = ""
+
+
+@_register
+@dataclass(frozen=True)
+class ObjectPayload(Message):
+    """Server -> client: FetchObject outcome (value carried when ok)."""
+
+    TYPE_CODE: ClassVar[int] = 27
+
+    key: str
+    ok: bool
+    value: object = None
+    detail: str = ""
+    #: mirrors SolveReply.error_kind ("missing_object" when the key is
+    #: not resident — e.g. expired, deleted, or lost to a crash)
+    error_kind: str = ""
+
+
+@_register
+@dataclass(frozen=True)
+class SubmitDag(Message):
+    """Client -> server: a dependency graph of solves in one message.
+
+    ``nodes`` is a tuple of plain dicts, each::
+
+        {"id": str, "problem": str, "inputs": tuple,
+         "keep": bool, "emit": bool}
+
+    Node inputs may carry payloads, :class:`ObjectRef`/:class:`DataHandle`
+    references, or :class:`NodeOutput` edges naming a predecessor's
+    output.  The server executes nodes in dependency order through its
+    normal admission machinery, resolving each edge from the
+    predecessor's result without the data ever leaving the server;
+    ``DagNodeDone`` streams per-node progress and ``DagReply`` carries
+    the outputs of every ``emit`` node (default: the terminal nodes).
+    """
+
+    TYPE_CODE: ClassVar[int] = 28
+
+    dag_id: str
+    nodes: tuple = ()
+    reply_to: str = ""
+
+
+@_register
+@dataclass(frozen=True)
+class DagNodeDone(Message):
+    """Server -> client: one DAG node finished (progress stream)."""
+
+    TYPE_CODE: ClassVar[int] = 29
+
+    dag_id: str
+    node: str
+    ok: bool
+    detail: str = ""
+    compute_seconds: float = 0.0
+    #: True when the node was answered from the result cache
+    cached: bool = False
+    #: nodes still unfinished after this one (0 = DagReply follows)
+    remaining: int = 0
+
+
+@_register
+@dataclass(frozen=True)
+class DagReply(Message):
+    """Server -> client: the whole DAG's outcome.
+
+    On success ``outputs`` concatenates the outputs of every node marked
+    ``emit`` (in node order; values, or :class:`DataHandle` references
+    for nodes marked ``keep``).  On failure ``failed_node`` names the
+    first node that failed; unfinished successors are abandoned.
+    """
+
+    TYPE_CODE: ClassVar[int] = 30
+
+    dag_id: str
+    ok: bool
+    outputs: tuple = ()
+    detail: str = ""
+    failed_node: str = ""
+    error_kind: str = ""
+    missing: tuple = ()
 
 
 @_register

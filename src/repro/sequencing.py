@@ -53,6 +53,10 @@ class ServerSequence:
         self._wait = wait
         #: keys stored through this sequence (namespaced), for cleanup
         self.keys: list[str] = []
+        #: qualified key -> value, kept client-side so a server that
+        #: lost an operand (restart the hard way, eviction) is answered
+        #: by re-submitting with the payload inlined instead of failing
+        self._values: dict[str, Any] = {}
         self._namespace = f"seq{next(_seq_ids)}/{client.client_id}"
 
     # ------------------------------------------------------------------
@@ -71,21 +75,34 @@ class ServerSequence:
         """
         promise = self.client.store(self.server_address, self._qualify(key), value)
         self.keys.append(key)
+        self._values[self._qualify(key)] = value
         if self._wait is None:
             return promise
         return self._wait(promise)
 
-    def submit(self, problem: str, args: Sequence[Any]) -> RequestHandle:
-        """Pinned non-blocking submit; args may contain :meth:`ref`\\ s."""
+    def submit(
+        self, problem: str, args: Sequence[Any], *, keep_result: bool = False
+    ) -> RequestHandle:
+        """Pinned non-blocking submit; args may contain :meth:`ref`\\ s.
+
+        The stored values ride along as recovery payloads: a server that
+        answers "missing object" (it restarted, or evicted the operand)
+        gets the request once more with the lost operands inlined.
+        ``keep_result=True`` leaves outputs resident on the server and
+        resolves with :class:`~repro.protocol.messages.DataHandle` stubs.
+        """
         return self.client.submit_pinned(
-            problem, args, self.server_address, server_id=self.server_id
+            problem, args, self.server_address, server_id=self.server_id,
+            keep_result=keep_result, payloads=dict(self._values),
         )
 
-    def solve(self, problem: str, args: Sequence[Any]) -> tuple:
+    def solve(
+        self, problem: str, args: Sequence[Any], *, keep_result: bool = False
+    ) -> tuple:
         """Pinned blocking call (requires a waiter)."""
         if self._wait is None:
             raise NetSolveError("sequence has no waiter; use submit()")
-        handle = self.submit(problem, args)
+        handle = self.submit(problem, args, keep_result=keep_result)
         return self._wait(handle.promise)
 
     def release(self) -> list[Any]:
@@ -98,6 +115,7 @@ class ServerSequence:
             )
             out.append(self._wait(promise) if self._wait else promise)
         self.keys.clear()
+        self._values.clear()
         return out
 
 

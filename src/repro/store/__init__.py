@@ -9,11 +9,19 @@ Three small pieces, composed by the server/agent/client components:
   TTL, clocked by the owning node so it works under virtual time;
 - :class:`~repro.store.jobstore.JobStore` — an optional SQLite-backed
   NEOS-style job database (request id -> digest -> solution blob) that
-  survives server restarts.
+  survives server restarts;
+- :class:`~repro.store.handles.HandleStore` — the server-resident object
+  store behind ``DataHandle``: digest-at-insert, pin/refcount/TTL
+  semantics and a byte budget, surviving ``on_restart`` but not
+  ``on_shutdown``.
 """
 
 from .cache import ResultCache
 from .digest import solve_digest
+from .handles import HandleStore, StoredObject
 from .jobstore import JobRow, JobStore
 
-__all__ = ["ResultCache", "solve_digest", "JobRow", "JobStore"]
+__all__ = [
+    "ResultCache", "solve_digest", "JobRow", "JobStore",
+    "HandleStore", "StoredObject",
+]

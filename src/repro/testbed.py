@@ -182,10 +182,13 @@ class Testbed:
         self.kernel.run(until=self.kernel.now + seconds)
 
     def submit(
-        self, client_id: str, problem: str, args: Sequence[Any]
+        self, client_id: str, problem: str, args: Sequence[Any],
+        *, keep_result: bool = False, payloads: Optional[dict] = None,
     ) -> RequestHandle:
         """Non-blocking submit (the ``netslnb`` path)."""
-        return self.client(client_id).submit(problem, args)
+        return self.client(client_id).submit(
+            problem, args, keep_result=keep_result, payloads=payloads
+        )
 
     def solve(
         self,
@@ -193,11 +196,49 @@ class Testbed:
         problem: str,
         args: Sequence[Any],
         *,
+        keep_result: bool = False,
+        payloads: Optional[dict] = None,
         limit: float | None = None,
     ) -> tuple:
         """Blocking solve (the ``netsl`` path): submit, run, return outputs."""
-        handle = self.submit(client_id, problem, args)
+        handle = self.submit(
+            client_id, problem, args,
+            keep_result=keep_result, payloads=payloads,
+        )
         return self.transport.run_until(handle.promise, limit=limit)
+
+    def store(
+        self, client_id: str, server_id: str, key: str, value: Any,
+        *, limit: float | None = None,
+    ):
+        """Blocking store of an operand on a server; returns its
+        :class:`~repro.protocol.messages.DataHandle` (digest, size and
+        shape metadata included) for referencing or fetching later."""
+        client = self.client(client_id)
+        promise = client.store_handle(server_address(server_id), key, value)
+        handle = self.transport.run_until(promise, limit=limit)
+        assert handle is not None  # a successful ack always carries one
+        return handle
+
+    def fetch(
+        self, client_id: str, handle, *, address: str = "",
+        limit: float | None = None,
+    ):
+        """Blocking :meth:`NetSolveClient.fetch`: pull a resident
+        object's value back by handle."""
+        promise = self.client(client_id).fetch(handle, address=address)
+        return self.transport.run_until(promise, limit=limit)
+
+    def solve_dag(
+        self, client_id: str, nodes: Sequence[dict], *, address: str = "",
+        on_node=None, limit: float | None = None,
+    ) -> tuple:
+        """Blocking :meth:`NetSolveClient.submit_dag`: returns the
+        emitted outputs tuple."""
+        promise = self.client(client_id).submit_dag(
+            nodes, address=address, on_node=on_node
+        )
+        return self.transport.run_until(promise, limit=limit)
 
     def fetch_result(
         self,

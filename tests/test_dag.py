@@ -1,0 +1,264 @@
+"""Request-DAG tests: builder validation, server-side admission checks,
+end-to-end execution with per-node streaming, and lifecycle across the
+crash-vs-restart split (abandoned runs, refcount hygiene, TTLs).
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import ServerConfig
+from repro.dag import DagBuilder
+from repro.errors import NetSolveError, RequestFailed
+from repro.protocol.messages import DagNodeDone, NodeOutput
+from repro.simnet.rng import RngStreams
+from repro.testbed import server_address, standard_testbed
+
+
+def linsys(n, seed=0):
+    rng = RngStreams(seed).get("dag.data")
+    return rng.standard_normal((n, n)) + n * np.eye(n), rng.standard_normal(n)
+
+
+# ----------------------------------------------------------------------
+# builder: graphs are validated before anything hits the wire
+# ----------------------------------------------------------------------
+def test_builder_rejects_duplicate_ids():
+    dag = DagBuilder()
+    dag.node("a", "blas/ddot", [np.ones(2), np.ones(2)])
+    with pytest.raises(NetSolveError):
+        dag.node("a", "blas/ddot", [np.ones(2), np.ones(2)])
+
+
+def test_builder_rejects_forward_references():
+    dag = DagBuilder()
+    with pytest.raises(NetSolveError):
+        dag.node("a", "blas/ddot", [NodeOutput(node="later"), np.ones(2)])
+
+
+def test_builder_rejects_empty_graph_and_bad_ids():
+    with pytest.raises(NetSolveError):
+        DagBuilder().build()
+    with pytest.raises(NetSolveError):
+        DagBuilder().node("", "blas/ddot")
+    with pytest.raises(NetSolveError):
+        DagBuilder().node("a", "")
+
+
+def test_builder_output_references():
+    dag = DagBuilder()
+    solve = dag.node("solve", "linsys/dgesv", [np.eye(2), np.ones(2)])
+    ref = solve.output(0)
+    assert ref == NodeOutput(node="solve", index=0)
+    with pytest.raises(NetSolveError):
+        solve.output(-1)
+    nodes = dag.build()
+    assert len(nodes) == 1 and nodes[0]["id"] == "solve"
+
+
+# ----------------------------------------------------------------------
+# server admission: malformed graphs are rejected whole
+# ----------------------------------------------------------------------
+def make_world(**server_kwargs):
+    tb = standard_testbed(
+        n_servers=1, seed=21,
+        server_cfg=ServerConfig(**server_kwargs) if server_kwargs
+        else ServerConfig(),
+    )
+    tb.settle()
+    return tb
+
+
+def submit_raw(tb, nodes):
+    promise = tb.client("c0").submit_dag(
+        nodes, address=server_address("s0")
+    )
+    with pytest.raises(RequestFailed) as err:
+        tb.transport.run_until(promise)
+    return str(err.value)
+
+
+def test_server_rejects_cycles():
+    tb = make_world()
+    detail = submit_raw(tb, (
+        {"id": "a", "problem": "blas/ddot",
+         "inputs": (NodeOutput(node="b"), NodeOutput(node="b"))},
+        {"id": "b", "problem": "blas/ddot",
+         "inputs": (NodeOutput(node="a"), NodeOutput(node="a"))},
+    ))
+    assert "cycle" in detail
+
+
+def test_server_rejects_unknown_reference_and_duplicates():
+    tb = make_world()
+    assert "unknown node" in submit_raw(tb, (
+        {"id": "a", "problem": "blas/ddot",
+         "inputs": (NodeOutput(node="ghost"), np.ones(2))},
+    ))
+    assert "duplicate" in submit_raw(tb, (
+        {"id": "a", "problem": "blas/ddot", "inputs": (np.ones(2), np.ones(2))},
+        {"id": "a", "problem": "blas/ddot", "inputs": (np.ones(2), np.ones(2))},
+    ))
+
+
+def test_server_rejects_oversized_graphs():
+    tb = make_world(dag_max_nodes=2)
+    detail = submit_raw(tb, tuple(
+        {"id": f"n{i}", "problem": "blas/ddot",
+         "inputs": (np.ones(2), np.ones(2))}
+        for i in range(3)
+    ))
+    assert "too large" in detail
+
+
+def test_failed_node_fails_the_dag_with_its_name():
+    tb = make_world()
+    promise = tb.client("c0").submit_dag((
+        {"id": "bad", "problem": "linsys/dgesv",
+         "inputs": (np.ones((2, 3)), np.ones(2))},   # not square
+    ), address=server_address("s0"))
+    with pytest.raises(RequestFailed) as err:
+        tb.transport.run_until(promise)
+    assert err.value.failed_node == "bad"
+    assert tb.server("s0")._dag_runs == {}
+
+
+# ----------------------------------------------------------------------
+# execution: dependency order, streaming, residency, numerics
+# ----------------------------------------------------------------------
+def test_chain_executes_in_order_with_streaming():
+    tb = standard_testbed(n_servers=2, seed=22)
+    tb.settle()
+    a, b = linsys(32)
+    h = tb.store("c0", "s0", "A", a)
+
+    dag = DagBuilder()
+    solve = dag.node("solve", "linsys/dgesv", [h, b], keep=True)
+    norm = dag.node(
+        "norm", "blas/ddot", [solve.output(0), solve.output(0)], emit=True
+    )
+    events = []
+    # no explicit address: routed to the handle's home server
+    outputs = tb.solve_dag("c0", dag.build(), on_node=events.append)
+
+    x = np.linalg.solve(a, b)
+    assert len(outputs) == 1
+    assert np.allclose(outputs[0], float(x @ x))
+    assert [e.node for e in events] == ["solve", "norm"]
+    assert all(isinstance(e, DagNodeDone) and e.ok for e in events)
+    assert [e.remaining for e in events] == [1, 0]
+    # the keep node's output is resident and fetchable after the run
+    server = tb.server("s0")
+    kept = [k for k in server.objects._data if k.startswith("res/")]
+    assert len(kept) == 1
+    assert np.allclose(server.objects.get(kept[0]), x)
+    # and nothing holds a stale refcount on it
+    assert server.objects.entry(kept[0]).refcount == 0
+
+
+def test_diamond_resolves_both_branches():
+    tb = standard_testbed(n_servers=1, seed=23)
+    tb.settle()
+    a, b = linsys(24)
+    h = tb.store("c0", "s0", "A", a)
+    dag = DagBuilder()
+    solve = dag.node("solve", "linsys/dgesv", [h, b], keep=True)
+    left = dag.node("left", "blas/dgemv", [h, solve.output(0)])
+    right = dag.node("right", "linsys/dgesv", [h, solve.output(0)])
+    dag.node("dot", "blas/ddot",
+             [left.output(0), right.output(0)], emit=True)
+    outputs = tb.solve_dag("c0", dag.build())
+    x = np.linalg.solve(a, b)
+    expected = float((a @ x) @ np.linalg.solve(a, x))
+    assert np.allclose(outputs[0], expected)
+
+
+def test_default_emit_is_terminal_nodes():
+    tb = standard_testbed(n_servers=1, seed=24)
+    tb.settle()
+    dag = DagBuilder()
+    first = dag.node("first", "blas/dgemv",
+                     [2.0 * np.eye(3), np.ones(3)])
+    dag.node("second", "blas/ddot", [first.output(0), np.ones(3)])
+    outputs = tb.solve_dag("c0", dag.build(),
+                           address=server_address("s0"))
+    # only "second" is terminal; its single output is the reply
+    assert outputs == (pytest.approx(6.0),)
+
+
+def test_dag_nodes_share_the_result_cache():
+    tb = standard_testbed(
+        n_servers=1, seed=25, server_cfg=ServerConfig(cache_entries=8),
+    )
+    tb.settle()
+    a, b = linsys(24)
+    h = tb.store("c0", "s0", "A", a)
+
+    def build():
+        dag = DagBuilder()
+        solve = dag.node("solve", "linsys/dgesv", [h, b])
+        dag.node("norm", "blas/ddot",
+                 [solve.output(0), solve.output(0)], emit=True)
+        return dag.build()
+
+    first = tb.solve_dag("c0", build())
+    server = tb.server("s0")
+    hits_before = server.result_cache.hits
+    second = tb.solve_dag("c0", build())
+    assert np.array_equal(first[0], second[0])
+    # every node of the repeat run is answered from the result cache
+    assert server.result_cache.hits == hits_before + 2
+
+
+# ----------------------------------------------------------------------
+# lifecycle: restart abandons runs cleanly; TTLs reclaim kept outputs
+# ----------------------------------------------------------------------
+def test_restart_abandons_runs_without_leaking_refcounts():
+    tb = standard_testbed(n_servers=1, seed=26)
+    tb.settle()
+    a, b = linsys(512)
+    h = tb.store("c0", "s0", "A", a)
+    dag = DagBuilder()
+    solve = dag.node("solve", "linsys/dgesv", [h, b], keep=True)
+    dag.node("norm", "blas/ddot",
+             [solve.output(0), solve.output(0)], emit=True)
+    tb.client("c0").submit_dag(dag.build())
+    server = tb.server("s0")
+    # step virtual time until the run is admitted but not yet finished
+    # (the n=512 solve alone takes ~1 virtual second of compute)
+    deadline = tb.kernel.now + 1.0
+    while not server._dag_runs and tb.kernel.now < deadline:
+        tb.run(until=tb.kernel.now + 0.002)
+    assert server._dag_runs
+    server.on_restart()
+    assert server._dag_runs == {}
+    # pinned operand survived the hiccup; nothing holds refcounts
+    assert server.objects.entry("A") is not None
+    for key in server.objects._data:
+        assert server.objects.entry(key).refcount == 0
+
+
+def test_kept_outputs_expire_after_ttl_but_pins_do_not():
+    tb = standard_testbed(
+        n_servers=1, seed=27, server_cfg=ServerConfig(handle_ttl=30.0),
+    )
+    tb.settle()
+    a, b = linsys(24)
+    h = tb.store("c0", "s0", "A", a)
+    (out_h,) = tb.solve("c0", "linsys/dgesv", [h, b], keep_result=True)
+    server = tb.server("s0")
+    assert server.objects.entry(out_h.key) is not None
+    tb.run(until=tb.kernel.now + 31.0)
+    # the unpinned keep_result output lapsed; the pinned operand did not
+    assert server.objects.entry(out_h.key) is None
+    assert server.objects.entry("A") is not None
+
+
+def test_shutdown_clears_dag_state_and_objects():
+    tb = standard_testbed(n_servers=1, seed=28)
+    tb.settle()
+    a, b = linsys(24)
+    tb.store("c0", "s0", "A", a)
+    server = tb.server("s0")
+    server.on_shutdown()
+    assert server.cached_objects == 0
+    assert server._dag_runs == {}
