@@ -1,0 +1,599 @@
+"""Million-request scale harness — QoS classes under flash crowds and faults.
+
+The capstone scale scenario from the roadmap: a 10,000-server farm
+absorbing 1,000,000 requests in virtual time, driven by a diurnal
+arrival profile with a flash-crowd spike layered on top and rack-sized
+correlated outages injected while the crowd is in flight.  Requests
+carry a QoS class (``interactive`` / ``batch`` / ``background``); the
+servers order their bounded queues earliest-deadline-first and shed
+``background`` past its queue share, so the harness is also the
+end-to-end proof that the class system buys what it promises:
+interactive p99 turnaround must beat background p99 while the farm is
+saturated.
+
+Four sections, all recorded in ``benchmarks/results/BENCH_scale.json``:
+
+* **sim** — the 10k-server / 1M-request flash-crowd scenario above
+  (driver components speak raw ``SolveRequest`` to the servers; the
+  brokered path is exercised separately so the event loop, not client
+  bookkeeping, is what 1M requests stress).  This doubles as the
+  kernel's perf gate: 1M timeout timers are armed and cancelled, so the
+  run leans on lazy heap deletion and amortized compaction.
+* **performability** — a smaller farm under per-unit exponential
+  breakdown/repair (MTTF/MTTR renewal); measured availability is
+  checked against the ``mttf/(mttf+mttr)`` model and delivered-request
+  fraction shows retries riding through repairs.
+* **brokered** — a standard agent-brokered testbed farm with mixed
+  classes, proving the class tag survives the full query/assign path.
+* **tcp** — real sockets: a burst of mixed-class submits through
+  ``TcpSession.submit(qos=...)``, wall-clock requests/sec and per-class
+  percentiles.
+
+Set ``BENCH_SMOKE=1`` for the CI-sized run (200 servers / 20k requests,
+same asserts).  The committed JSON holds full-scale numbers.
+"""
+
+import itertools
+import json
+import os
+import time
+
+import numpy as np
+
+from _harness import RESULTS_DIR, emit, linear_system
+from repro.config import ClientConfig, ServerConfig, WorkloadPolicy
+from repro.core.qos import QOS_CLASSES
+from repro.simnet.rng import RngStreams
+from repro.simnet.traffic import (
+    ArrivalProcess,
+    BreakdownRepair,
+    CorrelatedFailures,
+    diurnal_rate,
+    flash_crowd,
+)
+
+SMOKE = bool(os.environ.get("BENCH_SMOKE"))
+
+# ---- the flash-crowd scenario ----------------------------------------
+N_SERVERS = 200 if SMOKE else 10_000
+N_REQUESTS = 20_000 if SMOKE else 1_000_000
+MFLOPS = 50.0
+SIZES = (200, 256, 320)          # n^3 flops: 0.16 / 0.34 / 0.66 s
+MEAN_SERVICE = sum(n ** 3 for n in SIZES) / len(SIZES) / (MFLOPS * 1e6)
+MAX_QUEUE = 8
+TIMEOUT = 6.0                    # > worst-case wait of a full queue
+RETRY_DELAY = 0.05
+MAX_ATTEMPTS = 4
+GROUP = 20 if SMOKE else 100     # servers per failure group (a "rack")
+
+# ---- the performability scenario -------------------------------------
+N_PERF = 60 if SMOKE else 300
+R_PERF = 5_000 if SMOKE else 50_000
+MTTF, MTTR = 300.0, 60.0
+
+# ---- the brokered + tcp samples --------------------------------------
+BROKERED = 24 if SMOKE else 60
+TCP_COUNT = 24 if SMOKE else 96
+TCP_N = 128
+
+HORIZON = 600.0
+
+PDL = """
+problem bench/solve
+    lib         BENCH
+    description Synthetic unit kernel for the scale harness
+    complexity  n^3
+    input  x vector[n]
+    output y vector[n]
+end
+"""
+
+
+def bench_registry():
+    from repro.problems.pdl import parse_pdl
+    from repro.problems.registry import ProblemRegistry
+
+    registry = ProblemRegistry()
+    (spec,) = parse_pdl(PDL, source="<bench_scale>")
+    registry.register(spec, lambda x: x)
+    return registry
+
+
+def percentiles(values):
+    if not values:
+        return {"count": 0}
+    arr = np.asarray(values)
+    return {
+        "count": int(arr.size),
+        "mean": float(arr.mean()),
+        "p50": float(np.percentile(arr, 50)),
+        "p99": float(np.percentile(arr, 99)),
+    }
+
+
+# ----------------------------------------------------------------------
+# the request driver
+# ----------------------------------------------------------------------
+class _Pending:
+    __slots__ = ("qos", "t0", "attempts", "timer", "size")
+
+    def __init__(self, qos, t0, size):
+        self.qos = qos
+        self.t0 = t0
+        self.attempts = 0
+        self.timer = None
+        self.size = size
+
+
+class ScaleDriver:
+    """Sends raw SolveRequests round-robin, retries Busy/timeouts, and
+    keeps per-class turnaround stats.  One instance is the whole client
+    population — per-request state is a single slotted record."""
+
+    ADDRESS = "driver"
+
+    def __init__(self, kernel, targets, rng):
+        from repro.protocol.transport import Component
+
+        self.kernel = kernel
+        self.targets = targets
+        self.rng = rng
+        self.pending = {}
+        self.turnaround = {name: [] for name in QOS_CLASSES}
+        self.completed = 0
+        self.failed = 0
+        self.busies = 0
+        self.timeouts = 0
+        self._rr = 0
+        self._rid = itertools.count(1)
+        self.payloads = [(np.ones(n),) for n in SIZES]
+
+        driver = self
+
+        class _DriverComponent(Component):
+            def on_message(self, src, msg):
+                driver._on_message(msg)
+
+        self.component = _DriverComponent()
+
+    # -- arrivals ------------------------------------------------------
+    def arrive(self):
+        u = self.rng.random()
+        qos = "interactive" if u < 0.2 else ("" if u < 0.8 else "background")
+        rid = next(self._rid)
+        rec = _Pending(qos, self.kernel.now, int(self.rng.integers(len(SIZES))))
+        self.pending[rid] = rec
+        self._send(rid, rec)
+
+    def _send(self, rid, rec):
+        from repro.protocol.messages import SolveRequest
+
+        rec.attempts += 1
+        target = self.targets[self._rr % len(self.targets)]
+        self._rr += 1
+        self.component.node.send(
+            target,
+            SolveRequest(
+                request_id=rid, problem="bench/solve",
+                inputs=self.payloads[rec.size],
+                reply_to=self.ADDRESS, qos=rec.qos,
+            ),
+        )
+        rec.timer = self.kernel.call_after(
+            TIMEOUT, lambda: self._timeout(rid)
+        )
+
+    # -- replies -------------------------------------------------------
+    def _on_message(self, msg):
+        from repro.protocol.messages import Busy, SolveReply
+
+        if isinstance(msg, SolveReply):
+            rec = self.pending.pop(msg.request_id, None)
+            if rec is None:
+                return  # a late duplicate; the first reply already won
+            rec.timer.cancel()
+            if msg.ok:
+                self.completed += 1
+                cls = rec.qos or "batch"
+                self.turnaround[cls].append(self.kernel.now - rec.t0)
+            else:
+                self.failed += 1
+        elif isinstance(msg, Busy):
+            rec = self.pending.get(msg.request_id)
+            if rec is None:
+                return
+            self.busies += 1
+            rec.timer.cancel()
+            if rec.attempts >= MAX_ATTEMPTS:
+                del self.pending[msg.request_id]
+                self.failed += 1
+            else:
+                rec.timer = self.kernel.call_after(
+                    RETRY_DELAY, lambda rid=msg.request_id: self._retry(rid)
+                )
+
+    def _retry(self, rid):
+        rec = self.pending.get(rid)
+        if rec is not None:
+            self._send(rid, rec)
+
+    def _timeout(self, rid):
+        rec = self.pending.get(rid)
+        if rec is None:
+            return
+        self.timeouts += 1
+        if rec.attempts >= MAX_ATTEMPTS:
+            del self.pending[rid]
+            self.failed += 1
+        else:
+            self._send(rid, rec)
+
+
+# ----------------------------------------------------------------------
+# world building
+# ----------------------------------------------------------------------
+def make_farm(n_servers, rng):
+    """A star farm: driver host linked to every server host; an agent
+    sink absorbs registrations so the broker is out of the hot path."""
+    from repro.core.server import ComputationalServer
+    from repro.protocol.transport import Component, SimTransport
+    from repro.simnet.kernel import EventKernel
+    from repro.simnet.network import Topology
+
+    class Sink(Component):
+        def on_message(self, src, msg):
+            pass
+
+    kernel = EventKernel()
+    topo = Topology(kernel)
+    topo.add_host("driver-host", 1000.0)
+    registry = bench_registry()
+    cfg = ServerConfig(
+        max_concurrent=1,
+        max_queue=MAX_QUEUE,
+        reregister_interval=0.0,
+        workload=WorkloadPolicy(
+            time_step=1e9, threshold=1e9, forced_interval=1e9
+        ),
+    )
+    transport = SimTransport(topo, codec_roundtrip=False)
+    servers, targets = [], []
+    for i in range(n_servers):
+        host = f"h{i}"
+        topo.add_host(host, MFLOPS)
+        topo.add_link("driver-host", host, latency=5e-5, bandwidth=1e9)
+        server = ComputationalServer(
+            server_id=f"sv{i}", agent_address="agent",
+            registry=registry, mflops=MFLOPS, host=host, cfg=cfg,
+        )
+        address = f"server/sv{i}"
+        transport.add_node(address, host, server)
+        servers.append(server)
+        targets.append(address)
+    transport.add_node("agent", "driver-host", Sink())
+    driver = ScaleDriver(kernel, targets, rng)
+    transport.add_node(ScaleDriver.ADDRESS, "driver-host", driver.component)
+    return kernel, transport, servers, driver
+
+
+def drain(kernel, gen, driver, n_requests):
+    kernel.run(
+        until=HORIZON,
+        stop=lambda: gen.arrivals >= n_requests and not driver.pending,
+    )
+    assert gen.arrivals == n_requests
+    assert not driver.pending, f"{len(driver.pending)} requests stuck"
+
+
+# ----------------------------------------------------------------------
+# section 1: the flash-crowd scenario
+# ----------------------------------------------------------------------
+def sim_flash_crowd() -> dict:
+    streams = RngStreams(2026)
+    kernel, transport, servers, driver = make_farm(
+        N_SERVERS, streams.get("qos-mix")
+    )
+
+    capacity = N_SERVERS / MEAN_SERVICE  # requests/s at full utilisation
+    base = diurnal_rate(
+        low=0.10 * capacity, high=0.55 * capacity, period=120.0, peak_at=0.25
+    )
+    rate = flash_crowd(
+        base, at=45.0, magnitude=4.0, ramp=5.0, hold=20.0, decay=20.0
+    )
+    gen = ArrivalProcess(
+        kernel, streams.get("arrivals"), rate, driver.arrive,
+        rate_max=0.55 * capacity * 4.0, limit=N_REQUESTS,
+    ).start()
+
+    # rack-sized correlated outages while the crowd is in flight
+    groups = [
+        tuple(f"server/sv{i}" for i in range(g, min(g + GROUP, N_SERVERS)))
+        for g in range(0, N_SERVERS, GROUP)
+    ]
+    faults = CorrelatedFailures(
+        kernel, streams.get("faults"), groups,
+        transport.crash, transport.revive,
+        rate=1 / 30.0, repair_mean=10.0,
+    ).start()
+
+    wall0 = time.perf_counter()
+    drain(kernel, gen, driver, N_REQUESTS)
+    wall = time.perf_counter() - wall0
+    faults.stop()
+    gen.stop()
+
+    shed_by_class = {name: 0 for name in QOS_CLASSES}
+    for s in servers:
+        for name in QOS_CLASSES:
+            shed_by_class[name] += s.sheds_by_class[name]
+    return {
+        "servers": N_SERVERS,
+        "offered": N_REQUESTS,
+        "completed": driver.completed,
+        "failed": driver.failed,
+        "busy_replies": driver.busies,
+        "timeouts": driver.timeouts,
+        "sheds_by_class": shed_by_class,
+        "outages": faults.failures,
+        "virtual_makespan_s": kernel.now,
+        "virtual_req_per_s": driver.completed / kernel.now,
+        "wall_s": wall,
+        "wall_req_per_s": driver.completed / wall,
+        "kernel_events": kernel.events_processed,
+        "kernel_compactions": kernel.compactions,
+        "turnaround_s": {
+            name: percentiles(driver.turnaround[name])
+            for name in QOS_CLASSES
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# section 2: breakdown/repair performability
+# ----------------------------------------------------------------------
+def sim_performability() -> dict:
+    streams = RngStreams(2027)
+    kernel, transport, servers, driver = make_farm(
+        N_PERF, streams.get("qos-mix")
+    )
+    rate = 0.5 * N_PERF / MEAN_SERVICE  # half-loaded when fully up
+    gen = ArrivalProcess(
+        kernel, streams.get("arrivals"), rate, driver.arrive, limit=R_PERF
+    ).start()
+
+    down_at, downtime = {}, [0.0]
+
+    def crash(u):
+        transport.crash(u)
+        down_at[u] = kernel.now
+
+    def revive(u):
+        transport.revive(u)
+        downtime[0] += kernel.now - down_at.pop(u)
+
+    units = [f"server/sv{i}" for i in range(N_PERF)]
+    faults = BreakdownRepair(
+        kernel, streams.get("faults"), units, crash, revive,
+        mttf=MTTF, mttr=MTTR,
+    ).start()
+
+    drain(kernel, gen, driver, R_PERF)
+    faults.stop()
+    gen.stop()
+    horizon = kernel.now
+    for t in down_at.values():  # still-down units at the end of the run
+        downtime[0] += horizon - t
+    measured = 1.0 - downtime[0] / (horizon * N_PERF)
+    return {
+        "servers": N_PERF,
+        "offered": R_PERF,
+        "completed": driver.completed,
+        "failed": driver.failed,
+        "delivered_fraction": driver.completed / R_PERF,
+        "breakdowns": faults.breakdowns,
+        "repairs": faults.repairs,
+        "model_availability": faults.availability,
+        "measured_availability": measured,
+        "virtual_makespan_s": horizon,
+        "virtual_req_per_s": driver.completed / horizon,
+        "turnaround_s": {
+            name: percentiles(driver.turnaround[name])
+            for name in QOS_CLASSES
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# section 3: the class tag through the brokered path
+# ----------------------------------------------------------------------
+def brokered_sample() -> dict:
+    from repro.testbed import standard_testbed
+
+    tb = standard_testbed(n_servers=4, seed=2028)
+    tb.settle()
+    rng = np.random.default_rng(2028)
+    cycle = ("interactive", "", "background")
+    handles = []
+    for i in range(BROKERED):
+        a, b = linear_system(rng, 96)
+        handles.append(
+            tb.submit("c0", "linsys/dgesv", [a, b], qos=cycle[i % 3])
+        )
+    t0 = tb.kernel.now
+    tb.wait_all(handles)
+    done = sum(1 for h in handles if h.record.status.name == "DONE")
+    return {
+        "requests": BROKERED,
+        "done": done,
+        "virtual_makespan_s": tb.kernel.now - t0,
+        "agent_queries_by_class": dict(tb.agent.queries_by_class),
+    }
+
+
+# ----------------------------------------------------------------------
+# section 4: real sockets
+# ----------------------------------------------------------------------
+def tcp_sample() -> dict:
+    from repro.core.agent import Agent
+    from repro.core.client import NetSolveClient
+    from repro.core.server import ComputationalServer
+    from repro.core.predictor import LinkEstimate, StaticNetworkInfo
+    from repro.problems.builtin import builtin_registry
+    from repro.protocol.tcp import TcpSession, TcpTransport
+
+    transport = TcpTransport()
+    try:
+        network = StaticNetworkInfo(
+            default=LinkEstimate(latency=1e-4, bandwidth=1e9)
+        )
+        agent = Agent(network=network)
+        transport.add_node("agent", agent, port=0)
+        for i, mflops in enumerate((200.0, 400.0)):
+            server = ComputationalServer(
+                server_id=f"s{i}", agent_address="agent",
+                registry=builtin_registry().subset(("linsys/dgesv",)),
+                mflops=mflops, host=transport.host_name,
+                cfg=ServerConfig(
+                    workload=WorkloadPolicy(time_step=0.2, threshold=10.0)
+                ),
+            )
+            transport.add_node(f"server/s{i}", server, port=0)
+        client = NetSolveClient(
+            client_id="c0", agent_address="agent",
+            cfg=ClientConfig(
+                agent_timeout=15.0, server_timeout=60.0, timeout_floor=15.0
+            ),
+        )
+        node = transport.add_node("client/c0", client, port=0)
+        session = TcpSession(node, timeout=60.0)
+
+        deadline = time.monotonic() + 30.0
+        while agent.registrations < 2:
+            if time.monotonic() > deadline:
+                raise RuntimeError("servers never registered over TCP")
+            time.sleep(0.01)
+
+        rng = np.random.default_rng(2029)
+        a, b = linear_system(rng, TCP_N)
+        classes = ("interactive", "background")
+        stamps = {}
+        handles = []
+        wall0 = time.perf_counter()
+        for i in range(TCP_COUNT):
+            qos = classes[i % 2]
+            h = session.submit("linsys/dgesv", [a, b], qos=qos)
+            rid = h.record.request_id
+            stamps[rid] = [qos, time.perf_counter(), None]
+            h.promise.on_settled(
+                lambda _p, rid=rid: stamps[rid].__setitem__(
+                    2, time.perf_counter()
+                )
+            )
+            handles.append(h)
+        for h in handles:
+            h.promise.wait(60.0)
+        wall = time.perf_counter() - wall0
+
+        turnaround = {name: [] for name in classes}
+        for qos, t0, t1 in stamps.values():
+            turnaround[qos].append(t1 - t0)
+        return {
+            "requests": TCP_COUNT,
+            "wall_s": wall,
+            "wall_req_per_s": TCP_COUNT / wall,
+            "turnaround_s": {
+                name: percentiles(turnaround[name]) for name in classes
+            },
+        }
+    finally:
+        transport.close()
+
+
+# ----------------------------------------------------------------------
+def test_scale_bench():
+    sim = sim_flash_crowd()
+    perf = sim_performability()
+    brokered = brokered_sample()
+    tcp = tcp_sample()
+
+    lines = [
+        f"mode: {'smoke' if SMOKE else 'full'}",
+        "",
+        f"flash crowd: {sim['servers']} servers, {sim['offered']} requests",
+        f"  completed {sim['completed']}  failed {sim['failed']}  "
+        f"busy {sim['busy_replies']}  timeouts {sim['timeouts']}  "
+        f"outages {sim['outages']}",
+        f"  virtual {sim['virtual_makespan_s']:.1f} s "
+        f"({sim['virtual_req_per_s']:.0f} req/s)  "
+        f"wall {sim['wall_s']:.1f} s ({sim['wall_req_per_s']:.0f} req/s)",
+        f"  kernel: {sim['kernel_events']} events, "
+        f"{sim['kernel_compactions']} compactions",
+    ]
+    for name in QOS_CLASSES:
+        t = sim["turnaround_s"][name]
+        if t["count"]:
+            lines.append(
+                f"  {name:<12} n={t['count']:<8} p50={t['p50']:.3f} s  "
+                f"p99={t['p99']:.3f} s"
+            )
+    lines += [
+        "",
+        f"performability: {perf['servers']} servers, "
+        f"mttf={MTTF:.0f}/mttr={MTTR:.0f}",
+        f"  delivered {perf['delivered_fraction']:.4f}  "
+        f"availability measured {perf['measured_availability']:.3f} "
+        f"vs model {perf['model_availability']:.3f}",
+        "",
+        f"brokered: {brokered['done']}/{brokered['requests']} done, "
+        f"classes {brokered['agent_queries_by_class']}",
+        f"tcp: {tcp['requests']} requests, "
+        f"{tcp['wall_req_per_s']:.1f} req/s wall",
+    ]
+    emit("BENCH_scale", "\n".join(lines))
+    (RESULTS_DIR / "BENCH_scale.json").write_text(
+        json.dumps(
+            {
+                "smoke": SMOKE,
+                "sim": sim,
+                "performability": perf,
+                "brokered": brokered,
+                "tcp": tcp,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    # accounting closes
+    assert sim["completed"] + sim["failed"] == sim["offered"]
+    assert sim["completed"] > 0.8 * sim["offered"]
+    # the QoS claim: interactive beats background at the tail while the
+    # farm is saturated, and background bears the shedding
+    assert (
+        sim["turnaround_s"]["interactive"]["p99"]
+        < sim["turnaround_s"]["background"]["p99"]
+    )
+    assert (
+        sim["sheds_by_class"]["background"]
+        >= sim["sheds_by_class"]["interactive"]
+    )
+    # the kernel perf fixes are actually exercised at this scale
+    assert sim["kernel_compactions"] > 0
+    # performability: retries ride through repairs; availability matches
+    assert perf["delivered_fraction"] >= 0.97
+    assert abs(
+        perf["measured_availability"] - perf["model_availability"]
+    ) < 0.2
+    assert brokered["done"] == brokered["requests"]
+    expected = {
+        "interactive": (BROKERED + 2) // 3,
+        "batch": (BROKERED + 1) // 3,
+        "background": BROKERED // 3,
+    }
+    assert brokered["agent_queries_by_class"] == expected
+    assert tcp["requests"] == TCP_COUNT
+
+
+if __name__ == "__main__":
+    test_scale_bench()

@@ -176,6 +176,17 @@ class ServerConfig:
     #: admission cap on SubmitDag graphs (nodes per DAG); a larger graph
     #: is rejected outright with a non-retryable DagReply
     dag_max_nodes: int = 64
+    #: per-class deadline offsets (seconds past arrival), indexed by
+    #: :data:`repro.core.qos.QOS_CLASSES` — the queue drains earliest
+    #: deadline first, so a tighter offset is a stronger claim on the
+    #: next free slot.  Equal offsets degenerate to plain FIFO.
+    qos_deadlines: tuple = (5.0, 60.0, 600.0)
+    #: per-class queue shares in (0, 1], same indexing: under a bounded
+    #: queue (``max_queue > 0``) a class may occupy at most
+    #: ``ceil(max_queue * share)`` waiting entries before *its* requests
+    #: shed Busy — background traffic sheds before it can crowd out
+    #: interactive traffic
+    qos_shed: tuple = (1.0, 1.0, 0.5)
 
     def __post_init__(self) -> None:
         _require(self.max_concurrent >= 1, "max_concurrent must be >= 1")
@@ -198,6 +209,22 @@ class ServerConfig:
         )
         _require(self.handle_ttl >= 0, "handle_ttl must be >= 0")
         _require(self.dag_max_nodes >= 1, "dag_max_nodes must be >= 1")
+        _require(
+            len(self.qos_deadlines) == 3,
+            "qos_deadlines must have one entry per class",
+        )
+        _require(
+            all(d > 0 for d in self.qos_deadlines),
+            "qos_deadlines entries must be positive",
+        )
+        _require(
+            len(self.qos_shed) == 3,
+            "qos_shed must have one entry per class",
+        )
+        _require(
+            all(0 < s <= 1 for s in self.qos_shed),
+            "qos_shed entries must be in (0, 1]",
+        )
 
 
 @dataclass(frozen=True)
@@ -229,6 +256,9 @@ class ClientConfig:
     #: Off by default: an undigested query is byte-identical whether or
     #: not any cache exists downstream
     cache_digest: bool = False
+    #: QoS class stamped on submits that don't pass one explicitly
+    #: ("" = batch); see :mod:`repro.core.qos`
+    default_qos: str = ""
 
     def __post_init__(self) -> None:
         _require(self.max_retries >= 1, "max_retries must be >= 1")
@@ -240,6 +270,10 @@ class ClientConfig:
         _require(
             self.timeout_floor <= self.server_timeout,
             "timeout_floor must be <= server_timeout",
+        )
+        _require(
+            self.default_qos in ("", "interactive", "batch", "background"),
+            "default_qos must be '', 'interactive', 'batch' or 'background'",
         )
 
 

@@ -57,6 +57,7 @@ from ..store import ResultCache
 from ..trace.events import EventLog
 from ..trace.instruments import MetricsRegistry
 from .fleet import HashRing, entry_fingerprint
+from .qos import QOS_CLASSES, qos_index
 from .predictor import (
     NetworkInfo,
     Prediction,
@@ -191,6 +192,9 @@ class Agent(DispatchComponent):
         self.use_workload = use_workload
         self.assignment_feedback = assignment_feedback
         self.queries_served = 0
+        #: per-QoS-class query audit (class name -> count); the agent
+        #: brokers all classes alike, but the mix is operational signal
+        self.queries_by_class = {name: 0 for name in QOS_CLASSES}
         self.registrations = 0
         self.reports_received = 0
         self.failures_reported = 0
@@ -916,6 +920,7 @@ class Agent(DispatchComponent):
                 ))
                 return
         self.queries_served += 1
+        self.queries_by_class[QOS_CLASSES[qos_index(msg.qos)]] += 1
         if self._metrics is not None:
             self._metrics.queries.inc()
         if msg.digest and self.result_cache.enabled:

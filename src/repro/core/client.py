@@ -72,6 +72,7 @@ from ..trace.instruments import (
     MetricsRegistry,
 )
 from ..trace.spans import SpanLog
+from .qos import QOS_DEFAULT, normalize_qos
 from .request import AttemptRecord, RequestRecord, RequestStatus
 
 __all__ = ["NetSolveClient", "RequestHandle"]
@@ -193,6 +194,7 @@ class _Active:
         "resubmitted",
         "query_silences",
         "span",
+        "qos",
     )
 
     def __init__(self, handle: RequestHandle, problem: str, raw_args: list):
@@ -221,6 +223,8 @@ class _Active:
         self.query_silences = 0
         #: per-request span (None when no SpanLog is attached)
         self.span = None
+        #: QoS class carried on the query and the solve ("" = batch)
+        self.qos = ""
 
 
 class _DagState:
@@ -342,6 +346,7 @@ class NetSolveClient(DispatchComponent):
         *,
         keep_result: bool = False,
         payloads: Optional[dict] = None,
+        qos: str = "",
     ) -> RequestHandle:
         """Non-blocking submit; returns a handle with a promise.
 
@@ -353,8 +358,14 @@ class NetSolveClient(DispatchComponent):
         (pull bytes later with :meth:`fetch`).  ``payloads`` maps handle
         keys to their values: if the server answers that a referenced
         key is no longer resident, the request re-submits once with
-        those operands inlined instead of failing.
+        those operands inlined instead of failing.  ``qos`` names the
+        request class ("interactive" / "batch" / "background"; "" takes
+        ``cfg.default_qos``) — servers order admission and shed per
+        class (see :mod:`repro.core.qos`).
         """
+        qos = normalize_qos(qos or self.cfg.default_qos)
+        if qos == QOS_DEFAULT:
+            qos = ""  # the default class rides the wire as "" (cheaper)
         rid = next(self._rids)
         record = RequestRecord(
             request_id=rid,
@@ -367,6 +378,7 @@ class NetSolveClient(DispatchComponent):
         req = _Active(handle, problem, list(args))
         req.keep_result = keep_result
         req.payloads = dict(payloads or {})
+        req.qos = qos
         self._active[rid] = req
         self._trace("submit", request_id=rid, problem=problem)
         if self._metrics is not None:
@@ -1107,6 +1119,7 @@ class NetSolveClient(DispatchComponent):
                 tag=rid,
                 digest=req.digest,
                 resident=resident,
+                qos=req.qos,
             ),
         )
         self._deadlines.arm(
@@ -1284,6 +1297,7 @@ class NetSolveClient(DispatchComponent):
                 inputs=req.inputs,
                 reply_to=self.node.address,
                 keep_result=req.keep_result,
+                qos=req.qos,
             ),
         )
         if cand.predicted_seconds > 0:

@@ -1,0 +1,65 @@
+"""Request QoS classes: names, ordering, and validation.
+
+NetSolve treats every request alike; production solve servers (NEOS's
+job classes, batch schedulers' queues) do not.  This module defines the
+three request classes the rest of the system agrees on:
+
+``interactive``
+    A human is waiting.  Shortest deadline, never shed before the
+    other classes.
+``batch``
+    The default — farm jobs, scripted runs.  The empty string on the
+    wire means ``batch`` so that pre-QoS peers interoperate unchanged.
+``background``
+    Speculative or best-effort work.  Longest deadline, first to be
+    shed when a server saturates.
+
+The class is carried as a string field on
+:class:`~repro.protocol.messages.SolveRequest` and
+:class:`~repro.protocol.messages.QueryRequest`; servers turn it into a
+deadline offset (``ServerConfig.qos_deadlines``) for earliest-deadline-
+first admission and into a queue-share cap
+(``ServerConfig.qos_shed``) for per-class shedding.
+"""
+
+from __future__ import annotations
+
+from repro.errors import BadArgumentsError
+
+__all__ = ["QOS_CLASSES", "QOS_DEFAULT", "qos_index", "normalize_qos"]
+
+#: recognised classes, most to least urgent; positions index the
+#: per-class config tuples (``qos_deadlines`` / ``qos_shed``)
+QOS_CLASSES = ("interactive", "batch", "background")
+
+#: what the wire's empty string means
+QOS_DEFAULT = "batch"
+
+_INDEX = {name: i for i, name in enumerate(QOS_CLASSES)}
+_INDEX[""] = _INDEX[QOS_DEFAULT]
+
+
+def qos_index(qos: str) -> int:
+    """Position of ``qos`` in :data:`QOS_CLASSES` ("" = batch).
+
+    Unknown strings (a newer peer's class we don't know) degrade to the
+    default rather than erroring: admission still works, just without
+    special treatment.
+    """
+    return _INDEX.get(qos, _INDEX[QOS_DEFAULT])
+
+
+def normalize_qos(qos: str) -> str:
+    """Validate a user-supplied class name, mapping "" to the default.
+
+    Raises :class:`~repro.errors.BadArgumentsError` for names outside
+    :data:`QOS_CLASSES` — user input is checked at the submit boundary;
+    wire input is not (see :func:`qos_index`).
+    """
+    if not qos:
+        return QOS_DEFAULT
+    if qos not in _INDEX:
+        raise BadArgumentsError(
+            f"unknown qos class {qos!r}; expected one of {QOS_CLASSES}"
+        )
+    return qos

@@ -8,10 +8,15 @@ structured error.  ``max_concurrent`` bounds simultaneous executions;
 excess requests queue FIFO, mirroring the original's fork-per-request
 server with a small process cap.
 
-Overload protection: ``max_queue`` bounds the FIFO queue — a request
-arriving past the cap is *shed* with a retryable :class:`Busy` reply
-instead of queueing forever, which is what lets clients spread a
-saturating workload across the pool.  Every in-flight compute is stamped
+Overload protection and QoS: waiting requests sit in an earliest-
+deadline-first heap, where each request's deadline is its arrival time
+plus the per-class offset from ``qos_deadlines`` — ``interactive``
+requests overtake ``batch`` and ``background`` ones, and single-class
+traffic degenerates to plain FIFO.  ``max_queue`` bounds the queue — a
+request arriving past the cap (or past its class's ``qos_shed`` share
+of the cap) is *shed* with a retryable :class:`Busy` reply instead of
+queueing forever, which is what lets clients spread a saturating
+workload across the pool.  Every in-flight compute is stamped
 with the server's *incarnation generation*; a restart bumps the
 generation, so completion callbacks armed by a previous incarnation are
 dropped instead of corrupting ``_executing`` or emitting stale replies.
@@ -42,8 +47,9 @@ the store by digest, warming the cache after a reboot.
 
 from __future__ import annotations
 
+import heapq
 import itertools
-from collections import deque
+from math import ceil
 from typing import Optional, Sequence
 
 from ..config import ServerConfig
@@ -81,6 +87,7 @@ from ..store import HandleStore, JobStore, ResultCache, solve_digest
 from ..trace.events import EventLog
 from ..trace.instruments import MetricsRegistry
 from .executors import ProcessPool
+from .qos import QOS_CLASSES, qos_index
 from .workload import WorkloadReporter
 
 __all__ = ["ComputationalServer"]
@@ -296,12 +303,22 @@ class ComputationalServer(DispatchComponent):
         #: callbacks of forgotten in-flight work identify themselves as
         #: stale instead of corrupting the new incarnation's state
         self._generation = 0
-        #: queued as (src, msg, t_enqueued) so starts can observe the wait
-        self._queue: deque[tuple[str, SolveRequest, float]] = deque()
+        #: earliest-deadline-first admission heap of
+        #: ``(deadline, seq, src, msg, t_enqueued)``: deadline = arrival
+        #: + the request class's ``qos_deadlines`` offset, seq breaks
+        #: ties in arrival order — single-class traffic therefore drains
+        #: in exact FIFO order, same as the pre-QoS deque
+        self._queue: list[tuple[float, int, str, SolveRequest, float]] = []
+        self._queue_seq = itertools.count()
+        #: waiting entries per QoS class (indexed like QOS_CLASSES),
+        #: driving the per-class shed shares
+        self._queued_by_class = [0, 0, 0]
         self.requests_served = 0
         self.requests_failed = 0
         #: requests refused with Busy because the queue was at max_queue
         self.requests_shed = 0
+        #: shed audit per QoS class (class name -> count)
+        self.sheds_by_class = {name: 0 for name in QOS_CLASSES}
         #: stale completions (previous incarnation) dropped by the guard
         self.stale_completions = 0
         #: deepest the FIFO queue ever got (admission-cap audit)
@@ -404,6 +421,7 @@ class ComputationalServer(DispatchComponent):
             self._metrics.queue_depth.dec(len(self._queue))
             self._metrics.executing.dec(self._executing)
         self._queue.clear()
+        self._queued_by_class = [0, 0, 0]
         self._executing = 0
         self._generation += 1
         # coalesced waiters were joined to computes this incarnation no
@@ -939,27 +957,52 @@ class ComputationalServer(DispatchComponent):
             return
         if self._executing >= self.cfg.max_concurrent:
             depth = len(self._queue)
+            ci = qos_index(msg.qos)
             # DAG-internal requests bypass the shed: their graph was
             # admitted as a whole, and a Busy would have nowhere to go
-            if src != _DAG_SRC and 0 < self.cfg.max_queue <= depth:
+            if src != _DAG_SRC and self.cfg.max_queue > 0:
                 # bounded admission: refuse instead of queueing forever;
-                # the client falls through to its next candidate
-                self.requests_shed += 1
-                if self._metrics is not None:
-                    self._metrics.sheds.inc()
-                self._trace(
-                    "request_shed", request_id=msg.request_id, depth=depth
-                )
-                self.node.send(
-                    msg.reply_to or src,
-                    Busy(
+                # the client falls through to its next candidate.  A
+                # class may claim at most its configured share of the
+                # queue, so background traffic sheds before it crowds
+                # out interactive traffic.
+                limit = ceil(self.cfg.max_queue * self.cfg.qos_shed[ci])
+                if depth >= self.cfg.max_queue:
+                    detail = f"queue full ({depth}/{self.cfg.max_queue})"
+                elif self._queued_by_class[ci] >= limit:
+                    detail = (
+                        f"qos {QOS_CLASSES[ci]} share full "
+                        f"({self._queued_by_class[ci]}/{limit})"
+                    )
+                else:
+                    detail = None
+                if detail is not None:
+                    self.requests_shed += 1
+                    self.sheds_by_class[QOS_CLASSES[ci]] += 1
+                    if self._metrics is not None:
+                        self._metrics.sheds.inc()
+                    self._trace(
+                        "request_shed",
                         request_id=msg.request_id,
-                        queue_depth=depth,
-                        detail=f"queue full ({depth}/{self.cfg.max_queue})",
-                    ),
-                )
-                return
-            self._queue.append((src, msg, self.node.now()))
+                        depth=depth,
+                        qos=QOS_CLASSES[ci],
+                    )
+                    self.node.send(
+                        msg.reply_to or src,
+                        Busy(
+                            request_id=msg.request_id,
+                            queue_depth=depth,
+                            detail=detail,
+                        ),
+                    )
+                    return
+            now = self.node.now()
+            deadline = now + self.cfg.qos_deadlines[ci]
+            heapq.heappush(
+                self._queue,
+                (deadline, next(self._queue_seq), src, msg, now),
+            )
+            self._queued_by_class[ci] += 1
             if len(self._queue) > self.peak_queue:
                 self.peak_queue = len(self._queue)
                 if self._metrics is not None and (
@@ -1279,10 +1322,13 @@ class ComputationalServer(DispatchComponent):
 
         signature = (env, _batch_signature(coerced))
         members = [(src, msg, flops, member_digest(coerced, env))]
-        kept: deque = deque()
+        kept: list = []
         now = self.node.now()
-        for entry in self._queue:
-            q_src, q_msg, t_queued = entry
+        # walk in drain (deadline) order so member selection matches
+        # what successive pops would have seen; a sorted list satisfies
+        # the heap invariant, so ``kept`` needs no re-heapify
+        for entry in sorted(self._queue):
+            _deadline, _seq, q_src, q_msg, t_queued = entry
             if (
                 len(members) >= self.cfg.batch_max
                 or q_msg.problem != problem
@@ -1306,6 +1352,7 @@ class ComputationalServer(DispatchComponent):
             members.append(
                 (q_src, q_msg, q_flops, member_digest(q_coerced, q_env))
             )
+            self._queued_by_class[qos_index(q_msg.qos)] -= 1
             if self._metrics is not None:
                 self._metrics.queue_depth.dec()
                 self._metrics.queue_wait_seconds.observe(now - t_queued)
@@ -1419,7 +1466,8 @@ class ComputationalServer(DispatchComponent):
 
     def _drain(self) -> None:
         while self._queue and self._executing < self.cfg.max_concurrent:
-            src, msg, t_queued = self._queue.popleft()
+            _deadline, _seq, src, msg, t_queued = heapq.heappop(self._queue)
+            self._queued_by_class[qos_index(msg.qos)] -= 1
             if self._metrics is not None:
                 self._metrics.queue_depth.dec()
                 self._metrics.queue_wait_seconds.observe(

@@ -219,6 +219,10 @@ class QueryRequest(Message):
     #: inputs); the MCT ranking charges transfer cost only for bytes a
     #: candidate does *not* hold, homing chains onto the data's host
     resident: dict = field(default_factory=dict)
+    #: QoS class of the request being placed ("interactive" / "batch" /
+    #: "background"; "" = batch) — agents count per-class traffic and
+    #: forward it with the eventual SolveRequest
+    qos: str = ""
 
 
 @dataclass(frozen=True)
@@ -334,6 +338,10 @@ class SolveRequest(Message):
     #: :class:`DataHandle` references instead of payloads — the
     #: reference half of the locality path (``fetch`` pulls bytes later)
     keep_result: bool = False
+    #: QoS class ("interactive" / "batch" / "background"; "" = batch):
+    #: orders server admission by deadline and selects the per-class
+    #: shed limit when the queue is saturated
+    qos: str = ""
 
 
 @_register

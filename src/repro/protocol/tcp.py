@@ -610,6 +610,21 @@ class TcpTransport:
         self.close()
 
 
+def _describe_waited(promise) -> str:
+    """Human-readable identity of a waited-on promise for timeout errors.
+
+    A client :class:`RequestHandle` names its request id and problem;
+    anything else falls back to the object's class name.
+    """
+    record = getattr(promise, "record", None)
+    if record is not None:
+        return (
+            f"request {record.request_id} ({record.problem!r}, "
+            f"status {record.status.name.lower()})"
+        )
+    return type(promise).__name__
+
+
 class TcpSession:
     """:class:`repro.capi.Session` flavour for TCP deployments."""
 
@@ -622,10 +637,10 @@ class TcpSession:
         self.client = client_node.component
         self.timeout = timeout
 
-    def submit(self, problem: str, args: list) -> Any:
+    def submit(self, problem: str, args: list, *, qos: str = "") -> Any:
         """Thread-safe submit through the node lock."""
         with self.node.lock:
-            return self.client.submit(problem, args)
+            return self.client.submit(problem, args, qos=qos)
 
     def list_problems(self, prefix: str = "") -> Any:
         with self.node.lock:
@@ -637,11 +652,20 @@ class TcpSession:
         return promise.result()
 
     def drive(self, promise) -> None:
-        if isinstance(promise, ThreadPromise):
-            promise.wait(self.timeout)
-        else:  # pragma: no cover - defensive
-            deadline = time.monotonic() + self.timeout
-            while not promise.done:
-                if time.monotonic() > deadline:
-                    raise TransportError("promise wait timed out")
-                time.sleep(0.005)
+        """Block until ``promise`` settles or the session timeout passes.
+
+        Accepts a bare :class:`~repro.protocol.transport.Promise` (any
+        flavour, not just :class:`ThreadPromise`) or a client
+        :class:`~repro.core.client.RequestHandle`.  The wait parks the
+        calling thread on a condition variable armed through
+        ``on_settled`` — no polling loop — and a timeout names the
+        request being waited on.
+        """
+        target = getattr(promise, "promise", promise)
+        settled = threading.Event()
+        target.on_settled(lambda _p: settled.set())
+        if not settled.wait(self.timeout):
+            raise TransportError(
+                f"timed out after {self.timeout:g}s waiting on "
+                f"{_describe_waited(promise)}"
+            )

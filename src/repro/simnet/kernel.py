@@ -30,20 +30,36 @@ class Timer:
     """Handle for a scheduled callback; supports cancellation.
 
     A cancelled timer stays in the heap but is skipped when popped
-    (lazy deletion), which keeps cancellation O(1).
+    (lazy deletion), which keeps cancellation O(1).  The kernel keeps a
+    live count alongside (``_counted`` says whether this timer is in it)
+    so ``pending()`` never has to scan the heap.
     """
 
-    __slots__ = ("time", "callback", "cancelled", "seq")
+    __slots__ = ("time", "callback", "cancelled", "seq", "_kernel",
+                 "_counted")
 
-    def __init__(self, time: float, callback: Callable[[], None], seq: int):
+    def __init__(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        seq: int,
+        kernel: "EventKernel | None" = None,
+    ):
         self.time = time
         self.callback = callback
         self.cancelled = False
         self.seq = seq
+        self._kernel = kernel
+        self._counted = kernel is not None
 
     def cancel(self) -> None:
+        if self.cancelled:
+            return
         self.cancelled = True
         self.callback = _noop
+        if self._counted:
+            self._counted = False
+            self._kernel._live -= 1
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "cancelled" if self.cancelled else "armed"
@@ -175,12 +191,23 @@ class EventKernel:
     "now" runs before message arrival at the same instant.
     """
 
-    def __init__(self) -> None:
+    #: heaps smaller than this are never compacted — rebuilding a tiny
+    #: heap costs more than the dead entries it would reclaim
+    COMPACT_MIN = 512
+
+    def __init__(self, *, compact_min: int | None = None) -> None:
         self._now = 0.0
         self._heap: list[tuple[float, int, int, Timer]] = []
         self._seq = itertools.count()
         self._running = False
         self.events_processed = 0
+        #: timers in the heap that are not cancelled (O(1) ``pending()``)
+        self._live = 0
+        #: dead entries rebuilt out of the heap so far (perf telemetry)
+        self.compactions = 0
+        self._compact_min = (
+            self.COMPACT_MIN if compact_min is None else max(1, compact_min)
+        )
 
     # ------------------------------------------------------------------
     # clock
@@ -202,9 +229,38 @@ class EventKernel:
                 f"cannot schedule in the past: {when} < now {self._now}"
             )
         seq = next(self._seq)
-        timer = Timer(when, fn, seq)
-        heapq.heappush(self._heap, (when, priority, seq, timer))
+        timer = Timer(when, fn, seq, self)
+        heap = self._heap
+        heapq.heappush(heap, (when, priority, seq, timer))
+        self._live += 1
+        # amortized compaction: once cancelled entries outnumber live
+        # ones (deadline tables and retry chains cancel almost every
+        # timer they arm), rebuild the heap in one O(n) batch instead
+        # of dribbling dead entries through every later push and pop
+        if len(heap) >= self._compact_min and self._live * 2 < len(heap):
+            self._compact()
         return timer
+
+    def _compact(self) -> None:
+        dead = len(self._heap) - self._live
+        self._heap = [e for e in self._heap if not e[3].cancelled]
+        heapq.heapify(self._heap)
+        self.compactions += dead
+
+    def _rearm(self, timer: Timer, when: float, priority: int = 0) -> None:
+        """Push an already-popped timer back for another firing.
+
+        Used by :meth:`every` so one :class:`Timer` handle stands for
+        the whole periodic cycle: ``cancel()`` on it works before,
+        between and after firings.  Must only be called with a timer
+        that is *not* currently in the heap.
+        """
+        seq = next(self._seq)
+        timer.time = when
+        timer.seq = seq
+        timer._counted = True
+        heapq.heappush(self._heap, (when, priority, seq, timer))
+        self._live += 1
 
     def call_after(
         self, delay: float, fn: Callable[[], None], priority: int = 0
@@ -222,27 +278,32 @@ class EventKernel:
         start: float | None = None,
         jitter: Callable[[], float] | None = None,
     ) -> Timer:
-        """Run ``fn`` periodically.  Returns the timer of the *next* firing.
+        """Run ``fn`` periodically.  Returns a handle for the whole cycle.
 
-        Cancelling the returned timer stops the cycle *only before its
-        first firing*; for an always-cancellable periodic task, wrap in a
-        :class:`Process`.  ``jitter()`` (if given) is added to each
-        interval — it must return a value > -interval.
+        The one returned :class:`Timer` is re-armed for every firing, so
+        ``cancel()`` on it stops the cycle at any point — before the
+        first firing, between firings, or from inside ``fn`` itself.
+        ``jitter()`` (if given) is added to each interval — it must
+        return a value > -interval.
         """
         if interval <= 0:
             raise SimulationError("interval must be positive")
-        holder: dict[str, Timer] = {}
 
         def tick() -> None:
             fn()
+            if timer.cancelled:
+                return  # fn cancelled its own cycle mid-callback
             delay = interval + (jitter() if jitter else 0.0)
             if delay <= 0:
                 raise SimulationError("jitter produced non-positive period")
-            holder["timer"] = self.call_after(delay, tick)
+            # re-arm the same handle rather than allocating a fresh
+            # timer per firing: the caller's handle stays live, and a
+            # periodic task costs one Timer for its whole lifetime
+            self._rearm(timer, self._now + delay)
 
         first = self._now + (interval if start is None else max(0.0, start - self._now))
-        holder["timer"] = self.call_at(first, tick)
-        return holder["timer"]
+        timer = self.call_at(first, tick)
+        return timer
 
     def event(self) -> Event:
         """Create a fresh one-shot :class:`Event` bound to this kernel."""
@@ -259,10 +320,14 @@ class EventKernel:
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Run the next pending event.  Returns False if the heap is empty."""
-        while self._heap:
-            when, _prio, _seq, timer = heapq.heappop(self._heap)
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            when, _prio, _seq, timer = pop(heap)
             if timer.cancelled:
                 continue
+            timer._counted = False
+            self._live -= 1
             self._now = when
             self.events_processed += 1
             timer.callback()
@@ -287,7 +352,8 @@ class EventKernel:
         stop:
             Optional predicate checked after every event.
         max_events:
-            Safety valve against runaway loops; raises on breach.
+            Safety valve against runaway loops: at most this many events
+            run; the breach is raised *before* an excess event executes.
 
         Returns
         -------
@@ -311,13 +377,16 @@ class EventKernel:
                 if until is not None and when > until:
                     self._now = until
                     break
-                if not self.step():
-                    break
-                processed += 1
-                if max_events is not None and processed > max_events:
+                if max_events is not None and processed >= max_events:
+                    # checked with a live runnable event at the top, so
+                    # exactly max_events events ran — the cap used to
+                    # admit one extra before noticing
                     raise SimulationError(
                         f"exceeded max_events={max_events}; runaway simulation?"
                     )
+                if not self.step():
+                    break
+                processed += 1
                 if stop is not None and stop():
                     break
             else:
@@ -342,14 +411,24 @@ class EventKernel:
         return event.value
 
     def pending(self) -> int:
-        """Number of live (non-cancelled) scheduled events."""
-        return sum(1 for *_x, t in self._heap if not t.cancelled)
+        """Number of live (non-cancelled) scheduled events.  O(1)."""
+        return self._live
 
     def peek(self) -> Optional[float]:
-        """Time of the next live event, or None."""
-        for when, _p, _s, timer in sorted(self._heap)[:]:
-            if not timer.cancelled:
-                return when
+        """Time of the next live event, or None.  Amortized O(1).
+
+        Lazily pops cancelled entries off the top — the same discipline
+        ``run()`` uses — instead of sorting a copy of the whole heap,
+        so a peek after heavy cancellation costs only the dead tops it
+        discards (each discarded exactly once across all peeks/runs).
+        """
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            if heap[0][3].cancelled:
+                pop(heap)
+                continue
+            return heap[0][0]
         return None
 
     def drain(self, timers: Iterable[Timer]) -> None:

@@ -184,10 +184,12 @@ class Testbed:
     def submit(
         self, client_id: str, problem: str, args: Sequence[Any],
         *, keep_result: bool = False, payloads: Optional[dict] = None,
+        qos: str = "",
     ) -> RequestHandle:
         """Non-blocking submit (the ``netslnb`` path)."""
         return self.client(client_id).submit(
-            problem, args, keep_result=keep_result, payloads=payloads
+            problem, args, keep_result=keep_result, payloads=payloads,
+            qos=qos,
         )
 
     def solve(

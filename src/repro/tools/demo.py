@@ -35,6 +35,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="number of requests to farm")
     parser.add_argument("--timeout", type=float, default=120.0)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--qos", default="",
+                        choices=("", "interactive", "batch", "background"),
+                        help="request class stamped on every submit "
+                             "(default: batch)")
     return parser
 
 
@@ -69,7 +73,7 @@ def main(argv: list[str] | None = None) -> int:
             a = rng.standard_normal((n, n)) + n * np.eye(n)
             b = rng.standard_normal(n)
             t0 = time.perf_counter()
-            handle = session.submit("linsys/dgesv", [a, b])
+            handle = session.submit("linsys/dgesv", [a, b], qos=args.qos)
             try:
                 (x,) = handle.promise.wait(args.timeout)
             except Exception as exc:  # noqa: BLE001 - CLI surface

@@ -100,10 +100,31 @@ def build_parser() -> argparse.ArgumentParser:
                         help="SQLite file for the persistent job store; "
                              "finished results survive restarts and are "
                              "recoverable by request id")
+    parser.add_argument("--qos-deadlines", metavar="I,B,BG", default=None,
+                        help="per-class deadline offsets in seconds "
+                             "(interactive,batch,background) for "
+                             "earliest-deadline-first admission "
+                             "(default 5,60,600)")
+    parser.add_argument("--qos-shed", metavar="I,B,BG", default=None,
+                        help="per-class queue shares in (0,1] "
+                             "(interactive,batch,background): a class "
+                             "past its share of --max-queue sheds Busy "
+                             "(default 1,1,0.5)")
     parser.add_argument("--metrics-json", metavar="PATH", default=None,
                         help="attach a metrics registry and dump its "
                              "snapshot to PATH at shutdown")
     return parser
+
+
+def parse_class_triple(text: str, flag: str) -> tuple[float, float, float]:
+    """Parse an "interactive,batch,background" comma triple of floats."""
+    parts = text.split(",")
+    if len(parts) != 3:
+        raise SystemExit(f"{flag} needs exactly 3 comma-separated values")
+    try:
+        return tuple(float(p) for p in parts)
+    except ValueError:
+        raise SystemExit(f"{flag}: non-numeric value in {text!r}")
 
 
 def select_problems(prefixes: list[str] | None):
@@ -138,6 +159,15 @@ def main(argv: list[str] | None = None) -> int:
         args.max_inflight if args.max_inflight is not None
         else args.max_concurrent
     )
+    qos_kwargs = {}
+    if args.qos_deadlines is not None:
+        qos_kwargs["qos_deadlines"] = parse_class_triple(
+            args.qos_deadlines, "--qos-deadlines"
+        )
+    if args.qos_shed is not None:
+        qos_kwargs["qos_shed"] = parse_class_triple(
+            args.qos_shed, "--qos-shed"
+        )
     metrics = MetricsRegistry() if args.metrics_json else None
     with TcpTransport(bind_ip=args.bind, metrics=metrics) as transport:
         for name, host, port in agents:
@@ -167,6 +197,7 @@ def main(argv: list[str] | None = None) -> int:
                 register_timeout=args.register_timeout,
                 handle_ttl=args.handle_ttl,
                 dag_max_nodes=args.dag_max_nodes,
+                **qos_kwargs,
             ),
             metrics=metrics,
         )

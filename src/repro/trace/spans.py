@@ -14,6 +14,8 @@ ever *reads* a span; recording appends to lists and assigns floats.
 
 from __future__ import annotations
 
+from collections import deque
+from itertools import islice
 from typing import Any, Iterator, Optional
 
 __all__ = ["SpanPhase", "RequestSpan", "SpanLog"]
@@ -137,14 +139,40 @@ class RequestSpan:
 
 
 class SpanLog:
-    """Append-only collection of request spans."""
+    """Append-only collection of request spans.
 
-    def __init__(self) -> None:
-        self.spans: list[RequestSpan] = []
+    Two load knobs keep span recording cheap at million-request scale
+    (both default off, preserving record-everything behaviour):
+
+    * ``sample_every=N`` records one request span in every N ``begin``
+      calls and returns ``None`` for the rest — recorders already guard
+      on the returned span, so a sampled-out request costs one counter
+      increment and nothing else;
+    * ``max_spans=N`` bounds the log to the newest N spans (a ring:
+      old spans fall off the front as new ones arrive).
+    """
+
+    def __init__(self, *, sample_every: int = 1, max_spans: int = 0) -> None:
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        if max_spans < 0:
+            raise ValueError("max_spans must be >= 0")
+        # a bounded log is a deque ring: appends past the cap evict the
+        # oldest span in O(1) instead of shifting a list
+        self.spans = (
+            deque(maxlen=max_spans) if max_spans else []
+        )  # type: ignore[assignment]
+        self.sample_every = sample_every
+        self.max_spans = max_spans
+        #: ``begin`` calls seen, recorded or not (the sampling base)
+        self.offered = 0
 
     def begin(
         self, request_id: int, problem: str, source: str, t: float
-    ) -> RequestSpan:
+    ) -> Optional[RequestSpan]:
+        self.offered += 1
+        if self.sample_every > 1 and (self.offered - 1) % self.sample_every:
+            return None
         span = RequestSpan(request_id, problem, source, t)
         self.spans.append(span)
         return span
@@ -166,11 +194,11 @@ class SpanLog:
         return None
 
     def snapshot(self, *, limit: int | None = None) -> list[dict]:
-        spans = self.spans if limit is None else self.spans[:limit]
+        spans = self.spans if limit is None else islice(self.spans, limit)
         return [s.to_dict() for s in spans]
 
     def render(self, *, limit: int | None = None) -> str:
-        spans = self.spans if limit is None else self.spans[:limit]
+        spans = self.spans if limit is None else islice(self.spans, limit)
         return "\n".join(s.timeline() for s in spans)
 
     def clear(self) -> None:

@@ -51,11 +51,14 @@ def test_single_solve_timeline_golden():
     # 0.49844901… -> 0.49850741… (2026-08-08) when the data-handle
     # fields landed (QueryRequest.resident={}, SolveRequest.keep_result,
     # SolveReply.error_kind/missing — all default-valued constants);
+    # 0.49850741… -> 0.49852821… (2026-08-08) when the QoS class fields
+    # landed (QueryRequest.qos=""/SolveRequest.qos="" — default-valued
+    # constants; "" is the batch class, so scheduling is unchanged);
     # compute is untouched, the delta is pure transfer time
     assert record.server_id == "s2"
-    assert record.total_seconds == pytest.approx(0.49850741333333737,
+    assert record.total_seconds == pytest.approx(0.4985282133333371,
                                                  rel=GOLDEN_REL)
-    assert record.negotiation_seconds == pytest.approx(0.006577600000001738,
+    assert record.negotiation_seconds == pytest.approx(0.006588000000002481,
                                                        rel=GOLDEN_REL)
     assert record.compute_seconds == pytest.approx(0.05657941333333305,
                                                    rel=GOLDEN_REL)
@@ -70,8 +73,9 @@ def test_farm_makespan_golden():
     # 0.34635594… -> 0.34640314… with the constant-size result-cache
     # protocol fields, -> 0.34644954… with the constant-size fleet
     # fields, -> 0.34653674… (2026-08-08) with the constant-size
-    # data-handle fields (see the single-solve golden above)
-    assert farm.makespan == pytest.approx(0.3465367466666702, rel=GOLDEN_REL)
+    # data-handle fields, -> 0.34657834… (2026-08-08) with the
+    # constant-size QoS fields (see the single-solve golden above)
+    assert farm.makespan == pytest.approx(0.3465783466666732, rel=GOLDEN_REL)
     assert farm.servers_used() == {"s0": 1, "s1": 2, "s2": 3}
 
 

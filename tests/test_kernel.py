@@ -275,3 +275,140 @@ def test_events_processed_counter():
         k.call_after(1.0, lambda: None)
     k.run()
     assert k.events_processed == 7
+
+
+# ----------------------------------------------------------------------
+# regression: peek() must discard cancelled tops lazily, not sort the
+# whole heap per call
+# ----------------------------------------------------------------------
+def test_peek_discards_cancelled_tops():
+    k = EventKernel()
+    doomed = [k.call_after(float(i + 1), lambda: None) for i in range(50)]
+    survivor = k.call_after(100.0, lambda: None)
+    for t in doomed:
+        t.cancel()
+    assert k.peek() == 100.0
+    # the cancelled tops were popped on the way to the answer, so the
+    # heap holds exactly the one live entry — a second peek is O(1)
+    assert len(k._heap) == 1
+    assert k.pending() == 1
+    survivor.cancel()
+    assert k.peek() is None
+    assert k.pending() == 0
+
+
+def test_peek_preserves_run_semantics():
+    """Peeking must not perturb what run() subsequently executes."""
+    k = EventKernel()
+    seen = []
+    t = k.call_after(1.0, lambda: seen.append("dead"))
+    k.call_after(2.0, lambda: seen.append("live"))
+    t.cancel()
+    assert k.peek() == 2.0
+    k.run()
+    assert seen == ["live"]
+    assert k.now == 2.0
+
+
+# ----------------------------------------------------------------------
+# regression: every() returns a handle for the live cycle, not just the
+# first firing
+# ----------------------------------------------------------------------
+def test_every_cancel_mid_cycle_stops_the_cycle():
+    k = EventKernel()
+    ticks = []
+    handle = k.every(10.0, lambda: ticks.append(k.now))
+    k.run(until=25.0)
+    assert ticks == [10.0, 20.0]
+    # the cycle has re-armed itself twice by now; the original handle
+    # must still control it
+    handle.cancel()
+    k.run(until=100.0)
+    assert ticks == [10.0, 20.0]
+    assert k.pending() == 0
+
+
+def test_every_cancel_from_inside_callback():
+    k = EventKernel()
+    ticks = []
+    handle = k.every(5.0, lambda: (ticks.append(k.now),
+                                   handle.cancel() if len(ticks) >= 3 else None))
+    k.run(until=60.0)
+    assert ticks == [5.0, 10.0, 15.0]
+    assert k.pending() == 0
+
+
+# ----------------------------------------------------------------------
+# regression: max_events admits exactly max_events events, not one more
+# ----------------------------------------------------------------------
+def test_max_events_is_exact():
+    k = EventKernel()
+    ran = []
+
+    def loop():
+        ran.append(k.now)
+        k.call_after(1.0, loop)
+
+    k.call_after(0.0, loop)
+    with pytest.raises(SimulationError):
+        k.run(max_events=5)
+    assert len(ran) == 5  # used to run 6 before raising
+
+
+def test_max_events_allows_exactly_that_many():
+    """A run needing exactly N events must not trip an N-event valve."""
+    k = EventKernel()
+    for i in range(5):
+        k.call_after(float(i), lambda: None)
+    assert k.run(max_events=5) == 4.0
+
+
+def test_max_events_ignores_cancelled_entries():
+    k = EventKernel()
+    for i in range(10):
+        k.call_after(float(i), lambda: None).cancel()
+    k.call_after(99.0, lambda: None)
+    # ten dead entries precede the one live event; only the live one
+    # counts against the valve
+    k.run(max_events=1)
+    assert k.now == 99.0
+
+
+# ----------------------------------------------------------------------
+# stress: peek()/pending() under heavy lazy cancellation
+# ----------------------------------------------------------------------
+def test_peek_pending_under_heavy_cancellation():
+    k = EventKernel(compact_min=64)
+    import random
+
+    rng = random.Random(7)
+    live: dict[int, object] = {}
+    fired = []
+    for i in range(5000):
+        when = rng.uniform(0.0, 1000.0)
+        live[i] = (when, k.call_at(when, lambda i=i: fired.append(i)))
+        if rng.random() < 0.9 and live:
+            j = rng.choice(list(live))
+            _w, t = live.pop(j)
+            t.cancel()
+        # the live count and next-event time must match a ground-truth
+        # scan at every step, compactions and lazy pops included
+        assert k.pending() == len(live)
+        expected_next = min((w for w, _t in live.values()), default=None)
+        assert k.peek() == expected_next
+    k.run()
+    assert sorted(fired) == sorted(live)
+    assert k.pending() == 0
+    # the 90% cancellation rate must actually have exercised compaction
+    assert k.compactions > 0
+
+
+def test_double_cancel_keeps_pending_consistent():
+    k = EventKernel()
+    t = k.call_after(1.0, lambda: None)
+    k.call_after(2.0, lambda: None)
+    t.cancel()
+    t.cancel()  # idempotent: must not decrement the live count twice
+    assert k.pending() == 1
+    k.run()
+    assert k.pending() == 0

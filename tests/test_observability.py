@@ -115,6 +115,33 @@ def test_span_phases_auto_close_and_render():
     assert [p["name"] for p in d["phases"]] == ["describe", "query", "attempt"]
 
 
+def test_span_log_sampling_records_one_in_n():
+    log = SpanLog(sample_every=3)
+    spans = [log.begin(i, "p/q", "c0", float(i)) for i in range(9)]
+    assert [s is not None for s in spans] == [True, False, False] * 3
+    assert log.offered == 9
+    assert len(log) == 3
+    assert [s.request_id for s in log] == [0, 3, 6]
+
+
+def test_span_log_ring_keeps_newest():
+    log = SpanLog(max_spans=4)
+    for i in range(10):
+        log.begin(i, "p/q", "c0", float(i))
+    assert len(log) == 4
+    assert [s.request_id for s in log] == [6, 7, 8, 9]
+    # find() still sees the newest occupant; snapshot honors limit
+    assert log.find(9) is not None and log.find(0) is None
+    assert [d["request_id"] for d in log.snapshot(limit=2)] == [6, 7]
+
+
+def test_span_log_rejects_bad_knobs():
+    with pytest.raises(ValueError):
+        SpanLog(sample_every=0)
+    with pytest.raises(ValueError):
+        SpanLog(max_spans=-1)
+
+
 # ----------------------------------------------------------------------
 # a fully observed farm
 # ----------------------------------------------------------------------

@@ -1,0 +1,187 @@
+"""QoS request classes: deadline-ordered admission and per-class shedding.
+
+The server's waiting queue is an earliest-deadline-first heap where a
+request's deadline is its arrival time plus the per-class
+``qos_deadlines`` offset; ``qos_shed`` caps each class's share of a
+bounded queue.  Default-class traffic must behave exactly like the
+pre-QoS FIFO.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import ClientConfig, ServerConfig
+from repro.core.qos import QOS_CLASSES, QOS_DEFAULT, normalize_qos, qos_index
+from repro.errors import BadArgumentsError, ConfigError
+from repro.protocol.messages import Busy, SolveReply, SolveRequest
+from repro.testbed import standard_testbed
+
+RNG = np.random.default_rng(77)
+
+
+def linsys(n=64):
+    a = RNG.standard_normal((n, n)) + n * np.eye(n)
+    return a, RNG.standard_normal(n)
+
+
+# ----------------------------------------------------------------------
+# the class vocabulary
+# ----------------------------------------------------------------------
+def test_qos_index_and_normalize():
+    assert QOS_CLASSES == ("interactive", "batch", "background")
+    assert qos_index("") == qos_index("batch") == 1
+    assert qos_index("interactive") == 0
+    assert qos_index("background") == 2
+    # unknown wire values degrade to the default instead of erroring
+    assert qos_index("gold-plated") == qos_index(QOS_DEFAULT)
+    assert normalize_qos("") == "batch"
+    assert normalize_qos("background") == "background"
+    with pytest.raises(BadArgumentsError):
+        normalize_qos("gold-plated")
+
+
+def test_config_validation():
+    with pytest.raises(ConfigError):
+        ServerConfig(qos_deadlines=(1.0, 2.0))  # wrong arity
+    with pytest.raises(ConfigError):
+        ServerConfig(qos_deadlines=(0.0, 1.0, 2.0))  # non-positive
+    with pytest.raises(ConfigError):
+        ServerConfig(qos_shed=(1.0, 1.0, 0.0))  # share must be > 0
+    with pytest.raises(ConfigError):
+        ServerConfig(qos_shed=(1.0, 1.0, 1.5))  # share must be <= 1
+    with pytest.raises(ConfigError):
+        ClientConfig(default_qos="gold-plated")
+
+
+# ----------------------------------------------------------------------
+# server admission: deadline order + per-class shares
+# ----------------------------------------------------------------------
+def qos_server_world(cfg):
+    from tests.test_overload import make_server_world
+
+    return make_server_world(cfg)
+
+
+def send_solve(transport, rid, qos="", n=512):
+    a, b = linsys(n)
+    transport.node("client-probe").send(
+        "server/sv",
+        SolveRequest(
+            request_id=rid, problem="linsys/dgesv", inputs=(a, b),
+            reply_to="client-probe", qos=qos,
+        ),
+    )
+
+
+def test_queue_drains_in_deadline_order():
+    kernel, transport, server, probe = qos_server_world(
+        ServerConfig(max_concurrent=1)
+    )
+    send_solve(transport, 1)  # occupies the slot
+    # queued in reverse-urgency arrival order
+    send_solve(transport, 2, qos="background")
+    send_solve(transport, 3, qos="batch")
+    send_solve(transport, 4, qos="interactive")
+    kernel.run(until=60.0)
+    replies = probe.of_type(SolveReply)
+    # interactive overtakes batch overtakes background
+    assert [r.request_id for r in replies] == [1, 4, 3, 2]
+    assert all(r.ok for r in replies)
+
+
+def test_single_class_traffic_stays_fifo():
+    kernel, transport, server, probe = qos_server_world(
+        ServerConfig(max_concurrent=1)
+    )
+    for rid in range(1, 6):
+        send_solve(transport, rid)
+    kernel.run(until=120.0)
+    replies = probe.of_type(SolveReply)
+    assert [r.request_id for r in replies] == [1, 2, 3, 4, 5]
+
+
+def test_interactive_cannot_jump_a_started_request():
+    """Deadlines order the *queue*; executing slots are never preempted."""
+    kernel, transport, server, probe = qos_server_world(
+        ServerConfig(max_concurrent=1)
+    )
+    send_solve(transport, 1, qos="background")
+    send_solve(transport, 2, qos="interactive")
+    kernel.run(until=60.0)
+    replies = probe.of_type(SolveReply)
+    assert [r.request_id for r in replies] == [1, 2]
+
+
+def test_per_class_shed_share():
+    # max_queue=4 with background share 0.5 -> background may hold at
+    # most 2 waiting entries; the rest of the queue stays available to
+    # the other classes
+    kernel, transport, server, probe = qos_server_world(
+        ServerConfig(
+            max_concurrent=1, max_queue=4, qos_shed=(1.0, 1.0, 0.5)
+        )
+    )
+    send_solve(transport, 1)  # executing
+    send_solve(transport, 2, qos="background")
+    send_solve(transport, 3, qos="background")
+    send_solve(transport, 4, qos="background")  # past the class share
+    send_solve(transport, 5, qos="interactive")  # still admitted
+    kernel.run(until=0.1)
+    busy = probe.of_type(Busy)
+    assert [m.request_id for m in busy] == [4]
+    assert "qos background share full" in busy[0].detail
+    assert server.requests_shed == 1
+    assert server.sheds_by_class == {
+        "interactive": 0, "batch": 0, "background": 1,
+    }
+    kernel.run(until=120.0)
+    assert [r.request_id for r in probe.of_type(SolveReply)] == [1, 5, 2, 3]
+
+
+def test_whole_queue_cap_still_binds():
+    kernel, transport, server, probe = qos_server_world(
+        ServerConfig(max_concurrent=1, max_queue=2)
+    )
+    send_solve(transport, 1)
+    send_solve(transport, 2, qos="interactive")
+    send_solve(transport, 3, qos="interactive")
+    send_solve(transport, 4, qos="interactive")  # queue itself is full
+    kernel.run(until=0.1)
+    busy = probe.of_type(Busy)
+    assert [m.request_id for m in busy] == [4]
+    assert "queue full" in busy[0].detail
+
+
+# ----------------------------------------------------------------------
+# end-to-end: the class rides the query and the solve
+# ----------------------------------------------------------------------
+def test_qos_carried_through_agent_to_server():
+    tb = standard_testbed(n_servers=2, seed=91)
+    tb.settle()
+    h = tb.submit("c0", "linsys/dgesv", list(linsys()), qos="interactive")
+    tb.wait_all([h])
+    assert h.record.status.name == "DONE"
+    assert tb.agent.queries_by_class["interactive"] == 1
+    assert tb.agent.queries_by_class["batch"] == 0
+    # default submits count as batch
+    h2 = tb.submit("c0", "linsys/dgesv", list(linsys()))
+    tb.wait_all([h2])
+    assert tb.agent.queries_by_class["batch"] == 1
+
+
+def test_submit_rejects_unknown_class():
+    tb = standard_testbed(n_servers=1, seed=92)
+    tb.settle()
+    with pytest.raises(BadArgumentsError):
+        tb.submit("c0", "linsys/dgesv", list(linsys()), qos="gold-plated")
+
+
+def test_client_default_qos_config():
+    tb = standard_testbed(
+        n_servers=1, seed=93,
+        client_cfg=ClientConfig(default_qos="interactive"),
+    )
+    tb.settle()
+    h = tb.submit("c0", "linsys/dgesv", list(linsys()))
+    tb.wait_all([h])
+    assert tb.agent.queries_by_class["interactive"] == 1

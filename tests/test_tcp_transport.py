@@ -382,3 +382,74 @@ def test_describe_over_tcp(deployment):
         promise = session.client.describe("eigen/symm")
     spec = promise.wait(WAIT)
     assert spec.name == "eigen/symm"
+
+
+# ----------------------------------------------------------------------
+# regression: TcpSession.drive must not busy-poll plain promises, and
+# its timeout error must name the request being waited on
+# ----------------------------------------------------------------------
+def _bare_session(timeout: float):
+    """A TcpSession over a client node with no agent behind it."""
+    transport = TcpTransport()
+    client = NetSolveClient(client_id="cx", agent_address="agent")
+    node = transport.add_node("client/cx", client, port=0)
+    return transport, TcpSession(node, timeout=timeout)
+
+
+def test_drive_waits_on_plain_promise_without_polling():
+    import threading
+    import time
+
+    from repro.protocol.transport import Promise
+
+    transport, session = _bare_session(timeout=10.0)
+    try:
+        promise = Promise()  # deliberately NOT a ThreadPromise
+        threading.Timer(0.05, lambda: promise.resolve("late")).start()
+        t0 = time.monotonic()
+        assert session.drive_result(promise) == "late"
+        # condition-variable wake-up, not a wall-clock poll against the
+        # full session deadline
+        assert time.monotonic() - t0 < 5.0
+        # an already-settled promise returns immediately
+        done = Promise()
+        done.resolve(7)
+        assert session.drive_result(done) == 7
+    finally:
+        transport.close()
+
+
+def test_drive_timeout_names_the_request():
+    from repro.core.client import RequestHandle
+    from repro.core.request import RequestRecord
+    from repro.protocol.transport import Promise
+
+    transport, session = _bare_session(timeout=0.05)
+    try:
+        record = RequestRecord(request_id=7, problem="linsys/dgesv", sizes={})
+        handle = RequestHandle(record, Promise())  # never settles
+        with pytest.raises(TransportError, match=r"request 7.*linsys/dgesv"):
+            session.drive(handle)
+        # a bare promise still times out, with a generic identity
+        with pytest.raises(TransportError, match="Promise"):
+            session.drive(Promise())
+    finally:
+        transport.close()
+
+
+def test_drive_accepts_request_handles():
+    import threading
+
+    from repro.core.client import RequestHandle
+    from repro.core.request import RequestRecord
+
+    transport, session = _bare_session(timeout=10.0)
+    try:
+        record = RequestRecord(request_id=9, problem="p", sizes={})
+        promise = ThreadPromise()
+        handle = RequestHandle(record, promise)
+        threading.Timer(0.05, lambda: promise.resolve(("ok",))).start()
+        session.drive(handle)
+        assert handle.result() == ("ok",)
+    finally:
+        transport.close()
